@@ -1,0 +1,627 @@
+//! The Adaptive Radix Tree (ART), Leis et al., ICDE 2013.
+//!
+//! A 256-ary radix tree whose inner nodes adapt their layout to their
+//! population: `Node4` and `Node16` store sorted key/child arrays, `Node48`
+//! maps the key byte to a child slot through a 256-entry index array, and
+//! `Node256` is a plain 256-entry child-pointer array.  Pessimistic path
+//! compression stores the compressed prefix in a per-node header.
+//!
+//! This implementation is the single-value-leaf flavour that the paper calls
+//! ART_C: every leaf owns its key and 8-byte value (no external key/value
+//! array), which makes it a drop-in key-value store like Hyperion.
+//! Keys are terminated logically (a leaf stores the full key), so arbitrary
+//! byte strings including prefixes of each other are supported.
+
+use hyperion_core::KeyValueStore;
+
+/// Maximum prefix bytes kept inline in an inner node header (pessimistic path
+/// compression as in the original publication).
+const MAX_PREFIX: usize = 10;
+
+enum Node {
+    Leaf {
+        key: Box<[u8]>,
+        value: u64,
+    },
+    Inner(Box<Inner>),
+}
+
+struct Inner {
+    prefix_len: usize,
+    prefix: [u8; MAX_PREFIX],
+    /// Value for the key that ends exactly at this node (key == path prefix).
+    terminal: Option<u64>,
+    layout: Layout,
+}
+
+enum Layout {
+    /// Sorted keys + children, up to 4 entries.
+    Node4 {
+        keys: [u8; 4],
+        children: Vec<Node>,
+    },
+    /// Sorted keys + children, up to 16 entries.
+    Node16 {
+        keys: [u8; 16],
+        children: Vec<Node>,
+    },
+    /// 256-entry index into a dense child vector, up to 48 entries.
+    Node48 {
+        index: Box<[u8; 256]>,
+        children: Vec<Node>,
+    },
+    /// Direct 256-entry child array.
+    Node256 {
+        children: Box<[Option<Node>; 256]>,
+    },
+}
+
+impl Layout {
+    fn new4() -> Layout {
+        Layout::Node4 {
+            keys: [0; 4],
+            children: Vec::with_capacity(4),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Layout::Node4 { children, .. } | Layout::Node16 { children, .. } => children.len(),
+            Layout::Node48 { children, .. } => children.len(),
+            Layout::Node256 { children } => children.iter().filter(|c| c.is_some()).count(),
+        }
+    }
+
+    fn find(&self, byte: u8) -> Option<&Node> {
+        match self {
+            Layout::Node4 { keys, children } => keys[..children.len()]
+                .iter()
+                .position(|&k| k == byte)
+                .map(|i| &children[i]),
+            Layout::Node16 { keys, children } => keys[..children.len()]
+                .iter()
+                .position(|&k| k == byte)
+                .map(|i| &children[i]),
+            Layout::Node48 { index, children } => {
+                let slot = index[byte as usize];
+                if slot == u8::MAX {
+                    None
+                } else {
+                    Some(&children[slot as usize])
+                }
+            }
+            Layout::Node256 { children } => children[byte as usize].as_ref(),
+        }
+    }
+
+    fn find_mut(&mut self, byte: u8) -> Option<&mut Node> {
+        match self {
+            Layout::Node4 { keys, children } => keys[..children.len()]
+                .iter()
+                .position(|&k| k == byte)
+                .map(move |i| &mut children[i]),
+            Layout::Node16 { keys, children } => keys[..children.len()]
+                .iter()
+                .position(|&k| k == byte)
+                .map(move |i| &mut children[i]),
+            Layout::Node48 { index, children } => {
+                let slot = index[byte as usize];
+                if slot == u8::MAX {
+                    None
+                } else {
+                    Some(&mut children[slot as usize])
+                }
+            }
+            Layout::Node256 { children } => children[byte as usize].as_mut(),
+        }
+    }
+
+    /// Inserts a child, growing the layout if necessary.
+    fn insert(&mut self, byte: u8, node: Node) {
+        self.grow_if_full();
+        match self {
+            Layout::Node4 { keys, children } => {
+                let n = children.len();
+                let pos = keys[..n].iter().position(|&k| k > byte).unwrap_or(n);
+                children.insert(pos, node);
+                for i in (pos..n).rev() {
+                    keys[i + 1] = keys[i];
+                }
+                keys[pos] = byte;
+            }
+            Layout::Node16 { keys, children } => {
+                let n = children.len();
+                let pos = keys[..n].iter().position(|&k| k > byte).unwrap_or(n);
+                children.insert(pos, node);
+                for i in (pos..n).rev() {
+                    keys[i + 1] = keys[i];
+                }
+                keys[pos] = byte;
+            }
+            Layout::Node48 { index, children } => {
+                index[byte as usize] = children.len() as u8;
+                children.push(node);
+            }
+            Layout::Node256 { children } => {
+                children[byte as usize] = Some(node);
+            }
+        }
+    }
+
+    fn grow_if_full(&mut self) {
+        let len = self.len();
+        let grow_to_16 = matches!(self, Layout::Node4 { .. }) && len == 4;
+        let grow_to_48 = matches!(self, Layout::Node16 { .. }) && len == 16;
+        let grow_to_256 = matches!(self, Layout::Node48 { .. }) && len == 48;
+        if grow_to_16 {
+            let (keys, children) = match std::mem::replace(self, Layout::new4()) {
+                Layout::Node4 { keys, children } => (keys, children),
+                _ => unreachable!(),
+            };
+            let mut new_keys = [0u8; 16];
+            new_keys[..4].copy_from_slice(&keys);
+            *self = Layout::Node16 {
+                keys: new_keys,
+                children,
+            };
+        } else if grow_to_48 {
+            let (keys, children) = match std::mem::replace(self, Layout::new4()) {
+                Layout::Node16 { keys, children } => (keys, children),
+                _ => unreachable!(),
+            };
+            let mut index = Box::new([u8::MAX; 256]);
+            for (i, k) in keys.iter().enumerate().take(children.len()) {
+                index[*k as usize] = i as u8;
+            }
+            *self = Layout::Node48 { index, children };
+        } else if grow_to_256 {
+            let (index, children) = match std::mem::replace(self, Layout::new4()) {
+                Layout::Node48 { index, children } => (index, children),
+                _ => unreachable!(),
+            };
+            let mut array: Box<[Option<Node>; 256]> =
+                Box::new(std::array::from_fn(|_| None));
+            let mut children: Vec<Option<Node>> = children.into_iter().map(Some).collect();
+            for byte in 0..256usize {
+                let slot = index[byte];
+                if slot != u8::MAX {
+                    array[byte] = children[slot as usize].take();
+                }
+            }
+            *self = Layout::Node256 { children: array };
+        }
+    }
+
+    /// Iterates children in ascending key order.
+    fn for_each_ordered<'a>(&'a self, f: &mut dyn FnMut(u8, &'a Node) -> bool) -> bool {
+        match self {
+            Layout::Node4 { keys, children } => {
+                for (i, child) in children.iter().enumerate() {
+                    if !f(keys[i], child) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Layout::Node16 { keys, children } => {
+                for (i, child) in children.iter().enumerate() {
+                    if !f(keys[i], child) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Layout::Node48 { index, children } => {
+                for byte in 0..256usize {
+                    let slot = index[byte];
+                    if slot != u8::MAX && !f(byte as u8, &children[slot as usize]) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Layout::Node256 { children } => {
+                for (byte, child) in children.iter().enumerate() {
+                    if let Some(child) = child {
+                        if !f(byte as u8, child) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Bytes of memory used by this layout's bookkeeping (children counted
+    /// separately).
+    fn layout_bytes(&self) -> usize {
+        match self {
+            Layout::Node4 { children, .. } => 4 + children.capacity() * std::mem::size_of::<Node>(),
+            Layout::Node16 { children, .. } => {
+                16 + children.capacity() * std::mem::size_of::<Node>()
+            }
+            Layout::Node48 { children, .. } => {
+                256 + children.capacity() * std::mem::size_of::<Node>()
+            }
+            Layout::Node256 { .. } => 256 * std::mem::size_of::<Option<Node>>(),
+        }
+    }
+}
+
+/// The Adaptive Radix Tree used as the ART / ART_C baseline.
+#[derive(Default)]
+pub struct ArtTree {
+    root: Option<Node>,
+    len: usize,
+}
+
+impl ArtTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        ArtTree::default()
+    }
+
+    fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+        a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+    }
+
+    fn get_rec<'a>(node: &'a Node, key: &[u8]) -> Option<u64> {
+        match node {
+            Node::Leaf { key: k, value } => {
+                if k.as_ref() == key {
+                    Some(*value)
+                } else {
+                    None
+                }
+            }
+            Node::Inner(inner) => {
+                let p = &inner.prefix[..inner.prefix_len.min(MAX_PREFIX)];
+                if key.len() < inner.prefix_len || &key[..p.len()] != p {
+                    return None;
+                }
+                let rest = &key[inner.prefix_len..];
+                match rest.first() {
+                    None => inner.terminal,
+                    Some(&b) => inner.layout.find(b).and_then(|c| Self::get_rec(c, &rest[1..])),
+                }
+            }
+        }
+    }
+
+    fn put_rec(node: &mut Node, key: &[u8], value: u64) -> bool {
+        match node {
+            Node::Leaf { key: k, value: v } => {
+                if k.as_ref() == key {
+                    *v = value;
+                    return false;
+                }
+                // Split the leaf into an inner node.
+                let existing_key = std::mem::take(k).into_vec();
+                let existing_value = *v;
+                let common = Self::common_prefix(&existing_key, key).min(MAX_PREFIX);
+                let mut inner = Box::new(Inner {
+                    prefix_len: common,
+                    prefix: [0; MAX_PREFIX],
+                    terminal: None,
+                    layout: Layout::new4(),
+                });
+                inner.prefix[..common].copy_from_slice(&key[..common]);
+                let mut attach = |k: Vec<u8>, v: u64, inner: &mut Inner| {
+                    let rest = &k[common..];
+                    match rest.first() {
+                        None => inner.terminal = Some(v),
+                        Some(&b) => match inner.layout.find_mut(b) {
+                            // The stored prefix is capped at MAX_PREFIX bytes, so
+                            // both keys may still branch below the same byte.
+                            Some(child) => {
+                                Self::put_rec(child, &rest[1..], v);
+                            }
+                            None => inner.layout.insert(
+                                b,
+                                Node::Leaf {
+                                    key: rest[1..].to_vec().into_boxed_slice(),
+                                    value: v,
+                                },
+                            ),
+                        },
+                    }
+                };
+                attach(existing_key, existing_value, &mut inner);
+                attach(key.to_vec(), value, &mut inner);
+                *node = Node::Inner(inner);
+                true
+            }
+            Node::Inner(inner) => {
+                let common = Self::common_prefix(&inner.prefix[..inner.prefix_len], key);
+                if common < inner.prefix_len {
+                    // Split the compressed prefix.
+                    let old = std::mem::replace(
+                        node,
+                        Node::Leaf {
+                            key: Box::new([]),
+                            value: 0,
+                        },
+                    );
+                    let Node::Inner(mut old_inner) = old else { unreachable!() };
+                    let old_prefix = old_inner.prefix;
+                    let split_byte = old_prefix[common];
+                    let remaining = old_inner.prefix_len - common - 1;
+                    old_inner.prefix_len = remaining;
+                    old_inner.prefix = [0; MAX_PREFIX];
+                    old_inner.prefix[..remaining]
+                        .copy_from_slice(&old_prefix[common + 1..common + 1 + remaining]);
+                    let mut new_inner = Box::new(Inner {
+                        prefix_len: common,
+                        prefix: [0; MAX_PREFIX],
+                        terminal: None,
+                        layout: Layout::new4(),
+                    });
+                    new_inner.prefix[..common].copy_from_slice(&old_prefix[..common]);
+                    new_inner.layout.insert(split_byte, Node::Inner(old_inner));
+                    let rest = &key[common..];
+                    match rest.first() {
+                        None => new_inner.terminal = Some(value),
+                        Some(&b) => new_inner.layout.insert(
+                            b,
+                            Node::Leaf {
+                                key: rest[1..].to_vec().into_boxed_slice(),
+                                value,
+                            },
+                        ),
+                    }
+                    *node = Node::Inner(new_inner);
+                    return true;
+                }
+                let rest = &key[inner.prefix_len..];
+                match rest.first() {
+                    None => {
+                        let new = inner.terminal.is_none();
+                        inner.terminal = Some(value);
+                        new
+                    }
+                    Some(&b) => match inner.layout.find_mut(b) {
+                        Some(child) => Self::put_rec(child, &rest[1..], value),
+                        None => {
+                            inner.layout.insert(
+                                b,
+                                Node::Leaf {
+                                    key: rest[1..].to_vec().into_boxed_slice(),
+                                    value,
+                                },
+                            );
+                            true
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    fn walk<'a>(
+        node: &'a Node,
+        prefix: &mut Vec<u8>,
+        start: &[u8],
+        f: &mut dyn FnMut(&[u8], u64) -> bool,
+    ) -> bool {
+        match node {
+            Node::Leaf { key, value } => {
+                let depth = prefix.len();
+                prefix.extend_from_slice(key);
+                let ok = prefix.as_slice() < start || f(prefix, *value);
+                prefix.truncate(depth);
+                ok
+            }
+            Node::Inner(inner) => {
+                let depth = prefix.len();
+                prefix.extend_from_slice(&inner.prefix[..inner.prefix_len]);
+                if let Some(v) = inner.terminal {
+                    if prefix.as_slice() >= start && !f(prefix, v) {
+                        prefix.truncate(depth);
+                        return false;
+                    }
+                }
+                let ok = inner.layout.for_each_ordered(&mut |byte, child| {
+                    prefix.push(byte);
+                    let keep = Self::walk(child, prefix, start, f);
+                    prefix.pop();
+                    keep
+                });
+                prefix.truncate(depth);
+                ok
+            }
+        }
+    }
+
+    fn node_bytes(node: &Node) -> usize {
+        match node {
+            Node::Leaf { key, .. } => std::mem::size_of::<Node>() + key.len(),
+            Node::Inner(inner) => {
+                let mut total = std::mem::size_of::<Node>()
+                    + std::mem::size_of::<Inner>()
+                    + inner.layout.layout_bytes();
+                inner.layout.for_each_ordered(&mut |_, child| {
+                    total += Self::node_bytes(child);
+                    true
+                });
+                total
+            }
+        }
+    }
+}
+
+impl KeyValueStore for ArtTree {
+    fn put(&mut self, key: &[u8], value: u64) -> bool {
+        match &mut self.root {
+            None => {
+                self.root = Some(Node::Leaf {
+                    key: key.to_vec().into_boxed_slice(),
+                    value,
+                });
+                self.len += 1;
+                true
+            }
+            Some(root) => {
+                let inserted = Self::put_rec(root, key, value);
+                if inserted {
+                    self.len += 1;
+                }
+                inserted
+            }
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        self.root.as_ref().and_then(|r| Self::get_rec(r, key))
+    }
+
+    fn delete(&mut self, key: &[u8]) -> bool {
+        // ART deletions mirror insertions; the evaluation in the paper does
+        // not benchmark deletes, so a simple tombstone-free rebuild-on-delete
+        // strategy would distort memory numbers.  Implemented as "remove the
+        // leaf / terminal value" without node shrinking.
+        fn del(node: &mut Node, key: &[u8]) -> bool {
+            match node {
+                Node::Leaf { key: k, value: _ } => {
+                    if k.as_ref() == key {
+                        *k = Box::new([0xffu8; 0]);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Node::Inner(inner) => {
+                    let p = inner.prefix_len;
+                    if key.len() < p || key[..p] != inner.prefix[..p] {
+                        return false;
+                    }
+                    let rest = &key[p..];
+                    match rest.first() {
+                        None => inner.terminal.take().is_some(),
+                        Some(&b) => inner
+                            .layout
+                            .find_mut(b)
+                            .map(|c| del(c, &rest[1..]))
+                            .unwrap_or(false),
+                    }
+                }
+            }
+        }
+        let removed = self.root.as_mut().map(|r| del(r, key)).unwrap_or(false);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        if let Some(root) = &self.root {
+            let mut prefix = Vec::new();
+            Self::walk(root, &mut prefix, start, f);
+        }
+    }
+
+    fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.root.as_ref().map(Self::node_bytes).unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "art"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut art = ArtTree::new();
+        let words: &[&[u8]] = &[b"a", b"and", b"be", b"that", b"the", b"to"];
+        for (i, w) in words.iter().enumerate() {
+            assert!(art.put(w, i as u64));
+        }
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(art.get(w), Some(i as u64));
+        }
+        assert_eq!(art.get(b"th"), None);
+        assert_eq!(art.len(), words.len());
+    }
+
+    #[test]
+    fn node_growth_through_all_layouts() {
+        let mut art = ArtTree::new();
+        for i in 0..=255u8 {
+            art.put(&[b'x', i], i as u64);
+        }
+        assert_eq!(art.len(), 256);
+        for i in 0..=255u8 {
+            assert_eq!(art.get(&[b'x', i]), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn prefix_keys_and_terminal_values() {
+        let mut art = ArtTree::new();
+        art.put(b"abc", 1);
+        art.put(b"abcdef", 2);
+        art.put(b"ab", 3);
+        assert_eq!(art.get(b"abc"), Some(1));
+        assert_eq!(art.get(b"abcdef"), Some(2));
+        assert_eq!(art.get(b"ab"), Some(3));
+        assert_eq!(art.get(b"abcd"), None);
+    }
+
+    #[test]
+    fn ordered_range_scan() {
+        let mut art = ArtTree::new();
+        let mut expected = Vec::new();
+        for i in 0..1000u64 {
+            let k = format!("{:06}", i * 7 % 1000);
+            art.put(k.as_bytes(), i);
+            expected.push(k.into_bytes());
+        }
+        expected.sort();
+        expected.dedup();
+        let mut got = Vec::new();
+        art.range_for_each(&[], &mut |k, _| {
+            got.push(k.to_vec());
+            true
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn random_integers_match_btreemap() {
+        let mut art = ArtTree::new();
+        let mut reference = std::collections::BTreeMap::new();
+        let mut x = 0x12345678u64;
+        for i in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x.to_be_bytes();
+            art.put(&key, i);
+            reference.insert(key.to_vec(), i);
+        }
+        for (k, v) in &reference {
+            assert_eq!(art.get(k), Some(*v));
+        }
+        assert_eq!(art.len(), reference.len());
+    }
+
+    #[test]
+    fn memory_footprint_grows_with_content() {
+        let mut art = ArtTree::new();
+        let empty = art.memory_footprint();
+        for i in 0..1000u64 {
+            art.put(&i.to_be_bytes(), i);
+        }
+        assert!(art.memory_footprint() > empty);
+    }
+}

@@ -1,0 +1,242 @@
+//! An open-addressing hash table (linear probing), standing in for the
+//! paper's `std::unordered_map` baseline.
+//!
+//! Hash tables give the best point-operation throughput but no ordered
+//! iteration and a large, pointer-free but padded footprint; the benchmark
+//! harness reproduces both effects.
+
+use hyperion_core::KeyValueStore;
+
+const INITIAL_CAPACITY: usize = 1024;
+const MAX_LOAD_PERCENT: usize = 70;
+
+#[derive(Clone)]
+enum Slot {
+    Empty,
+    Tombstone,
+    Occupied { key: Vec<u8>, value: u64 },
+}
+
+/// Open-addressing hash map with FNV-1a hashing and linear probing.
+pub struct OpenHashMap {
+    slots: Vec<Slot>,
+    len: usize,
+    tombstones: usize,
+}
+
+impl Default for OpenHashMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn fnv1a(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl OpenHashMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        OpenHashMap {
+            slots: vec![Slot::Empty; INITIAL_CAPACITY],
+            len: 0,
+            tombstones: 0,
+        }
+    }
+
+    fn probe(&self, key: &[u8]) -> (Option<usize>, usize) {
+        // Returns (index of existing key, index of first insertable slot).
+        let mask = self.slots.len() - 1;
+        let mut idx = fnv1a(key) as usize & mask;
+        let mut first_free = None;
+        loop {
+            match &self.slots[idx] {
+                Slot::Empty => {
+                    return (None, first_free.unwrap_or(idx));
+                }
+                Slot::Tombstone => {
+                    if first_free.is_none() {
+                        first_free = Some(idx);
+                    }
+                }
+                Slot::Occupied { key: k, .. } => {
+                    if k.as_slice() == key {
+                        return (Some(idx), idx);
+                    }
+                }
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    fn maybe_grow(&mut self) {
+        if (self.len + self.tombstones) * 100 < self.slots.len() * MAX_LOAD_PERCENT {
+            return;
+        }
+        let new_capacity = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![Slot::Empty; new_capacity]);
+        self.tombstones = 0;
+        for slot in old {
+            if let Slot::Occupied { key, value } = slot {
+                let (_, insert_at) = self.probe(&key);
+                self.slots[insert_at] = Slot::Occupied { key, value };
+            }
+        }
+    }
+}
+
+impl KeyValueStore for OpenHashMap {
+    fn put(&mut self, key: &[u8], value: u64) -> bool {
+        self.maybe_grow();
+        let (existing, insert_at) = self.probe(key);
+        match existing {
+            Some(idx) => {
+                self.slots[idx] = Slot::Occupied {
+                    key: key.to_vec(),
+                    value,
+                };
+                false
+            }
+            None => {
+                if matches!(self.slots[insert_at], Slot::Tombstone) {
+                    self.tombstones -= 1;
+                }
+                self.slots[insert_at] = Slot::Occupied {
+                    key: key.to_vec(),
+                    value,
+                };
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        let (existing, _) = self.probe(key);
+        existing.and_then(|idx| match &self.slots[idx] {
+            Slot::Occupied { value, .. } => Some(*value),
+            _ => None,
+        })
+    }
+
+    fn delete(&mut self, key: &[u8]) -> bool {
+        let (existing, _) = self.probe(key);
+        match existing {
+            Some(idx) => {
+                self.slots[idx] = Slot::Tombstone;
+                self.len -= 1;
+                self.tombstones += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        // Hash tables have no order; to serve the interface the entries are
+        // collected and sorted, which mirrors how an application would have to
+        // emulate range queries on an unordered_map.
+        let mut entries: Vec<(&[u8], u64)> = self
+            .slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Occupied { key, value } => Some((key.as_slice(), *value)),
+                _ => None,
+            })
+            .collect();
+        entries.sort();
+        for (k, v) in entries {
+            if k >= start && !f(k, v) {
+                return;
+            }
+        }
+    }
+
+    fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.slots.capacity() * std::mem::size_of::<Slot>()
+            + self
+                .slots
+                .iter()
+                .map(|s| match s {
+                    Slot::Occupied { key, .. } => key.capacity(),
+                    _ => 0,
+                })
+                .sum::<usize>()
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let mut map = OpenHashMap::new();
+        for i in 0..10_000u64 {
+            assert!(map.put(&i.to_be_bytes(), i * 2));
+        }
+        assert_eq!(map.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(map.get(&i.to_be_bytes()), Some(i * 2));
+        }
+        for i in (0..10_000u64).step_by(3) {
+            assert!(map.delete(&i.to_be_bytes()));
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(map.get(&i.to_be_bytes()).is_some(), i % 3 != 0);
+        }
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut map = OpenHashMap::new();
+        for i in 0..100_000u64 {
+            map.put(&i.to_be_bytes(), i);
+        }
+        assert_eq!(map.len(), 100_000);
+        for i in (0..100_000u64).step_by(997) {
+            assert_eq!(map.get(&i.to_be_bytes()), Some(i));
+        }
+    }
+
+    #[test]
+    fn tombstones_are_reused() {
+        let mut map = OpenHashMap::new();
+        map.put(b"k", 1);
+        map.delete(b"k");
+        assert!(map.put(b"k", 2));
+        assert_eq!(map.get(b"k"), Some(2));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn sorted_range_for_each() {
+        let mut map = OpenHashMap::new();
+        for i in 0..500u64 {
+            map.put(format!("{:04}", 499 - i).as_bytes(), i);
+        }
+        let mut last: Option<Vec<u8>> = None;
+        map.range_for_each(b"0100", &mut |k, _| {
+            if let Some(prev) = &last {
+                assert!(prev.as_slice() < k);
+            }
+            assert!(k >= b"0100".as_slice());
+            last = Some(k.to_vec());
+            true
+        });
+    }
+}

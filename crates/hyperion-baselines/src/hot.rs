@@ -1,0 +1,329 @@
+//! A crit-bit (binary PATRICIA) trie, standing in for the Height Optimized
+//! Trie (HOT, Binna et al., SIGMOD 2018).
+//!
+//! HOT is a generalisation of the binary Patricia trie that combines several
+//! binary nodes into compound nodes with an adaptive span so that every node
+//! has high fan-out.  The compound-node linearisation and SIMD layout are out
+//! of scope for this reproduction (see DESIGN.md); this module implements the
+//! underlying binary Patricia structure — each node discriminates on a single
+//! critical bit, leaves store the full key — which shares HOT's height
+//! characteristics on skewed data while being considerably simpler.
+
+use hyperion_core::KeyValueStore;
+
+enum CbNode {
+    Leaf {
+        key: Vec<u8>,
+        value: u64,
+    },
+    Inner {
+        /// Byte index of the discriminating bit.
+        byte: usize,
+        /// Bit mask within that byte (single bit set).
+        mask: u8,
+        left: Box<CbNode>,
+        right: Box<CbNode>,
+    },
+}
+
+fn bit_of(key: &[u8], byte: usize, mask: u8) -> bool {
+    // Keys are logically padded with a terminator smaller than any byte so
+    // that prefixes sort before their extensions.
+    if byte < key.len() {
+        key[byte] & mask != 0
+    } else {
+        false
+    }
+}
+
+/// The crit-bit tree used as the HOT-style baseline.
+#[derive(Default)]
+pub struct CritBitTree {
+    root: Option<Box<CbNode>>,
+    len: usize,
+}
+
+impl CritBitTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        CritBitTree::default()
+    }
+
+    /// Finds the first differing (byte, mask) between two keys, treating the
+    /// end of a key as a zero byte.  Returns `None` if the keys are equal.
+    fn critical_bit(a: &[u8], b: &[u8]) -> Option<(usize, u8)> {
+        let max = a.len().max(b.len()) + 1;
+        for i in 0..max {
+            let x = a.get(i).copied().unwrap_or(0);
+            let y = b.get(i).copied().unwrap_or(0);
+            // Distinguish "byte exists" from "key ended" for prefix pairs.
+            let xe = (i < a.len()) as u8;
+            let ye = (i < b.len()) as u8;
+            if x != y {
+                let diff = x ^ y;
+                let mask = 0x80u8 >> diff.leading_zeros();
+                return Some((i, mask));
+            }
+            if xe != ye {
+                // One key is a strict prefix of the other: discriminate on the
+                // most significant bit of the longer key's next byte, or on a
+                // synthetic low bit when that byte is zero.
+                let longer = if a.len() > b.len() { a } else { b };
+                let nb = longer[i];
+                let mask = if nb == 0 { 0x01 } else { 0x80u8 >> nb.leading_zeros() };
+                return Some((i, mask));
+            }
+        }
+        None
+    }
+
+    fn leaf_for<'a>(node: &'a CbNode, key: &[u8]) -> &'a CbNode {
+        match node {
+            CbNode::Leaf { .. } => node,
+            CbNode::Inner {
+                byte,
+                mask,
+                left,
+                right,
+            } => {
+                if bit_of(key, *byte, *mask) {
+                    Self::leaf_for(right, key)
+                } else {
+                    Self::leaf_for(left, key)
+                }
+            }
+        }
+    }
+
+    fn walk(node: &CbNode, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) -> bool {
+        match node {
+            CbNode::Leaf { key, value } => key.as_slice() < start || f(key, *value),
+            CbNode::Inner { left, right, .. } => {
+                Self::walk(left, start, f) && Self::walk(right, start, f)
+            }
+        }
+    }
+
+    fn bytes(node: &CbNode) -> usize {
+        match node {
+            CbNode::Leaf { key, .. } => std::mem::size_of::<CbNode>() + key.capacity(),
+            CbNode::Inner { left, right, .. } => {
+                std::mem::size_of::<CbNode>() + Self::bytes(left) + Self::bytes(right)
+            }
+        }
+    }
+}
+
+impl KeyValueStore for CritBitTree {
+    fn put(&mut self, key: &[u8], value: u64) -> bool {
+        let Some(root) = &mut self.root else {
+            self.root = Some(Box::new(CbNode::Leaf {
+                key: key.to_vec(),
+                value,
+            }));
+            self.len += 1;
+            return true;
+        };
+        // Find the best-matching leaf, then the critical bit.
+        let (crit_byte, crit_mask, existing_equal) = {
+            let leaf = Self::leaf_for(root, key);
+            let CbNode::Leaf { key: lk, .. } = leaf else { unreachable!() };
+            match Self::critical_bit(lk, key) {
+                None => (0, 0, true),
+                Some((b, m)) => (b, m, false),
+            }
+        };
+        if existing_equal {
+            // Overwrite in place.
+            fn overwrite(node: &mut CbNode, key: &[u8], value: u64) {
+                match node {
+                    CbNode::Leaf { value: v, .. } => *v = value,
+                    CbNode::Inner {
+                        byte,
+                        mask,
+                        left,
+                        right,
+                    } => {
+                        if bit_of(key, *byte, *mask) {
+                            overwrite(right, key, value)
+                        } else {
+                            overwrite(left, key, value)
+                        }
+                    }
+                }
+            }
+            overwrite(root, key, value);
+            return false;
+        }
+        // Insert a new inner node at the correct depth.
+        let new_bit = bit_of(key, crit_byte, crit_mask);
+        let mut cursor: &mut Box<CbNode> = root;
+        loop {
+            // Descend while the current node discriminates on an earlier bit
+            // than the new critical bit (smaller byte index, or a more
+            // significant mask within the same byte).
+            let descend = match cursor.as_ref() {
+                CbNode::Inner { byte, mask, .. } => {
+                    *byte < crit_byte || (*byte == crit_byte && *mask > crit_mask)
+                }
+                CbNode::Leaf { .. } => false,
+            };
+            if !descend {
+                break;
+            }
+            let CbNode::Inner {
+                byte, mask, left, right, ..
+            } = cursor.as_mut() else {
+                unreachable!()
+            };
+            cursor = if bit_of(key, *byte, *mask) { right } else { left };
+        }
+        let old = std::mem::replace(
+            cursor,
+            Box::new(CbNode::Leaf {
+                key: Vec::new(),
+                value: 0,
+            }),
+        );
+        let new_leaf = Box::new(CbNode::Leaf {
+            key: key.to_vec(),
+            value,
+        });
+        let (left, right) = if new_bit { (old, new_leaf) } else { (new_leaf, old) };
+        *cursor = Box::new(CbNode::Inner {
+            byte: crit_byte,
+            mask: crit_mask,
+            left,
+            right,
+        });
+        self.len += 1;
+        true
+    }
+
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        let root = self.root.as_ref()?;
+        let leaf = Self::leaf_for(root, key);
+        match leaf {
+            CbNode::Leaf { key: lk, value } if lk.as_slice() == key => Some(*value),
+            _ => None,
+        }
+    }
+
+    fn delete(&mut self, key: &[u8]) -> bool {
+        fn remove(node: Box<CbNode>, key: &[u8], removed: &mut bool) -> Option<Box<CbNode>> {
+            match *node {
+                CbNode::Leaf { key: lk, value } => {
+                    if lk.as_slice() == key {
+                        *removed = true;
+                        None
+                    } else {
+                        Some(Box::new(CbNode::Leaf { key: lk, value }))
+                    }
+                }
+                CbNode::Inner {
+                    byte,
+                    mask,
+                    left,
+                    right,
+                } => {
+                    let (next, other, went_right) = if bit_of(key, byte, mask) {
+                        (right, left, true)
+                    } else {
+                        (left, right, false)
+                    };
+                    match remove(next, key, removed) {
+                        None => Some(other),
+                        Some(kept) => {
+                            let (left, right) = if went_right { (other, kept) } else { (kept, other) };
+                            Some(Box::new(CbNode::Inner {
+                                byte,
+                                mask,
+                                left,
+                                right,
+                            }))
+                        }
+                    }
+                }
+            }
+        }
+        let Some(root) = self.root.take() else { return false };
+        let mut removed = false;
+        self.root = remove(root, key, &mut removed);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        if let Some(root) = &self.root {
+            Self::walk(root, start, f);
+        }
+    }
+
+    fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>() + self.root.as_ref().map(|r| Self::bytes(r)).unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "hot-critbit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_fixed_width_keys() {
+        let mut cb = CritBitTree::new();
+        let mut reference = std::collections::BTreeMap::new();
+        let mut x = 0xabcdefu64;
+        for i in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x.to_be_bytes();
+            cb.put(&key, i);
+            reference.insert(key.to_vec(), i);
+        }
+        for (k, v) in &reference {
+            assert_eq!(cb.get(k), Some(*v), "key {:x?}", k);
+        }
+        assert_eq!(cb.len(), reference.len());
+    }
+
+    #[test]
+    fn overwrite_and_delete() {
+        let mut cb = CritBitTree::new();
+        assert!(cb.put(b"hello", 1));
+        assert!(!cb.put(b"hello", 2));
+        assert_eq!(cb.get(b"hello"), Some(2));
+        assert!(cb.delete(b"hello"));
+        assert_eq!(cb.get(b"hello"), None);
+        assert_eq!(cb.len(), 0);
+    }
+
+    #[test]
+    fn distinct_fixed_width_keys_ordered_scan() {
+        let mut cb = CritBitTree::new();
+        for i in 0..2_000u64 {
+            cb.put(&(i * 3).to_be_bytes(), i);
+        }
+        let mut last: Option<Vec<u8>> = None;
+        let mut count = 0;
+        cb.range_for_each(&[], &mut |k, _| {
+            if let Some(prev) = &last {
+                assert!(prev.as_slice() < k, "crit-bit scan out of order");
+            }
+            last = Some(k.to_vec());
+            count += 1;
+            true
+        });
+        assert_eq!(count, 2_000);
+    }
+}

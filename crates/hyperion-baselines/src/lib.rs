@@ -1,0 +1,36 @@
+//! # hyperion-baselines
+//!
+//! From-scratch Rust implementations of the index structures Hyperion is
+//! compared against in the paper's evaluation (Section 4):
+//!
+//! * [`art`] — the Adaptive Radix Tree (Leis et al.) with Node4 / Node16 /
+//!   Node48 / Node256 and path compression, in the single-value-leaf flavour
+//!   the paper calls ART_C,
+//! * [`hat`] — a HAT-trie style burst trie whose containers are array hash
+//!   tables (Askitis & Sinha),
+//! * [`judy`] — a Judy-style 256-ary radix tree with adaptive linear / bitmap
+//!   / uncompressed node layouts (Baskins),
+//! * [`hot`] — a crit-bit (binary PATRICIA) trie standing in for the Height
+//!   Optimized Trie; see DESIGN.md for the documented simplification,
+//! * [`rbtree`] — a classic red-black tree (the paper's `std::map` baseline),
+//! * [`hashtable`] — an open-addressing hash table (the paper's
+//!   `std::unordered_map` baseline).
+//!
+//! Every structure implements [`hyperion_core::KeyValueStore`], so the
+//! benchmark harness can drive all of them uniformly.
+
+pub mod art;
+pub mod hashtable;
+pub mod hat;
+pub mod hot;
+pub mod judy;
+pub mod rbtree;
+
+pub use art::ArtTree;
+pub use hashtable::OpenHashMap;
+pub use hat::HatTrie;
+pub use hot::CritBitTree;
+pub use judy::JudyTrie;
+pub use rbtree::RedBlackTree;
+
+pub use hyperion_core::KeyValueStore;

@@ -1,0 +1,293 @@
+//! A classic red-black tree, standing in for the paper's `std::map` baseline.
+//!
+//! Like the STL map, every node stores the complete key, which is precisely
+//! the redundancy prefix tries avoid; the memory numbers reported by the
+//! benchmark harness make that overhead visible.  Insertion performs the
+//! textbook recolour/rotate fix-up; deletion uses plain BST removal without
+//! rebalancing (the paper's evaluation does not measure deletions, and
+//! lookups stay correct either way).
+
+use hyperion_core::KeyValueStore;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+struct RbNode {
+    key: Vec<u8>,
+    value: u64,
+    color: Color,
+    left: Option<Box<RbNode>>,
+    right: Option<Box<RbNode>>,
+}
+
+impl RbNode {
+    fn new(key: Vec<u8>, value: u64) -> Box<RbNode> {
+        Box::new(RbNode {
+            key,
+            value,
+            color: Color::Red,
+            left: None,
+            right: None,
+        })
+    }
+}
+
+/// The red-black tree baseline ("RB-Tree" in the paper's tables).
+#[derive(Default)]
+pub struct RedBlackTree {
+    root: Option<Box<RbNode>>,
+    len: usize,
+}
+
+fn is_red(node: &Option<Box<RbNode>>) -> bool {
+    node.as_ref().map(|n| n.color == Color::Red).unwrap_or(false)
+}
+
+fn rotate_left(mut node: Box<RbNode>) -> Box<RbNode> {
+    let mut right = node.right.take().expect("rotate_left without right child");
+    node.right = right.left.take();
+    right.color = node.color;
+    node.color = Color::Red;
+    right.left = Some(node);
+    right
+}
+
+fn rotate_right(mut node: Box<RbNode>) -> Box<RbNode> {
+    let mut left = node.left.take().expect("rotate_right without left child");
+    node.left = left.right.take();
+    left.color = node.color;
+    node.color = Color::Red;
+    left.right = Some(node);
+    left
+}
+
+fn flip_colors(node: &mut RbNode) {
+    node.color = Color::Red;
+    if let Some(l) = &mut node.left {
+        l.color = Color::Black;
+    }
+    if let Some(r) = &mut node.right {
+        r.color = Color::Black;
+    }
+}
+
+fn insert(node: Option<Box<RbNode>>, key: &[u8], value: u64, inserted: &mut bool) -> Box<RbNode> {
+    let mut node = match node {
+        None => {
+            *inserted = true;
+            return RbNode::new(key.to_vec(), value);
+        }
+        Some(n) => n,
+    };
+    match key.cmp(node.key.as_slice()) {
+        std::cmp::Ordering::Less => node.left = Some(insert(node.left.take(), key, value, inserted)),
+        std::cmp::Ordering::Greater => {
+            node.right = Some(insert(node.right.take(), key, value, inserted))
+        }
+        std::cmp::Ordering::Equal => node.value = value,
+    }
+    // Left-leaning red-black fix-up.
+    if is_red(&node.right) && !is_red(&node.left) {
+        node = rotate_left(node);
+    }
+    if is_red(&node.left) && node.left.as_ref().map(|l| is_red(&l.left)).unwrap_or(false) {
+        node = rotate_right(node);
+    }
+    if is_red(&node.left) && is_red(&node.right) {
+        flip_colors(&mut node);
+    }
+    node
+}
+
+impl RedBlackTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RedBlackTree::default()
+    }
+
+    fn walk(
+        node: &Option<Box<RbNode>>,
+        start: &[u8],
+        f: &mut dyn FnMut(&[u8], u64) -> bool,
+    ) -> bool {
+        let Some(n) = node else { return true };
+        if n.key.as_slice() >= start && !Self::walk(&n.left, start, f) {
+            return false;
+        }
+        if n.key.as_slice() >= start && !f(&n.key, n.value) {
+            return false;
+        }
+        Self::walk(&n.right, start, f)
+    }
+
+    fn bytes(node: &Option<Box<RbNode>>) -> usize {
+        match node {
+            None => 0,
+            Some(n) => {
+                std::mem::size_of::<RbNode>()
+                    + n.key.capacity()
+                    + Self::bytes(&n.left)
+                    + Self::bytes(&n.right)
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn black_height(node: &Option<Box<RbNode>>) -> Option<usize> {
+        match node {
+            None => Some(1),
+            Some(n) => {
+                let l = Self::black_height(&n.left)?;
+                let r = Self::black_height(&n.right)?;
+                if l != r {
+                    return None;
+                }
+                Some(l + if n.color == Color::Black { 1 } else { 0 })
+            }
+        }
+    }
+}
+
+impl KeyValueStore for RedBlackTree {
+    fn put(&mut self, key: &[u8], value: u64) -> bool {
+        let mut inserted = false;
+        let mut root = insert(self.root.take(), key, value, &mut inserted);
+        root.color = Color::Black;
+        self.root = Some(root);
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(n.key.as_slice()) {
+                std::cmp::Ordering::Less => cur = n.left.as_deref(),
+                std::cmp::Ordering::Greater => cur = n.right.as_deref(),
+                std::cmp::Ordering::Equal => return Some(n.value),
+            }
+        }
+        None
+    }
+
+    fn delete(&mut self, key: &[u8]) -> bool {
+        fn remove(node: Option<Box<RbNode>>, key: &[u8], removed: &mut bool) -> Option<Box<RbNode>> {
+            let mut node = node?;
+            match key.cmp(node.key.as_slice()) {
+                std::cmp::Ordering::Less => node.left = remove(node.left.take(), key, removed),
+                std::cmp::Ordering::Greater => node.right = remove(node.right.take(), key, removed),
+                std::cmp::Ordering::Equal => {
+                    *removed = true;
+                    return match (node.left.take(), node.right.take()) {
+                        (None, None) => None,
+                        (Some(l), None) => Some(l),
+                        (None, Some(r)) => Some(r),
+                        (Some(l), Some(mut r)) => {
+                            // Replace with the in-order successor, then remove
+                            // the successor from the right subtree (its key
+                            // must stay intact so the recursive removal finds
+                            // it).
+                            let mut cur = &mut r;
+                            while cur.left.is_some() {
+                                cur = cur.left.as_mut().unwrap();
+                            }
+                            node.key = cur.key.clone();
+                            node.value = cur.value;
+                            let succ_key = node.key.clone();
+                            let mut dummy = false;
+                            node.right = remove(Some(r), &succ_key, &mut dummy);
+                            node.left = Some(l);
+                            Some(node)
+                        }
+                    };
+                }
+            }
+            Some(node)
+        }
+        let mut removed = false;
+        self.root = remove(self.root.take(), key, &mut removed);
+        if removed {
+            self.len -= 1;
+            if let Some(r) = &mut self.root {
+                r.color = Color::Black;
+            }
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        Self::walk(&self.root, start, f);
+    }
+
+    fn memory_footprint(&self) -> usize {
+        std::mem::size_of::<Self>() + Self::bytes(&self.root)
+    }
+
+    fn name(&self) -> &'static str {
+        "rb-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_iteration_and_lookup() {
+        let mut tree = RedBlackTree::new();
+        for i in 0..5_000u64 {
+            tree.put(&(i * 7 % 5000).to_be_bytes(), i);
+        }
+        for i in 0..5_000u64 {
+            assert!(tree.get(&i.to_be_bytes()).is_some());
+        }
+        let mut last = None;
+        tree.range_for_each(&[], &mut |k, _| {
+            if let Some(prev) = &last {
+                assert!(prev < &k.to_vec());
+            }
+            last = Some(k.to_vec());
+            true
+        });
+    }
+
+    #[test]
+    fn black_height_invariant_holds_after_inserts() {
+        let mut tree = RedBlackTree::new();
+        let mut x = 0x9e3779b9u64;
+        for i in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            tree.put(&x.to_be_bytes(), i);
+        }
+        assert!(
+            RedBlackTree::black_height(&tree.root).is_some(),
+            "black-height invariant violated"
+        );
+    }
+
+    #[test]
+    fn delete_keeps_remaining_keys() {
+        let mut tree = RedBlackTree::new();
+        for i in 0..1_000u64 {
+            tree.put(&i.to_be_bytes(), i);
+        }
+        for i in (0..1_000u64).step_by(2) {
+            assert!(tree.delete(&i.to_be_bytes()));
+        }
+        assert_eq!(tree.len(), 500);
+        for i in 0..1_000u64 {
+            assert_eq!(tree.get(&i.to_be_bytes()).is_some(), i % 2 == 1);
+        }
+    }
+}

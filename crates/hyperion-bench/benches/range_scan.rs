@@ -1,0 +1,25 @@
+//! Criterion micro-benchmark: full-index ordered range scans (Table 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperion_bench::{make_store, measure_full_scan, ORDERED_STORES};
+use hyperion_workloads::random_integer_keys;
+use std::time::Duration;
+
+fn bench_range_scan(c: &mut Criterion) {
+    let workload = random_integer_keys(10_000, 0x5ca7);
+    let mut group = c.benchmark_group("full_range_scan");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for name in ORDERED_STORES {
+        let mut store = make_store(name);
+        for (k, v) in workload.keys.iter().zip(&workload.values) {
+            store.put(k, *v);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| measure_full_scan(store.as_ref()).1)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_scan);
+criterion_main!(benches);

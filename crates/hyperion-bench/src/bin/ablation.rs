@@ -1,0 +1,105 @@
+//! Ablation study: the contribution of each Hyperion design feature (delta
+//! encoding, jump successors, jump tables, container splits, key
+//! pre-processing) to throughput and memory consumption, as discussed in
+//! Sections 3.3, 4.3 and 4.4 of the paper.
+
+use hyperion_bench::arg_keys;
+use hyperion_core::{HyperionConfig, HyperionMap};
+use hyperion_workloads::{random_integer_keys, NgramCorpus, NgramCorpusConfig, Workload};
+use std::time::Instant;
+
+fn run(tag: &str, config: HyperionConfig, workload: &Workload) {
+    let mut map = HyperionMap::with_config(config);
+    let start = Instant::now();
+    for (k, v) in workload.keys.iter().zip(&workload.values) {
+        map.put(k, *v);
+    }
+    let put_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for k in &workload.keys {
+        std::hint::black_box(map.get(k));
+    }
+    let get_secs = start.elapsed().as_secs_f64();
+    let n = workload.len() as f64;
+    let analysis = map.analyze();
+    println!(
+        "{:<26} {:>9.3} {:>9.3} {:>10.2} {:>10} {:>8} {:>8}",
+        tag,
+        n / put_secs / 1e6,
+        n / get_secs / 1e6,
+        map.footprint_bytes() as f64 / n,
+        analysis.delta_encoded_nodes,
+        analysis.ejections,
+        analysis.splits,
+    );
+}
+
+fn main() {
+    let n = arg_keys(200_000);
+    println!("Ablation study over {n} keys per workload");
+    println!(
+        "{:<26} {:>9} {:>9} {:>10} {:>10} {:>8} {:>8}",
+        "configuration", "puts M/s", "gets M/s", "B/key", "delta", "ejects", "splits"
+    );
+    let workloads = [
+        ("random integers", random_integer_keys(n, 0xab1)),
+        (
+            "2-gram strings",
+            NgramCorpus::generate(&NgramCorpusConfig {
+                entries: n,
+                ..Default::default()
+            })
+            .workload
+            .shuffled(0xab2),
+        ),
+    ];
+    for (wname, workload) in &workloads {
+        println!("--- workload: {wname} ---");
+        run("full (default)", HyperionConfig::for_integers(), workload);
+        run(
+            "no delta encoding",
+            HyperionConfig {
+                delta_encoding: false,
+                ..HyperionConfig::for_integers()
+            },
+            workload,
+        );
+        run(
+            "no jump successors",
+            HyperionConfig {
+                jump_successor: false,
+                ..HyperionConfig::for_integers()
+            },
+            workload,
+        );
+        run(
+            "no jump tables",
+            HyperionConfig {
+                tnode_jump_table: false,
+                container_jump_table: false,
+                ..HyperionConfig::for_integers()
+            },
+            workload,
+        );
+        run(
+            "no container splits",
+            HyperionConfig {
+                container_split: false,
+                ..HyperionConfig::for_integers()
+            },
+            workload,
+        );
+        run(
+            "no optimisations",
+            HyperionConfig::baseline_no_optimizations(),
+            workload,
+        );
+        if *wname == "random integers" {
+            run(
+                "key pre-processing",
+                HyperionConfig::with_preprocessing(),
+                workload,
+            );
+        }
+    }
+}

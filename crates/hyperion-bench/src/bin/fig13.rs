@@ -1,0 +1,50 @@
+//! Figure 13: how many keys each structure can index within a fixed logical
+//! memory budget ("unlimited inserts"), for random integers and sequential
+//! n-gram strings.
+
+use hyperion_bench::{arg_keys, make_store, INTEGER_STORES, STRING_STORES};
+use hyperion_workloads::{random_integer_keys, NgramCorpus, NgramCorpusConfig};
+
+fn main() {
+    // Budget in MiB of *logical* structure memory (paper: 978 GiB of RAM).
+    let budget_mib = arg_keys(64);
+    let budget = budget_mib * 1024 * 1024;
+    println!("Figure 13 reproduction: keys indexable within {budget_mib} MiB");
+
+    let integers = random_integer_keys(400_000, 0xf13);
+    println!("\n-- random integer keys --");
+    println!("{:<14} {:>16}", "store", "keys in budget");
+    for name in INTEGER_STORES {
+        let mut store = make_store(name);
+        let mut count = 0usize;
+        for (k, v) in integers.keys.iter().zip(&integers.values) {
+            store.put(k, *v);
+            count += 1;
+            if count % 10_000 == 0 && store.memory_footprint() > budget {
+                break;
+            }
+        }
+        println!("{:<14} {:>16}", name, count);
+    }
+
+    let corpus = NgramCorpus::generate(&NgramCorpusConfig {
+        entries: 400_000,
+        min_n: 3,
+        max_n: 3,
+        ..Default::default()
+    });
+    println!("\n-- sequential 3-gram string keys --");
+    println!("{:<14} {:>16}", "store", "keys in budget");
+    for name in STRING_STORES {
+        let mut store = make_store(name);
+        let mut count = 0usize;
+        for (k, v) in corpus.workload.keys.iter().zip(&corpus.workload.values) {
+            store.put(k, *v);
+            count += 1;
+            if count % 10_000 == 0 && store.memory_footprint() > budget {
+                break;
+            }
+        }
+        println!("{:<14} {:>16}", name, count);
+    }
+}

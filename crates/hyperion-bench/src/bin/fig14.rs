@@ -1,0 +1,60 @@
+//! Figure 14: Hyperion's per-superbin memory characteristics (allocated vs.
+//! empty chunks) after loading the string data set in ordered and randomized
+//! insertion order.
+
+use hyperion_bench::arg_keys;
+use hyperion_core::{HyperionConfig, HyperionMap};
+use hyperion_workloads::{NgramCorpus, NgramCorpusConfig};
+
+fn run(tag: &str, keys: &[Vec<u8>], values: &[u64]) {
+    let mut map = HyperionMap::with_config(HyperionConfig::for_strings());
+    for (k, v) in keys.iter().zip(values) {
+        map.put(k, *v);
+    }
+    let stats = map.memory_manager().stats();
+    println!("\n-- {tag} --");
+    println!(
+        "{:>3} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "SB", "chunk B", "allocated", "empty", "alloc MiB", "empty MiB"
+    );
+    for sb in &stats.superbins {
+        if sb.allocated_chunks == 0 && sb.empty_chunks == 0 {
+            continue;
+        }
+        println!(
+            "{:>3} {:>10} {:>12} {:>12} {:>14.2} {:>14.2}",
+            sb.superbin,
+            sb.chunk_size,
+            sb.allocated_chunks,
+            sb.empty_chunks,
+            sb.allocated_bytes as f64 / (1024.0 * 1024.0),
+            sb.empty_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!(
+        "total: {} allocated chunks ({:.2} MiB), {} empty chunks ({:.2} MiB), heap fragmentation {:.2} MiB",
+        stats.allocated_chunks(),
+        stats.allocated_bytes() as f64 / (1024.0 * 1024.0),
+        stats.empty_chunks(),
+        stats.empty_bytes() as f64 / (1024.0 * 1024.0),
+        stats.over_allocation_bytes() as f64 / (1024.0 * 1024.0),
+    );
+    let analysis = map.analyze();
+    println!(
+        "delta-encoded nodes: {}, embedded containers: {}, path-compressed bytes: {}",
+        analysis.delta_encoded_nodes, analysis.embedded_containers, analysis.pc_suffix_bytes
+    );
+}
+
+fn main() {
+    let n = arg_keys(200_000);
+    println!("Figure 14 reproduction: Hyperion memory characteristics, {n} string keys");
+    let corpus = NgramCorpus::generate(&NgramCorpusConfig {
+        entries: n,
+        ..Default::default()
+    });
+    let ordered = &corpus.workload;
+    let randomized = ordered.shuffled(0xf14);
+    run("ordered string data set", &ordered.keys, &ordered.values);
+    run("randomized string data set", &randomized.keys, &randomized.values);
+}

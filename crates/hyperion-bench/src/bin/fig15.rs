@@ -1,0 +1,75 @@
+//! Figure 15: put/get throughput as a function of the index size, plus the
+//! final memory footprint, for the integer data sets.
+
+use hyperion_bench::{arg_keys, make_store, INTEGER_STORES};
+use hyperion_workloads::{random_integer_keys, sequential_integer_keys, Workload};
+use std::time::Instant;
+
+fn series(workload: &Workload, tag: &str) {
+    const SAMPLES: usize = 10;
+    println!("\n-- {tag}: puts per second (millions) vs index size --");
+    print!("{:<14}", "store");
+    for s in 1..=SAMPLES {
+        print!(" {:>9}", format!("{}%", s * 100 / SAMPLES));
+    }
+    println!(" {:>12}", "memory MiB");
+    for name in INTEGER_STORES {
+        if *name == "hyperion_p" && !tag.contains("random") {
+            continue;
+        }
+        let mut store = make_store(name);
+        let chunk = workload.len() / SAMPLES;
+        print!("{:<14}", name);
+        for s in 0..SAMPLES {
+            let slice = s * chunk..(s + 1) * chunk;
+            let start = Instant::now();
+            for i in slice {
+                store.put(&workload.keys[i], workload.values[i]);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            print!(" {:>9.3}", chunk as f64 / secs / 1e6);
+        }
+        println!(
+            " {:>12.1}",
+            store.memory_footprint() as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!("\n-- {tag}: gets per second (millions) vs retrieved elements --");
+    print!("{:<14}", "store");
+    for s in 1..=SAMPLES {
+        print!(" {:>9}", format!("{}%", s * 100 / SAMPLES));
+    }
+    println!();
+    for name in INTEGER_STORES {
+        if *name == "hyperion_p" && !tag.contains("random") {
+            continue;
+        }
+        let mut store = make_store(name);
+        for (k, v) in workload.keys.iter().zip(&workload.values) {
+            store.put(k, *v);
+        }
+        let chunk = workload.len() / SAMPLES;
+        print!("{:<14}", name);
+        for s in 0..SAMPLES {
+            let slice = s * chunk..(s + 1) * chunk;
+            let start = Instant::now();
+            let mut hits = 0;
+            for i in slice {
+                if store.get(&workload.keys[i]).is_some() {
+                    hits += 1;
+                }
+            }
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(hits, chunk);
+            print!(" {:>9.3}", chunk as f64 / secs / 1e6);
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let n = arg_keys(400_000);
+    println!("Figure 15 reproduction: {n} integer keys (paper: 16 / 13 billion)");
+    series(&sequential_integer_keys(n), "sequential integers");
+    series(&random_integer_keys(n, 0xf15), "random integers");
+}

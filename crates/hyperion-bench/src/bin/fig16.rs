@@ -1,0 +1,57 @@
+//! Figure 16: allocation distribution of Hyperion vs. Hyperion_p (key
+//! pre-processing enabled) after inserting random integer keys.
+
+use hyperion_bench::arg_keys;
+use hyperion_core::{HyperionConfig, HyperionMap};
+use hyperion_workloads::random_integer_keys;
+
+fn run(tag: &str, config: HyperionConfig, keys: &[Vec<u8>], values: &[u64]) {
+    let mut map = HyperionMap::with_config(config);
+    for (k, v) in keys.iter().zip(values) {
+        map.put(k, *v);
+    }
+    let stats = map.memory_manager().stats();
+    println!("\n-- {tag} --");
+    println!(
+        "{:>3} {:>10} {:>12} {:>12} {:>14}",
+        "SB", "chunk B", "allocated", "empty", "alloc MiB"
+    );
+    for sb in &stats.superbins {
+        if sb.allocated_chunks == 0 && sb.empty_chunks == 0 {
+            continue;
+        }
+        println!(
+            "{:>3} {:>10} {:>12} {:>12} {:>14.2}",
+            sb.superbin,
+            sb.chunk_size,
+            sb.allocated_chunks,
+            sb.empty_chunks,
+            sb.allocated_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!(
+        "total chunks: {} allocated / {} empty; footprint {:.2} MiB ({:.2} B/key)",
+        stats.allocated_chunks(),
+        stats.empty_chunks(),
+        map.footprint_bytes() as f64 / (1024.0 * 1024.0),
+        map.footprint_bytes() as f64 / keys.len() as f64,
+    );
+}
+
+fn main() {
+    let n = arg_keys(400_000);
+    println!("Figure 16 reproduction: Hyperion vs Hyperion_p, {n} random integer keys");
+    let workload = random_integer_keys(n, 0xf16);
+    run(
+        "Hyperion (no pre-processing)",
+        HyperionConfig::for_integers(),
+        &workload.keys,
+        &workload.values,
+    );
+    run(
+        "Hyperion_p (zero-bit injection)",
+        HyperionConfig::with_preprocessing(),
+        &workload.keys,
+        &workload.values,
+    );
+}

@@ -1,0 +1,22 @@
+//! Table 1: KPIs of the string data set (synthetic Google-Books-style
+//! 2-grams), inserted in sequential (sorted) and randomized order.
+
+use hyperion_bench::{arg_keys, measure_kpi, print_kpi_table, STRING_STORES};
+use hyperion_workloads::{NgramCorpus, NgramCorpusConfig};
+
+fn main() {
+    let n = arg_keys(200_000);
+    println!("Table 1 reproduction: {n} string keys (paper: 7.95 billion)");
+    let corpus = NgramCorpus::generate(&NgramCorpusConfig {
+        entries: n,
+        ..Default::default()
+    });
+    let sequential = &corpus.workload;
+    println!("average key length: {:.2} bytes", sequential.average_key_len());
+    let randomized = sequential.shuffled(0xbadc0de);
+
+    let seq: Vec<_> = STRING_STORES.iter().map(|s| measure_kpi(s, sequential)).collect();
+    print_kpi_table("sequential string keys", &seq);
+    let rnd: Vec<_> = STRING_STORES.iter().map(|s| measure_kpi(s, &randomized)).collect();
+    print_kpi_table("randomized string keys", &rnd);
+}

@@ -1,0 +1,20 @@
+//! Table 2: KPIs of the sequential and randomized 64-bit integer data sets.
+
+use hyperion_bench::{arg_keys, measure_kpi, print_kpi_table, INTEGER_STORES};
+use hyperion_workloads::{random_integer_keys, sequential_integer_keys};
+
+fn main() {
+    let n = arg_keys(500_000);
+    println!("Table 2 reproduction: {n} integer keys (paper: 16 / 13 billion)");
+    let sequential = sequential_integer_keys(n);
+    let randomized = random_integer_keys(n, 0x5eed);
+
+    let seq: Vec<_> = INTEGER_STORES
+        .iter()
+        .filter(|s| **s != "hyperion_p")
+        .map(|s| measure_kpi(s, &sequential))
+        .collect();
+    print_kpi_table("sequential integer keys", &seq);
+    let rnd: Vec<_> = INTEGER_STORES.iter().map(|s| measure_kpi(s, &randomized)).collect();
+    print_kpi_table("randomized integer keys", &rnd);
+}

@@ -1,0 +1,44 @@
+//! Table 3: duration of a full-index ordered range query for the integer and
+//! string data sets, in sequential and randomized insertion order.
+
+use hyperion_bench::{arg_keys, make_store, measure_full_scan, ORDERED_STORES};
+use hyperion_workloads::{random_integer_keys, sequential_integer_keys, NgramCorpus, NgramCorpusConfig};
+
+fn main() {
+    let n = arg_keys(200_000);
+    println!("Table 3 reproduction: full-index range queries over {n} keys");
+    let corpus = NgramCorpus::generate(&NgramCorpusConfig {
+        entries: n,
+        ..Default::default()
+    });
+    let workloads = [
+        ("integer seq", sequential_integer_keys(n)),
+        ("integer rand", random_integer_keys(n, 7)),
+        ("string seq", corpus.workload.clone()),
+        ("string rand", corpus.workload.shuffled(9)),
+    ];
+    println!(
+        "{:<12} {:>14} {:>16} {:>12}",
+        "store", "workload", "scan time (ms)", "keys/s (M)"
+    );
+    for store_name in ORDERED_STORES {
+        for (wname, workload) in &workloads {
+            if *store_name == "hyperion_p" && !wname.starts_with("integer rand") {
+                continue; // the paper only evaluates Hyperion_p on random integers
+            }
+            let mut store = make_store(store_name);
+            for (k, v) in workload.keys.iter().zip(&workload.values) {
+                store.put(k, *v);
+            }
+            let (secs, visited) = measure_full_scan(store.as_ref());
+            assert_eq!(visited, workload.len());
+            println!(
+                "{:<12} {:>14} {:>16.2} {:>12.2}",
+                store_name,
+                wname,
+                secs * 1e3,
+                visited as f64 / secs / 1e6
+            );
+        }
+    }
+}

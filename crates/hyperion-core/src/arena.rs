@@ -1,0 +1,194 @@
+//! Arenas: coarse-grained parallelism by sharding the key space.
+//!
+//! Hyperion does not implement fine-grained thread parallelism.  Instead an
+//! application can create up to 256 tries `T_i` and map every operation on a
+//! key `k` to `T_{k_0}` (paper Section 3.2, "Arenas").  Each arena owns its
+//! own memory manager and is protected by its own lock, so operations on keys
+//! with different leading bytes proceed concurrently.
+
+use crate::config::HyperionConfig;
+use crate::trie::HyperionMap;
+use parking_lot::Mutex;
+
+/// Maximum number of arenas (one per possible leading key byte).
+pub const MAX_ARENAS: usize = 256;
+
+/// A thread-safe Hyperion store sharding keys over multiple arenas.
+///
+/// The individual tries `T_i` are mapped to the arenas `A_j` round-robin:
+/// `T_i -> A_{i mod j}`.
+pub struct ConcurrentHyperion {
+    arenas: Vec<Mutex<HyperionMap>>,
+}
+
+impl ConcurrentHyperion {
+    /// Creates a store with `arenas` arenas (clamped to `1..=256`).
+    pub fn new(arenas: usize, config: HyperionConfig) -> Self {
+        let n = arenas.clamp(1, MAX_ARENAS);
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(Mutex::new(HyperionMap::with_config(config)));
+        }
+        ConcurrentHyperion { arenas: v }
+    }
+
+    /// Number of arenas.
+    pub fn arena_count(&self) -> usize {
+        self.arenas.len()
+    }
+
+    #[inline]
+    fn arena_for(&self, key: &[u8]) -> &Mutex<HyperionMap> {
+        let first = key.first().copied().unwrap_or(0) as usize;
+        &self.arenas[first % self.arenas.len()]
+    }
+
+    /// Inserts or updates a key.  Returns `true` if the key was new.
+    pub fn put(&self, key: &[u8], value: u64) -> bool {
+        self.arena_for(key).lock().put(key, value)
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        self.arena_for(key).lock().get(key)
+    }
+
+    /// Removes a key.  Returns `true` if it was present.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.arena_for(key).lock().delete(key)
+    }
+
+    /// Total number of keys across all arenas.
+    pub fn len(&self) -> usize {
+        self.arenas.iter().map(|a| a.lock().len()).sum()
+    }
+
+    /// `true` if no arena stores any key.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total logical memory footprint across all arenas.
+    pub fn footprint_bytes(&self) -> usize {
+        self.arenas.iter().map(|a| a.lock().footprint_bytes()).sum()
+    }
+
+    /// Invokes `f` for every key/value pair in ascending key order across all
+    /// arenas.
+    ///
+    /// Note: keys are sharded by their first byte modulo the arena count, so a
+    /// global in-order scan must merge arenas; with 256 arenas each leading
+    /// byte maps to exactly one arena and the scan below is globally ordered.
+    /// With fewer arenas the per-arena scans are ordered but interleaved by
+    /// leading byte, matching the paper's per-trie ordering guarantee.
+    pub fn for_each<F: FnMut(&[u8], u64) -> bool>(&self, f: &mut F) -> bool {
+        if self.arenas.len() == MAX_ARENAS {
+            for a in &self.arenas {
+                if !a.lock().for_each(f) {
+                    return false;
+                }
+            }
+            return true;
+        }
+        // Merge: collect per-arena sorted vectors and merge them.
+        let per_arena: Vec<Vec<(Vec<u8>, u64)>> =
+            self.arenas.iter().map(|a| a.lock().to_vec()).collect();
+        let mut indices = vec![0usize; per_arena.len()];
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, v) in per_arena.iter().enumerate() {
+                if indices[i] < v.len() {
+                    match best {
+                        None => best = Some(i),
+                        Some(b) => {
+                            if v[indices[i]].0 < per_arena[b][indices[b]].0 {
+                                best = Some(i);
+                            }
+                        }
+                    }
+                }
+            }
+            let Some(i) = best else { break };
+            let (k, v) = &per_arena[i][indices[i]];
+            if !f(k, *v) {
+                return false;
+            }
+            indices[i] += 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_operations_across_arenas() {
+        let store = ConcurrentHyperion::new(16, HyperionConfig::default());
+        assert_eq!(store.arena_count(), 16);
+        for i in 0..1000u64 {
+            let key = format!("{:04}", i);
+            assert!(store.put(key.as_bytes(), i));
+        }
+        assert_eq!(store.len(), 1000);
+        for i in 0..1000u64 {
+            let key = format!("{:04}", i);
+            assert_eq!(store.get(key.as_bytes()), Some(i));
+        }
+        assert!(store.delete(b"0500"));
+        assert_eq!(store.get(b"0500"), None);
+        assert_eq!(store.len(), 999);
+    }
+
+    #[test]
+    fn concurrent_inserts_from_multiple_threads() {
+        let store = Arc::new(ConcurrentHyperion::new(64, HyperionConfig::default()));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let key = ((t << 32) | i).to_be_bytes();
+                    store.put(&key, t * 1_000_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 8_000);
+        for t in 0..4u64 {
+            for i in (0..2_000u64).step_by(191) {
+                let key = ((t << 32) | i).to_be_bytes();
+                assert_eq!(store.get(&key), Some(t * 1_000_000 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn arena_count_is_clamped() {
+        assert_eq!(ConcurrentHyperion::new(0, HyperionConfig::default()).arena_count(), 1);
+        assert_eq!(
+            ConcurrentHyperion::new(10_000, HyperionConfig::default()).arena_count(),
+            MAX_ARENAS
+        );
+    }
+
+    #[test]
+    fn merged_iteration_is_globally_ordered() {
+        let store = ConcurrentHyperion::new(7, HyperionConfig::default());
+        for i in 0..500u64 {
+            store.put(format!("{:05}", i * 37 % 1000).as_bytes(), i);
+        }
+        let mut last: Option<Vec<u8>> = None;
+        store.for_each(&mut |k, _| {
+            if let Some(prev) = &last {
+                assert!(prev.as_slice() < k, "iteration must be ordered");
+            }
+            last = Some(k.to_vec());
+            true
+        });
+    }
+}

@@ -1,0 +1,298 @@
+//! Construction of fresh node streams.
+//!
+//! When a put operation has to materialise a brand-new subtree (first key of a
+//! container, conversion of a path-compressed node that gained a sibling,
+//! attachment of a child below an existing S-node), the bytes for that subtree
+//! are built here and then spliced into the container in one go.
+//!
+//! The builder consumes two key bytes per level (T key + S key), stores values
+//! inline, encodes unique suffixes as path-compressed nodes, nests small
+//! subtrees as embedded containers and falls back to allocating real child
+//! containers (referenced by Hyperion Pointers) when a subtree outgrows the
+//! one-byte embedded size field.
+
+use crate::config::HyperionConfig;
+use crate::container::ContainerRef;
+use crate::node::{
+    delta_for, encode_pc_node, make_s_flag, make_t_flag, pc_fits, ChildKind, NodeType,
+};
+use hyperion_mem::MemoryManager;
+
+/// One entry to encode: the remaining key suffix and its value.
+pub type Entry = (Vec<u8>, u64);
+
+/// Builds node streams, allocating real child containers when necessary.
+pub struct StreamBuilder<'a> {
+    mm: &'a mut MemoryManager,
+    config: &'a HyperionConfig,
+}
+
+impl<'a> StreamBuilder<'a> {
+    /// Creates a builder borrowing the trie's memory manager and configuration.
+    pub fn new(mm: &'a mut MemoryManager, config: &'a HyperionConfig) -> Self {
+        StreamBuilder { mm, config }
+    }
+
+    /// Builds a node stream (starting at the T level) for the given sorted,
+    /// de-duplicated entries.  `prev_t_key` is the key of the T sibling that
+    /// will precede the stream at its destination (for delta encoding).
+    ///
+    /// Entry suffixes must be non-empty and strictly ascending.
+    pub fn build_stream(&mut self, prev_t_key: Option<u8>, entries: &[Entry]) -> Vec<u8> {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(entries.iter().all(|(k, _)| !k.is_empty()));
+        let mut out = Vec::new();
+        let mut prev_t = prev_t_key;
+        let mut i = 0;
+        while i < entries.len() {
+            let t_key = entries[i].0[0];
+            let mut j = i;
+            while j < entries.len() && entries[j].0[0] == t_key {
+                j += 1;
+            }
+            let group = &entries[i..j];
+            self.emit_t_group(&mut out, prev_t, t_key, group);
+            prev_t = Some(t_key);
+            i = j;
+        }
+        out
+    }
+
+    /// Builds one or more S-node records for entries that all live below an
+    /// existing T-node.  Entry suffixes start with the S key byte.
+    /// `prev_s_key` is the key of the S sibling preceding the insertion point.
+    pub fn build_s_records(&mut self, prev_s_key: Option<u8>, entries: &[Entry]) -> Vec<u8> {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(entries.iter().all(|(k, _)| !k.is_empty()));
+        let mut out = Vec::new();
+        let mut prev_s = prev_s_key;
+        let mut i = 0;
+        while i < entries.len() {
+            let s_key = entries[i].0[0];
+            let mut j = i;
+            while j < entries.len() && entries[j].0[0] == s_key {
+                j += 1;
+            }
+            let group = &entries[i..j];
+            self.emit_s_record(&mut out, prev_s, s_key, group);
+            prev_s = Some(s_key);
+            i = j;
+        }
+        out
+    }
+
+    fn emit_t_group(&mut self, out: &mut Vec<u8>, prev_t: Option<u8>, t_key: u8, group: &[Entry]) {
+        // A suffix of length 1 terminates at the T-node itself.
+        let t_value = group.iter().find(|(k, _)| k.len() == 1).map(|(_, v)| *v);
+        let s_entries: Vec<Entry> = group
+            .iter()
+            .filter(|(k, _)| k.len() >= 2)
+            .map(|(k, v)| (k[1..].to_vec(), *v))
+            .collect();
+        let node_type = if t_value.is_some() {
+            NodeType::LeafWithValue
+        } else if s_entries.is_empty() {
+            NodeType::LeafNoValue
+        } else {
+            NodeType::Inner
+        };
+        let delta = delta_for(prev_t, t_key, self.config.delta_encoding);
+        out.push(make_t_flag(node_type, delta.unwrap_or(0), false, false));
+        if delta.is_none() {
+            out.push(t_key);
+        }
+        if let Some(v) = t_value {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        // S children in order.
+        let s_stream = self.build_s_records(None, &s_entries);
+        out.extend_from_slice(&s_stream);
+    }
+
+    fn emit_s_record(&mut self, out: &mut Vec<u8>, prev_s: Option<u8>, s_key: u8, group: &[Entry]) {
+        let s_value = group.iter().find(|(k, _)| k.len() == 1).map(|(_, v)| *v);
+        let children: Vec<Entry> = group
+            .iter()
+            .filter(|(k, _)| k.len() >= 2)
+            .map(|(k, v)| (k[1..].to_vec(), *v))
+            .collect();
+        let node_type = if s_value.is_some() {
+            NodeType::LeafWithValue
+        } else if children.is_empty() {
+            NodeType::LeafNoValue
+        } else {
+            NodeType::Inner
+        };
+        let (child_kind, child_bytes) = self.encode_child(&children);
+        let delta = delta_for(prev_s, s_key, self.config.delta_encoding);
+        out.push(make_s_flag(node_type, delta.unwrap_or(0), child_kind));
+        if delta.is_none() {
+            out.push(s_key);
+        }
+        if let Some(v) = s_value {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&child_bytes);
+    }
+
+    /// Encodes the child payload for the given child entries (suffixes below
+    /// an S-node).  Chooses, in order of preference: no child, a
+    /// path-compressed node, an embedded container, a real child container.
+    pub fn encode_child(&mut self, children: &[Entry]) -> (ChildKind, Vec<u8>) {
+        if children.is_empty() {
+            return (ChildKind::None, Vec::new());
+        }
+        if children.len() == 1 && pc_fits(children[0].0.len()) {
+            let (suffix, value) = &children[0];
+            return (ChildKind::PathCompressed, encode_pc_node(suffix, Some(*value)));
+        }
+        let body = self.build_stream(None, children);
+        if body.len() + 1 <= self.config.embedded_max {
+            let mut bytes = Vec::with_capacity(body.len() + 1);
+            bytes.push((body.len() + 1) as u8);
+            bytes.extend_from_slice(&body);
+            (ChildKind::Embedded, bytes)
+        } else {
+            let container = ContainerRef::create(self.mm, &body);
+            let hp = container.handle().stored_pointer();
+            (ChildKind::Pointer, hp.to_bytes().to_vec())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{parse_s_node, parse_t_node};
+
+    fn build(entries: &[(&[u8], u64)]) -> (Vec<u8>, MemoryManager) {
+        let mut mm = MemoryManager::new();
+        let config = HyperionConfig::default();
+        let mut sorted: Vec<Entry> = entries.iter().map(|(k, v)| (k.to_vec(), *v)).collect();
+        sorted.sort();
+        let bytes = {
+            let mut b = StreamBuilder::new(&mut mm, &config);
+            b.build_stream(None, &sorted)
+        };
+        (bytes, mm)
+    }
+
+    #[test]
+    fn single_short_key_becomes_t_leaf() {
+        let (bytes, _mm) = build(&[(b"a", 7)]);
+        let t = parse_t_node(&bytes, 0, None).unwrap();
+        assert_eq!(t.key, b'a');
+        assert_eq!(t.node_type, NodeType::LeafWithValue);
+        assert_eq!(t.header_end, bytes.len());
+    }
+
+    #[test]
+    fn two_byte_key_becomes_t_plus_s() {
+        let (bytes, _mm) = build(&[(b"be", 9)]);
+        let t = parse_t_node(&bytes, 0, None).unwrap();
+        assert_eq!(t.key, b'b');
+        assert_eq!(t.node_type, NodeType::Inner);
+        let s = parse_s_node(&bytes, t.header_end, None).unwrap();
+        assert_eq!(s.key, b'e');
+        assert_eq!(s.node_type, NodeType::LeafWithValue);
+        assert_eq!(s.child, ChildKind::None);
+        assert_eq!(s.end, bytes.len());
+    }
+
+    #[test]
+    fn long_key_uses_path_compression() {
+        let (bytes, _mm) = build(&[(b"theorem", 1)]);
+        let t = parse_t_node(&bytes, 0, None).unwrap();
+        assert_eq!(t.key, b't');
+        let s = parse_s_node(&bytes, t.header_end, None).unwrap();
+        assert_eq!(s.key, b'h');
+        assert_eq!(s.child, ChildKind::PathCompressed);
+        let (has_value, value, range) =
+            crate::node::parse_pc_node(&bytes, s.child_offset.unwrap());
+        assert!(has_value);
+        assert_eq!(value, 1);
+        assert_eq!(&bytes[range], b"eorem");
+    }
+
+    #[test]
+    fn sibling_keys_share_t_node_and_use_delta() {
+        // Paper Figure 6: container C3 stores "at" and "e".
+        let (bytes, _mm) = build(&[(b"at", 10), (b"e", 20)]);
+        let t_a = parse_t_node(&bytes, 0, None).unwrap();
+        assert_eq!(t_a.key, b'a');
+        let s_t = parse_s_node(&bytes, t_a.header_end, None).unwrap();
+        assert_eq!(s_t.key, b't');
+        assert_eq!(s_t.node_type, NodeType::LeafWithValue);
+        let t_e = parse_t_node(&bytes, s_t.end, Some(t_a.key)).unwrap();
+        assert_eq!(t_e.key, b'e');
+        assert!(!t_e.explicit_key, "delta 4 fits in three bits");
+    }
+
+    #[test]
+    fn shared_prefix_groups_under_one_t_node() {
+        // Paper Figure 6: C3* stores "at" and "ae"; e precedes t among siblings.
+        let (bytes, _mm) = build(&[(b"at", 1), (b"ae", 2)]);
+        let t = parse_t_node(&bytes, 0, None).unwrap();
+        assert_eq!(t.key, b'a');
+        let s_e = parse_s_node(&bytes, t.header_end, None).unwrap();
+        assert_eq!(s_e.key, b'e');
+        let s_t = parse_s_node(&bytes, s_e.end, Some(s_e.key)).unwrap();
+        assert_eq!(s_t.key, b't');
+        assert!(s_t.explicit_key, "delta 15 exceeds three bits, explicit key required");
+    }
+
+    #[test]
+    fn multiple_long_children_become_embedded_container() {
+        let (bytes, _mm) = build(&[(b"common-alpha", 1), (b"common-beta", 2)]);
+        let t = parse_t_node(&bytes, 0, None).unwrap();
+        let s = parse_s_node(&bytes, t.header_end, None).unwrap();
+        assert_eq!(s.child, ChildKind::Embedded);
+        // The embedded body itself is a valid node stream.
+        let emb = s.child_offset.unwrap();
+        let size = bytes[emb] as usize;
+        assert!(size > 2);
+        let inner_t = parse_t_node(&bytes[..emb + size], emb + 1, None).unwrap();
+        assert_eq!(inner_t.key, b'm');
+    }
+
+    #[test]
+    fn huge_subtree_spills_into_real_container() {
+        // Many children with long suffixes cannot fit in a 255-byte embedded
+        // container, so the builder must allocate a real child container.
+        let mut entries: Vec<(Vec<u8>, u64)> = Vec::new();
+        for i in 0..64u8 {
+            entries.push((format!("pp{:02}-rather-long-suffix", i).into_bytes(), i as u64));
+        }
+        entries.sort();
+        let mut mm = MemoryManager::new();
+        let config = HyperionConfig::default();
+        let bytes = {
+            let mut b = StreamBuilder::new(&mut mm, &config);
+            b.build_stream(None, &entries)
+        };
+        let t = parse_t_node(&bytes, 0, None).unwrap();
+        let s = parse_s_node(&bytes, t.header_end, None).unwrap();
+        assert_eq!(s.child, ChildKind::Pointer);
+        let stats = mm.stats();
+        assert!(stats.allocated_chunks() > 1, "a child container was allocated");
+    }
+
+    #[test]
+    fn delta_disabled_stores_explicit_keys() {
+        let mut mm = MemoryManager::new();
+        let config = HyperionConfig {
+            delta_encoding: false,
+            ..Default::default()
+        };
+        let entries: Vec<Entry> = vec![(b"a".to_vec(), 1), (b"b".to_vec(), 2)];
+        let bytes = {
+            let mut b = StreamBuilder::new(&mut mm, &config);
+            b.build_stream(None, &entries)
+        };
+        let t_a = parse_t_node(&bytes, 0, None).unwrap();
+        let t_b = parse_t_node(&bytes, t_a.header_end, Some(t_a.key)).unwrap();
+        assert!(t_a.explicit_key);
+        assert!(t_b.explicit_key, "delta encoding disabled");
+        assert_eq!(t_b.key, b'b');
+    }
+}

@@ -1,0 +1,198 @@
+//! Key transformations.
+//!
+//! * Binary-comparable encodings following Leis et al. (used by the paper for
+//!   all structures so that memcmp order equals the natural order of the key
+//!   domain): big-endian unsigned integers, sign-flipped signed integers.
+//! * Reverse-key transformation (Oracle-style) for balancing monotonically
+//!   increasing keys.
+//! * The Hyperion key pre-processor (Section 3.4): an online, injective,
+//!   order-preserving zero-bit injection that reduces the entropy of the first
+//!   four key bytes, producing fewer but larger third-level containers.
+
+/// Encodes a `u64` as a binary-comparable (big-endian) 8-byte key.
+#[inline]
+pub fn encode_u64(value: u64) -> [u8; 8] {
+    value.to_be_bytes()
+}
+
+/// Decodes a binary-comparable 8-byte key back into a `u64`.
+#[inline]
+pub fn decode_u64(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..key.len().min(8)].copy_from_slice(&key[..key.len().min(8)]);
+    u64::from_be_bytes(buf)
+}
+
+/// Encodes an `i64` as a binary-comparable 8-byte key (sign bit flipped so
+/// that negative values sort before positive ones).
+#[inline]
+pub fn encode_i64(value: i64) -> [u8; 8] {
+    ((value as u64) ^ (1u64 << 63)).to_be_bytes()
+}
+
+/// Decodes a binary-comparable 8-byte key back into an `i64`.
+#[inline]
+pub fn decode_i64(key: &[u8]) -> i64 {
+    (decode_u64(key) ^ (1u64 << 63)) as i64
+}
+
+/// Reverses the byte order of a key (Oracle's *reverse key index*), used to
+/// balance indexes over monotonically increasing keys.  The paper reverses
+/// little-endian integer keys for ART, HAT and Hyperion so that the tries are
+/// filled depth-first starting at the most significant byte.
+#[inline]
+pub fn reverse_key(key: &[u8]) -> Vec<u8> {
+    key.iter().rev().copied().collect()
+}
+
+/// Number of leading key bytes affected by the pre-processor.
+const PREPROCESS_INPUT_PREFIX: usize = 4;
+/// Number of leading bytes the transformed prefix occupies.
+const PREPROCESS_OUTPUT_PREFIX: usize = 5;
+
+/// Applies the Hyperion key pre-processor (Section 3.4, Figure 12).
+///
+/// The first byte is kept; the following three bytes (24 bits) are re-grouped
+/// into four 6-bit groups, each shifted left by two, so every output byte has
+/// its two least significant bits zeroed.  The remaining key bytes follow
+/// unchanged.  The transformation is injective, invertible and preserves the
+/// binary-comparable order; the key grows by exactly one byte.
+///
+/// Keys shorter than four bytes are returned unchanged (the pre-processor is
+/// intended for fixed-size uniformly distributed keys such as random 64-bit
+/// integers or hashes).
+pub fn preprocess_key(key: &[u8]) -> Vec<u8> {
+    if key.len() < PREPROCESS_INPUT_PREFIX {
+        return key.to_vec();
+    }
+    let mut out = Vec::with_capacity(key.len() + 1);
+    out.push(key[0]);
+    let bits: u32 = ((key[1] as u32) << 16) | ((key[2] as u32) << 8) | key[3] as u32;
+    for group in 0..4 {
+        let shift = 18 - 6 * group;
+        let six = ((bits >> shift) & 0x3f) as u8;
+        out.push(six << 2);
+    }
+    out.extend_from_slice(&key[PREPROCESS_INPUT_PREFIX..]);
+    out
+}
+
+/// Inverts [`preprocess_key`].
+///
+/// Returns `None` if the input is malformed (e.g. the injected zero bits are
+/// not zero), which indicates that the key was not produced by the
+/// pre-processor.
+pub fn postprocess_key(key: &[u8]) -> Option<Vec<u8>> {
+    if key.len() < PREPROCESS_OUTPUT_PREFIX {
+        return Some(key.to_vec());
+    }
+    let mut out = Vec::with_capacity(key.len().saturating_sub(1));
+    out.push(key[0]);
+    let mut bits: u32 = 0;
+    for i in 0..4 {
+        let byte = key[1 + i];
+        if byte & 0b11 != 0 {
+            return None;
+        }
+        bits = (bits << 6) | ((byte >> 2) as u32);
+    }
+    out.push((bits >> 16) as u8);
+    out.push((bits >> 8) as u8);
+    out.push(bits as u8);
+    out.extend_from_slice(&key[PREPROCESS_OUTPUT_PREFIX..]);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_encoding_is_order_preserving() {
+        let values = [0u64, 1, 255, 256, 65_535, 1 << 32, u64::MAX - 1, u64::MAX];
+        for w in values.windows(2) {
+            assert!(encode_u64(w[0]) < encode_u64(w[1]));
+        }
+        for v in values {
+            assert_eq!(decode_u64(&encode_u64(v)), v);
+        }
+    }
+
+    #[test]
+    fn i64_encoding_is_order_preserving() {
+        let values = [i64::MIN, -1_000_000, -1, 0, 1, 1_000_000, i64::MAX];
+        for w in values.windows(2) {
+            assert!(encode_i64(w[0]) < encode_i64(w[1]));
+        }
+        for v in values {
+            assert_eq!(decode_i64(&encode_i64(v)), v);
+        }
+    }
+
+    #[test]
+    fn reverse_key_is_involutive() {
+        let key = [1u8, 2, 3, 4, 5];
+        assert_eq!(reverse_key(&reverse_key(&key)), key.to_vec());
+    }
+
+    #[test]
+    fn preprocess_grows_key_by_one_byte() {
+        let key = encode_u64(0x0123_4567_89ab_cdef);
+        let pre = preprocess_key(&key);
+        assert_eq!(pre.len(), key.len() + 1);
+        assert_eq!(pre[0], key[0]);
+        // All transformed bytes have their two least significant bits zeroed.
+        for &b in &pre[1..5] {
+            assert_eq!(b & 0b11, 0);
+        }
+        assert_eq!(postprocess_key(&pre).unwrap(), key.to_vec());
+    }
+
+    #[test]
+    fn preprocess_preserves_order() {
+        let mut values: Vec<u64> = vec![
+            0,
+            1,
+            42,
+            0xff,
+            0x100,
+            0xffff,
+            0x1_0000,
+            0xdead_beef,
+            0x0123_4567_89ab_cdef,
+            u64::MAX,
+        ];
+        values.sort_unstable();
+        let keys: Vec<Vec<u8>> = values
+            .iter()
+            .map(|&v| preprocess_key(&encode_u64(v)))
+            .collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "pre-processing must preserve order");
+        }
+    }
+
+    #[test]
+    fn preprocess_is_injective_on_random_keys() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pre = preprocess_key(&encode_u64(x));
+            assert!(seen.insert(pre), "collision detected");
+        }
+    }
+
+    #[test]
+    fn short_keys_pass_through_unchanged() {
+        assert_eq!(preprocess_key(b"ab"), b"ab".to_vec());
+        assert_eq!(postprocess_key(b"ab").unwrap(), b"ab".to_vec());
+    }
+
+    #[test]
+    fn postprocess_rejects_non_preprocessed_input() {
+        // 0xff has its low bits set, which the pre-processor never produces.
+        assert_eq!(postprocess_key(&[1, 0xff, 0, 0, 0, 0]), None);
+    }
+}

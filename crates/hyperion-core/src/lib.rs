@@ -1,0 +1,80 @@
+//! # hyperion-core
+//!
+//! A from-scratch Rust implementation of **Hyperion**, the trie-based
+//! main-memory key-value store presented in *Hyperion: Building the largest
+//! in-memory search tree* (SIGMOD 2019).
+//!
+//! Hyperion is an `m`-ary trie with `m = 65,536`: each container encodes a
+//! 16-bit partial key, split into two 8-bit levels of T-nodes and S-nodes that
+//! are stored as an exact-fit, linearly scanned byte stream.  Memory
+//! efficiency comes from:
+//!
+//! * an exact-fit container layout that grows in 32-byte increments,
+//! * delta encoding of sibling key characters,
+//! * recursively embedded child containers,
+//! * path compression of unique key suffixes,
+//! * a custom memory manager handing out 5-byte Hyperion Pointers
+//!   (the [`hyperion_mem`] crate),
+//! * optional key pre-processing for uniformly distributed keys.
+//!
+//! Performance features (jump successors, per-node jump tables, container
+//! jump tables and vertical container splits) keep the linear scans short.
+//!
+//! ```
+//! use hyperion_core::HyperionMap;
+//!
+//! let mut index = HyperionMap::new();
+//! index.put(b"that", 1);
+//! index.put(b"the", 2);
+//! index.put(b"to", 3);
+//! assert_eq!(index.get(b"the"), Some(2));
+//!
+//! // Ordered range query via callback, as in the paper.
+//! let mut keys = Vec::new();
+//! index.range_from(b"th", &mut |key, _value| {
+//!     keys.push(key.to_vec());
+//!     true
+//! });
+//! assert_eq!(keys, vec![b"that".to_vec(), b"the".to_vec(), b"to".to_vec()]);
+//! ```
+
+pub mod arena;
+pub mod builder;
+pub mod config;
+pub mod container;
+pub mod keys;
+pub mod node;
+pub mod scan;
+pub mod stats;
+pub mod trie;
+
+pub use arena::ConcurrentHyperion;
+pub use config::HyperionConfig;
+pub use stats::{TrieAnalysis, TrieCounters};
+pub use trie::HyperionMap;
+
+/// Common interface implemented by Hyperion and by every baseline index
+/// structure used in the paper's evaluation (`hyperion-baselines`), so that
+/// the benchmark harness can drive them uniformly as key-value stores.
+pub trait KeyValueStore {
+    /// Inserts or updates `key`; returns `true` if the key was not present.
+    fn put(&mut self, key: &[u8], value: u64) -> bool;
+    /// Returns the value stored for `key`, if any.
+    fn get(&self, key: &[u8]) -> Option<u64>;
+    /// Removes `key`; returns `true` if it was present.
+    fn delete(&mut self, key: &[u8]) -> bool;
+    /// Number of keys stored.
+    fn len(&self) -> usize;
+    /// `true` if the store holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Invokes `f(key, value)` for every key `>= start` in ascending order
+    /// until `f` returns `false`.  Unordered stores (hash tables) are allowed
+    /// to panic; the harness only calls this on ordered structures.
+    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool);
+    /// Logical memory footprint in bytes (data structure + payload).
+    fn memory_footprint(&self) -> usize;
+    /// Short identifier used in benchmark tables.
+    fn name(&self) -> &'static str;
+}

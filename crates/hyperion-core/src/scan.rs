@@ -1,0 +1,239 @@
+//! Linear scanning of a container's node stream.
+//!
+//! Hyperion deliberately trades SIMD comparisons and fixed offsets for a
+//! compact exact-fit layout that is scanned linearly (paper Figure 2d).  The
+//! helpers in this module walk the pre-order byte stream, using the optional
+//! acceleration structures when they are present:
+//!
+//! * the *container jump table* to start the T-node walk close to the target,
+//! * per-T-node *jump successor* offsets to skip over a T-node's S children,
+//! * per-T-node *jump tables* to start the S-node walk close to the target.
+
+use crate::container::{ContainerRef, CJT_ENTRY_SIZE, HEADER_SIZE};
+use crate::node::{
+    is_invalid, is_t_node, parse_s_node, parse_t_node, SNode, TNode, TNODE_JT_ENTRIES,
+};
+
+/// Result of scanning for a T-node with a given partial key.
+#[derive(Debug)]
+pub struct TScan {
+    /// The matching T-node, if present.
+    pub found: Option<TNode>,
+    /// Offset where a new T record with the target key must be inserted to
+    /// keep the siblings ordered.
+    pub insert_at: usize,
+    /// Key of the last T sibling smaller than the target (delta-encoding
+    /// predecessor for an insertion).
+    pub prev_key: Option<u8>,
+    /// The first T sibling greater than the target, if any (its delta field
+    /// must be re-encoded after an insertion).
+    pub successor: Option<TNode>,
+    /// Number of T records visited (used to decide when to grow the container
+    /// jump table).
+    pub scanned: usize,
+}
+
+/// Result of scanning a T-node's children for an S-node with a given key.
+#[derive(Debug)]
+pub struct SScan {
+    /// The matching S-node, if present.
+    pub found: Option<SNode>,
+    /// Offset where a new S record must be inserted.
+    pub insert_at: usize,
+    /// Key of the last S sibling smaller than the target.
+    pub prev_key: Option<u8>,
+    /// The first S sibling greater than the target, if any.
+    pub successor: Option<SNode>,
+    /// Number of S children visited before stopping.
+    pub visited: usize,
+}
+
+/// Returns the offset of the record following `t`'s children, i.e. the next T
+/// sibling (or the end of the used region).  Uses the jump-successor offset
+/// when present, otherwise walks the S records.
+pub fn skip_t_children(c: &ContainerRef, t: &TNode, end: usize) -> usize {
+    if let Some(js_off) = t.js_offset {
+        let v = c.read_u16(js_off) as usize;
+        if v != 0 {
+            return (t.offset + v).min(end);
+        }
+    }
+    let bytes = c.bytes();
+    let mut pos = t.header_end;
+    while pos < end {
+        let flag = bytes[pos];
+        if is_invalid(flag) || is_t_node(flag) {
+            break;
+        }
+        let s = parse_s_node(bytes, pos, None).expect("corrupt S record");
+        pos = s.end;
+    }
+    pos.min(end)
+}
+
+/// Scans the region `[start, end)` for the T-node with partial key `target`.
+///
+/// `use_cjt` enables the container jump table (only valid when `start` is the
+/// container's stream start).
+pub fn t_scan(c: &ContainerRef, start: usize, end: usize, target: u8, use_cjt: bool) -> TScan {
+    let bytes = c.bytes();
+    let mut pos = start;
+    let mut prev_key: Option<u8> = None;
+    // Container jump table: find the greatest entry with key <= target and
+    // start scanning there.  Entries always reference T records with explicit
+    // keys, so delta resolution is unaffected.
+    if use_cjt && c.jt_groups() > 0 {
+        let mut best: Option<(u8, u32)> = None;
+        for i in 0..c.jt_groups() * crate::container::CJT_GROUP {
+            let off = HEADER_SIZE + i * CJT_ENTRY_SIZE;
+            let raw = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            if raw == 0 {
+                continue;
+            }
+            let key = (raw & 0xff) as u8;
+            if key <= target && best.map(|(k, _)| key >= k).unwrap_or(true) {
+                best = Some((key, raw >> 8));
+            }
+        }
+        if let Some((_, offset)) = best {
+            let candidate = c.stream_start() + offset as usize;
+            if candidate > pos && candidate < end {
+                pos = candidate;
+            }
+        }
+    }
+    let mut scanned = 0usize;
+    loop {
+        if pos >= end || is_invalid(bytes[pos]) {
+            return TScan {
+                found: None,
+                insert_at: pos.min(end),
+                prev_key,
+                successor: None,
+                scanned,
+            };
+        }
+        debug_assert!(is_t_node(bytes[pos]), "expected T record at {pos}");
+        let t = parse_t_node(bytes, pos, prev_key).expect("corrupt T record");
+        scanned += 1;
+        if t.key == target {
+            return TScan {
+                found: Some(t),
+                insert_at: pos,
+                prev_key,
+                successor: None,
+                scanned,
+            };
+        }
+        if t.key > target {
+            return TScan {
+                found: None,
+                insert_at: pos,
+                prev_key,
+                successor: Some(t),
+                scanned,
+            };
+        }
+        prev_key = Some(t.key);
+        pos = skip_t_children(c, &t, end);
+    }
+}
+
+/// Scans the S children of `t` for the S-node with partial key `target`.
+pub fn s_scan(c: &ContainerRef, t: &TNode, end: usize, target: u8) -> SScan {
+    let bytes = c.bytes();
+    let mut pos = t.header_end;
+    let mut prev_key: Option<u8> = None;
+    // T-node jump table: entries reference explicit-key S records with keys
+    // no greater than 16*(slot+1); pick the greatest usable slot.
+    if let Some(jt_off) = t.jt_offset {
+        if target >= 16 {
+            let max_slot = ((target >> 4) as usize).saturating_sub(1).min(TNODE_JT_ENTRIES - 1);
+            for slot in (0..=max_slot).rev() {
+                let v = c.read_u16(jt_off + slot * 2) as usize;
+                if v != 0 {
+                    let candidate = t.offset + v;
+                    if candidate > pos && candidate < end {
+                        pos = candidate;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    let mut visited = 0usize;
+    loop {
+        if pos >= end || is_invalid(bytes[pos]) || is_t_node(bytes[pos]) {
+            return SScan {
+                found: None,
+                insert_at: pos.min(end),
+                prev_key,
+                successor: None,
+                visited,
+            };
+        }
+        let s = parse_s_node(bytes, pos, prev_key).expect("corrupt S record");
+        visited += 1;
+        if s.key == target {
+            return SScan {
+                found: Some(s),
+                insert_at: pos,
+                prev_key,
+                successor: None,
+                visited,
+            };
+        }
+        if s.key > target {
+            return SScan {
+                found: None,
+                insert_at: pos,
+                prev_key,
+                successor: Some(s),
+                visited,
+            };
+        }
+        prev_key = Some(s.key);
+        pos = s.end;
+    }
+}
+
+/// Walks all T records of a region, returning `(offset, key, explicit)` per
+/// record.  Used for structural maintenance (jump-table rebuilds, splits,
+/// offset fix-ups) and for the statistics collector.
+pub fn collect_t_records(c: &ContainerRef, start: usize, end: usize) -> Vec<TNode> {
+    let bytes = c.bytes();
+    let mut out = Vec::new();
+    let mut pos = start;
+    let mut prev_key = None;
+    while pos < end && !is_invalid(bytes[pos]) {
+        debug_assert!(is_t_node(bytes[pos]));
+        let t = parse_t_node(bytes, pos, prev_key).expect("corrupt T record");
+        prev_key = Some(t.key);
+        pos = {
+            // Do not trust jump offsets during maintenance walks: walk records.
+            let mut p = t.header_end;
+            while p < end && !is_invalid(bytes[p]) && !is_t_node(bytes[p]) {
+                let s = parse_s_node(bytes, p, None).expect("corrupt S record");
+                p = s.end;
+            }
+            p
+        };
+        out.push(t);
+    }
+    out
+}
+
+/// Walks all S records belonging to `t`, in order.
+pub fn collect_s_records(c: &ContainerRef, t: &TNode, end: usize) -> Vec<SNode> {
+    let bytes = c.bytes();
+    let mut out = Vec::new();
+    let mut pos = t.header_end;
+    let mut prev_key = None;
+    while pos < end && !is_invalid(bytes[pos]) && !is_t_node(bytes[pos]) {
+        let s = parse_s_node(bytes, pos, prev_key).expect("corrupt S record");
+        prev_key = Some(s.key);
+        pos = s.end;
+        out.push(s);
+    }
+    out
+}

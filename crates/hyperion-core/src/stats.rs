@@ -1,0 +1,92 @@
+//! Structural statistics of a Hyperion trie.
+//!
+//! The paper's Section 4.3 attributes Hyperion's memory efficiency to delta
+//! encoding, embedded containers and path compression and quantifies each.
+//! [`TrieAnalysis`] gathers the same numbers for an arbitrary trie instance so
+//! that EXPERIMENTS.md can report them alongside the paper's values.
+
+/// Running counters updated by mutating operations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrieCounters {
+    /// Embedded containers ejected into standalone containers.
+    pub ejections: u64,
+    /// Vertical container splits performed.
+    pub splits: u64,
+    /// Split attempts aborted (skewed key range or too-small halves).
+    pub split_aborts: u64,
+    /// Container jump table rebuilds.
+    pub cjt_rebuilds: u64,
+}
+
+/// Result of a full structural walk ([`crate::HyperionMap::analyze`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrieAnalysis {
+    /// Real (standalone or chain-slot) containers.
+    pub containers: u64,
+    /// Chained extended-bin groups created by container splits.
+    pub chained_groups: u64,
+    /// Embedded containers currently nested inside parents.
+    pub embedded_containers: u64,
+    /// T-nodes (first 8 bits of a 16-bit partial key).
+    pub t_nodes: u64,
+    /// S-nodes (second 8 bits of a 16-bit partial key).
+    pub s_nodes: u64,
+    /// Nodes whose key character is delta-encoded (no explicit key byte).
+    pub delta_encoded_nodes: u64,
+    /// Path-compressed nodes.
+    pub pc_nodes: u64,
+    /// Total suffix bytes stored in path-compressed nodes.
+    pub pc_suffix_bytes: u64,
+    /// Values stored (should equal the number of non-empty keys).
+    pub values: u64,
+    /// Jump-successor offsets present.
+    pub jump_successors: u64,
+    /// T-node jump tables present.
+    pub tnode_jump_tables: u64,
+    /// Bytes used inside containers (header `size` fields summed).
+    pub container_used_bytes: u64,
+    /// Bytes allocated for containers (chunk capacities summed).
+    pub container_capacity_bytes: u64,
+    /// Embedded containers ejected so far (copied from the counters).
+    pub ejections: u64,
+    /// Container splits performed so far (copied from the counters).
+    pub splits: u64,
+}
+
+impl TrieAnalysis {
+    /// Bytes saved by delta encoding (one key byte per delta-encoded node).
+    pub fn delta_encoding_savings(&self) -> u64 {
+        self.delta_encoded_nodes
+    }
+
+    /// Internal fragmentation inside containers (allocated minus used).
+    pub fn internal_fragmentation(&self) -> u64 {
+        self.container_capacity_bytes
+            .saturating_sub(self.container_used_bytes)
+    }
+
+    /// Total number of internal trie nodes.
+    pub fn nodes(&self) -> u64 {
+        self.t_nodes + self.s_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let a = TrieAnalysis {
+            t_nodes: 10,
+            s_nodes: 20,
+            delta_encoded_nodes: 12,
+            container_used_bytes: 100,
+            container_capacity_bytes: 128,
+            ..Default::default()
+        };
+        assert_eq!(a.nodes(), 30);
+        assert_eq!(a.delta_encoding_savings(), 12);
+        assert_eq!(a.internal_fragmentation(), 28);
+    }
+}

@@ -1,0 +1,1673 @@
+//! The Hyperion trie: a carefully growing 65,536-ary trie stored in
+//! exact-fit containers (paper Section 3).
+//!
+//! Every container encodes a 16-bit partial key as a two-level internal trie
+//! of T-nodes (first 8 bits) and S-nodes (second 8 bits).  Children are
+//! referenced through 5-byte Hyperion Pointers, embedded directly into the
+//! parent container, or stored as path-compressed suffixes.  All updates keep
+//! the siblings ordered, which enables delta encoding, early miss detection
+//! and fast ordered range queries.
+
+use crate::builder::StreamBuilder;
+use crate::config::HyperionConfig;
+use crate::container::{ContainerHandle, ContainerRef, CJT_GROUP, CJT_MAX_GROUPS, HEADER_SIZE};
+use crate::keys::{postprocess_key, preprocess_key};
+use crate::node::{
+    delta_for, delta_of, is_invalid, is_t_node, parse_pc_node, parse_s_node, parse_t_node,
+    ChildKind, NodeType, SNode, TNode, HP_SIZE, JS_SIZE, TNODE_JT_ENTRIES, TNODE_JT_SIZE,
+    VALUE_SIZE,
+};
+use crate::scan::{collect_s_records, collect_t_records, s_scan, skip_t_children, t_scan};
+use crate::stats::{TrieAnalysis, TrieCounters};
+use crate::KeyValueStore;
+use hyperion_mem::{HyperionPointer, MemoryManager};
+use std::borrow::Cow;
+
+/// A memory-efficient ordered map from byte-string keys to `u64` values.
+///
+/// This is the single-threaded core of Hyperion; [`crate::ConcurrentHyperion`]
+/// shards keys over multiple `HyperionMap` arenas for thread-safe access.
+pub struct HyperionMap {
+    mm: MemoryManager,
+    config: HyperionConfig,
+    root: Option<HyperionPointer>,
+    empty_key_value: Option<u64>,
+    len: usize,
+    counters: TrieCounters,
+}
+
+/// Result of one structural attempt inside a container.
+enum StepResult {
+    Done { inserted: bool, scanned_top: usize },
+    Restart,
+}
+
+/// Result of a read inside one container.
+enum RegionGet {
+    NotFound,
+    Value(u64),
+    Descend { hp: HyperionPointer, consumed: usize },
+}
+
+/// Location of the outermost embedded container on the current put path; used
+/// to eject it when it can no longer grow in place.
+#[derive(Clone, Copy)]
+struct EmbedContext {
+    s_flag_offset: usize,
+    child_offset: usize,
+}
+
+/// One pending offset-field adjustment gathered before a byte shift.
+enum Fix {
+    /// Add `delta` to the u16 at `pos` (jump successor / T-node jump table).
+    U16 { pos: usize, delta: i64 },
+    /// Zero the u16 at `pos` (the target was removed).
+    U16Clear { pos: usize },
+    /// Add `delta` to the offset part of the container-jump-table entry at `pos`.
+    Cjt { pos: usize, delta: i64 },
+    /// Zero the container-jump-table entry at `pos`.
+    CjtClear { pos: usize },
+}
+
+impl HyperionMap {
+    /// Creates an empty map with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(HyperionConfig::default())
+    }
+
+    /// Creates an empty map with the given configuration.
+    pub fn with_config(config: HyperionConfig) -> Self {
+        HyperionMap {
+            mm: MemoryManager::new(),
+            config,
+            root: None,
+            empty_key_value: None,
+            len: 0,
+            counters: TrieCounters::default(),
+        }
+    }
+
+    /// The configuration this map was created with.
+    pub fn config(&self) -> &HyperionConfig {
+        &self.config
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Structural counters (ejections, splits, ...).
+    pub fn counters(&self) -> TrieCounters {
+        self.counters
+    }
+
+    /// Access to the underlying memory manager (read-only), e.g. for
+    /// collecting the per-superbin statistics of Figures 14 and 16.
+    pub fn memory_manager(&self) -> &MemoryManager {
+        &self.mm
+    }
+
+    /// Logical memory footprint in bytes (segments + heap held by the
+    /// allocator, plus the map header itself).
+    pub fn footprint_bytes(&self) -> usize {
+        self.mm.footprint_bytes() as usize + std::mem::size_of::<Self>()
+    }
+
+    fn transform<'k>(&self, key: &'k [u8]) -> Cow<'k, [u8]> {
+        if self.config.key_preprocessing {
+            Cow::Owned(preprocess_key(key))
+        } else {
+            Cow::Borrowed(key)
+        }
+    }
+
+    fn restore_key(&self, key: &[u8]) -> Vec<u8> {
+        if self.config.key_preprocessing {
+            postprocess_key(key).unwrap_or_else(|| key.to_vec())
+        } else {
+            key.to_vec()
+        }
+    }
+
+    fn resolve_handle(&self, hp: HyperionPointer, hint: u8) -> ContainerHandle {
+        if hp.superbin() == 0 && self.mm.is_chained(hp) {
+            let (index, _, _) = self
+                .mm
+                .resolve_chained(hp, hint)
+                .expect("chained pointer without valid slot");
+            ContainerHandle::ChainSlot { head: hp, index }
+        } else {
+            ContainerHandle::Standalone(hp)
+        }
+    }
+
+    // =====================================================================
+    // get
+    // =====================================================================
+
+    /// Looks up a key and returns its value, if present.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let key = self.transform(key);
+        if key.is_empty() {
+            return self.empty_key_value;
+        }
+        let mut hp = self.root?;
+        let mut rest: &[u8] = &key;
+        loop {
+            let handle = self.resolve_handle(hp, rest[0]);
+            let c = ContainerRef::open(&self.mm, handle);
+            match self.get_in_region(&c, c.stream_start(), c.stream_end(), rest) {
+                RegionGet::NotFound => return None,
+                RegionGet::Value(v) => return Some(v),
+                RegionGet::Descend { hp: child, consumed } => {
+                    hp = child;
+                    rest = &rest[consumed..];
+                }
+            }
+        }
+    }
+
+    /// `true` if the key is present.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn get_in_region(&self, c: &ContainerRef, start: usize, end: usize, key: &[u8]) -> RegionGet {
+        let is_top = start == c.stream_start();
+        let ts = t_scan(c, start, end, key[0], is_top);
+        let Some(t) = ts.found else {
+            return RegionGet::NotFound;
+        };
+        if key.len() == 1 {
+            return match t.value_offset {
+                Some(off) if t.node_type == NodeType::LeafWithValue => {
+                    RegionGet::Value(c.read_u64(off))
+                }
+                _ => RegionGet::NotFound,
+            };
+        }
+        let ss = s_scan(c, &t, end, key[1]);
+        let Some(s) = ss.found else {
+            return RegionGet::NotFound;
+        };
+        if key.len() == 2 {
+            return match s.value_offset {
+                Some(off) if s.node_type == NodeType::LeafWithValue => {
+                    RegionGet::Value(c.read_u64(off))
+                }
+                _ => RegionGet::NotFound,
+            };
+        }
+        let remaining = &key[2..];
+        match s.child {
+            ChildKind::None => RegionGet::NotFound,
+            ChildKind::Pointer => RegionGet::Descend {
+                hp: c.read_hp(s.child_offset.expect("pointer child offset")),
+                consumed: 2,
+            },
+            ChildKind::Embedded => {
+                let child_off = s.child_offset.expect("embedded child offset");
+                let size = c.bytes()[child_off] as usize;
+                match self.get_in_region(c, child_off + 1, child_off + size, remaining) {
+                    RegionGet::Descend { hp, consumed } => RegionGet::Descend {
+                        hp,
+                        consumed: consumed + 2,
+                    },
+                    other => other,
+                }
+            }
+            ChildKind::PathCompressed => {
+                let child_off = s.child_offset.expect("pc child offset");
+                let (has_value, value, range) = parse_pc_node(c.bytes(), child_off);
+                if has_value && &c.bytes()[range] == remaining {
+                    RegionGet::Value(value)
+                } else {
+                    RegionGet::NotFound
+                }
+            }
+        }
+    }
+
+    // =====================================================================
+    // put
+    // =====================================================================
+
+    /// Inserts or updates a key.  Returns `true` if the key was not present
+    /// before.
+    pub fn put(&mut self, key: &[u8], value: u64) -> bool {
+        let key = self.transform(key).into_owned();
+        if key.is_empty() {
+            let inserted = self.empty_key_value.is_none();
+            self.empty_key_value = Some(value);
+            if inserted {
+                self.len += 1;
+            }
+            return inserted;
+        }
+        match self.root {
+            None => {
+                let stream = {
+                    let mut b = StreamBuilder::new(&mut self.mm, &self.config);
+                    b.build_stream(None, &[(key.clone(), value)])
+                };
+                let c = ContainerRef::create(&mut self.mm, &stream);
+                self.root = Some(c.handle().stored_pointer());
+                self.len += 1;
+                true
+            }
+            Some(root) => {
+                let (new_root, inserted) = self.put_into_pointer(root, &key, value);
+                if new_root != root {
+                    self.root = Some(new_root);
+                }
+                if inserted {
+                    self.len += 1;
+                }
+                inserted
+            }
+        }
+    }
+
+    fn put_into_pointer(&mut self, hp: HyperionPointer, key: &[u8], value: u64) -> (HyperionPointer, bool) {
+        let handle = self.resolve_handle(hp, key[0]);
+        let mut c = ContainerRef::open(&self.mm, handle);
+        let mut attempts = 0;
+        let (inserted, scanned) = loop {
+            attempts += 1;
+            assert!(attempts <= 32, "put did not converge (structural loop)");
+            let start = c.stream_start();
+            let end = c.stream_end();
+            match self.put_in_region(&mut c, start, end, &[], None, key, value) {
+                StepResult::Done { inserted, scanned_top } => break (inserted, scanned_top),
+                StepResult::Restart => continue,
+            }
+        };
+        if self.config.container_jump_table
+            && scanned >= self.config.container_jump_table_scan_limit
+        {
+            self.rebuild_container_jump_table(&mut c);
+        }
+        let stored = if self.config.container_split {
+            match self.maybe_split(&mut c) {
+                Some(new_stored) => new_stored,
+                None => c.handle().stored_pointer(),
+            }
+        } else {
+            c.handle().stored_pointer()
+        };
+        (stored, inserted)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn put_in_region(
+        &mut self,
+        c: &mut ContainerRef,
+        region_start: usize,
+        region_end: usize,
+        embed_chain: &[usize],
+        outer_embed: Option<EmbedContext>,
+        key: &[u8],
+        value: u64,
+    ) -> StepResult {
+        let is_top = embed_chain.is_empty();
+        let ts = t_scan(c, region_start, region_end, key[0], is_top);
+        let scanned_top = if is_top { ts.scanned } else { 0 };
+        let done = |inserted| StepResult::Done { inserted, scanned_top };
+
+        let Some(t) = ts.found else {
+            // Insert a brand-new T record (plus everything below it).
+            let estimate = 2 * key.len() + 48;
+            if self.needs_eject(c, outer_embed, embed_chain, estimate) {
+                return StepResult::Restart;
+            }
+            let stream = {
+                let mut b = StreamBuilder::new(&mut self.mm, &self.config);
+                b.build_stream(ts.prev_key, &[(key.to_vec(), value)])
+            };
+            self.grow_stream(c, embed_chain, ts.insert_at, stream.len(), true);
+            let at = ts.insert_at;
+            c.bytes_mut()[at..at + stream.len()].copy_from_slice(&stream);
+            if let Some(succ) = ts.successor {
+                self.fix_sibling_delta(c, embed_chain, succ.offset + stream.len(), succ.key, Some(key[0]));
+            }
+            return done(true);
+        };
+
+        if key.len() == 1 {
+            if let Some(off) = t.value_offset {
+                c.write_u64(off, value);
+                return done(false);
+            }
+            if self.needs_eject(c, outer_embed, embed_chain, VALUE_SIZE) {
+                return StepResult::Restart;
+            }
+            let value_pos = t.offset + 1 + t.explicit_key as usize;
+            self.grow_stream(c, embed_chain, value_pos, VALUE_SIZE, false);
+            c.write_u64(value_pos, value);
+            let flag = c.bytes()[t.offset];
+            c.bytes_mut()[t.offset] = (flag & !0b11) | NodeType::LeafWithValue as u8;
+            return done(true);
+        }
+
+        let ss = s_scan(c, &t, region_end, key[1]);
+        let Some(s) = ss.found else {
+            // Insert a new S record below the existing T-node.
+            let estimate = 2 * key.len() + 48;
+            if self.needs_eject(c, outer_embed, embed_chain, estimate) {
+                return StepResult::Restart;
+            }
+            let stream = {
+                let mut b = StreamBuilder::new(&mut self.mm, &self.config);
+                b.build_s_records(ss.prev_key, &[(key[1..].to_vec(), value)])
+            };
+            self.grow_stream(c, embed_chain, ss.insert_at, stream.len(), false);
+            let at = ss.insert_at;
+            c.bytes_mut()[at..at + stream.len()].copy_from_slice(&stream);
+            if let Some(succ) = ss.successor {
+                self.fix_sibling_delta(c, embed_chain, succ.offset + stream.len(), succ.key, Some(key[1]));
+            }
+            if is_top {
+                self.maintain_t_jumps(c, t.offset, ss.visited + 1);
+            }
+            return done(true);
+        };
+
+        if key.len() == 2 {
+            if let Some(off) = s.value_offset {
+                c.write_u64(off, value);
+                return done(false);
+            }
+            if self.needs_eject(c, outer_embed, embed_chain, VALUE_SIZE) {
+                return StepResult::Restart;
+            }
+            let value_pos = s.offset + 1 + s.explicit_key as usize;
+            self.grow_stream(c, embed_chain, value_pos, VALUE_SIZE, false);
+            c.write_u64(value_pos, value);
+            let flag = c.bytes()[s.offset];
+            c.bytes_mut()[s.offset] = (flag & !0b11) | NodeType::LeafWithValue as u8;
+            return done(true);
+        }
+
+        let remaining = &key[2..];
+        match s.child {
+            ChildKind::None => {
+                let estimate = 2 * remaining.len() + 48;
+                if self.needs_eject(c, outer_embed, embed_chain, estimate) {
+                    return StepResult::Restart;
+                }
+                let (kind, bytes) = {
+                    let mut b = StreamBuilder::new(&mut self.mm, &self.config);
+                    b.encode_child(&[(remaining.to_vec(), value)])
+                };
+                self.grow_stream(c, embed_chain, s.end, bytes.len(), false);
+                c.bytes_mut()[s.end..s.end + bytes.len()].copy_from_slice(&bytes);
+                self.set_child_kind(c, s.offset, kind);
+                done(true)
+            }
+            ChildKind::Pointer => {
+                let hp_pos = s.child_offset.expect("pointer child offset");
+                let child_hp = c.read_hp(hp_pos);
+                let (new_hp, inserted) = self.put_into_pointer(child_hp, remaining, value);
+                if new_hp != child_hp {
+                    c.write_hp(hp_pos, new_hp);
+                }
+                done(inserted)
+            }
+            ChildKind::Embedded => {
+                let child_off = s.child_offset.expect("embedded child offset");
+                let emb_size = c.bytes()[child_off] as usize;
+                let estimate = 2 * remaining.len() + 48;
+                let ctx = if is_top {
+                    EmbedContext {
+                        s_flag_offset: s.offset,
+                        child_offset: child_off,
+                    }
+                } else {
+                    outer_embed.expect("nested embedded without outer context")
+                };
+                let overflow = emb_size + estimate > self.config.embedded_max
+                    || embed_chain
+                        .iter()
+                        .any(|&off| c.bytes()[off] as usize + estimate > self.config.embedded_max)
+                    || c.size() + estimate > self.config.eject_threshold;
+                if overflow {
+                    self.eject_embedded(c, ctx);
+                    return StepResult::Restart;
+                }
+                let mut chain = embed_chain.to_vec();
+                chain.push(child_off);
+                match self.put_in_region(
+                    c,
+                    child_off + 1,
+                    child_off + emb_size,
+                    &chain,
+                    Some(ctx),
+                    remaining,
+                    value,
+                ) {
+                    StepResult::Done { inserted, .. } => done(inserted),
+                    StepResult::Restart => StepResult::Restart,
+                }
+            }
+            ChildKind::PathCompressed => {
+                let child_off = s.child_offset.expect("pc child offset");
+                let (has_value, pc_value, range) = parse_pc_node(c.bytes(), child_off);
+                let suffix: Vec<u8> = c.bytes()[range].to_vec();
+                let total = (c.bytes()[child_off] & 0x7f) as usize;
+                if has_value && suffix.as_slice() == remaining {
+                    c.write_u64(child_off + 1, value);
+                    return done(false);
+                }
+                let mut entries: Vec<(Vec<u8>, u64)> = vec![(remaining.to_vec(), value)];
+                if suffix.as_slice() != remaining {
+                    entries.push((suffix.clone(), if has_value { pc_value } else { 0 }));
+                }
+                entries.sort();
+                let estimate: usize =
+                    entries.iter().map(|(k, _)| 2 * k.len() + 32).sum::<usize>() + 16;
+                if self.needs_eject(c, outer_embed, embed_chain, estimate) {
+                    return StepResult::Restart;
+                }
+                let (kind, bytes) = {
+                    let mut b = StreamBuilder::new(&mut self.mm, &self.config);
+                    b.encode_child(&entries)
+                };
+                if bytes.len() > total {
+                    self.grow_stream(c, embed_chain, child_off + total, bytes.len() - total, false);
+                } else if bytes.len() < total {
+                    self.shrink_stream(c, embed_chain, child_off + bytes.len(), total - bytes.len());
+                }
+                c.bytes_mut()[child_off..child_off + bytes.len()].copy_from_slice(&bytes);
+                self.set_child_kind(c, s.offset, kind);
+                done(true)
+            }
+        }
+    }
+
+    fn set_child_kind(&mut self, c: &mut ContainerRef, s_flag_offset: usize, kind: ChildKind) {
+        let flag = c.bytes()[s_flag_offset];
+        c.bytes_mut()[s_flag_offset] = (flag & 0b0011_1111) | ((kind as u8) << 6);
+    }
+
+    /// Checks whether adding `add` bytes would overflow an enclosing embedded
+    /// container or push the real container past the eject threshold.  If so,
+    /// the outermost embedded container on the path is ejected and the caller
+    /// must restart the operation.
+    fn needs_eject(
+        &mut self,
+        c: &mut ContainerRef,
+        outer_embed: Option<EmbedContext>,
+        embed_chain: &[usize],
+        add: usize,
+    ) -> bool {
+        if embed_chain.is_empty() {
+            return false;
+        }
+        let overflow = embed_chain
+            .iter()
+            .any(|&off| c.bytes()[off] as usize + add > self.config.embedded_max)
+            || c.size() + add > self.config.eject_threshold;
+        if overflow {
+            let ctx = outer_embed.expect("embedded path without outer context");
+            self.eject_embedded(c, ctx);
+            return true;
+        }
+        false
+    }
+
+    /// Ejects a top-level embedded container into a standalone container
+    /// referenced by a Hyperion Pointer (paper Figure 8).
+    fn eject_embedded(&mut self, c: &mut ContainerRef, ctx: EmbedContext) {
+        let size = c.bytes()[ctx.child_offset] as usize;
+        let body: Vec<u8> = c.bytes()[ctx.child_offset + 1..ctx.child_offset + size].to_vec();
+        let child = ContainerRef::create(&mut self.mm, &body);
+        let hp = child.handle().stored_pointer();
+        if size > HP_SIZE {
+            self.shrink_stream(c, &[], ctx.child_offset + HP_SIZE, size - HP_SIZE);
+        } else if size < HP_SIZE {
+            self.grow_stream(c, &[], ctx.child_offset + size, HP_SIZE - size, false);
+        }
+        c.write_hp(ctx.child_offset, hp);
+        self.set_child_kind(c, ctx.s_flag_offset, ChildKind::Pointer);
+        self.counters.ejections += 1;
+    }
+
+    // =====================================================================
+    // byte-shift plumbing: offset fix-ups for js / jt / container jump table
+    // =====================================================================
+
+    fn collect_fixes(
+        &self,
+        c: &ContainerRef,
+        at: usize,
+        len: usize,
+        is_insert: bool,
+        t_record_inserted: bool,
+    ) -> Vec<Fix> {
+        let mut fixes = Vec::new();
+        let stream_start = c.stream_start();
+        let delta = if is_insert { len as i64 } else { -(len as i64) };
+        // Container jump table entries.
+        for i in 0..c.jt_groups() * CJT_GROUP {
+            let pos = HEADER_SIZE + i * 4;
+            let raw = u32::from_le_bytes(c.bytes()[pos..pos + 4].try_into().unwrap());
+            if raw == 0 {
+                continue;
+            }
+            let target = stream_start + (raw >> 8) as usize;
+            if is_insert {
+                if target >= at {
+                    fixes.push(Fix::Cjt { pos, delta });
+                }
+            } else if target >= at + len {
+                fixes.push(Fix::Cjt { pos, delta });
+            } else if target >= at {
+                fixes.push(Fix::CjtClear { pos });
+            }
+        }
+        // Per-T-node jump successors and jump tables.
+        for t in collect_t_records(c, stream_start, c.stream_end()) {
+            if t.offset >= at {
+                continue;
+            }
+            if let Some(js_off) = t.js_offset {
+                let v = c.read_u16(js_off) as usize;
+                if v != 0 {
+                    let target = t.offset + v;
+                    if is_insert {
+                        let shift = target > at || (target == at && !t_record_inserted);
+                        if shift {
+                            fixes.push(Fix::U16 { pos: js_off, delta });
+                        }
+                    } else if target >= at + len {
+                        fixes.push(Fix::U16 { pos: js_off, delta });
+                    } else if target > at {
+                        fixes.push(Fix::U16Clear { pos: js_off });
+                    }
+                }
+            }
+            if let Some(jt_off) = t.jt_offset {
+                for slot in 0..TNODE_JT_ENTRIES {
+                    let pos = jt_off + slot * 2;
+                    let v = c.read_u16(pos) as usize;
+                    if v == 0 {
+                        continue;
+                    }
+                    let target = t.offset + v;
+                    if is_insert {
+                        if target >= at {
+                            fixes.push(Fix::U16 { pos, delta });
+                        }
+                    } else if target >= at + len {
+                        fixes.push(Fix::U16 { pos, delta });
+                    } else if target >= at {
+                        fixes.push(Fix::U16Clear { pos });
+                    }
+                }
+            }
+        }
+        fixes
+    }
+
+    fn apply_fixes(&self, c: &mut ContainerRef, fixes: &[Fix], at: usize, len: usize, is_insert: bool) {
+        let adjust = |pos: usize| -> usize {
+            if is_insert {
+                if pos >= at {
+                    pos + len
+                } else {
+                    pos
+                }
+            } else if pos >= at + len {
+                pos - len
+            } else {
+                pos
+            }
+        };
+        for fix in fixes {
+            match fix {
+                Fix::U16 { pos, delta } => {
+                    let pos = adjust(*pos);
+                    let v = c.read_u16(pos) as i64 + delta;
+                    if v > 0 && v <= u16::MAX as i64 {
+                        c.write_u16(pos, v as u16);
+                    } else {
+                        // The jump no longer fits into 16 bits: disable it (0
+                        // means "walk the records"), never store a wrong jump.
+                        c.write_u16(pos, 0);
+                    }
+                }
+                Fix::U16Clear { pos } => {
+                    let pos = adjust(*pos);
+                    c.write_u16(pos, 0);
+                }
+                Fix::Cjt { pos, delta } => {
+                    let pos = adjust(*pos);
+                    let raw = u32::from_le_bytes(c.bytes()[pos..pos + 4].try_into().unwrap());
+                    let key = raw & 0xff;
+                    let offset = (raw >> 8) as i64 + delta;
+                    debug_assert!(offset >= 0);
+                    let new_raw = key | ((offset as u32) << 8);
+                    c.bytes_mut()[pos..pos + 4].copy_from_slice(&new_raw.to_le_bytes());
+                }
+                Fix::CjtClear { pos } => {
+                    let pos = adjust(*pos);
+                    c.bytes_mut()[pos..pos + 4].copy_from_slice(&0u32.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    fn grow_stream(
+        &mut self,
+        c: &mut ContainerRef,
+        embed_chain: &[usize],
+        at: usize,
+        len: usize,
+        t_record_inserted: bool,
+    ) {
+        // The "a new T sibling now starts at the insertion point" special case
+        // only applies when the record is inserted at the top level of the
+        // container; a T record inserted inside an embedded body still lives
+        // within some top-level T's child region, so jump successors pointing
+        // at the insertion point must shift.
+        let top_level_t_insert = t_record_inserted && embed_chain.is_empty();
+        let fixes = self.collect_fixes(c, at, len, true, top_level_t_insert);
+        c.insert_gap(&mut self.mm, at, len);
+        for &off in embed_chain {
+            let b = c.bytes()[off] as usize;
+            debug_assert!(b + len <= 255, "embedded container size overflow");
+            c.bytes_mut()[off] = (b + len) as u8;
+        }
+        self.apply_fixes(c, &fixes, at, len, true);
+    }
+
+    fn shrink_stream(&mut self, c: &mut ContainerRef, embed_chain: &[usize], at: usize, len: usize) {
+        let fixes = self.collect_fixes(c, at, len, false, false);
+        c.remove_range(at, len);
+        for &off in embed_chain {
+            let b = c.bytes()[off] as usize;
+            debug_assert!(b >= len);
+            c.bytes_mut()[off] = (b - len) as u8;
+        }
+        self.apply_fixes(c, &fixes, at, len, false);
+    }
+
+    /// Re-encodes the delta field of the sibling at `offset` after its
+    /// predecessor changed to `new_prev_key` (or disappeared).
+    fn fix_sibling_delta(
+        &mut self,
+        c: &mut ContainerRef,
+        embed_chain: &[usize],
+        offset: usize,
+        node_key: u8,
+        new_prev_key: Option<u8>,
+    ) {
+        let flag = c.bytes()[offset];
+        if delta_of(flag) == 0 {
+            return;
+        }
+        match delta_for(new_prev_key, node_key, self.config.delta_encoding) {
+            Some(d) => {
+                c.bytes_mut()[offset] = (flag & !(0b111 << 3)) | (d << 3);
+            }
+            None => {
+                // The delta no longer fits: materialise an explicit key byte.
+                self.grow_stream(c, embed_chain, offset + 1, 1, false);
+                let flag = c.bytes()[offset];
+                c.bytes_mut()[offset] = flag & !(0b111 << 3);
+                c.bytes_mut()[offset + 1] = node_key;
+            }
+        }
+    }
+
+    // =====================================================================
+    // jump successor / jump table maintenance
+    // =====================================================================
+
+    fn maintain_t_jumps(&mut self, c: &mut ContainerRef, t_offset: usize, child_count: usize) {
+        if self.config.jump_successor && child_count >= self.config.jump_successor_threshold {
+            let t = parse_t_node(c.bytes(), t_offset, None).expect("T record for js maintenance");
+            if !t.has_js {
+                let js_pos = t
+                    .value_offset
+                    .map(|v| v + VALUE_SIZE)
+                    .unwrap_or(t.offset + 1 + t.explicit_key as usize);
+                let next_t = skip_t_children(c, &t, c.stream_end());
+                self.grow_stream(c, &[], js_pos, JS_SIZE, false);
+                let flag = c.bytes()[t_offset];
+                c.bytes_mut()[t_offset] = flag | (1 << 6);
+                let js_value = next_t + JS_SIZE - t.offset;
+                if js_value <= u16::MAX as usize {
+                    c.write_u16(js_pos, js_value as u16);
+                }
+            }
+        }
+        if self.config.tnode_jump_table && child_count >= self.config.tnode_jump_table_threshold {
+            let t = parse_t_node(c.bytes(), t_offset, None).expect("T record for jt maintenance");
+            if !t.has_jt {
+                let jt_pos = t
+                    .js_offset
+                    .map(|o| o + JS_SIZE)
+                    .or(t.value_offset.map(|v| v + VALUE_SIZE))
+                    .unwrap_or(t.offset + 1 + t.explicit_key as usize);
+                self.grow_stream(c, &[], jt_pos, TNODE_JT_SIZE, false);
+                let flag = c.bytes()[t_offset];
+                c.bytes_mut()[t_offset] = flag | (1 << 7);
+                // Fill the entries: slot i references the greatest explicit-key
+                // S child with key <= 16 * (i + 1).
+                let t = parse_t_node(c.bytes(), t_offset, None).expect("T record after jt insert");
+                let jt_off = t.jt_offset.expect("jt offset just created");
+                let children = collect_s_records(c, &t, c.stream_end());
+                let mut entries = [0u16; TNODE_JT_ENTRIES];
+                for s in &children {
+                    if !s.explicit_key {
+                        continue;
+                    }
+                    let rel = (s.offset - t.offset) as u16;
+                    let first_slot = (s.key as usize).div_ceil(16).saturating_sub(1);
+                    for entry in entries.iter_mut().skip(first_slot) {
+                        *entry = rel;
+                    }
+                }
+                for (i, v) in entries.iter().enumerate() {
+                    c.write_u16(jt_off + i * 2, *v);
+                }
+            }
+        }
+    }
+
+    fn rebuild_container_jump_table(&mut self, c: &mut ContainerRef) {
+        let stream_start = c.stream_start();
+        let records = collect_t_records(c, stream_start, c.stream_end());
+        let explicit: Vec<&TNode> = records.iter().filter(|t| t.explicit_key).collect();
+        if explicit.len() < CJT_GROUP {
+            return;
+        }
+        let max_entries = CJT_MAX_GROUPS * CJT_GROUP;
+        let take = explicit.len().min(max_entries);
+        let mut entries = Vec::with_capacity(take);
+        for i in 0..take {
+            let idx = i * explicit.len() / take;
+            let t = explicit[idx];
+            entries.push((t.key, (t.offset - stream_start) as u32));
+        }
+        entries.dedup_by_key(|(k, _)| *k);
+        c.set_cjt_entries(&mut self.mm, &entries);
+        self.counters.cjt_rebuilds += 1;
+    }
+
+    // =====================================================================
+    // vertical container splits (paper Figure 11)
+    // =====================================================================
+
+    fn maybe_split(&mut self, c: &mut ContainerRef) -> Option<HyperionPointer> {
+        let threshold = self.config.split_threshold(c.split_delay());
+        if c.size() < threshold {
+            return None;
+        }
+        let stream_start = c.stream_start();
+        let stream_end = c.stream_end();
+        let records = collect_t_records(c, stream_start, stream_end);
+        if records.len() < 2 {
+            return self.abort_split(c);
+        }
+        let (range_start, range_end) = match c.handle() {
+            ContainerHandle::Standalone(_) => (0usize, 256usize),
+            ContainerHandle::ChainSlot { head, index } => {
+                let valid = self.mm.chained_valid_slots(head);
+                let next = valid
+                    .iter()
+                    .copied()
+                    .filter(|&i| i > index)
+                    .min()
+                    .unwrap_or(8);
+                (index * 32, next * 32)
+            }
+        };
+        // Find the multiple-of-32 cut that best balances the two halves.
+        let mut best: Option<(usize, usize)> = None; // (cut_block, cut_record_idx)
+        let mut best_imbalance = usize::MAX;
+        for cut_block in 1..8usize {
+            let cut_key = cut_block * 32;
+            if cut_key <= range_start || cut_key >= range_end {
+                continue;
+            }
+            let Some(idx) = records.iter().position(|t| (t.key as usize) >= cut_key) else {
+                continue;
+            };
+            if idx == 0 {
+                continue;
+            }
+            let cut_offset = records[idx].offset;
+            let left = cut_offset - stream_start;
+            let right = stream_end - cut_offset;
+            if left < self.config.split_min_part || right < self.config.split_min_part {
+                continue;
+            }
+            let imbalance = left.abs_diff(right);
+            if imbalance < best_imbalance {
+                best_imbalance = imbalance;
+                best = Some((cut_block, idx));
+            }
+        }
+        let Some((cut_block, cut_idx)) = best else {
+            return self.abort_split(c);
+        };
+        let cut_offset = records[cut_idx].offset;
+        let left: Vec<u8> = c.bytes()[stream_start..cut_offset].to_vec();
+        let mut right: Vec<u8> = c.bytes()[cut_offset..stream_end].to_vec();
+        // The first record of the right half may no longer have a predecessor:
+        // force an explicit key byte.  The record grows by one byte, so its
+        // own jump-successor / jump-table offsets (which point past its
+        // children, relative to the record start) must grow by one as well.
+        if delta_of(right[0]) != 0 {
+            let first = &records[cut_idx];
+            right[0] &= !(0b111 << 3);
+            right.insert(1, first.key);
+            if let Some(js_off) = first.js_offset {
+                let pos = js_off - cut_offset + 1;
+                let v = u16::from_le_bytes([right[pos], right[pos + 1]]);
+                if v != 0 {
+                    let bumped = v.checked_add(1).unwrap_or(0).to_le_bytes();
+                    right[pos..pos + 2].copy_from_slice(&bumped);
+                }
+            }
+            if let Some(jt_off) = first.jt_offset {
+                for slot in 0..TNODE_JT_ENTRIES {
+                    let pos = jt_off - cut_offset + 1 + slot * 2;
+                    let v = u16::from_le_bytes([right[pos], right[pos + 1]]);
+                    if v != 0 {
+                        let bumped = v.checked_add(1).unwrap_or(0).to_le_bytes();
+                        right[pos..pos + 2].copy_from_slice(&bumped);
+                    }
+                }
+            }
+        }
+        self.counters.splits += 1;
+        match c.handle() {
+            ContainerHandle::Standalone(old_hp) => {
+                let head = self.mm.allocate_chained();
+                let slot_a = range_start / 32;
+                ContainerRef::create_chain_slot(&mut self.mm, head, slot_a, &left);
+                ContainerRef::create_chain_slot(&mut self.mm, head, cut_block, &right);
+                self.mm.free(old_hp);
+                Some(head)
+            }
+            ContainerHandle::ChainSlot { head, index } => {
+                ContainerRef::create_chain_slot(&mut self.mm, head, index, &left);
+                ContainerRef::create_chain_slot(&mut self.mm, head, cut_block, &right);
+                None
+            }
+        }
+    }
+
+    fn abort_split(&mut self, c: &mut ContainerRef) -> Option<HyperionPointer> {
+        let delay = c.split_delay();
+        if delay < 3 {
+            c.set_split_delay(delay + 1);
+        }
+        self.counters.split_aborts += 1;
+        None
+    }
+
+    // =====================================================================
+    // delete
+    // =====================================================================
+
+    /// Removes a key.  Returns `true` if the key was present.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        let key = self.transform(key).into_owned();
+        if key.is_empty() {
+            let removed = self.empty_key_value.take().is_some();
+            if removed {
+                self.len -= 1;
+            }
+            return removed;
+        }
+        let Some(root) = self.root else {
+            return false;
+        };
+        let (new_root, removed, now_empty) = self.delete_in_pointer(root, &key);
+        if removed {
+            self.len -= 1;
+        }
+        if now_empty {
+            self.mm.free(new_root);
+            self.root = None;
+        } else if new_root != root {
+            self.root = Some(new_root);
+        }
+        removed
+    }
+
+    fn delete_in_pointer(&mut self, hp: HyperionPointer, key: &[u8]) -> (HyperionPointer, bool, bool) {
+        let handle = self.resolve_handle(hp, key[0]);
+        let mut c = ContainerRef::open(&self.mm, handle);
+        let start = c.stream_start();
+        let end = c.stream_end();
+        let removed = self.delete_in_region(&mut c, start, end, &[], key);
+        let empty = c.stream_end() == c.stream_start()
+            && matches!(c.handle(), ContainerHandle::Standalone(_));
+        (c.handle().stored_pointer(), removed, empty)
+    }
+
+    fn delete_in_region(
+        &mut self,
+        c: &mut ContainerRef,
+        region_start: usize,
+        region_end: usize,
+        embed_chain: &[usize],
+        key: &[u8],
+    ) -> bool {
+        let is_top = embed_chain.is_empty();
+        let ts = t_scan(c, region_start, region_end, key[0], is_top);
+        let Some(t) = ts.found else {
+            return false;
+        };
+        let region_end_now = |c: &ContainerRef, chain: &[usize]| -> usize {
+            if let Some(&outer) = chain.last() {
+                outer + c.bytes()[outer] as usize
+            } else {
+                c.stream_end()
+            }
+        };
+        if key.len() == 1 {
+            if t.node_type != NodeType::LeafWithValue {
+                return false;
+            }
+            let has_children = {
+                let end = region_end_now(c, embed_chain);
+                t.header_end < end
+                    && !is_invalid(c.bytes()[t.header_end])
+                    && !is_t_node(c.bytes()[t.header_end])
+            };
+            if has_children {
+                self.shrink_stream(c, embed_chain, t.value_offset.unwrap(), VALUE_SIZE);
+                let flag = c.bytes()[t.offset];
+                c.bytes_mut()[t.offset] = (flag & !0b11) | NodeType::Inner as u8;
+            } else {
+                self.remove_t_record(c, embed_chain, &t, ts.prev_key);
+            }
+            return true;
+        }
+        let ss = s_scan(c, &t, region_end, key[1]);
+        let Some(s) = ss.found else {
+            return false;
+        };
+        if key.len() == 2 {
+            if s.node_type != NodeType::LeafWithValue {
+                return false;
+            }
+            if s.child != ChildKind::None {
+                self.shrink_stream(c, embed_chain, s.value_offset.unwrap(), VALUE_SIZE);
+                let flag = c.bytes()[s.offset];
+                c.bytes_mut()[s.offset] = (flag & !0b11) | NodeType::Inner as u8;
+            } else {
+                self.remove_s_record(c, embed_chain, &t, &s, ts.prev_key, ss.prev_key);
+            }
+            return true;
+        }
+        let remaining = &key[2..];
+        match s.child {
+            ChildKind::None => false,
+            ChildKind::PathCompressed => {
+                let child_off = s.child_offset.unwrap();
+                let (has_value, _, range) = parse_pc_node(c.bytes(), child_off);
+                if !has_value || &c.bytes()[range] != remaining {
+                    return false;
+                }
+                let total = (c.bytes()[child_off] & 0x7f) as usize;
+                self.shrink_stream(c, embed_chain, child_off, total);
+                self.set_child_kind(c, s.offset, ChildKind::None);
+                self.cleanup_childless_s(c, embed_chain, &t, s.offset, ts.prev_key, ss.prev_key);
+                true
+            }
+            ChildKind::Pointer => {
+                let hp_pos = s.child_offset.unwrap();
+                let child_hp = c.read_hp(hp_pos);
+                let (new_hp, removed, child_empty) = self.delete_in_pointer(child_hp, remaining);
+                if !removed {
+                    return false;
+                }
+                if child_empty {
+                    self.mm.free(new_hp);
+                    self.shrink_stream(c, embed_chain, hp_pos, HP_SIZE);
+                    self.set_child_kind(c, s.offset, ChildKind::None);
+                    self.cleanup_childless_s(c, embed_chain, &t, s.offset, ts.prev_key, ss.prev_key);
+                } else if new_hp != child_hp {
+                    c.write_hp(hp_pos, new_hp);
+                }
+                true
+            }
+            ChildKind::Embedded => {
+                let child_off = s.child_offset.unwrap();
+                let emb_size = c.bytes()[child_off] as usize;
+                let mut chain = embed_chain.to_vec();
+                chain.push(child_off);
+                let removed =
+                    self.delete_in_region(c, child_off + 1, child_off + emb_size, &chain, remaining);
+                if !removed {
+                    return false;
+                }
+                if c.bytes()[child_off] as usize <= 1 {
+                    self.shrink_stream(c, embed_chain, child_off, c.bytes()[child_off] as usize);
+                    self.set_child_kind(c, s.offset, ChildKind::None);
+                    self.cleanup_childless_s(c, embed_chain, &t, s.offset, ts.prev_key, ss.prev_key);
+                }
+                true
+            }
+        }
+    }
+
+    /// Removes an S record that has become value-less and child-less; cascades
+    /// to the owning T record if it, too, becomes useless.
+    fn cleanup_childless_s(
+        &mut self,
+        c: &mut ContainerRef,
+        embed_chain: &[usize],
+        t: &TNode,
+        s_offset: usize,
+        t_prev_key: Option<u8>,
+        s_prev_key: Option<u8>,
+    ) {
+        let s = parse_s_node(c.bytes(), s_offset, s_prev_key.or(Some(0)))
+            .expect("S record for cleanup");
+        // Recompute the key from the original scan (prev may be None for the
+        // first child); parse_s_node only needs prev for the key value.
+        if s.node_type == NodeType::LeafWithValue || s.child != ChildKind::None {
+            return;
+        }
+        self.remove_s_record(c, embed_chain, t, &s, t_prev_key, s_prev_key);
+    }
+
+    fn remove_s_record(
+        &mut self,
+        c: &mut ContainerRef,
+        embed_chain: &[usize],
+        t: &TNode,
+        s: &SNode,
+        t_prev_key: Option<u8>,
+        s_prev_key: Option<u8>,
+    ) {
+        // Successor S sibling (if any) needs its delta re-encoded.  The check
+        // must stop at the end of the *current region*: the byte after an
+        // embedded container's body belongs to the enclosing scope.
+        let region_limit = if let Some(&outer) = embed_chain.last() {
+            outer + c.bytes()[outer] as usize
+        } else {
+            c.stream_end()
+        };
+        let succ_key = if s.end < region_limit
+            && !is_invalid(c.bytes()[s.end])
+            && !is_t_node(c.bytes()[s.end])
+        {
+            parse_s_node(c.bytes(), s.end, Some(s.key)).map(|n| n.key)
+        } else {
+            None
+        };
+        self.shrink_stream(c, embed_chain, s.offset, s.end - s.offset);
+        if let Some(sk) = succ_key {
+            self.fix_sibling_delta(c, embed_chain, s.offset, sk, s_prev_key);
+        }
+        // Remove the T record if it has no children and no value left.
+        let region_end = if let Some(&outer) = embed_chain.last() {
+            outer + c.bytes()[outer] as usize
+        } else {
+            c.stream_end()
+        };
+        let t = parse_t_node(c.bytes(), t.offset, None).expect("T record for cleanup");
+        let has_children = t.header_end < region_end
+            && !is_invalid(c.bytes()[t.header_end])
+            && !is_t_node(c.bytes()[t.header_end]);
+        if !has_children && t.node_type != NodeType::LeafWithValue {
+            self.remove_t_record(c, embed_chain, &t, t_prev_key);
+        }
+    }
+
+    fn remove_t_record(
+        &mut self,
+        c: &mut ContainerRef,
+        embed_chain: &[usize],
+        t: &TNode,
+        prev_key: Option<u8>,
+    ) {
+        let region_end = if let Some(&outer) = embed_chain.last() {
+            outer + c.bytes()[outer] as usize
+        } else {
+            c.stream_end()
+        };
+        let succ = if t.header_end < region_end && !is_invalid(c.bytes()[t.header_end]) {
+            parse_t_node(c.bytes(), t.header_end, Some(t.key))
+        } else {
+            None
+        };
+        let succ_key = succ.map(|n| n.key);
+        self.shrink_stream(c, embed_chain, t.offset, t.header_end - t.offset);
+        if let Some(sk) = succ_key {
+            self.fix_sibling_delta(c, embed_chain, t.offset, sk, prev_key);
+        }
+    }
+
+    // =====================================================================
+    // ordered iteration / range queries
+    // =====================================================================
+
+    /// Invokes `f(key, value)` for every key greater than or equal to `start`
+    /// in ascending order, until `f` returns `false` (paper Section 3.1,
+    /// "Operations").  Returns `false` if the callback stopped the scan.
+    pub fn range_from<F: FnMut(&[u8], u64) -> bool>(&self, start: &[u8], f: &mut F) -> bool {
+        let start = self.transform(start).into_owned();
+        if start.is_empty() {
+            if let Some(v) = self.empty_key_value {
+                if !f(&[], v) {
+                    return false;
+                }
+            }
+        }
+        let Some(root) = self.root else {
+            return true;
+        };
+        let mut prefix = Vec::new();
+        self.walk_pointer(root, &mut prefix, &start, f)
+    }
+
+    /// Invokes `f` for every key/value pair in ascending key order.
+    pub fn for_each<F: FnMut(&[u8], u64) -> bool>(&self, f: &mut F) -> bool {
+        self.range_from(&[], f)
+    }
+
+    /// Counts the keys in `[low, high)`.
+    pub fn range_count(&self, low: &[u8], high: &[u8]) -> usize {
+        let mut count = 0usize;
+        let high = high.to_vec();
+        self.range_from(low, &mut |k, _| {
+            if k < high.as_slice() {
+                count += 1;
+                true
+            } else {
+                false
+            }
+        });
+        count
+    }
+
+    /// Collects all key/value pairs (mostly useful in tests).
+    pub fn to_vec(&self) -> Vec<(Vec<u8>, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(&mut |k, v| {
+            out.push((k.to_vec(), v));
+            true
+        });
+        out
+    }
+
+    fn subtree_before_start(prefix: &[u8], start: &[u8]) -> bool {
+        let l = prefix.len().min(start.len());
+        match prefix[..l].cmp(&start[..l]) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => false,
+        }
+    }
+
+    fn emit<F: FnMut(&[u8], u64) -> bool>(&self, key: &[u8], value: u64, start: &[u8], f: &mut F) -> bool {
+        if key >= start {
+            let restored = self.restore_key(key);
+            return f(&restored, value);
+        }
+        true
+    }
+
+    fn walk_pointer<F: FnMut(&[u8], u64) -> bool>(
+        &self,
+        hp: HyperionPointer,
+        prefix: &mut Vec<u8>,
+        start: &[u8],
+        f: &mut F,
+    ) -> bool {
+        if hp.superbin() == 0 && self.mm.is_chained(hp) {
+            for index in self.mm.chained_valid_slots(hp) {
+                let c = ContainerRef::open(&self.mm, ContainerHandle::ChainSlot { head: hp, index });
+                if !self.walk_region(&c, c.stream_start(), c.stream_end(), prefix, start, f) {
+                    return false;
+                }
+            }
+            true
+        } else {
+            let c = ContainerRef::open(&self.mm, ContainerHandle::Standalone(hp));
+            self.walk_region(&c, c.stream_start(), c.stream_end(), prefix, start, f)
+        }
+    }
+
+    fn walk_region<F: FnMut(&[u8], u64) -> bool>(
+        &self,
+        c: &ContainerRef,
+        region_start: usize,
+        region_end: usize,
+        prefix: &mut Vec<u8>,
+        start: &[u8],
+        f: &mut F,
+    ) -> bool {
+        for t in collect_t_records(c, region_start, region_end) {
+            prefix.push(t.key);
+            if Self::subtree_before_start(prefix, start) {
+                prefix.pop();
+                continue;
+            }
+            if let Some(off) = t.value_offset {
+                if !self.emit(prefix, c.read_u64(off), start, f) {
+                    prefix.pop();
+                    return false;
+                }
+            }
+            for s in collect_s_records(c, &t, region_end) {
+                prefix.push(s.key);
+                if Self::subtree_before_start(prefix, start) {
+                    prefix.pop();
+                    continue;
+                }
+                if let Some(off) = s.value_offset {
+                    if !self.emit(prefix, c.read_u64(off), start, f) {
+                        prefix.pop();
+                        prefix.pop();
+                        return false;
+                    }
+                }
+                let keep_going = match s.child {
+                    ChildKind::None => true,
+                    ChildKind::PathCompressed => {
+                        let (has_value, value, range) = parse_pc_node(c.bytes(), s.child_offset.unwrap());
+                        if has_value {
+                            let depth = prefix.len();
+                            prefix.extend_from_slice(&c.bytes()[range]);
+                            let ok = self.emit(prefix, value, start, f);
+                            prefix.truncate(depth);
+                            ok
+                        } else {
+                            true
+                        }
+                    }
+                    ChildKind::Embedded => {
+                        let child_off = s.child_offset.unwrap();
+                        let size = c.bytes()[child_off] as usize;
+                        self.walk_region(c, child_off + 1, child_off + size, prefix, start, f)
+                    }
+                    ChildKind::Pointer => {
+                        let hp = c.read_hp(s.child_offset.unwrap());
+                        self.walk_pointer(hp, prefix, start, f)
+                    }
+                };
+                prefix.pop();
+                if !keep_going {
+                    prefix.pop();
+                    return false;
+                }
+            }
+            prefix.pop();
+        }
+        true
+    }
+
+    // =====================================================================
+    // structural analysis (memory-efficiency statistics)
+    // =====================================================================
+
+    /// Walks the whole trie and gathers the structural statistics the paper
+    /// reports in Section 4.3 (delta-encoded nodes, embedded containers,
+    /// path-compressed bytes, container sizes).
+    pub fn analyze(&self) -> TrieAnalysis {
+        let mut a = TrieAnalysis::default();
+        if let Some(root) = self.root {
+            self.analyze_pointer(root, &mut a);
+        }
+        a.ejections = self.counters.ejections;
+        a.splits = self.counters.splits;
+        a
+    }
+
+    fn analyze_pointer(&self, hp: HyperionPointer, a: &mut TrieAnalysis) {
+        if hp.superbin() == 0 && self.mm.is_chained(hp) {
+            a.chained_groups += 1;
+            for index in self.mm.chained_valid_slots(hp) {
+                let c = ContainerRef::open(&self.mm, ContainerHandle::ChainSlot { head: hp, index });
+                a.containers += 1;
+                a.container_used_bytes += c.size() as u64;
+                a.container_capacity_bytes += c.capacity() as u64;
+                self.analyze_region(&c, c.stream_start(), c.stream_end(), a);
+            }
+        } else {
+            let c = ContainerRef::open(&self.mm, ContainerHandle::Standalone(hp));
+            a.containers += 1;
+            a.container_used_bytes += c.size() as u64;
+            a.container_capacity_bytes += c.capacity() as u64;
+            self.analyze_region(&c, c.stream_start(), c.stream_end(), a);
+        }
+    }
+
+    fn analyze_region(&self, c: &ContainerRef, start: usize, end: usize, a: &mut TrieAnalysis) {
+        for t in collect_t_records(c, start, end) {
+            a.t_nodes += 1;
+            if !t.explicit_key {
+                a.delta_encoded_nodes += 1;
+            }
+            if t.value_offset.is_some() {
+                a.values += 1;
+            }
+            if t.has_js {
+                a.jump_successors += 1;
+            }
+            if t.has_jt {
+                a.tnode_jump_tables += 1;
+            }
+            for s in collect_s_records(c, &t, end) {
+                a.s_nodes += 1;
+                if !s.explicit_key {
+                    a.delta_encoded_nodes += 1;
+                }
+                if s.value_offset.is_some() {
+                    a.values += 1;
+                }
+                match s.child {
+                    ChildKind::None => {}
+                    ChildKind::PathCompressed => {
+                        let (has_value, _, range) = parse_pc_node(c.bytes(), s.child_offset.unwrap());
+                        a.pc_nodes += 1;
+                        a.pc_suffix_bytes += range.len() as u64;
+                        if has_value {
+                            a.values += 1;
+                        }
+                    }
+                    ChildKind::Embedded => {
+                        a.embedded_containers += 1;
+                        let child_off = s.child_offset.unwrap();
+                        let size = c.bytes()[child_off] as usize;
+                        self.analyze_region(c, child_off + 1, child_off + size, a);
+                    }
+                    ChildKind::Pointer => {
+                        self.analyze_pointer(c.read_hp(s.child_offset.unwrap()), a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for HyperionMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeyValueStore for HyperionMap {
+    fn put(&mut self, key: &[u8], value: u64) -> bool {
+        HyperionMap::put(self, key, value)
+    }
+
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        HyperionMap::get(self, key)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> bool {
+        HyperionMap::delete(self, key)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        let mut wrapper = |k: &[u8], v: u64| f(k, v);
+        self.range_from(start, &mut wrapper);
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.footprint_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.config.key_preprocessing {
+            "hyperion_p"
+        } else {
+            "hyperion"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_small_words() {
+        // The running example from the paper (Figure 1).
+        let words: &[&[u8]] = &[b"a", b"and", b"be", b"that", b"the", b"to"];
+        let mut map = HyperionMap::new();
+        for (i, w) in words.iter().enumerate() {
+            assert!(map.put(w, i as u64), "{:?} should be new", w);
+        }
+        assert_eq!(map.len(), words.len());
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(map.get(w), Some(i as u64), "lookup {:?}", w);
+        }
+        assert_eq!(map.get(b"th"), None);
+        assert_eq!(map.get(b"toa"), None);
+        assert_eq!(map.get(b""), None);
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let mut map = HyperionMap::new();
+        assert!(map.put(b"key", 1));
+        assert!(!map.put(b"key", 2));
+        assert_eq!(map.get(b"key"), Some(2));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn empty_key_is_supported() {
+        let mut map = HyperionMap::new();
+        assert!(map.put(b"", 42));
+        assert_eq!(map.get(b""), Some(42));
+        assert_eq!(map.len(), 1);
+        assert!(map.delete(b""));
+        assert_eq!(map.get(b""), None);
+        assert_eq!(map.len(), 0);
+    }
+
+    #[test]
+    fn ordered_iteration_matches_sorted_input() {
+        let mut map = HyperionMap::new();
+        let keys: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| format!("key-{:05}", i * 7919 % 1000).into_bytes())
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            map.put(k, i as u64);
+        }
+        let mut expected: Vec<Vec<u8>> = keys.clone();
+        expected.sort();
+        expected.dedup();
+        let got: Vec<Vec<u8>> = map.to_vec().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn prefix_keys_coexist() {
+        let mut map = HyperionMap::new();
+        map.put(b"a", 1);
+        map.put(b"ab", 2);
+        map.put(b"abc", 3);
+        map.put(b"abcd", 4);
+        map.put(b"abcdefghij", 5);
+        for (k, v) in [
+            (&b"a"[..], 1),
+            (b"ab", 2),
+            (b"abc", 3),
+            (b"abcd", 4),
+            (b"abcdefghij", 5),
+        ] {
+            assert_eq!(map.get(k), Some(v), "{:?}", k);
+        }
+        assert_eq!(map.get(b"abcde"), None);
+        assert_eq!(map.len(), 5);
+    }
+
+    #[test]
+    fn delete_removes_only_target() {
+        let mut map = HyperionMap::new();
+        map.put(b"alpha", 1);
+        map.put(b"alphabet", 2);
+        map.put(b"beta", 3);
+        assert!(map.delete(b"alpha"));
+        assert!(!map.delete(b"alpha"));
+        assert_eq!(map.get(b"alpha"), None);
+        assert_eq!(map.get(b"alphabet"), Some(2));
+        assert_eq!(map.get(b"beta"), Some(3));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn range_from_respects_start_and_stop() {
+        let mut map = HyperionMap::new();
+        for i in 0..100u64 {
+            map.put(format!("k{:03}", i).as_bytes(), i);
+        }
+        let mut seen = Vec::new();
+        map.range_from(b"k050", &mut |k, v| {
+            seen.push((k.to_vec(), v));
+            seen.len() < 10
+        });
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen[0].0, b"k050".to_vec());
+        assert_eq!(seen[9].0, b"k059".to_vec());
+    }
+
+    #[test]
+    fn preprocessing_round_trips_keys() {
+        let mut map = HyperionMap::with_config(HyperionConfig::with_preprocessing());
+        let keys: Vec<[u8; 8]> = (0..500u64)
+            .map(|i| (i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).to_be_bytes())
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            map.put(k, i as u64);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(map.get(k), Some(i as u64));
+        }
+        // Iteration must return the original (un-transformed) keys in order.
+        let mut sorted = keys.clone();
+        sorted.sort();
+        let got: Vec<Vec<u8>> = map.to_vec().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(got, sorted.iter().map(|k| k.to_vec()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn many_random_integer_keys() {
+        let mut map = HyperionMap::with_config(HyperionConfig::for_integers());
+        let mut reference = std::collections::BTreeMap::new();
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        for i in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x.to_be_bytes();
+            map.put(&key, i);
+            reference.insert(key.to_vec(), i);
+        }
+        assert_eq!(map.len(), reference.len());
+        for (k, v) in &reference {
+            assert_eq!(map.get(k), Some(*v));
+        }
+        let got = map.to_vec();
+        let expected: Vec<(Vec<u8>, u64)> = reference.into_iter().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sequential_integers_trigger_ejections() {
+        let mut map = HyperionMap::with_config(HyperionConfig::for_integers());
+        for i in 0..50_000u64 {
+            map.put(&i.to_be_bytes(), i);
+        }
+        for i in (0..50_000u64).step_by(997) {
+            assert_eq!(map.get(&i.to_be_bytes()), Some(i));
+        }
+        let analysis = map.analyze();
+        assert!(analysis.containers >= 1);
+        assert!(analysis.delta_encoded_nodes > 0, "sequential keys must delta-encode");
+        assert_eq!(map.len(), 50_000);
+    }
+
+    #[test]
+    fn analysis_counts_are_consistent() {
+        let mut map = HyperionMap::new();
+        for i in 0..2000u64 {
+            map.put(format!("prefix-{:08}", i).as_bytes(), i);
+        }
+        let a = map.analyze();
+        assert_eq!(a.values, 2000);
+        assert!(a.t_nodes > 0 && a.s_nodes > 0);
+        assert!(a.container_used_bytes <= a.container_capacity_bytes);
+    }
+}
+
+impl HyperionMap {
+    /// Test-only consistency check: verifies that every jump-successor offset
+    /// points exactly at the next T sibling (or the end of the used region).
+    /// Returns a description of the first violation found.
+    #[doc(hidden)]
+    pub fn validate_jump_offsets(&self) -> Result<(), String> {
+        let Some(root) = self.root else { return Ok(()) };
+        let mut pending = vec![root];
+        while let Some(hp) = pending.pop() {
+            let handles: Vec<ContainerHandle> = if hp.superbin() == 0 && self.mm.is_chained(hp) {
+                self.mm
+                    .chained_valid_slots(hp)
+                    .into_iter()
+                    .map(|index| ContainerHandle::ChainSlot { head: hp, index })
+                    .collect()
+            } else {
+                vec![ContainerHandle::Standalone(hp)]
+            };
+            for handle in handles {
+                let c = ContainerRef::open(&self.mm, handle);
+                let end = c.stream_end();
+                let records = collect_t_records(&c, c.stream_start(), end);
+                for t in &records {
+                    if let Some(js_off) = t.js_offset {
+                        let v = c.read_u16(js_off) as usize;
+                        if v != 0 {
+                            // Re-derive the true next sibling by record walking.
+                            let mut p = t.header_end;
+                            let bytes = c.bytes();
+                            while p < end && !is_invalid(bytes[p]) && !is_t_node(bytes[p]) {
+                                let s = parse_s_node(bytes, p, None).unwrap();
+                                p = s.end;
+                            }
+                            if t.offset + v != p {
+                                return Err(format!(
+                                    "{handle:?}: T at {} key {} js target {} but true next {}",
+                                    t.offset,
+                                    t.key,
+                                    t.offset + v,
+                                    p
+                                ));
+                            }
+                        }
+                    }
+                    for s in collect_s_records(&c, t, end) {
+                        if s.child == ChildKind::Pointer {
+                            pending.push(c.read_hp(s.child_offset.unwrap()));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,96 @@
+use hyperion_core::{HyperionConfig, HyperionMap};
+
+fn workload(mut config: HyperionConfig, tag: &str) {
+    config.eject_threshold = 8 * 1024;
+    let mut map = HyperionMap::with_config(config);
+    let mut reference = std::collections::BTreeMap::new();
+    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+    for i in 0..6_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let key = x.to_be_bytes();
+        map.put(&key, i);
+        reference.insert(key.to_vec(), i);
+        if i % 2000 == 0 {
+            for (k, v) in &reference {
+                assert_eq!(map.get(k), Some(*v), "[{tag}] lost key after {i} inserts");
+            }
+        }
+    }
+    for (k, v) in &reference {
+        assert_eq!(map.get(k), Some(*v), "[{tag}] final check");
+    }
+}
+
+#[test]
+fn no_optional_features() {
+    workload(HyperionConfig::baseline_no_optimizations(), "none");
+}
+
+#[test]
+fn only_delta() {
+    let mut c = HyperionConfig::baseline_no_optimizations();
+    c.delta_encoding = true;
+    workload(c, "delta");
+}
+
+#[test]
+fn delta_plus_js() {
+    let mut c = HyperionConfig::baseline_no_optimizations();
+    c.delta_encoding = true;
+    c.jump_successor = true;
+    workload(c, "delta+js");
+}
+
+#[test]
+fn delta_js_tjt() {
+    let mut c = HyperionConfig::baseline_no_optimizations();
+    c.delta_encoding = true;
+    c.jump_successor = true;
+    c.tnode_jump_table = true;
+    workload(c, "delta+js+tjt");
+}
+
+#[test]
+fn delta_js_tjt_cjt() {
+    let mut c = HyperionConfig::baseline_no_optimizations();
+    c.delta_encoding = true;
+    c.jump_successor = true;
+    c.tnode_jump_table = true;
+    c.container_jump_table = true;
+    workload(c, "delta+js+tjt+cjt");
+}
+
+#[test]
+fn all_features_with_split() {
+    workload(HyperionConfig::default(), "all");
+}
+
+#[test]
+fn string_keys_no_features() {
+    let mut map = HyperionMap::with_config(HyperionConfig::baseline_no_optimizations());
+    let keys: Vec<Vec<u8>> = (0..200u32)
+        .map(|i| format!("key-{:05}", i * 7919 % 1000).into_bytes())
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        map.put(k, i as u64);
+        for k2 in &keys[..=i] {
+            assert!(map.get(k2).is_some(), "lost {:?} after inserting {:?} (#{i})", String::from_utf8_lossy(k2), String::from_utf8_lossy(k));
+        }
+    }
+}
+
+#[test]
+fn string_keys_all_features() {
+    let mut map = HyperionMap::new();
+    let keys: Vec<Vec<u8>> = (0..200u32)
+        .map(|i| format!("key-{:05}", i * 7919 % 1000).into_bytes())
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        map.put(k, i as u64);
+        for k2 in &keys[..=i] {
+            assert!(map.get(k2).is_some(), "lost {:?} after inserting {:?} (#{i})", String::from_utf8_lossy(k2), String::from_utf8_lossy(k));
+        }
+    }
+}

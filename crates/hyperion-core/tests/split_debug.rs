@@ -1,0 +1,44 @@
+use hyperion_core::{HyperionConfig, HyperionMap};
+
+#[test]
+fn split_debug_random() {
+    let mut map = HyperionMap::with_config(HyperionConfig::for_integers());
+    let mut reference = std::collections::BTreeMap::new();
+    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+    for i in 0..8_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let key = x.to_be_bytes();
+        map.put(&key, i);
+        reference.insert(key.to_vec(), i);
+        if i % 2000 == 0 {
+            if let Err(e) = map.validate_jump_offsets() {
+                panic!("jump offsets broken after insert #{i}: {e} (splits={})", map.counters().splits);
+            }
+            for (k, v) in &reference {
+                if map.get(k) != Some(*v) {
+                    panic!("lost key {:x?} after insert #{i} (splits={} ejections={})", k, map.counters().splits, map.counters().ejections);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn split_debug_sequential() {
+    let mut map = HyperionMap::with_config(HyperionConfig::for_integers());
+    for i in 0..20_000u64 {
+        map.put(&i.to_be_bytes(), i);
+        if i % 2000 == 0 {
+            if let Err(e) = map.validate_jump_offsets() {
+                panic!("jump offsets broken after insert #{i}: {e} (splits={})", map.counters().splits);
+            }
+            for j in (0..=i).step_by(101) {
+                if map.get(&j.to_be_bytes()) != Some(j) {
+                    panic!("lost key {j} after insert #{i} (splits={} ejections={})", map.counters().splits, map.counters().ejections);
+                }
+            }
+        }
+    }
+}

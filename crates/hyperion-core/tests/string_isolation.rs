@@ -1,0 +1,81 @@
+use hyperion_core::{HyperionConfig, HyperionMap};
+
+fn string_workload(config: HyperionConfig, tag: &str) {
+    let mut map = HyperionMap::with_config(config);
+    let keys: Vec<Vec<u8>> = (0..200u32)
+        .map(|i| format!("key-{:05}", i * 7919 % 1000).into_bytes())
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        map.put(k, i as u64);
+        for k2 in &keys[..=i] {
+            assert!(
+                map.get(k2).is_some(),
+                "[{tag}] lost {:?} after inserting {:?} (#{i})",
+                String::from_utf8_lossy(k2),
+                String::from_utf8_lossy(k)
+            );
+        }
+    }
+}
+
+fn base() -> HyperionConfig {
+    HyperionConfig::baseline_no_optimizations()
+}
+
+#[test]
+fn s_delta_only() {
+    let mut c = base();
+    c.delta_encoding = true;
+    string_workload(c, "delta");
+}
+
+#[test]
+fn s_js_only() {
+    let mut c = base();
+    c.jump_successor = true;
+    string_workload(c, "js");
+}
+
+#[test]
+fn s_tjt_only() {
+    let mut c = base();
+    c.tnode_jump_table = true;
+    string_workload(c, "tjt");
+}
+
+#[test]
+fn s_cjt_only() {
+    let mut c = base();
+    c.container_jump_table = true;
+    string_workload(c, "cjt");
+}
+
+#[test]
+fn s_split_only() {
+    let mut c = base();
+    c.container_split = true;
+    string_workload(c, "split");
+}
+
+#[test]
+fn i_split_only() {
+    let mut c = base();
+    c.container_split = true;
+    c.eject_threshold = 8 * 1024;
+    let mut map = HyperionMap::with_config(c);
+    let mut reference = std::collections::BTreeMap::new();
+    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+    for i in 0..5_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let key = x.to_be_bytes();
+        map.put(&key, i);
+        reference.insert(key.to_vec(), i);
+        if i % 250 == 0 {
+            for (k, v) in &reference {
+                assert_eq!(map.get(k), Some(*v), "[split-int] lost key after {i} inserts");
+            }
+        }
+    }
+}

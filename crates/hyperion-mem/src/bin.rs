@@ -1,0 +1,243 @@
+//! A *bin*: 4,096 fixed-size chunks carved out of one contiguous segment.
+//!
+//! Bins track chunk occupancy with a 4,096-bit bitmap.  The backing segment is
+//! allocated lazily on first use, mirroring the paper's behaviour of issuing
+//! one kernel trap (one `mmap`) per 4,096 allocations.
+
+use crate::CHUNKS_PER_BIN;
+
+const BITMAP_WORDS: usize = CHUNKS_PER_BIN / 64;
+
+/// One bin of 4,096 chunks of a fixed chunk size.
+pub struct Bin {
+    /// Lazily allocated backing segment of `CHUNKS_PER_BIN * chunk_size` bytes.
+    segment: Option<Box<[u8]>>,
+    /// Occupancy bitmap: bit set = chunk in use.
+    bitmap: [u64; BITMAP_WORDS],
+    /// Number of chunks currently in use.
+    used: u16,
+}
+
+impl Bin {
+    /// Creates an empty bin with no backing segment yet.
+    pub fn new() -> Self {
+        Bin {
+            segment: None,
+            bitmap: [0; BITMAP_WORDS],
+            used: 0,
+        }
+    }
+
+    /// Number of chunks currently allocated from this bin.
+    #[inline]
+    pub fn used(&self) -> u16 {
+        self.used
+    }
+
+    /// `true` once the backing segment has been materialised.
+    #[inline]
+    pub fn has_segment(&self) -> bool {
+        self.segment.is_some()
+    }
+
+    /// `true` if every chunk is in use.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.used as usize == CHUNKS_PER_BIN
+    }
+
+    /// `true` if no chunk is in use.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Returns whether the given chunk is currently allocated.
+    #[inline]
+    pub fn is_allocated(&self, chunk: u16) -> bool {
+        let idx = chunk as usize;
+        (self.bitmap[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Allocates one chunk, materialising the segment if needed, and returns
+    /// its index.  Returns `None` if the bin is full.
+    ///
+    /// The free-chunk search scans the bitmap 64 bits at a time; the paper uses
+    /// SIMD for the same purpose, word-level bit scanning is the portable
+    /// equivalent.
+    pub fn allocate(&mut self, chunk_size: usize) -> Option<u16> {
+        if self.is_full() {
+            return None;
+        }
+        if self.segment.is_none() {
+            self.segment = Some(vec![0u8; CHUNKS_PER_BIN * chunk_size].into_boxed_slice());
+        }
+        for (w, word) in self.bitmap.iter_mut().enumerate() {
+            if *word != u64::MAX {
+                let bit = (!*word).trailing_zeros() as usize;
+                *word |= 1u64 << bit;
+                self.used += 1;
+                return Some((w * 64 + bit) as u16);
+            }
+        }
+        None
+    }
+
+    /// Marks a specific chunk as allocated (used by chained extended bins that
+    /// need consecutive chunk indices).  Returns `false` if already in use.
+    pub fn allocate_specific(&mut self, chunk: u16, chunk_size: usize) -> bool {
+        if self.is_allocated(chunk) {
+            return false;
+        }
+        if self.segment.is_none() {
+            self.segment = Some(vec![0u8; CHUNKS_PER_BIN * chunk_size].into_boxed_slice());
+        }
+        let idx = chunk as usize;
+        self.bitmap[idx / 64] |= 1u64 << (idx % 64);
+        self.used += 1;
+        true
+    }
+
+    /// Finds `count` consecutive free chunks and allocates them, returning the
+    /// first index.  Used for chained extended bins.
+    pub fn allocate_consecutive(&mut self, count: usize, chunk_size: usize) -> Option<u16> {
+        if (self.used as usize) + count > CHUNKS_PER_BIN {
+            return None;
+        }
+        let mut run = 0usize;
+        let mut start = 0usize;
+        for idx in 0..CHUNKS_PER_BIN {
+            if self.is_allocated(idx as u16) {
+                run = 0;
+            } else {
+                if run == 0 {
+                    start = idx;
+                }
+                run += 1;
+                if run == count {
+                    for c in start..start + count {
+                        self.allocate_specific(c as u16, chunk_size);
+                    }
+                    return Some(start as u16);
+                }
+            }
+        }
+        None
+    }
+
+    /// Releases a chunk and zeroes its memory so stale data cannot leak into
+    /// the next allocation (the trie relies on zero-initialised memory to mark
+    /// invalid nodes).
+    pub fn free(&mut self, chunk: u16, chunk_size: usize) {
+        debug_assert!(self.is_allocated(chunk), "double free of chunk {chunk}");
+        let idx = chunk as usize;
+        self.bitmap[idx / 64] &= !(1u64 << (idx % 64));
+        self.used -= 1;
+        if let Some(seg) = &mut self.segment {
+            let start = idx * chunk_size;
+            seg[start..start + chunk_size].fill(0);
+        }
+    }
+
+    /// Raw pointer to the start of a chunk.
+    ///
+    /// # Panics
+    /// Panics if the segment has not been materialised.
+    #[inline]
+    pub fn chunk_ptr(&self, chunk: u16, chunk_size: usize) -> *mut u8 {
+        let seg = self
+            .segment
+            .as_ref()
+            .expect("chunk_ptr on bin without segment");
+        debug_assert!((chunk as usize) < CHUNKS_PER_BIN);
+        // Safety: chunk index is bounded by CHUNKS_PER_BIN and the segment is
+        // exactly CHUNKS_PER_BIN * chunk_size bytes long.
+        unsafe { seg.as_ptr().add(chunk as usize * chunk_size) as *mut u8 }
+    }
+
+    /// Bytes of backing memory owned by this bin (0 until materialised).
+    #[inline]
+    pub fn segment_bytes(&self, chunk_size: usize) -> usize {
+        if self.segment.is_some() {
+            CHUNKS_PER_BIN * chunk_size
+        } else {
+            0
+        }
+    }
+}
+
+impl Default for Bin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_free_roundtrip() {
+        let mut bin = Bin::new();
+        let a = bin.allocate(32).unwrap();
+        let b = bin.allocate(32).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(bin.used(), 2);
+        bin.free(a, 32);
+        assert_eq!(bin.used(), 1);
+        let c = bin.allocate(32).unwrap();
+        assert_eq!(c, a, "freed chunk should be reused first");
+    }
+
+    #[test]
+    fn fills_up_to_capacity() {
+        let mut bin = Bin::new();
+        for _ in 0..CHUNKS_PER_BIN {
+            assert!(bin.allocate(16).is_some());
+        }
+        assert!(bin.is_full());
+        assert!(bin.allocate(16).is_none());
+    }
+
+    #[test]
+    fn freed_memory_is_zeroed() {
+        let mut bin = Bin::new();
+        let c = bin.allocate(32).unwrap();
+        let ptr = bin.chunk_ptr(c, 32);
+        unsafe {
+            std::ptr::write_bytes(ptr, 0xAB, 32);
+        }
+        bin.free(c, 32);
+        let c2 = bin.allocate(32).unwrap();
+        assert_eq!(c2, c);
+        let ptr2 = bin.chunk_ptr(c2, 32);
+        let slice = unsafe { std::slice::from_raw_parts(ptr2, 32) };
+        assert!(slice.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn consecutive_allocation_finds_runs() {
+        let mut bin = Bin::new();
+        // Fragment the start of the bin.
+        let a = bin.allocate(16).unwrap();
+        let b = bin.allocate(16).unwrap();
+        let c = bin.allocate(16).unwrap();
+        bin.free(b, 16);
+        let start = bin.allocate_consecutive(8, 16).unwrap();
+        for i in 0..8 {
+            assert!(bin.is_allocated(start + i));
+        }
+        assert!(bin.is_allocated(a));
+        assert!(bin.is_allocated(c));
+    }
+
+    #[test]
+    fn chunk_pointers_do_not_overlap() {
+        let mut bin = Bin::new();
+        let a = bin.allocate(64).unwrap();
+        let b = bin.allocate(64).unwrap();
+        let pa = bin.chunk_ptr(a, 64) as usize;
+        let pb = bin.chunk_ptr(b, 64) as usize;
+        assert!(pa.abs_diff(pb) >= 64);
+    }
+}

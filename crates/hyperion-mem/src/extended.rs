@@ -1,0 +1,209 @@
+//! Extended bins: heap-backed allocations larger than 2,016 bytes.
+//!
+//! Superbin `SB0` does not hand out payload chunks directly.  Its 16-byte
+//! chunks each store an *extended Hyperion Pointer* (eHP): a regular heap
+//! pointer, the requested size, the amount of over-allocated memory within the
+//! allocation and two bytes of housekeeping flags.  Because the eHP record --
+//! and therefore the 5-byte HP naming it -- stays put while the heap block can
+//! be reallocated, growing an extended container never changes its HP.
+//!
+//! *Chained extended bins* (CEB) are eight consecutive SB0 chunks that are
+//! allocated and freed atomically; a single HP owns all eight.  They back
+//! vertically split containers: the requested T-node key selects which of the
+//! eight slots to resolve (paper Section 3.3, "Splitting Containers").
+
+use std::alloc::{alloc_zeroed, dealloc, realloc, Layout};
+
+/// Number of slots in a chained extended bin.
+pub const CHAIN_LEN: usize = 8;
+
+const FLAG_VALID: u16 = 1 << 0;
+const FLAG_CHAIN_HEAD: u16 = 1 << 1;
+const FLAG_CHAIN_MEMBER: u16 = 1 << 2;
+
+/// In-memory representation of one extended-bin record (eHP).
+///
+/// The paper packs this into the 16-byte SB0 chunk itself; this implementation
+/// keeps the records in a side table indexed by the same (metabin, bin, chunk)
+/// coordinates, which has identical space accounting (16 bytes per record) but
+/// lets the heap pointer be managed safely.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtendedBin {
+    /// Heap pointer to the payload (null when the slot is void).
+    ptr: *mut u8,
+    /// Size the caller requested.
+    requested: u32,
+    /// Over-allocated bytes beyond the request (capacity = requested + over).
+    over: u16,
+    /// Housekeeping flags.
+    flags: u16,
+}
+
+// Safety: the heap blocks are exclusively owned by the memory manager and
+// only ever accessed through it; the raw pointer is an owning pointer.
+unsafe impl Send for ExtendedBin {}
+
+impl ExtendedBin {
+    /// An empty (void) record.
+    pub const EMPTY: ExtendedBin = ExtendedBin {
+        ptr: std::ptr::null_mut(),
+        requested: 0,
+        over: 0,
+        flags: 0,
+    };
+
+    /// Allocates a zeroed heap block of at least `size` bytes, rounded to the
+    /// extended-bin growth increment.
+    pub fn allocate(size: usize) -> Self {
+        let capacity = crate::extended_rounded_size(size.max(1));
+        let layout = Layout::from_size_align(capacity, 8).expect("invalid layout");
+        // Safety: capacity is non-zero and the layout is valid.
+        let ptr = unsafe { alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "extended bin heap allocation failed");
+        ExtendedBin {
+            ptr,
+            requested: size as u32,
+            over: (capacity - size) as u16,
+            flags: FLAG_VALID,
+        }
+    }
+
+    /// Grows (or shrinks) the heap block to hold at least `new_size` bytes.
+    /// Memory beyond the old capacity is zeroed.
+    pub fn reallocate(&mut self, new_size: usize) {
+        debug_assert!(self.is_valid());
+        let old_capacity = self.capacity();
+        let new_capacity = crate::extended_rounded_size(new_size.max(1));
+        if new_capacity != old_capacity {
+            let old_layout = Layout::from_size_align(old_capacity, 8).expect("invalid layout");
+            // Safety: ptr was allocated with old_layout by this module.
+            let new_ptr = unsafe { realloc(self.ptr, old_layout, new_capacity) };
+            assert!(!new_ptr.is_null(), "extended bin heap reallocation failed");
+            if new_capacity > old_capacity {
+                // Safety: the region [old_capacity, new_capacity) is freshly
+                // grown and owned by us.
+                unsafe {
+                    std::ptr::write_bytes(new_ptr.add(old_capacity), 0, new_capacity - old_capacity);
+                }
+            }
+            self.ptr = new_ptr;
+        }
+        self.requested = new_size as u32;
+        self.over = (new_capacity - new_size) as u16;
+    }
+
+    /// Frees the heap block and resets the record to the void state.
+    pub fn release(&mut self) {
+        if self.is_valid() && !self.ptr.is_null() {
+            let layout =
+                Layout::from_size_align(self.capacity(), 8).expect("invalid layout");
+            // Safety: ptr was allocated by this module with the same layout.
+            unsafe { dealloc(self.ptr, layout) };
+        }
+        *self = ExtendedBin::EMPTY;
+    }
+
+    /// Heap pointer to the payload.
+    #[inline]
+    pub fn ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Size the caller last requested.
+    #[inline]
+    pub fn requested(&self) -> usize {
+        self.requested as usize
+    }
+
+    /// Usable capacity of the heap block.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.requested as usize + self.over as usize
+    }
+
+    /// Over-allocated bytes beyond the request.
+    #[inline]
+    pub fn over_allocation(&self) -> usize {
+        self.over as usize
+    }
+
+    /// `true` if the record owns a heap block.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.flags & FLAG_VALID != 0
+    }
+
+    /// `true` if this record is the head of a chained extended bin.
+    #[inline]
+    pub fn is_chain_head(&self) -> bool {
+        self.flags & FLAG_CHAIN_HEAD != 0
+    }
+
+    /// `true` if this record belongs to a chained extended bin (head or member).
+    #[inline]
+    pub fn is_chain_member(&self) -> bool {
+        self.flags & (FLAG_CHAIN_HEAD | FLAG_CHAIN_MEMBER) != 0
+    }
+
+    /// Marks the record as the head of a chain (slot 0 of a CEB).
+    pub fn mark_chain_head(&mut self) {
+        self.flags |= FLAG_CHAIN_HEAD;
+    }
+
+    /// Marks the record as a non-head member of a chain.
+    pub fn mark_chain_member(&mut self) {
+        self.flags |= FLAG_CHAIN_MEMBER;
+    }
+}
+
+impl Default for ExtendedBin {
+    fn default() -> Self {
+        ExtendedBin::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_rounds_to_increment() {
+        let mut eb = ExtendedBin::allocate(2100);
+        assert_eq!(eb.requested(), 2100);
+        assert_eq!(eb.capacity(), 2304);
+        assert!(eb.is_valid());
+        eb.release();
+        assert!(!eb.is_valid());
+    }
+
+    #[test]
+    fn reallocation_preserves_data() {
+        let mut eb = ExtendedBin::allocate(2100);
+        unsafe { std::ptr::write_bytes(eb.ptr(), 0x5A, 2100) };
+        eb.reallocate(9000);
+        let data = unsafe { std::slice::from_raw_parts(eb.ptr(), 9000) };
+        assert!(data[..2100].iter().all(|&b| b == 0x5A));
+        assert!(data[2304..].iter().all(|&b| b == 0));
+        assert_eq!(eb.capacity(), 9 * 1024);
+        eb.release();
+    }
+
+    #[test]
+    fn chain_flags_are_independent_of_validity() {
+        let mut eb = ExtendedBin::EMPTY;
+        assert!(!eb.is_chain_member());
+        eb.mark_chain_head();
+        assert!(eb.is_chain_head());
+        assert!(eb.is_chain_member());
+        assert!(!eb.is_valid());
+    }
+
+    #[test]
+    fn memory_is_zero_initialised() {
+        let eb = ExtendedBin::allocate(4096);
+        let data = unsafe { std::slice::from_raw_parts(eb.ptr(), eb.capacity()) };
+        assert!(data.iter().all(|&b| b == 0));
+        let mut eb = eb;
+        eb.release();
+    }
+}

@@ -1,0 +1,141 @@
+//! # hyperion-mem
+//!
+//! Custom hierarchical memory manager for the Hyperion trie, reproducing the
+//! design from *Hyperion: Building the largest in-memory search tree*
+//! (SIGMOD 2019), Section 3.2.
+//!
+//! The manager acts as a middleware between the trie and the system allocator.
+//! Small allocations of up to [`MAX_SMALL_ALLOCATION`] bytes are grouped by
+//! size class and stored in large pre-allocated segments; larger allocations
+//! are placed on the heap and referenced through *extended bins*.
+//!
+//! The hierarchy is:
+//!
+//! ```text
+//! 64 superbins -> up to 2^14 metabins -> 256 bins -> 4,096 chunks
+//! ```
+//!
+//! * Superbin `SB0` handles all requests larger than 2,016 bytes (extended
+//!   bins); superbin `SBi`, `i in 1..=63`, provides chunks of `32 * i` bytes.
+//! * Instead of 8-byte pointers, the manager hands out 5-byte
+//!   [`HyperionPointer`]s (HP) containing the IDs of the respective hierarchy
+//!   levels.  The trie only stores HPs, which completely decouples the data
+//!   structure from virtual memory addresses.
+//! * *Chained extended bins* are eight consecutive SB0 chunks owned by a
+//!   single HP; they back vertically split containers and are resolved with a
+//!   requested-key hint.
+//!
+//! The paper backs bins with anonymous `mmap` segments.  This implementation
+//! backs them with large boxed slices, which preserves the allocation pattern
+//! (one big segment per 4,096-chunk bin) without requiring libc bindings; see
+//! DESIGN.md for the substitution rationale.
+
+mod bin;
+mod extended;
+mod manager;
+mod metabin;
+mod pointer;
+mod stats;
+mod superbin;
+
+pub use extended::{ExtendedBin, CHAIN_LEN};
+pub use manager::MemoryManager;
+pub use pointer::HyperionPointer;
+pub use stats::{MemoryStats, SuperbinStats};
+
+/// Number of superbins at the top of the hierarchy.
+pub const NUM_SUPERBINS: usize = 64;
+/// Maximum number of metabins per superbin (14-bit ID).
+pub const MAX_METABINS: usize = 1 << 14;
+/// Number of bins per metabin (8-bit ID).
+pub const BINS_PER_METABIN: usize = 256;
+/// Number of chunks per bin (12-bit ID).
+pub const CHUNKS_PER_BIN: usize = 4096;
+/// Size increment between the small-allocation size classes.
+pub const CHUNK_INCREMENT: usize = 32;
+/// Largest request served from the small-allocation superbins (`63 * 32`).
+pub const MAX_SMALL_ALLOCATION: usize = 2016;
+/// Size of one extended-bin record (stores an extended Hyperion Pointer).
+pub const EXTENDED_BIN_SIZE: usize = 16;
+
+/// Returns the superbin ID responsible for a request of `size` bytes.
+///
+/// Requests of up to [`MAX_SMALL_ALLOCATION`] bytes map to superbins 1..=63
+/// (chunk size `32 * id`); anything larger maps to superbin 0 (extended bins).
+#[inline]
+pub fn superbin_for_size(size: usize) -> u8 {
+    if size == 0 || size > MAX_SMALL_ALLOCATION {
+        0
+    } else {
+        (size.div_ceil(CHUNK_INCREMENT)) as u8
+    }
+}
+
+/// Returns the chunk size provided by superbin `id` (16 bytes for SB0, which
+/// stores extended-bin records rather than payload).
+#[inline]
+pub fn chunk_size_of_superbin(id: u8) -> usize {
+    if id == 0 {
+        EXTENDED_BIN_SIZE
+    } else {
+        CHUNK_INCREMENT * id as usize
+    }
+}
+
+/// Rounds an extended (heap) allocation request up to the growth increment
+/// used by extended bins: 256 B steps up to 8 KiB, 1 KiB steps up to 16 KiB,
+/// 4 KiB steps beyond that.  These larger increments mitigate heap
+/// fragmentation for fast-growing containers (paper Section 3.2).
+#[inline]
+pub fn extended_rounded_size(size: usize) -> usize {
+    if size <= 8 * 1024 {
+        size.div_ceil(256) * 256
+    } else if size <= 16 * 1024 {
+        size.div_ceil(1024) * 1024
+    } else {
+        size.div_ceil(4096) * 4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superbin_mapping_matches_paper() {
+        assert_eq!(superbin_for_size(1), 1);
+        assert_eq!(superbin_for_size(32), 1);
+        assert_eq!(superbin_for_size(33), 2);
+        assert_eq!(superbin_for_size(64), 2);
+        assert_eq!(superbin_for_size(2016), 63);
+        assert_eq!(superbin_for_size(2017), 0);
+        assert_eq!(superbin_for_size(1 << 20), 0);
+    }
+
+    #[test]
+    fn chunk_sizes_are_multiples_of_32() {
+        for id in 1..64u8 {
+            assert_eq!(chunk_size_of_superbin(id), 32 * id as usize);
+        }
+        assert_eq!(chunk_size_of_superbin(0), EXTENDED_BIN_SIZE);
+    }
+
+    #[test]
+    fn extended_rounding_uses_paper_increments() {
+        assert_eq!(extended_rounded_size(2017), 2048);
+        assert_eq!(extended_rounded_size(2048), 2048);
+        assert_eq!(extended_rounded_size(8 * 1024), 8192);
+        assert_eq!(extended_rounded_size(8 * 1024 + 1), 9 * 1024);
+        assert_eq!(extended_rounded_size(16 * 1024 + 1), 20 * 1024);
+        assert_eq!(extended_rounded_size(100_000), 102_400);
+    }
+
+    #[test]
+    fn size_roundtrip_fits_in_superbin() {
+        for size in 1..=MAX_SMALL_ALLOCATION {
+            let sb = superbin_for_size(size);
+            assert!(chunk_size_of_superbin(sb) >= size, "size {size} sb {sb}");
+            assert!(chunk_size_of_superbin(sb) < size + CHUNK_INCREMENT);
+        }
+    }
+}

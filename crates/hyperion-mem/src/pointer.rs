@@ -1,0 +1,171 @@
+//! The 5-byte Hyperion Pointer (HP).
+//!
+//! The trie never stores virtual addresses.  Instead it stores a 40-bit
+//! identifier naming the hierarchy coordinates of a chunk:
+//!
+//! ```text
+//! bits  0..6   superbin  (6 bits,  64 superbins)
+//! bits  6..20  metabin   (14 bits, 16,384 metabins per superbin)
+//! bits 20..28  bin       (8 bits,  256 bins per metabin)
+//! bits 28..40  chunk     (12 bits, 4,096 chunks per bin)
+//! ```
+//!
+//! Replacing 8-byte pointers with 5-byte HPs saves three bytes per child
+//! reference inside the trie and lets the memory manager relocate chunks at
+//! will.
+
+/// A 5-byte handle identifying one chunk in the memory-manager hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HyperionPointer {
+    superbin: u8,
+    metabin: u16,
+    bin: u8,
+    chunk: u16,
+}
+
+impl HyperionPointer {
+    /// Size of the encoded pointer in bytes.
+    pub const ENCODED_LEN: usize = 5;
+
+    /// The null pointer (all coordinates zero).  The manager never hands out
+    /// this coordinate, so it can be used as a sentinel inside zero-initialised
+    /// container memory.
+    pub const NULL: HyperionPointer = HyperionPointer {
+        superbin: 0,
+        metabin: 0,
+        bin: 0,
+        chunk: 0,
+    };
+
+    /// Creates a pointer from its hierarchy coordinates.
+    ///
+    /// # Panics
+    /// Panics if any coordinate exceeds its bit width.
+    pub fn new(superbin: u8, metabin: u16, bin: u8, chunk: u16) -> Self {
+        assert!(superbin < 64, "superbin id out of range");
+        assert!((metabin as usize) < crate::MAX_METABINS, "metabin id out of range");
+        assert!((chunk as usize) < crate::CHUNKS_PER_BIN, "chunk id out of range");
+        HyperionPointer {
+            superbin,
+            metabin,
+            bin,
+            chunk,
+        }
+    }
+
+    /// Superbin coordinate (6 bits).
+    #[inline]
+    pub fn superbin(&self) -> u8 {
+        self.superbin
+    }
+
+    /// Metabin coordinate (14 bits).
+    #[inline]
+    pub fn metabin(&self) -> u16 {
+        self.metabin
+    }
+
+    /// Bin coordinate (8 bits).
+    #[inline]
+    pub fn bin(&self) -> u8 {
+        self.bin
+    }
+
+    /// Chunk coordinate (12 bits).
+    #[inline]
+    pub fn chunk(&self) -> u16 {
+        self.chunk
+    }
+
+    /// Returns `true` if this is the null sentinel.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        *self == Self::NULL
+    }
+
+    /// Encodes the pointer into its 5-byte little-endian representation.
+    #[inline]
+    pub fn to_bytes(&self) -> [u8; 5] {
+        let v: u64 = (self.superbin as u64)
+            | ((self.metabin as u64) << 6)
+            | ((self.bin as u64) << 20)
+            | ((self.chunk as u64) << 28);
+        let le = v.to_le_bytes();
+        [le[0], le[1], le[2], le[3], le[4]]
+    }
+
+    /// Decodes a pointer from its 5-byte little-endian representation.
+    #[inline]
+    pub fn from_bytes(bytes: [u8; 5]) -> Self {
+        let mut le = [0u8; 8];
+        le[..5].copy_from_slice(&bytes);
+        let v = u64::from_le_bytes(le);
+        HyperionPointer {
+            superbin: (v & 0x3f) as u8,
+            metabin: ((v >> 6) & 0x3fff) as u16,
+            bin: ((v >> 20) & 0xff) as u8,
+            chunk: ((v >> 28) & 0xfff) as u16,
+        }
+    }
+}
+
+impl Default for HyperionPointer {
+    fn default() -> Self {
+        Self::NULL
+    }
+}
+
+impl std::fmt::Debug for HyperionPointer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HP(sb={}, mb={}, bin={}, chunk={})",
+            self.superbin, self.metabin, self.bin, self.chunk
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_fields() {
+        let hp = HyperionPointer::new(63, 16383, 255, 4095);
+        let bytes = hp.to_bytes();
+        assert_eq!(HyperionPointer::from_bytes(bytes), hp);
+    }
+
+    #[test]
+    fn roundtrip_small_values() {
+        let hp = HyperionPointer::new(1, 2, 3, 4);
+        assert_eq!(HyperionPointer::from_bytes(hp.to_bytes()), hp);
+        assert_eq!(hp.superbin(), 1);
+        assert_eq!(hp.metabin(), 2);
+        assert_eq!(hp.bin(), 3);
+        assert_eq!(hp.chunk(), 4);
+    }
+
+    #[test]
+    fn null_is_all_zero_bytes() {
+        assert_eq!(HyperionPointer::NULL.to_bytes(), [0u8; 5]);
+        assert!(HyperionPointer::from_bytes([0u8; 5]).is_null());
+    }
+
+    #[test]
+    fn encoding_is_forty_bits() {
+        // The top 24 bits of the logical u64 must never be set.
+        let hp = HyperionPointer::new(63, 16383, 255, 4095);
+        let bytes = hp.to_bytes();
+        let mut le = [0u8; 8];
+        le[..5].copy_from_slice(&bytes);
+        let v = u64::from_le_bytes(le);
+        assert!(v < (1u64 << 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "superbin id out of range")]
+    fn rejects_out_of_range_superbin() {
+        let _ = HyperionPointer::new(64, 0, 0, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Integer key workloads (paper Section 4.4).
+//!
+//! Keys and values are 64-bit integers.  The paper reverses the keys' byte
+//! order for the trie-based structures so that the (little-endian) sequential
+//! integers are processed starting at their most significant byte and fill the
+//! trie depth-first; encoding the keys big-endian achieves exactly that and
+//! additionally makes them binary-comparable, so the same encoding is used for
+//! all structures here.
+
+use crate::mt19937::Mt19937_64;
+use crate::Workload;
+
+/// Kinds of integer workloads used in the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntegerWorkload {
+    /// Keys 0, 1, 2, ... inserted in ascending order (best case for tries).
+    Sequential,
+    /// Uniformly random 64-bit keys (challenging for all tries).
+    Random,
+}
+
+/// Generates `n` sequential integer keys (0..n) with value = key.
+pub fn sequential_integer_keys(n: usize) -> Workload {
+    let mut keys = Vec::with_capacity(n);
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        keys.push(i.to_be_bytes().to_vec());
+        values.push(i);
+    }
+    Workload {
+        name: "sequential-integers".to_string(),
+        keys,
+        values,
+    }
+}
+
+/// Generates `n` distinct uniformly random 64-bit keys using MT19937-64
+/// (the paper uses the SIMD-oriented Fast Mersenne Twister; see DESIGN.md for
+/// the substitution).  Values equal the draw index.
+pub fn random_integer_keys(n: usize, seed: u64) -> Workload {
+    let mut rng = Mt19937_64::new(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    let mut keys = Vec::with_capacity(n);
+    let mut values = Vec::with_capacity(n);
+    let mut i = 0u64;
+    while keys.len() < n {
+        let k = rng.next_u64();
+        if seen.insert(k) {
+            keys.push(k.to_be_bytes().to_vec());
+            values.push(i);
+            i += 1;
+        }
+    }
+    Workload {
+        name: "random-integers".to_string(),
+        keys,
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_keys_are_sorted_and_dense() {
+        let w = sequential_integer_keys(1000);
+        assert_eq!(w.len(), 1000);
+        assert!(w.keys.windows(2).all(|p| p[0] < p[1]));
+        assert_eq!(w.keys[0], 0u64.to_be_bytes().to_vec());
+        assert_eq!(w.keys[999], 999u64.to_be_bytes().to_vec());
+    }
+
+    #[test]
+    fn random_keys_are_distinct() {
+        let w = random_integer_keys(10_000, 1);
+        let set: std::collections::HashSet<_> = w.keys.iter().collect();
+        assert_eq!(set.len(), w.len());
+    }
+
+    #[test]
+    fn random_keys_are_reproducible() {
+        assert_eq!(random_integer_keys(100, 5).keys, random_integer_keys(100, 5).keys);
+        assert_ne!(random_integer_keys(100, 5).keys, random_integer_keys(100, 6).keys);
+    }
+
+    #[test]
+    fn keys_are_binary_comparable() {
+        // Big-endian encoding: numeric order == lexicographic order.
+        let w = random_integer_keys(1000, 2);
+        let mut nums: Vec<u64> = w
+            .keys
+            .iter()
+            .map(|k| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        let mut sorted_bytes = w.keys.clone();
+        sorted_bytes.sort();
+        nums.sort_unstable();
+        let roundtrip: Vec<u64> = sorted_bytes
+            .iter()
+            .map(|k| u64::from_be_bytes(k.as_slice().try_into().unwrap()))
+            .collect();
+        assert_eq!(nums, roundtrip);
+    }
+}

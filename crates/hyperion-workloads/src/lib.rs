@@ -1,0 +1,129 @@
+//! # hyperion-workloads
+//!
+//! Workload generators reproducing the data sets of the Hyperion evaluation
+//! (paper Section 4.1):
+//!
+//! * sequential and randomized 64-bit integer keys and values.  The paper uses
+//!   the SIMD-oriented Fast Mersenne Twister; this crate implements a plain
+//!   MT19937-64 from scratch (identical statistical family, no SIMD
+//!   dependency) plus the byte-order transformations the paper applies,
+//! * a synthetic Google-Books-style n-gram corpus: 1- to 5-grams drawn from a
+//!   Zipf-distributed vocabulary, suffixed with a publication year; the value
+//!   packs the match count and volume count into a `u64`,
+//! * helpers to shuffle data sets into randomized insertion order.
+
+pub mod integer;
+pub mod mt19937;
+pub mod ngram;
+pub mod zipf;
+
+pub use integer::{random_integer_keys, sequential_integer_keys, IntegerWorkload};
+pub use mt19937::Mt19937_64;
+pub use ngram::{NgramCorpus, NgramCorpusConfig};
+pub use zipf::Zipf;
+
+/// A fully materialised key/value workload in insertion order.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Human-readable name (used in benchmark tables).
+    pub name: String,
+    /// Keys in insertion order (binary-comparable encoding).
+    pub keys: Vec<Vec<u8>>,
+    /// Values, parallel to `keys`.
+    pub values: Vec<u64>,
+}
+
+impl Workload {
+    /// Number of key/value pairs.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` if the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Total number of key bytes (used for B/key accounting).
+    pub fn key_bytes(&self) -> usize {
+        self.keys.iter().map(|k| k.len()).sum()
+    }
+
+    /// Average key length in bytes.
+    pub fn average_key_len(&self) -> f64 {
+        if self.keys.is_empty() {
+            0.0
+        } else {
+            self.key_bytes() as f64 / self.keys.len() as f64
+        }
+    }
+
+    /// Returns a copy with the pairs shuffled into a deterministic random
+    /// order (Fisher-Yates driven by MT19937-64).
+    pub fn shuffled(&self, seed: u64) -> Workload {
+        let mut order: Vec<usize> = (0..self.keys.len()).collect();
+        let mut rng = Mt19937_64::new(seed);
+        for i in (1..order.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        Workload {
+            name: format!("{}-shuffled", self.name),
+            keys: order.iter().map(|&i| self.keys[i].clone()).collect(),
+            values: order.iter().map(|&i| self.values[i]).collect(),
+        }
+    }
+
+    /// Returns a copy sorted by key (the "sequential" orderings of the paper).
+    pub fn sorted(&self) -> Workload {
+        let mut pairs: Vec<(Vec<u8>, u64)> = self
+            .keys
+            .iter()
+            .cloned()
+            .zip(self.values.iter().copied())
+            .collect();
+        pairs.sort();
+        Workload {
+            name: format!("{}-sorted", self.name),
+            keys: pairs.iter().map(|(k, _)| k.clone()).collect(),
+            values: pairs.iter().map(|(_, v)| *v).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let w = sequential_integer_keys(1000);
+        let s = w.shuffled(42);
+        assert_eq!(s.len(), w.len());
+        let mut a = w.keys.clone();
+        let mut b = s.keys.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_ne!(w.keys, s.keys, "shuffle should change the order");
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let w = sequential_integer_keys(500);
+        assert_eq!(w.shuffled(7).keys, w.shuffled(7).keys);
+        assert_ne!(w.shuffled(7).keys, w.shuffled(8).keys);
+    }
+
+    #[test]
+    fn sorted_orders_keys() {
+        let w = random_integer_keys(500, 3).sorted();
+        assert!(w.keys.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn average_key_len() {
+        let w = sequential_integer_keys(10);
+        assert_eq!(w.average_key_len(), 8.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Synthetic Google-Books-style n-gram corpus.
+//!
+//! The paper's string evaluation uses the Google Books n-gram data set: the
+//! key is the n-gram (1 to 5 words) plus the publication year, the value
+//! encodes the number of occurrences and the number of books.  That corpus is
+//! not redistributable, so this module generates a synthetic corpus with the
+//! properties that matter for trie indexes:
+//!
+//! * a Zipf-distributed vocabulary (heavy reuse of frequent words),
+//! * heavy prefix sharing between keys (n-grams share leading words),
+//! * an average key length around 22 bytes (the paper reports 22.65 B),
+//! * values packing two counters into one `u64`.
+
+use crate::mt19937::Mt19937_64;
+use crate::zipf::Zipf;
+use crate::Workload;
+
+/// Configuration for the synthetic n-gram corpus generator.
+#[derive(Clone, Debug)]
+pub struct NgramCorpusConfig {
+    /// Number of distinct n-gram keys to generate.
+    pub entries: usize,
+    /// Vocabulary size.
+    pub vocabulary: usize,
+    /// Zipf exponent of the word distribution.
+    pub zipf_exponent: f64,
+    /// Minimum number of words per n-gram.
+    pub min_n: usize,
+    /// Maximum number of words per n-gram (the paper uses 1- to 5-grams;
+    /// its main string experiment uses 2-grams).
+    pub max_n: usize,
+    /// Append a publication year (as in the Google Books keys).
+    pub append_year: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NgramCorpusConfig {
+    fn default() -> Self {
+        NgramCorpusConfig {
+            entries: 100_000,
+            vocabulary: 20_000,
+            zipf_exponent: 1.0,
+            min_n: 2,
+            max_n: 2,
+            append_year: true,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A generated corpus (a thin wrapper that remembers the configuration).
+pub struct NgramCorpus {
+    /// The generated workload, sorted lexicographically by key (the paper's
+    /// "sequential" string order).
+    pub workload: Workload,
+}
+
+impl NgramCorpus {
+    /// Generates a corpus according to `config`.
+    pub fn generate(config: &NgramCorpusConfig) -> NgramCorpus {
+        let mut rng = Mt19937_64::new(config.seed);
+        let vocab = build_vocabulary(config.vocabulary);
+        let zipf = Zipf::new(vocab.len(), config.zipf_exponent);
+        let mut seen = std::collections::HashSet::with_capacity(config.entries * 2);
+        let mut keys = Vec::with_capacity(config.entries);
+        let mut values = Vec::with_capacity(config.entries);
+        while keys.len() < config.entries {
+            let n = if config.max_n > config.min_n {
+                config.min_n + (rng.next_below((config.max_n - config.min_n + 1) as u64) as usize)
+            } else {
+                config.min_n
+            };
+            let mut key = String::new();
+            for w in 0..n {
+                if w > 0 {
+                    key.push(' ');
+                }
+                key.push_str(&vocab[zipf.sample(&mut rng)]);
+            }
+            if config.append_year {
+                let year = 1800 + rng.next_below(220);
+                key.push('\t');
+                key.push_str(&year.to_string());
+            }
+            let key = key.into_bytes();
+            if seen.insert(key.clone()) {
+                // Value: number of occurrences (32 bits) and number of books
+                // (32 bits) packed into one u64, as in the paper's setup.
+                let occurrences = 1 + rng.next_below(1 << 20);
+                let books = 1 + rng.next_below(occurrences.min(1 << 16));
+                values.push((occurrences << 32) | books);
+                keys.push(key);
+            }
+        }
+        let mut pairs: Vec<(Vec<u8>, u64)> = keys.into_iter().zip(values).collect();
+        pairs.sort();
+        NgramCorpus {
+            workload: Workload {
+                name: format!("{}grams", config.max_n),
+                keys: pairs.iter().map(|(k, _)| k.clone()).collect(),
+                values: pairs.iter().map(|(_, v)| *v).collect(),
+            },
+        }
+    }
+}
+
+/// Builds a deterministic vocabulary of pronounceable lowercase words with a
+/// realistic length distribution (short words are the most frequent ranks).
+fn build_vocabulary(size: usize) -> Vec<String> {
+    const CONSONANTS: &[u8] = b"bcdfghjklmnpqrstvwz";
+    const VOWELS: &[u8] = b"aeiou";
+    let mut rng = Mt19937_64::new(0xcab);
+    let mut seen = std::collections::HashSet::with_capacity(size * 2);
+    let mut vocab = Vec::with_capacity(size);
+    while vocab.len() < size {
+        // Frequent (low-rank) words are short, rare words are longer.
+        let rank_fraction = vocab.len() as f64 / size as f64;
+        let syllables = 1 + (rank_fraction * 3.0) as usize + rng.next_below(2) as usize;
+        let mut word = String::new();
+        for _ in 0..syllables {
+            word.push(CONSONANTS[rng.next_below(CONSONANTS.len() as u64) as usize] as char);
+            word.push(VOWELS[rng.next_below(VOWELS.len() as u64) as usize] as char);
+            if rng.next_f64() < 0.3 {
+                word.push(CONSONANTS[rng.next_below(CONSONANTS.len() as u64) as usize] as char);
+            }
+        }
+        if seen.insert(word.clone()) {
+            vocab.push(word);
+        }
+    }
+    vocab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> NgramCorpusConfig {
+        NgramCorpusConfig {
+            entries: 5_000,
+            vocabulary: 2_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_number_of_distinct_keys() {
+        let corpus = NgramCorpus::generate(&small_config());
+        assert_eq!(corpus.workload.len(), 5_000);
+        let set: std::collections::HashSet<_> = corpus.workload.keys.iter().collect();
+        assert_eq!(set.len(), 5_000);
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let corpus = NgramCorpus::generate(&small_config());
+        assert!(corpus.workload.keys.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn average_key_length_resembles_google_books() {
+        let corpus = NgramCorpus::generate(&NgramCorpusConfig {
+            entries: 20_000,
+            ..Default::default()
+        });
+        let avg = corpus.workload.average_key_len();
+        assert!(
+            (12.0..32.0).contains(&avg),
+            "average key length {avg:.1} outside the plausible range"
+        );
+    }
+
+    #[test]
+    fn keys_share_prefixes() {
+        // Count how many sorted neighbours share at least 4 leading bytes; a
+        // Zipf-distributed corpus must exhibit heavy prefix sharing, which is
+        // the property Hyperion's delta encoding exploits.
+        let corpus = NgramCorpus::generate(&small_config());
+        let sharing = corpus
+            .workload
+            .keys
+            .windows(2)
+            .filter(|p| p[0].len() >= 4 && p[1].len() >= 4 && p[0][..4] == p[1][..4])
+            .count();
+        assert!(
+            sharing > corpus.workload.len() / 2,
+            "only {sharing} neighbouring keys share a 4-byte prefix"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = NgramCorpus::generate(&small_config());
+        let b = NgramCorpus::generate(&small_config());
+        assert_eq!(a.workload.keys, b.workload.keys);
+        assert_eq!(a.workload.values, b.workload.values);
+    }
+}

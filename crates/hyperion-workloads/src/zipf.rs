@@ -1,0 +1,85 @@
+//! Zipf-distributed sampling, used to give the synthetic n-gram vocabulary a
+//! realistic (highly skewed) word-frequency distribution.
+
+use crate::mt19937::Mt19937_64;
+
+/// A Zipf(s) distribution over ranks `1..=n`, sampled by inverse transform on
+/// a precomputed cumulative distribution.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a distribution over `n` ranks with exponent `s` (typically
+    /// around 1.0 for natural-language vocabularies).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf distribution needs at least one rank");
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 1..=n {
+            let w = 1.0 / (rank as f64).powf(s);
+            total += w;
+            weights.push(total);
+        }
+        let cdf = weights.into_iter().map(|w| w / total).collect();
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the distribution has no ranks (never: `new` asserts `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a 0-based rank.
+    pub fn sample(&self, rng: &mut Mt19937_64) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_ranks_dominate() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = Mt19937_64::new(42);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] && counts[9] > counts[99]);
+        // Rank 1 should take a substantial share under s = 1.0.
+        assert!(counts[0] > 10_000, "rank 1 frequency {}", counts[0]);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(10, 1.2);
+        let mut rng = Mt19937_64::new(7);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = Mt19937_64::new(1);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+}

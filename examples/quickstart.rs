@@ -1,0 +1,38 @@
+//! Quickstart: Hyperion as an ordered key-value store.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use hyperion::HyperionMap;
+
+fn main() {
+    // The running example from the paper (Figure 1): a small English
+    // dictionary mapping words to frequencies.
+    let mut index = HyperionMap::new();
+    for (i, word) in ["a", "and", "be", "that", "the", "to"].iter().enumerate() {
+        index.put(word.as_bytes(), i as u64 + 1);
+    }
+
+    println!("the  -> {:?}", index.get(b"the"));
+    println!("th   -> {:?}", index.get(b"th"));
+
+    // Ordered range query via callback, exactly like the paper's API: the
+    // callback is invoked for every key >= the prefix until it returns false.
+    println!("keys starting at 't':");
+    index.range_from(b"t", &mut |key, value| {
+        println!("  {} = {value}", String::from_utf8_lossy(key));
+        true
+    });
+
+    // Structural statistics show where the memory efficiency comes from.
+    let analysis = index.analyze();
+    println!(
+        "containers: {}, T-nodes: {}, S-nodes: {}, delta-encoded: {}, footprint: {} bytes",
+        analysis.containers,
+        analysis.t_nodes,
+        analysis.s_nodes,
+        analysis.delta_encoded_nodes,
+        index.footprint_bytes()
+    );
+}

@@ -1,0 +1,51 @@
+//! A web-cache style workload: millions of small key/value pairs, looked up
+//! by session- and object-identifiers, as in the Redis / Memcached scale-out
+//! scenario that motivates Hyperion (paper Section 1).
+//!
+//! ```bash
+//! cargo run --release --example web_cache
+//! ```
+
+use hyperion::core::HyperionConfig;
+use hyperion::ConcurrentHyperion;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n_per_thread = 50_000u64;
+    let threads = 4;
+    // Shard the key space over 64 arenas, each its own lock + memory manager.
+    let store = Arc::new(ConcurrentHyperion::new(64, HyperionConfig::for_strings()));
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..n_per_thread {
+                    // user:<uid>:session:<sid> -> last-seen timestamp
+                    let key = format!("user:{:07}:session:{:04}", (t * n_per_thread + i) % 99_991, i % 16);
+                    store.put(key.as_bytes(), 1_700_000_000 + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "loaded {} cache entries from {threads} threads in {:.2?} ({:.2} Mops)",
+        store.len(),
+        elapsed,
+        store.len() as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    println!(
+        "logical footprint: {:.1} MiB ({:.1} bytes/entry)",
+        store.footprint_bytes() as f64 / (1024.0 * 1024.0),
+        store.footprint_bytes() as f64 / store.len() as f64
+    );
+
+    let probe = b"user:0012345:session:0003";
+    println!("lookup {:?} -> {:?}", String::from_utf8_lossy(probe), store.get(probe));
+}

@@ -1,0 +1,25 @@
+//! # hyperion
+//!
+//! Facade crate for the Hyperion reproduction.  It re-exports the Hyperion
+//! trie ([`hyperion_core`]), its custom memory manager ([`hyperion_mem`]),
+//! the baseline index structures used in the paper's evaluation
+//! ([`hyperion_baselines`]) and the workload generators
+//! ([`hyperion_workloads`]).
+//!
+//! ```
+//! use hyperion::HyperionMap;
+//!
+//! let mut map = HyperionMap::new();
+//! map.put(b"hello", 1);
+//! map.put(b"help", 2);
+//! assert_eq!(map.get(b"hello"), Some(1));
+//! assert_eq!(map.range_count(b"hel", b"hem"), 2);
+//! ```
+
+pub use hyperion_baselines as baselines;
+pub use hyperion_core as core;
+pub use hyperion_mem as mem;
+pub use hyperion_workloads as workloads;
+
+pub use hyperion_core::{ConcurrentHyperion, HyperionConfig, HyperionMap, KeyValueStore};
+pub use hyperion_mem::MemoryManager;

@@ -1,0 +1,137 @@
+//! Integration tests spanning the workspace: every index structure must agree
+//! with `BTreeMap` on identical workloads, and the ordered structures must
+//! produce identical range scans.
+
+use hyperion::baselines::{ArtTree, CritBitTree, HatTrie, JudyTrie, OpenHashMap, RedBlackTree};
+use hyperion::core::{HyperionConfig, KeyValueStore};
+use hyperion::workloads::{random_integer_keys, NgramCorpus, NgramCorpusConfig};
+use hyperion::HyperionMap;
+use std::collections::BTreeMap;
+
+fn all_stores() -> Vec<Box<dyn KeyValueStore>> {
+    vec![
+        Box::new(HyperionMap::with_config(HyperionConfig::for_strings())),
+        Box::new(HyperionMap::with_config(HyperionConfig::with_preprocessing())),
+        Box::new(ArtTree::new()),
+        Box::new(HatTrie::new()),
+        Box::new(JudyTrie::new()),
+        Box::new(CritBitTree::new()),
+        Box::new(RedBlackTree::new()),
+        Box::new(OpenHashMap::new()),
+    ]
+}
+
+#[test]
+fn every_store_agrees_with_btreemap_on_integers() {
+    let workload = random_integer_keys(20_000, 0x1234);
+    let mut reference = BTreeMap::new();
+    for (k, v) in workload.keys.iter().zip(&workload.values) {
+        reference.insert(k.clone(), *v);
+    }
+    for mut store in all_stores() {
+        for (k, v) in workload.keys.iter().zip(&workload.values) {
+            store.put(k, *v);
+        }
+        assert_eq!(store.len(), reference.len(), "{}", store.name());
+        for (k, v) in &reference {
+            assert_eq!(store.get(k), Some(*v), "{} lost a key", store.name());
+        }
+    }
+}
+
+#[test]
+fn every_store_agrees_with_btreemap_on_strings() {
+    let corpus = NgramCorpus::generate(&NgramCorpusConfig {
+        entries: 10_000,
+        ..Default::default()
+    });
+    let workload = corpus.workload.shuffled(0x42);
+    let mut reference = BTreeMap::new();
+    for (k, v) in workload.keys.iter().zip(&workload.values) {
+        reference.insert(k.clone(), *v);
+    }
+    for mut store in all_stores() {
+        // Skip the pre-processing variant: it is designed for fixed-width keys.
+        if store.name() == "hyperion_p" {
+            continue;
+        }
+        for (k, v) in workload.keys.iter().zip(&workload.values) {
+            store.put(k, *v);
+        }
+        for (k, v) in &reference {
+            assert_eq!(store.get(k), Some(*v), "{} lost a key", store.name());
+        }
+    }
+}
+
+#[test]
+fn ordered_stores_produce_identical_range_scans() {
+    let workload = random_integer_keys(5_000, 0x777);
+    let mut reference = BTreeMap::new();
+    for (k, v) in workload.keys.iter().zip(&workload.values) {
+        reference.insert(k.clone(), *v);
+    }
+    let expected: Vec<(Vec<u8>, u64)> = reference.into_iter().collect();
+    let ordered: Vec<Box<dyn KeyValueStore>> = vec![
+        Box::new(HyperionMap::with_config(HyperionConfig::for_integers())),
+        Box::new(ArtTree::new()),
+        Box::new(HatTrie::new()),
+        Box::new(JudyTrie::new()),
+        Box::new(CritBitTree::new()),
+        Box::new(RedBlackTree::new()),
+    ];
+    for mut store in ordered {
+        for (k, v) in workload.keys.iter().zip(&workload.values) {
+            store.put(k, *v);
+        }
+        let mut got = Vec::new();
+        store.range_for_each(&[], &mut |k, v| {
+            got.push((k.to_vec(), v));
+            true
+        });
+        assert_eq!(got, expected, "{} range scan differs", store.name());
+    }
+}
+
+#[test]
+fn deletions_are_consistent_across_stores() {
+    let workload = random_integer_keys(5_000, 0x99);
+    for mut store in all_stores() {
+        for (k, v) in workload.keys.iter().zip(&workload.values) {
+            store.put(k, *v);
+        }
+        for (i, k) in workload.keys.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(store.delete(k), "{} failed to delete", store.name());
+            }
+        }
+        for (i, (k, v)) in workload.keys.iter().zip(&workload.values).enumerate() {
+            let expected = if i % 3 == 0 { None } else { Some(*v) };
+            assert_eq!(store.get(k), expected, "{} delete inconsistency", store.name());
+        }
+    }
+}
+
+#[test]
+fn hyperion_is_more_memory_efficient_than_pointer_heavy_baselines() {
+    // The headline claim of the paper (Table 1): on string data Hyperion's
+    // footprint per key is well below ART's and the red-black tree's.
+    let corpus = NgramCorpus::generate(&NgramCorpusConfig {
+        entries: 20_000,
+        ..Default::default()
+    });
+    let workload = &corpus.workload;
+    let mut hyperion = HyperionMap::with_config(HyperionConfig::for_strings());
+    let mut art = ArtTree::new();
+    let mut rb = RedBlackTree::new();
+    for (k, v) in workload.keys.iter().zip(&workload.values) {
+        hyperion.put(k, *v);
+        art.put(k, *v);
+        rb.put(k, *v);
+    }
+    let h = hyperion.footprint_bytes() as f64 / workload.len() as f64;
+    let a = art.memory_footprint() as f64 / workload.len() as f64;
+    let r = rb.memory_footprint() as f64 / workload.len() as f64;
+    assert!(h < a, "hyperion {h:.1} B/key should beat ART {a:.1} B/key");
+    assert!(h < r / 2.0, "hyperion {h:.1} B/key should be far below RB-tree {r:.1} B/key");
+}

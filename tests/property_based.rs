@@ -1,0 +1,74 @@
+//! Property-based tests on the core data structures and invariants.
+
+use hyperion::core::keys::{postprocess_key, preprocess_key};
+use hyperion::HyperionMap;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random sequences of put/get/delete must behave exactly like BTreeMap.
+    #[test]
+    fn hyperion_matches_btreemap(ops in proptest::collection::vec(
+        (proptest::collection::vec(any::<u8>(), 0..24), any::<u64>(), any::<bool>()),
+        1..400,
+    )) {
+        let mut map = HyperionMap::new();
+        let mut reference: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for (key, value, delete) in &ops {
+            if *delete {
+                prop_assert_eq!(map.delete(key), reference.remove(key).is_some());
+            } else {
+                let expected_new = !reference.contains_key(key);
+                prop_assert_eq!(map.put(key, *value), expected_new);
+                reference.insert(key.clone(), *value);
+            }
+        }
+        prop_assert_eq!(map.len(), reference.len());
+        for (k, v) in &reference {
+            prop_assert_eq!(map.get(k), Some(*v));
+        }
+        let collected: Vec<(Vec<u8>, u64)> = map.to_vec();
+        let expected: Vec<(Vec<u8>, u64)> = reference.into_iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// The key pre-processor must be injective, invertible and order preserving.
+    #[test]
+    fn preprocessing_is_order_preserving(mut values in proptest::collection::vec(any::<u64>(), 2..200)) {
+        values.sort_unstable();
+        values.dedup();
+        let keys: Vec<Vec<u8>> = values.iter().map(|v| preprocess_key(&v.to_be_bytes())).collect();
+        for pair in keys.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+        for (v, k) in values.iter().zip(&keys) {
+            prop_assert_eq!(postprocess_key(k).unwrap(), v.to_be_bytes().to_vec());
+        }
+    }
+
+    /// Range queries return exactly the keys >= the start key, in order.
+    #[test]
+    fn range_from_matches_btreemap(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..12), 1..200),
+        start in proptest::collection::vec(any::<u8>(), 0..12),
+    ) {
+        let mut map = HyperionMap::new();
+        let mut reference = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            map.put(k, i as u64);
+            reference.insert(k.clone(), i as u64);
+        }
+        let mut got = Vec::new();
+        map.range_from(&start, &mut |k, v| {
+            got.push((k.to_vec(), v));
+            true
+        });
+        let expected: Vec<(Vec<u8>, u64)> = reference
+            .range(start.clone()..)
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}
