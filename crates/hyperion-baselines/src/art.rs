@@ -12,17 +12,14 @@
 //! Keys are terminated logically (a leaf stores the full key), so arbitrary
 //! byte strings including prefixes of each other are supported.
 
-use hyperion_core::KeyValueStore;
+use hyperion_core::{KvRead, KvWrite, OrderedRead};
 
 /// Maximum prefix bytes kept inline in an inner node header (pessimistic path
 /// compression as in the original publication).
 const MAX_PREFIX: usize = 10;
 
 enum Node {
-    Leaf {
-        key: Box<[u8]>,
-        value: u64,
-    },
+    Leaf { key: Box<[u8]>, value: u64 },
     Inner(Box<Inner>),
 }
 
@@ -36,24 +33,16 @@ struct Inner {
 
 enum Layout {
     /// Sorted keys + children, up to 4 entries.
-    Node4 {
-        keys: [u8; 4],
-        children: Vec<Node>,
-    },
+    Node4 { keys: [u8; 4], children: Vec<Node> },
     /// Sorted keys + children, up to 16 entries.
-    Node16 {
-        keys: [u8; 16],
-        children: Vec<Node>,
-    },
+    Node16 { keys: [u8; 16], children: Vec<Node> },
     /// 256-entry index into a dense child vector, up to 48 entries.
     Node48 {
         index: Box<[u8; 256]>,
         children: Vec<Node>,
     },
     /// Direct 256-entry child array.
-    Node256 {
-        children: Box<[Option<Node>; 256]>,
-    },
+    Node256 { children: Box<[Option<Node>; 256]> },
 }
 
 impl Layout {
@@ -179,8 +168,7 @@ impl Layout {
                 Layout::Node48 { index, children } => (index, children),
                 _ => unreachable!(),
             };
-            let mut array: Box<[Option<Node>; 256]> =
-                Box::new(std::array::from_fn(|_| None));
+            let mut array: Box<[Option<Node>; 256]> = Box::new(std::array::from_fn(|_| None));
             let mut children: Vec<Option<Node>> = children.into_iter().map(Some).collect();
             for byte in 0..256usize {
                 let slot = index[byte];
@@ -266,7 +254,7 @@ impl ArtTree {
         a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
     }
 
-    fn get_rec<'a>(node: &'a Node, key: &[u8]) -> Option<u64> {
+    fn get_rec(node: &Node, key: &[u8]) -> Option<u64> {
         match node {
             Node::Leaf { key: k, value } => {
                 if k.as_ref() == key {
@@ -283,7 +271,10 @@ impl ArtTree {
                 let rest = &key[inner.prefix_len..];
                 match rest.first() {
                     None => inner.terminal,
-                    Some(&b) => inner.layout.find(b).and_then(|c| Self::get_rec(c, &rest[1..])),
+                    Some(&b) => inner
+                        .layout
+                        .find(b)
+                        .and_then(|c| Self::get_rec(c, &rest[1..])),
                 }
             }
         }
@@ -307,7 +298,7 @@ impl ArtTree {
                     layout: Layout::new4(),
                 });
                 inner.prefix[..common].copy_from_slice(&key[..common]);
-                let mut attach = |k: Vec<u8>, v: u64, inner: &mut Inner| {
+                let attach = |k: Vec<u8>, v: u64, inner: &mut Inner| {
                     let rest = &k[common..];
                     match rest.first() {
                         None => inner.terminal = Some(v),
@@ -343,7 +334,9 @@ impl ArtTree {
                             value: 0,
                         },
                     );
-                    let Node::Inner(mut old_inner) = old else { unreachable!() };
+                    let Node::Inner(mut old_inner) = old else {
+                        unreachable!()
+                    };
                     let old_prefix = old_inner.prefix;
                     let split_byte = old_prefix[common];
                     let remaining = old_inner.prefix_len - common - 1;
@@ -450,7 +443,7 @@ impl ArtTree {
     }
 }
 
-impl KeyValueStore for ArtTree {
+impl KvWrite for ArtTree {
     fn put(&mut self, key: &[u8], value: u64) -> bool {
         match &mut self.root {
             None => {
@@ -469,10 +462,6 @@ impl KeyValueStore for ArtTree {
                 inserted
             }
         }
-    }
-
-    fn get(&self, key: &[u8]) -> Option<u64> {
-        self.root.as_ref().and_then(|r| Self::get_rec(r, key))
     }
 
     fn delete(&mut self, key: &[u8]) -> bool {
@@ -513,25 +502,32 @@ impl KeyValueStore for ArtTree {
         }
         removed
     }
+}
+
+impl KvRead for ArtTree {
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        self.root.as_ref().and_then(|r| Self::get_rec(r, key))
+    }
 
     fn len(&self) -> usize {
         self.len
     }
 
-    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
-        if let Some(root) = &self.root {
-            let mut prefix = Vec::new();
-            Self::walk(root, &mut prefix, start, f);
-        }
-    }
-
     fn memory_footprint(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.root.as_ref().map(Self::node_bytes).unwrap_or(0)
+        std::mem::size_of::<Self>() + self.root.as_ref().map(Self::node_bytes).unwrap_or(0)
     }
 
     fn name(&self) -> &'static str {
         "art"
+    }
+}
+
+impl OrderedRead for ArtTree {
+    fn for_each_from(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        if let Some(root) = &self.root {
+            let mut prefix = Vec::new();
+            Self::walk(root, &mut prefix, start, f);
+        }
     }
 }
 
@@ -589,7 +585,7 @@ mod tests {
         expected.sort();
         expected.dedup();
         let mut got = Vec::new();
-        art.range_for_each(&[], &mut |k, _| {
+        art.for_each_from(&[], &mut |k, _| {
             got.push(k.to_vec());
             true
         });

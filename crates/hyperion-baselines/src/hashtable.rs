@@ -3,9 +3,12 @@
 //!
 //! Hash tables give the best point-operation throughput but no ordered
 //! iteration and a large, pointer-free but padded footprint; the benchmark
-//! harness reproduces both effects.
+//! harness reproduces both effects.  Accordingly this is the one structure
+//! that implements [`KvRead`]/[`KvWrite`] but *not*
+//! [`hyperion_core::OrderedRead`] — the trait split makes the missing
+//! capability a compile-time fact instead of a runtime panic.
 
-use hyperion_core::KeyValueStore;
+use hyperion_core::{KvRead, KvWrite};
 
 const INITIAL_CAPACITY: usize = 1024;
 const MAX_LOAD_PERCENT: usize = 70;
@@ -90,7 +93,7 @@ impl OpenHashMap {
     }
 }
 
-impl KeyValueStore for OpenHashMap {
+impl KvWrite for OpenHashMap {
     fn put(&mut self, key: &[u8], value: u64) -> bool {
         self.maybe_grow();
         let (existing, insert_at) = self.probe(key);
@@ -116,14 +119,6 @@ impl KeyValueStore for OpenHashMap {
         }
     }
 
-    fn get(&self, key: &[u8]) -> Option<u64> {
-        let (existing, _) = self.probe(key);
-        existing.and_then(|idx| match &self.slots[idx] {
-            Slot::Occupied { value, .. } => Some(*value),
-            _ => None,
-        })
-    }
-
     fn delete(&mut self, key: &[u8]) -> bool {
         let (existing, _) = self.probe(key);
         match existing {
@@ -136,29 +131,19 @@ impl KeyValueStore for OpenHashMap {
             None => false,
         }
     }
+}
+
+impl KvRead for OpenHashMap {
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        let (existing, _) = self.probe(key);
+        existing.and_then(|idx| match &self.slots[idx] {
+            Slot::Occupied { value, .. } => Some(*value),
+            _ => None,
+        })
+    }
 
     fn len(&self) -> usize {
         self.len
-    }
-
-    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
-        // Hash tables have no order; to serve the interface the entries are
-        // collected and sorted, which mirrors how an application would have to
-        // emulate range queries on an unordered_map.
-        let mut entries: Vec<(&[u8], u64)> = self
-            .slots
-            .iter()
-            .filter_map(|s| match s {
-                Slot::Occupied { key, value } => Some((key.as_slice(), *value)),
-                _ => None,
-            })
-            .collect();
-        entries.sort();
-        for (k, v) in entries {
-            if k >= start && !f(k, v) {
-                return;
-            }
-        }
     }
 
     fn memory_footprint(&self) -> usize {
@@ -224,19 +209,18 @@ mod tests {
     }
 
     #[test]
-    fn sorted_range_for_each() {
-        let mut map = OpenHashMap::new();
+    fn works_as_unordered_trait_object() {
+        // The hash table is the one structure that is a `KvStore` but not an
+        // `OrderedKvStore`: point operations work through the trait object.
+        let mut store: Box<dyn hyperion_core::KvStore> = Box::new(OpenHashMap::new());
         for i in 0..500u64 {
-            map.put(format!("{:04}", 499 - i).as_bytes(), i);
+            store.put(format!("{:04}", 499 - i).as_bytes(), i);
         }
-        let mut last: Option<Vec<u8>> = None;
-        map.range_for_each(b"0100", &mut |k, _| {
-            if let Some(prev) = &last {
-                assert!(prev.as_slice() < k);
-            }
-            assert!(k >= b"0100".as_slice());
-            last = Some(k.to_vec());
-            true
-        });
+        assert_eq!(store.len(), 500);
+        assert_eq!(store.get(b"0499"), Some(0));
+        assert!(store.delete(b"0499"));
+        assert_eq!(store.get(b"0499"), None);
+        assert!(store.memory_footprint() > 0);
+        assert_eq!(store.name(), "hash");
     }
 }

@@ -8,7 +8,7 @@
 //! measures poor range-query performance for HAT — this implementation
 //! reproduces that behaviour faithfully.
 
-use hyperion_core::KeyValueStore;
+use hyperion_core::{KvRead, KvWrite, OrderedRead};
 
 /// Number of buckets in each array hash container.
 const BUCKETS: usize = 64;
@@ -238,17 +238,13 @@ impl HatTrie {
     }
 }
 
-impl KeyValueStore for HatTrie {
+impl KvWrite for HatTrie {
     fn put(&mut self, key: &[u8], value: u64) -> bool {
         let inserted = Self::put_rec(&mut self.root, key, value);
         if inserted {
             self.len += 1;
         }
         inserted
-    }
-
-    fn get(&self, key: &[u8]) -> Option<u64> {
-        Self::get_rec(&self.root, key)
     }
 
     fn delete(&mut self, key: &[u8]) -> bool {
@@ -258,14 +254,15 @@ impl KeyValueStore for HatTrie {
         }
         removed
     }
+}
+
+impl KvRead for HatTrie {
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        Self::get_rec(&self.root, key)
+    }
 
     fn len(&self) -> usize {
         self.len
-    }
-
-    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
-        let mut prefix = Vec::new();
-        Self::walk(&self.root, &mut prefix, start, f);
     }
 
     fn memory_footprint(&self) -> usize {
@@ -274,6 +271,13 @@ impl KeyValueStore for HatTrie {
 
     fn name(&self) -> &'static str {
         "hat"
+    }
+}
+
+impl OrderedRead for HatTrie {
+    fn for_each_from(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        let mut prefix = Vec::new();
+        Self::walk(&self.root, &mut prefix, start, f);
     }
 }
 
@@ -306,7 +310,7 @@ mod tests {
         expected.sort();
         expected.dedup();
         let mut got = Vec::new();
-        hat.range_for_each(&[], &mut |k, _| {
+        hat.for_each_from(&[], &mut |k, _| {
             got.push(k.to_vec());
             true
         });

@@ -9,7 +9,7 @@
 //! critical bit, leaves store the full key — which shares HOT's height
 //! characteristics on skewed data while being considerably simpler.
 
-use hyperion_core::KeyValueStore;
+use hyperion_core::{KvRead, KvWrite, OrderedRead};
 
 enum CbNode {
     Leaf {
@@ -70,7 +70,11 @@ impl CritBitTree {
                 // synthetic low bit when that byte is zero.
                 let longer = if a.len() > b.len() { a } else { b };
                 let nb = longer[i];
-                let mask = if nb == 0 { 0x01 } else { 0x80u8 >> nb.leading_zeros() };
+                let mask = if nb == 0 {
+                    0x01
+                } else {
+                    0x80u8 >> nb.leading_zeros()
+                };
                 return Some((i, mask));
             }
         }
@@ -114,7 +118,7 @@ impl CritBitTree {
     }
 }
 
-impl KeyValueStore for CritBitTree {
+impl KvWrite for CritBitTree {
     fn put(&mut self, key: &[u8], value: u64) -> bool {
         let Some(root) = &mut self.root else {
             self.root = Some(Box::new(CbNode::Leaf {
@@ -127,7 +131,9 @@ impl KeyValueStore for CritBitTree {
         // Find the best-matching leaf, then the critical bit.
         let (crit_byte, crit_mask, existing_equal) = {
             let leaf = Self::leaf_for(root, key);
-            let CbNode::Leaf { key: lk, .. } = leaf else { unreachable!() };
+            let CbNode::Leaf { key: lk, .. } = leaf else {
+                unreachable!()
+            };
             match Self::critical_bit(lk, key) {
                 None => (0, 0, true),
                 Some((b, m)) => (b, m, false),
@@ -172,11 +178,20 @@ impl KeyValueStore for CritBitTree {
                 break;
             }
             let CbNode::Inner {
-                byte, mask, left, right, ..
-            } = cursor.as_mut() else {
+                byte,
+                mask,
+                left,
+                right,
+                ..
+            } = cursor.as_mut()
+            else {
                 unreachable!()
             };
-            cursor = if bit_of(key, *byte, *mask) { right } else { left };
+            cursor = if bit_of(key, *byte, *mask) {
+                right
+            } else {
+                left
+            };
         }
         let old = std::mem::replace(
             cursor,
@@ -189,29 +204,24 @@ impl KeyValueStore for CritBitTree {
             key: key.to_vec(),
             value,
         });
-        let (left, right) = if new_bit { (old, new_leaf) } else { (new_leaf, old) };
-        *cursor = Box::new(CbNode::Inner {
+        let (left, right) = if new_bit {
+            (old, new_leaf)
+        } else {
+            (new_leaf, old)
+        };
+        **cursor = CbNode::Inner {
             byte: crit_byte,
             mask: crit_mask,
             left,
             right,
-        });
+        };
         self.len += 1;
         true
     }
 
-    fn get(&self, key: &[u8]) -> Option<u64> {
-        let root = self.root.as_ref()?;
-        let leaf = Self::leaf_for(root, key);
-        match leaf {
-            CbNode::Leaf { key: lk, value } if lk.as_slice() == key => Some(*value),
-            _ => None,
-        }
-    }
-
     fn delete(&mut self, key: &[u8]) -> bool {
-        fn remove(node: Box<CbNode>, key: &[u8], removed: &mut bool) -> Option<Box<CbNode>> {
-            match *node {
+        fn remove(node: CbNode, key: &[u8], removed: &mut bool) -> Option<Box<CbNode>> {
+            match node {
                 CbNode::Leaf { key: lk, value } => {
                     if lk.as_slice() == key {
                         *removed = true;
@@ -231,10 +241,14 @@ impl KeyValueStore for CritBitTree {
                     } else {
                         (left, right, false)
                     };
-                    match remove(next, key, removed) {
+                    match remove(*next, key, removed) {
                         None => Some(other),
                         Some(kept) => {
-                            let (left, right) = if went_right { (other, kept) } else { (kept, other) };
+                            let (left, right) = if went_right {
+                                (other, kept)
+                            } else {
+                                (kept, other)
+                            };
                             Some(Box::new(CbNode::Inner {
                                 byte,
                                 mask,
@@ -246,23 +260,30 @@ impl KeyValueStore for CritBitTree {
                 }
             }
         }
-        let Some(root) = self.root.take() else { return false };
+        let Some(root) = self.root.take() else {
+            return false;
+        };
         let mut removed = false;
-        self.root = remove(root, key, &mut removed);
+        self.root = remove(*root, key, &mut removed);
         if removed {
             self.len -= 1;
         }
         removed
     }
+}
+
+impl KvRead for CritBitTree {
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        let root = self.root.as_ref()?;
+        let leaf = Self::leaf_for(root, key);
+        match leaf {
+            CbNode::Leaf { key: lk, value } if lk.as_slice() == key => Some(*value),
+            _ => None,
+        }
+    }
 
     fn len(&self) -> usize {
         self.len
-    }
-
-    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
-        if let Some(root) = &self.root {
-            Self::walk(root, start, f);
-        }
     }
 
     fn memory_footprint(&self) -> usize {
@@ -271,6 +292,14 @@ impl KeyValueStore for CritBitTree {
 
     fn name(&self) -> &'static str {
         "hot-critbit"
+    }
+}
+
+impl OrderedRead for CritBitTree {
+    fn for_each_from(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        if let Some(root) = &self.root {
+            Self::walk(root, start, f);
+        }
     }
 }
 
@@ -316,7 +345,7 @@ mod tests {
         }
         let mut last: Option<Vec<u8>> = None;
         let mut count = 0;
-        cb.range_for_each(&[], &mut |k, _| {
+        cb.for_each_from(&[], &mut |k, _| {
             if let Some(prev) = &last {
                 assert!(prev.as_slice() < k, "crit-bit scan out of order");
             }

@@ -8,7 +8,7 @@
 //! plus JudySL-style handling of variable-length string keys (the remaining
 //! unique suffix is stored at the leaf).
 
-use hyperion_core::KeyValueStore;
+use hyperion_core::{KvRead, KvWrite, OrderedRead};
 
 /// Maximum children of a linear node before it becomes a bitmap node.
 const LINEAR_MAX: usize = 7;
@@ -55,8 +55,8 @@ impl Branch {
         let word = byte as usize / 64;
         let bit = byte as usize % 64;
         let mut rank = 0;
-        for w in 0..word {
-            rank += bitmap[w].count_ones() as usize;
+        for bits in bitmap.iter().take(word) {
+            rank += bits.count_ones() as usize;
         }
         rank + (bitmap[word] & ((1u64 << bit) - 1)).count_ones() as usize
     }
@@ -352,7 +352,7 @@ impl JudyTrie {
     }
 }
 
-impl KeyValueStore for JudyTrie {
+impl KvWrite for JudyTrie {
     fn put(&mut self, key: &[u8], value: u64) -> bool {
         match &mut self.root {
             None => {
@@ -371,10 +371,6 @@ impl KeyValueStore for JudyTrie {
                 inserted
             }
         }
-    }
-
-    fn get(&self, key: &[u8]) -> Option<u64> {
-        self.root.as_ref().and_then(|r| Self::get_rec(r, key))
     }
 
     fn delete(&mut self, key: &[u8]) -> bool {
@@ -418,16 +414,15 @@ impl KeyValueStore for JudyTrie {
         }
         removed
     }
+}
+
+impl KvRead for JudyTrie {
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        self.root.as_ref().and_then(|r| Self::get_rec(r, key))
+    }
 
     fn len(&self) -> usize {
         self.len
-    }
-
-    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
-        if let Some(root) = &self.root {
-            let mut prefix = Vec::new();
-            Self::walk(root, &mut prefix, start, f);
-        }
     }
 
     fn memory_footprint(&self) -> usize {
@@ -436,6 +431,15 @@ impl KeyValueStore for JudyTrie {
 
     fn name(&self) -> &'static str {
         "judy"
+    }
+}
+
+impl OrderedRead for JudyTrie {
+    fn for_each_from(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        if let Some(root) = &self.root {
+            let mut prefix = Vec::new();
+            Self::walk(root, &mut prefix, start, f);
+        }
     }
 }
 
@@ -480,7 +484,7 @@ mod tests {
         expected.sort();
         expected.dedup();
         let mut got = Vec::new();
-        judy.range_for_each(&[], &mut |k, _| {
+        judy.for_each_from(&[], &mut |k, _| {
             got.push(k.to_vec());
             true
         });

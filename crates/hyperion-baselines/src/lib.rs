@@ -16,8 +16,12 @@
 //! * [`hashtable`] — an open-addressing hash table (the paper's
 //!   `std::unordered_map` baseline).
 //!
-//! Every structure implements [`hyperion_core::KeyValueStore`], so the
-//! benchmark harness can drive all of them uniformly.
+//! Every structure implements the [`hyperion_core::KvRead`] /
+//! [`hyperion_core::KvWrite`] trait pair so the benchmark harness can drive
+//! all of them uniformly; the ordered structures additionally implement
+//! [`hyperion_core::OrderedRead`] (cursor-style seek + iteration).  The hash
+//! table is deliberately *not* `OrderedRead` — the paper's range-query
+//! experiment excludes it for exactly that reason.
 
 pub mod art;
 pub mod hashtable;
@@ -33,4 +37,4 @@ pub use hot::CritBitTree;
 pub use judy::JudyTrie;
 pub use rbtree::RedBlackTree;
 
-pub use hyperion_core::KeyValueStore;
+pub use hyperion_core::{KvRead, KvStore, KvWrite, OrderedKvStore, OrderedRead};

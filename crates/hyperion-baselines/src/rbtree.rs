@@ -7,7 +7,7 @@
 //! rebalancing (the paper's evaluation does not measure deletions, and
 //! lookups stay correct either way).
 
-use hyperion_core::KeyValueStore;
+use hyperion_core::{KvRead, KvWrite, OrderedRead};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Color {
@@ -43,7 +43,9 @@ pub struct RedBlackTree {
 }
 
 fn is_red(node: &Option<Box<RbNode>>) -> bool {
-    node.as_ref().map(|n| n.color == Color::Red).unwrap_or(false)
+    node.as_ref()
+        .map(|n| n.color == Color::Red)
+        .unwrap_or(false)
 }
 
 fn rotate_left(mut node: Box<RbNode>) -> Box<RbNode> {
@@ -83,7 +85,9 @@ fn insert(node: Option<Box<RbNode>>, key: &[u8], value: u64, inserted: &mut bool
         Some(n) => n,
     };
     match key.cmp(node.key.as_slice()) {
-        std::cmp::Ordering::Less => node.left = Some(insert(node.left.take(), key, value, inserted)),
+        std::cmp::Ordering::Less => {
+            node.left = Some(insert(node.left.take(), key, value, inserted))
+        }
         std::cmp::Ordering::Greater => {
             node.right = Some(insert(node.right.take(), key, value, inserted))
         }
@@ -151,7 +155,7 @@ impl RedBlackTree {
     }
 }
 
-impl KeyValueStore for RedBlackTree {
+impl KvWrite for RedBlackTree {
     fn put(&mut self, key: &[u8], value: u64) -> bool {
         let mut inserted = false;
         let mut root = insert(self.root.take(), key, value, &mut inserted);
@@ -163,20 +167,12 @@ impl KeyValueStore for RedBlackTree {
         inserted
     }
 
-    fn get(&self, key: &[u8]) -> Option<u64> {
-        let mut cur = self.root.as_deref();
-        while let Some(n) = cur {
-            match key.cmp(n.key.as_slice()) {
-                std::cmp::Ordering::Less => cur = n.left.as_deref(),
-                std::cmp::Ordering::Greater => cur = n.right.as_deref(),
-                std::cmp::Ordering::Equal => return Some(n.value),
-            }
-        }
-        None
-    }
-
     fn delete(&mut self, key: &[u8]) -> bool {
-        fn remove(node: Option<Box<RbNode>>, key: &[u8], removed: &mut bool) -> Option<Box<RbNode>> {
+        fn remove(
+            node: Option<Box<RbNode>>,
+            key: &[u8],
+            removed: &mut bool,
+        ) -> Option<Box<RbNode>> {
             let mut node = node?;
             match key.cmp(node.key.as_slice()) {
                 std::cmp::Ordering::Less => node.left = remove(node.left.take(), key, removed),
@@ -219,13 +215,23 @@ impl KeyValueStore for RedBlackTree {
         }
         removed
     }
+}
+
+impl KvRead for RedBlackTree {
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(n.key.as_slice()) {
+                std::cmp::Ordering::Less => cur = n.left.as_deref(),
+                std::cmp::Ordering::Greater => cur = n.right.as_deref(),
+                std::cmp::Ordering::Equal => return Some(n.value),
+            }
+        }
+        None
+    }
 
     fn len(&self) -> usize {
         self.len
-    }
-
-    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
-        Self::walk(&self.root, start, f);
     }
 
     fn memory_footprint(&self) -> usize {
@@ -234,6 +240,12 @@ impl KeyValueStore for RedBlackTree {
 
     fn name(&self) -> &'static str {
         "rb-tree"
+    }
+}
+
+impl OrderedRead for RedBlackTree {
+    fn for_each_from(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        Self::walk(&self.root, start, f);
     }
 }
 
@@ -251,7 +263,7 @@ mod tests {
             assert!(tree.get(&i.to_be_bytes()).is_some());
         }
         let mut last = None;
-        tree.range_for_each(&[], &mut |k, _| {
+        tree.for_each_from(&[], &mut |k, _| {
             if let Some(prev) = &last {
                 assert!(prev < &k.to_vec());
             }

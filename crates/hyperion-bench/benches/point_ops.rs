@@ -1,67 +1,67 @@
-//! Criterion micro-benchmarks: point operations (put / get) per structure,
-//! the building blocks behind Tables 1 and 2.
+//! Micro-benchmarks: point operations (put / get) per structure, the
+//! building blocks behind Tables 1 and 2.
+//!
+//! Uses the std-only harness in [`hyperion_bench::microbench`] (the build
+//! environment has no crates.io access, so criterion is unavailable; the
+//! bench target runs with `harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperion_bench::microbench::BenchGroup;
 use hyperion_bench::{make_store, INTEGER_STORES, STRING_STORES};
 use hyperion_workloads::{random_integer_keys, NgramCorpus, NgramCorpusConfig};
 use std::time::Duration;
 
 const N: usize = 5_000;
 
-fn bench_integer_ops(c: &mut Criterion) {
+fn bench_integer_ops() {
     let workload = random_integer_keys(N, 0xbe7c);
-    let mut group = c.benchmark_group("integer_point_ops");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let group = BenchGroup::new("integer_point_ops")
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(200));
     for name in INTEGER_STORES {
-        group.bench_with_input(BenchmarkId::new("put", name), name, |b, name| {
-            b.iter(|| {
-                let mut store = make_store(name);
-                for (k, v) in workload.keys.iter().zip(&workload.values) {
-                    store.put(k, *v);
-                }
-                store.len()
-            })
+        group.bench(&format!("put/{name}"), || {
+            let mut store = make_store(name);
+            for (k, v) in workload.keys.iter().zip(&workload.values) {
+                store.put(k, *v);
+            }
+            store.len()
         });
         let mut store = make_store(name);
         for (k, v) in workload.keys.iter().zip(&workload.values) {
             store.put(k, *v);
         }
-        group.bench_with_input(BenchmarkId::new("get", name), name, |b, _| {
-            b.iter(|| {
-                let mut hits = 0usize;
-                for k in &workload.keys {
-                    if store.get(k).is_some() {
-                        hits += 1;
-                    }
+        group.bench(&format!("get/{name}"), || {
+            let mut hits = 0usize;
+            for k in &workload.keys {
+                if store.get(k).is_some() {
+                    hits += 1;
                 }
-                hits
-            })
+            }
+            hits
         });
     }
-    group.finish();
 }
 
-fn bench_string_ops(c: &mut Criterion) {
+fn bench_string_ops() {
     let corpus = NgramCorpus::generate(&NgramCorpusConfig {
         entries: N,
         ..Default::default()
     });
     let workload = corpus.workload.shuffled(0xc0ffee);
-    let mut group = c.benchmark_group("string_point_ops");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let group = BenchGroup::new("string_point_ops")
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(200));
     for name in STRING_STORES {
-        group.bench_with_input(BenchmarkId::new("put", name), name, |b, name| {
-            b.iter(|| {
-                let mut store = make_store(name);
-                for (k, v) in workload.keys.iter().zip(&workload.values) {
-                    store.put(k, *v);
-                }
-                store.len()
-            })
+        group.bench(&format!("put/{name}"), || {
+            let mut store = make_store(name);
+            for (k, v) in workload.keys.iter().zip(&workload.values) {
+                store.put(k, *v);
+            }
+            store.len()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_integer_ops, bench_string_ops);
-criterion_main!(benches);
+fn main() {
+    bench_integer_ops();
+    bench_string_ops();
+}

@@ -1,25 +1,47 @@
-//! Criterion micro-benchmark: full-index ordered range scans (Table 3).
+//! Micro-benchmarks: ordered range scans through the cursor/iterator API
+//! (Table 3).  Uses the std-only harness in
+//! [`hyperion_bench::microbench`]; see `point_ops.rs` for the rationale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hyperion_bench::{make_store, measure_full_scan, ORDERED_STORES};
+use hyperion_bench::microbench::BenchGroup;
+use hyperion_bench::{make_ordered_store, measure_full_scan, ORDERED_STORES};
 use hyperion_workloads::random_integer_keys;
 use std::time::Duration;
 
-fn bench_range_scan(c: &mut Criterion) {
+fn bench_range_scan() {
     let workload = random_integer_keys(10_000, 0x5ca7);
-    let mut group = c.benchmark_group("full_range_scan");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let group = BenchGroup::new("full_range_scan")
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(200));
     for name in ORDERED_STORES {
-        let mut store = make_store(name);
+        let mut store = make_ordered_store(name);
         for (k, v) in workload.keys.iter().zip(&workload.values) {
             store.put(k, *v);
         }
-        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
-            b.iter(|| measure_full_scan(store.as_ref()).1)
-        });
+        group.bench(name, || measure_full_scan(store.as_ref()).1);
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_range_scan);
-criterion_main!(benches);
+fn bench_bounded_range() {
+    let workload = random_integer_keys(10_000, 0x5ca8);
+    let group = BenchGroup::new("bounded_range_scan")
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(200));
+    let low = u64::MAX / 4;
+    let high = u64::MAX / 2;
+    for name in ORDERED_STORES {
+        let mut store = make_ordered_store(name);
+        for (k, v) in workload.keys.iter().zip(&workload.values) {
+            store.put(k, *v);
+        }
+        group.bench(name, || {
+            store
+                .range_iter(&low.to_be_bytes(), &high.to_be_bytes())
+                .count()
+        });
+    }
+}
+
+fn main() {
+    bench_range_scan();
+    bench_bounded_range();
+}

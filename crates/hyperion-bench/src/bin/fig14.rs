@@ -56,5 +56,9 @@ fn main() {
     let ordered = &corpus.workload;
     let randomized = ordered.shuffled(0xf14);
     run("ordered string data set", &ordered.keys, &ordered.values);
-    run("randomized string data set", &randomized.keys, &randomized.values);
+    run(
+        "randomized string data set",
+        &randomized.keys,
+        &randomized.values,
+    );
 }

@@ -12,11 +12,20 @@ fn main() {
         ..Default::default()
     });
     let sequential = &corpus.workload;
-    println!("average key length: {:.2} bytes", sequential.average_key_len());
+    println!(
+        "average key length: {:.2} bytes",
+        sequential.average_key_len()
+    );
     let randomized = sequential.shuffled(0xbadc0de);
 
-    let seq: Vec<_> = STRING_STORES.iter().map(|s| measure_kpi(s, sequential)).collect();
+    let seq: Vec<_> = STRING_STORES
+        .iter()
+        .map(|s| measure_kpi(s, sequential))
+        .collect();
     print_kpi_table("sequential string keys", &seq);
-    let rnd: Vec<_> = STRING_STORES.iter().map(|s| measure_kpi(s, &randomized)).collect();
+    let rnd: Vec<_> = STRING_STORES
+        .iter()
+        .map(|s| measure_kpi(s, &randomized))
+        .collect();
     print_kpi_table("randomized string keys", &rnd);
 }

@@ -15,6 +15,9 @@ fn main() {
         .map(|s| measure_kpi(s, &sequential))
         .collect();
     print_kpi_table("sequential integer keys", &seq);
-    let rnd: Vec<_> = INTEGER_STORES.iter().map(|s| measure_kpi(s, &randomized)).collect();
+    let rnd: Vec<_> = INTEGER_STORES
+        .iter()
+        .map(|s| measure_kpi(s, &randomized))
+        .collect();
     print_kpi_table("randomized integer keys", &rnd);
 }

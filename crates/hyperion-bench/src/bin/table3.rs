@@ -1,8 +1,10 @@
 //! Table 3: duration of a full-index ordered range query for the integer and
 //! string data sets, in sequential and randomized insertion order.
 
-use hyperion_bench::{arg_keys, make_store, measure_full_scan, ORDERED_STORES};
-use hyperion_workloads::{random_integer_keys, sequential_integer_keys, NgramCorpus, NgramCorpusConfig};
+use hyperion_bench::{arg_keys, make_ordered_store, measure_full_scan, ORDERED_STORES};
+use hyperion_workloads::{
+    random_integer_keys, sequential_integer_keys, NgramCorpus, NgramCorpusConfig,
+};
 
 fn main() {
     let n = arg_keys(200_000);
@@ -26,7 +28,7 @@ fn main() {
             if *store_name == "hyperion_p" && !wname.starts_with("integer rand") {
                 continue; // the paper only evaluates Hyperion_p on random integers
             }
-            let mut store = make_store(store_name);
+            let mut store = make_ordered_store(store_name);
             for (k, v) in workload.keys.iter().zip(&workload.values) {
                 store.put(k, *v);
             }

@@ -19,24 +19,49 @@
 //! | `ablation` | Section 4.3/4.4 — effect of each Hyperion feature |
 
 use hyperion_baselines::{ArtTree, CritBitTree, HatTrie, JudyTrie, OpenHashMap, RedBlackTree};
-use hyperion_core::{HyperionConfig, HyperionMap, KeyValueStore};
+use hyperion_core::{HyperionConfig, HyperionMap, KvStore, OrderedKvStore};
 use hyperion_workloads::Workload;
 use std::time::Instant;
 
-/// Which structures to include in a run.
-pub fn make_store(name: &str) -> Box<dyn KeyValueStore> {
-    match name {
-        "hyperion" => Box::new(HyperionMap::with_config(HyperionConfig::for_strings())),
-        "hyperion-int" => Box::new(HyperionMap::with_config(HyperionConfig::for_integers())),
-        "hyperion_p" => Box::new(HyperionMap::with_config(HyperionConfig::with_preprocessing())),
-        "judy" => Box::new(JudyTrie::new()),
-        "hat" => Box::new(HatTrie::new()),
-        "art" => Box::new(ArtTree::new()),
-        "hot" => Box::new(CritBitTree::new()),
-        "rb-tree" => Box::new(RedBlackTree::new()),
+pub mod microbench;
+
+/// Expands the shared (name -> ordered structure) construction arms so that
+/// [`make_store`] and [`make_ordered_store`] cannot drift apart; only the
+/// trailing arms (hash table / panic message) differ per factory.
+macro_rules! ordered_store_arms {
+    ($name:expr, { $($extra_arm:tt)* }) => {
+        match $name {
+            "hyperion" => Box::new(HyperionMap::with_config(HyperionConfig::for_strings())),
+            "hyperion-int" => Box::new(HyperionMap::with_config(HyperionConfig::for_integers())),
+            "hyperion_p" => Box::new(HyperionMap::with_config(
+                HyperionConfig::with_preprocessing(),
+            )),
+            "judy" => Box::new(JudyTrie::new()),
+            "hat" => Box::new(HatTrie::new()),
+            "art" => Box::new(ArtTree::new()),
+            "hot" => Box::new(CritBitTree::new()),
+            "rb-tree" => Box::new(RedBlackTree::new()),
+            $($extra_arm)*
+        }
+    };
+}
+
+/// Which structures to include in a run (point operations only; the hash
+/// table is a [`KvStore`] but not an [`OrderedKvStore`]).
+pub fn make_store(name: &str) -> Box<dyn KvStore> {
+    ordered_store_arms!(name, {
         "hash" => Box::new(OpenHashMap::new()),
         other => panic!("unknown store {other}"),
-    }
+    })
+}
+
+/// The ordered structures as [`OrderedKvStore`] trait objects, for the
+/// range-scan experiments.  Panics for `"hash"`: the trait split makes the
+/// missing ordered capability a compile-time property.
+pub fn make_ordered_store(name: &str) -> Box<dyn OrderedKvStore> {
+    ordered_store_arms!(name, {
+        other => panic!("store {other} does not support ordered iteration"),
+    })
 }
 
 /// All structures compared in the string experiments (Table 1).
@@ -53,7 +78,15 @@ pub const INTEGER_STORES: &[&str] = &[
     "hash",
 ];
 /// The ordered structures compared in the range-query experiment (Table 3).
-pub const ORDERED_STORES: &[&str] = &["hyperion", "hyperion_p", "judy", "hat", "art", "hot", "rb-tree"];
+pub const ORDERED_STORES: &[&str] = &[
+    "hyperion",
+    "hyperion_p",
+    "judy",
+    "hat",
+    "art",
+    "hot",
+    "rb-tree",
+];
 
 /// Key performance indicators of one (store, workload) run, mirroring the
 /// columns of the paper's Tables 1 and 2.
@@ -90,7 +123,11 @@ pub fn measure_kpi(store_name: &str, workload: &Workload) -> Kpi {
         }
     }
     let get_secs = start.elapsed().as_secs_f64();
-    assert_eq!(hits, workload.len(), "{store_name} lost keys during the benchmark");
+    assert_eq!(
+        hits,
+        workload.len(),
+        "{store_name} lost keys during the benchmark"
+    );
     let memory = store.memory_footprint();
     let puts = n / put_secs / 1e6;
     let gets = n / get_secs / 1e6;
@@ -127,11 +164,15 @@ pub fn print_kpi_table(title: &str, kpis: &[Kpi]) {
 }
 
 /// Measures a full-index ordered range scan (Table 3); returns the duration in
-/// seconds and the number of keys visited.
-pub fn measure_full_scan(store: &dyn KeyValueStore) -> (f64, usize) {
+/// seconds and the number of keys visited.  Uses the allocation-free
+/// [`hyperion_core::OrderedRead::for_each_from`] walk so every structure does
+/// uniform work inside the timed region (the lazy `iter_from` would be free
+/// for Hyperion but a full materialisation for the baselines, biasing the
+/// comparison).
+pub fn measure_full_scan(store: &dyn OrderedKvStore) -> (f64, usize) {
     let start = Instant::now();
     let mut visited = 0usize;
-    store.range_for_each(&[], &mut |_, _| {
+    store.for_each_from(&[], &mut |_, _| {
         visited += 1;
         true
     });
@@ -186,12 +227,33 @@ mod tests {
     fn full_scan_visits_every_key() {
         let workload = sequential_integer_keys(3_000);
         for name in ORDERED_STORES {
-            let mut store = make_store(name);
+            let mut store = make_ordered_store(name);
             for (k, v) in workload.keys.iter().zip(&workload.values) {
                 store.put(k, *v);
             }
             let (_, visited) = measure_full_scan(store.as_ref());
             assert_eq!(visited, workload.len(), "store {name}");
+        }
+    }
+
+    #[test]
+    fn ordered_stores_serve_range_and_prefix_iterators() {
+        let workload = sequential_integer_keys(2_000);
+        let low = 500u64.to_be_bytes();
+        let high = 1_500u64.to_be_bytes();
+        for name in ORDERED_STORES {
+            let mut store = make_ordered_store(name);
+            for (k, v) in workload.keys.iter().zip(&workload.values) {
+                store.put(k, *v);
+            }
+            assert_eq!(store.range_count(&low, &high), 1_000, "store {name}");
+            // All 2 000 sequential keys share the leading zero byte.
+            assert_eq!(store.prefix_iter(&[0]).count(), 2_000, "store {name}");
+            assert_eq!(
+                store.seek_first(&low),
+                Some((low.to_vec(), 500)),
+                "store {name}"
+            );
         }
     }
 

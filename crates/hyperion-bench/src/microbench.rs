@@ -1,0 +1,105 @@
+//! A tiny std-only micro-benchmark harness.
+//!
+//! The benchmark container has no access to crates.io, so the `cargo bench`
+//! targets cannot depend on criterion.  This module provides the small subset
+//! the workspace needs — named benchmarks, warm-up, a minimum measurement
+//! time, and a median-of-samples report — over `std::time::Instant` only.
+//! The bench files keep criterion's group/benchmark structure so swapping the
+//! backend later is mechanical.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A group of related benchmarks, printed under a common heading.
+pub struct BenchGroup {
+    name: String,
+    measurement_time: Duration,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// Creates a group with the default settings (10 samples, >= 200 ms of
+    /// measurement per sample batch).
+    pub fn new(name: &str) -> BenchGroup {
+        println!("\n== bench group: {name} ==");
+        BenchGroup {
+            name: name.to_string(),
+            measurement_time: Duration::from_millis(200),
+            samples: 10,
+        }
+    }
+
+    /// Overrides the minimum measurement time per sample.
+    pub fn measurement_time(mut self, d: Duration) -> BenchGroup {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Overrides the number of samples taken per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> BenchGroup {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs `f` repeatedly and prints the median time per invocation.
+    ///
+    /// The return value of `f` is passed through [`black_box`] so the
+    /// computation cannot be optimised away.
+    pub fn bench<T>(&self, label: &str, mut f: impl FnMut() -> T) {
+        // Warm-up: one untimed invocation.
+        black_box(f());
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut iters = 0u64;
+            let start = Instant::now();
+            loop {
+                black_box(f());
+                iters += 1;
+                if start.elapsed() >= self.measurement_time {
+                    break;
+                }
+            }
+            per_iter.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter[per_iter.len() / 2];
+        let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+        println!(
+            "{}/{label:<28} {:>14} median  [{} .. {}]",
+            self.name,
+            format_duration(median),
+            format_duration(lo),
+            format_duration(hi)
+        );
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let group = BenchGroup::new("selftest")
+            .measurement_time(Duration::from_millis(1))
+            .sample_size(2);
+        let mut count = 0u64;
+        group.bench("increment", || {
+            count += 1;
+            count
+        });
+        assert!(count > 2, "benchmark body must have run");
+    }
+}

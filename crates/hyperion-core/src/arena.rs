@@ -7,8 +7,13 @@
 //! with different leading bytes proceed concurrently.
 
 use crate::config::HyperionConfig;
+use crate::iter::{prefix_upper_bound, Entries};
 use crate::trie::HyperionMap;
-use parking_lot::Mutex;
+use crate::{KvRead, KvWrite, OrderedRead};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::ops::{Bound, RangeBounds};
+use std::sync::{Mutex, MutexGuard};
 
 /// Maximum number of arenas (one per possible leading key byte).
 pub const MAX_ARENAS: usize = 256;
@@ -19,6 +24,14 @@ pub const MAX_ARENAS: usize = 256;
 /// `T_i -> A_{i mod j}`.
 pub struct ConcurrentHyperion {
     arenas: Vec<Mutex<HyperionMap>>,
+}
+
+/// Recovers the guard even if another thread panicked while holding the lock;
+/// the per-arena tries contain no invariants that span a poisoned section.
+fn lock(arena: &Mutex<HyperionMap>) -> MutexGuard<'_, HyperionMap> {
+    arena
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl ConcurrentHyperion {
@@ -45,22 +58,22 @@ impl ConcurrentHyperion {
 
     /// Inserts or updates a key.  Returns `true` if the key was new.
     pub fn put(&self, key: &[u8], value: u64) -> bool {
-        self.arena_for(key).lock().put(key, value)
+        lock(self.arena_for(key)).put(key, value)
     }
 
     /// Looks up a key.
     pub fn get(&self, key: &[u8]) -> Option<u64> {
-        self.arena_for(key).lock().get(key)
+        lock(self.arena_for(key)).get(key)
     }
 
     /// Removes a key.  Returns `true` if it was present.
     pub fn delete(&self, key: &[u8]) -> bool {
-        self.arena_for(key).lock().delete(key)
+        lock(self.arena_for(key)).delete(key)
     }
 
     /// Total number of keys across all arenas.
     pub fn len(&self) -> usize {
-        self.arenas.iter().map(|a| a.lock().len()).sum()
+        self.arenas.iter().map(|a| lock(a).len()).sum()
     }
 
     /// `true` if no arena stores any key.
@@ -70,52 +83,196 @@ impl ConcurrentHyperion {
 
     /// Total logical memory footprint across all arenas.
     pub fn footprint_bytes(&self) -> usize {
-        self.arenas.iter().map(|a| a.lock().footprint_bytes()).sum()
+        self.arenas.iter().map(|a| lock(a).footprint_bytes()).sum()
     }
 
-    /// Invokes `f` for every key/value pair in ascending key order across all
-    /// arenas.
-    ///
-    /// Note: keys are sharded by their first byte modulo the arena count, so a
-    /// global in-order scan must merge arenas; with 256 arenas each leading
-    /// byte maps to exactly one arena and the scan below is globally ordered.
-    /// With fewer arenas the per-arena scans are ordered but interleaved by
-    /// leading byte, matching the paper's per-trie ordering guarantee.
-    pub fn for_each<F: FnMut(&[u8], u64) -> bool>(&self, f: &mut F) -> bool {
-        if self.arenas.len() == MAX_ARENAS {
-            for a in &self.arenas {
-                if !a.lock().for_each(f) {
-                    return false;
-                }
-            }
-            return true;
-        }
-        // Merge: collect per-arena sorted vectors and merge them.
-        let per_arena: Vec<Vec<(Vec<u8>, u64)>> =
-            self.arenas.iter().map(|a| a.lock().to_vec()).collect();
-        let mut indices = vec![0usize; per_arena.len()];
-        loop {
-            let mut best: Option<usize> = None;
-            for (i, v) in per_arena.iter().enumerate() {
-                if indices[i] < v.len() {
-                    match best {
-                        None => best = Some(i),
-                        Some(b) => {
-                            if v[indices[i]].0 < per_arena[b][indices[b]].0 {
-                                best = Some(i);
-                            }
+    // =====================================================================
+    // ordered iteration
+    // =====================================================================
+
+    /// Takes a per-arena snapshot of the keys in `[start, end)` (each arena
+    /// locked once, briefly) and returns a lazy k-way merge over them.
+    fn snapshot(&self, start: &[u8], skip_equal: Option<&[u8]>, end: SnapshotEnd) -> MergedIter {
+        let mut sources = Vec::with_capacity(self.arenas.len());
+        for arena in &self.arenas {
+            let guard = lock(arena);
+            let mut cursor = guard.cursor();
+            cursor.seek(start);
+            let mut collected = Vec::new();
+            for (key, value) in cursor {
+                match &end {
+                    SnapshotEnd::Unbounded => {}
+                    SnapshotEnd::Excluded(e) => {
+                        if key.as_slice() >= e.as_slice() {
+                            break;
+                        }
+                    }
+                    SnapshotEnd::Included(e) => {
+                        if key.as_slice() > e.as_slice() {
+                            break;
                         }
                     }
                 }
+                if skip_equal == Some(key.as_slice()) {
+                    continue;
+                }
+                collected.push((key, value));
             }
-            let Some(i) = best else { break };
-            let (k, v) = &per_arena[i][indices[i]];
-            if !f(k, *v) {
+            sources.push(collected);
+        }
+        MergedIter::new(sources)
+    }
+
+    /// Ordered iteration over all key/value pairs across all arenas.
+    ///
+    /// The iterator operates on a point-in-time snapshot: each arena is locked
+    /// once while its (bounded) contents are collected, then the per-arena
+    /// runs are merged lazily, so no lock is held while the caller consumes
+    /// the iterator.
+    pub fn iter(&self) -> MergedIter {
+        self.snapshot(&[], None, SnapshotEnd::Unbounded)
+    }
+
+    /// Ordered iteration over the keys within `bounds` across all arenas
+    /// (snapshot semantics, see [`ConcurrentHyperion::iter`]).
+    pub fn range<K, R>(&self, bounds: R) -> MergedIter
+    where
+        K: AsRef<[u8]> + ?Sized,
+        R: RangeBounds<K>,
+    {
+        let (start, skip_equal) = match bounds.start_bound() {
+            Bound::Unbounded => (Vec::new(), None),
+            Bound::Included(s) => (s.as_ref().to_vec(), None),
+            Bound::Excluded(s) => (s.as_ref().to_vec(), Some(s.as_ref().to_vec())),
+        };
+        let end = match bounds.end_bound() {
+            Bound::Unbounded => SnapshotEnd::Unbounded,
+            Bound::Excluded(e) => SnapshotEnd::Excluded(e.as_ref().to_vec()),
+            Bound::Included(e) => SnapshotEnd::Included(e.as_ref().to_vec()),
+        };
+        self.snapshot(&start, skip_equal.as_deref(), end)
+    }
+
+    /// Ordered iteration over all keys starting with `prefix` across all
+    /// arenas (snapshot semantics, see [`ConcurrentHyperion::iter`]).
+    pub fn prefix(&self, prefix: &[u8]) -> MergedIter {
+        let end = match prefix_upper_bound(prefix) {
+            Some(end) => SnapshotEnd::Excluded(end),
+            None => SnapshotEnd::Unbounded,
+        };
+        self.snapshot(prefix, None, end)
+    }
+
+    /// Invokes `f` for every key/value pair in ascending key order across all
+    /// arenas, until `f` returns `false`.  Thin adapter over
+    /// [`ConcurrentHyperion::iter`].
+    pub fn for_each<F: FnMut(&[u8], u64) -> bool>(&self, f: &mut F) -> bool {
+        for (key, value) in self.iter() {
+            if !f(&key, value) {
                 return false;
             }
-            indices[i] += 1;
         }
         true
+    }
+}
+
+/// Upper bound of a [`ConcurrentHyperion`] snapshot.
+enum SnapshotEnd {
+    Unbounded,
+    Excluded(Vec<u8>),
+    Included(Vec<u8>),
+}
+
+/// Lazy k-way merge over per-arena sorted snapshots; yields globally ordered
+/// `(key, value)` pairs.  Returned by the [`ConcurrentHyperion`] iterators.
+pub struct MergedIter {
+    sources: Vec<std::vec::IntoIter<(Vec<u8>, u64)>>,
+    /// Min-heap of the current head of every non-empty source.  Keys are
+    /// unique across arenas (a key lives in exactly one arena), so `(key,
+    /// source)` ordering is total.
+    heap: BinaryHeap<Reverse<(Vec<u8>, usize, u64)>>,
+}
+
+impl MergedIter {
+    fn new(snapshots: Vec<Vec<(Vec<u8>, u64)>>) -> MergedIter {
+        let mut sources: Vec<_> = snapshots.into_iter().map(|v| v.into_iter()).collect();
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        for (idx, source) in sources.iter_mut().enumerate() {
+            if let Some((key, value)) = source.next() {
+                heap.push(Reverse((key, idx, value)));
+            }
+        }
+        MergedIter { sources, heap }
+    }
+}
+
+impl Iterator for MergedIter {
+    type Item = (Vec<u8>, u64);
+
+    fn next(&mut self) -> Option<(Vec<u8>, u64)> {
+        let Reverse((key, idx, value)) = self.heap.pop()?;
+        if let Some((next_key, next_value)) = self.sources[idx].next() {
+            self.heap.push(Reverse((next_key, idx, next_value)));
+        }
+        Some((key, value))
+    }
+}
+
+impl KvRead for ConcurrentHyperion {
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        ConcurrentHyperion::get(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentHyperion::len(self)
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.footprint_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "hyperion-arenas"
+    }
+}
+
+impl KvWrite for ConcurrentHyperion {
+    fn put(&mut self, key: &[u8], value: u64) -> bool {
+        ConcurrentHyperion::put(self, key, value)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> bool {
+        ConcurrentHyperion::delete(self, key)
+    }
+}
+
+impl OrderedRead for ConcurrentHyperion {
+    fn for_each_from(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        let mut cursor = self.snapshot(start, None, SnapshotEnd::Unbounded);
+        for (key, value) in &mut cursor {
+            if !f(&key, value) {
+                return;
+            }
+        }
+    }
+
+    fn iter_from(&self, start: &[u8]) -> Entries<'_> {
+        Entries::from_lazy(self.snapshot(start, None, SnapshotEnd::Unbounded))
+    }
+
+    /// Overrides the default with a bounded probe: each arena is asked for
+    /// its first key `>= start` (one cursor step under the lock), avoiding
+    /// the full snapshot the merged iterators take.
+    fn seek_first(&self, start: &[u8]) -> Option<(Vec<u8>, u64)> {
+        self.arenas
+            .iter()
+            .filter_map(|arena| {
+                let guard = lock(arena);
+                let mut cursor = guard.cursor();
+                cursor.seek(start);
+                cursor.next()
+            })
+            .min()
     }
 }
 
@@ -169,7 +326,10 @@ mod tests {
 
     #[test]
     fn arena_count_is_clamped() {
-        assert_eq!(ConcurrentHyperion::new(0, HyperionConfig::default()).arena_count(), 1);
+        assert_eq!(
+            ConcurrentHyperion::new(0, HyperionConfig::default()).arena_count(),
+            1
+        );
         assert_eq!(
             ConcurrentHyperion::new(10_000, HyperionConfig::default()).arena_count(),
             MAX_ARENAS
@@ -183,12 +343,29 @@ mod tests {
             store.put(format!("{:05}", i * 37 % 1000).as_bytes(), i);
         }
         let mut last: Option<Vec<u8>> = None;
-        store.for_each(&mut |k, _| {
+        for (k, _) in store.iter() {
             if let Some(prev) = &last {
-                assert!(prev.as_slice() < k, "iteration must be ordered");
+                assert!(prev.as_slice() < k.as_slice(), "iteration must be ordered");
             }
-            last = Some(k.to_vec());
-            true
-        });
+            last = Some(k);
+        }
+    }
+
+    #[test]
+    fn range_and_prefix_match_single_map() {
+        let store = ConcurrentHyperion::new(5, HyperionConfig::default());
+        let mut single = HyperionMap::new();
+        for i in 0..800u64 {
+            let key = format!("k{:04}", i * 13 % 2000).into_bytes();
+            store.put(&key, i);
+            single.put(&key, i);
+        }
+        let got: Vec<_> = store.range(&b"k0300"[..]..&b"k0600"[..]).collect();
+        let expected: Vec<_> = single.range(&b"k0300"[..]..&b"k0600"[..]).collect();
+        assert_eq!(got, expected);
+        let got: Vec<_> = store.prefix(b"k01").collect();
+        let expected: Vec<_> = single.prefix(b"k01").collect();
+        assert_eq!(got, expected);
+        assert_eq!(store.iter().count(), single.iter().count());
     }
 }

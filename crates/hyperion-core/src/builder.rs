@@ -144,10 +144,13 @@ impl<'a> StreamBuilder<'a> {
         }
         if children.len() == 1 && pc_fits(children[0].0.len()) {
             let (suffix, value) = &children[0];
-            return (ChildKind::PathCompressed, encode_pc_node(suffix, Some(*value)));
+            return (
+                ChildKind::PathCompressed,
+                encode_pc_node(suffix, Some(*value)),
+            );
         }
         let body = self.build_stream(None, children);
-        if body.len() + 1 <= self.config.embedded_max {
+        if body.len() < self.config.embedded_max {
             let mut bytes = Vec::with_capacity(body.len() + 1);
             bytes.push((body.len() + 1) as u8);
             bytes.extend_from_slice(&body);
@@ -207,8 +210,7 @@ mod tests {
         let s = parse_s_node(&bytes, t.header_end, None).unwrap();
         assert_eq!(s.key, b'h');
         assert_eq!(s.child, ChildKind::PathCompressed);
-        let (has_value, value, range) =
-            crate::node::parse_pc_node(&bytes, s.child_offset.unwrap());
+        let (has_value, value, range) = crate::node::parse_pc_node(&bytes, s.child_offset.unwrap());
         assert!(has_value);
         assert_eq!(value, 1);
         assert_eq!(&bytes[range], b"eorem");
@@ -238,7 +240,10 @@ mod tests {
         assert_eq!(s_e.key, b'e');
         let s_t = parse_s_node(&bytes, s_e.end, Some(s_e.key)).unwrap();
         assert_eq!(s_t.key, b't');
-        assert!(s_t.explicit_key, "delta 15 exceeds three bits, explicit key required");
+        assert!(
+            s_t.explicit_key,
+            "delta 15 exceeds three bits, explicit key required"
+        );
     }
 
     #[test]
@@ -261,7 +266,10 @@ mod tests {
         // container, so the builder must allocate a real child container.
         let mut entries: Vec<(Vec<u8>, u64)> = Vec::new();
         for i in 0..64u8 {
-            entries.push((format!("pp{:02}-rather-long-suffix", i).into_bytes(), i as u64));
+            entries.push((
+                format!("pp{:02}-rather-long-suffix", i).into_bytes(),
+                i as u64,
+            ));
         }
         entries.sort();
         let mut mm = MemoryManager::new();
@@ -274,7 +282,10 @@ mod tests {
         let s = parse_s_node(&bytes, t.header_end, None).unwrap();
         assert_eq!(s.child, ChildKind::Pointer);
         let stats = mm.stats();
-        assert!(stats.allocated_chunks() > 1, "a child container was allocated");
+        assert!(
+            stats.allocated_chunks() > 1,
+            "a child container was allocated"
+        );
     }
 
     #[test]

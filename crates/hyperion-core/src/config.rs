@@ -85,6 +85,13 @@ impl HyperionConfig {
     /// Configuration with key pre-processing enabled ("Hyperion_p" in the
     /// paper), intended for uniformly distributed keys such as random
     /// integers or cryptographic hashes.
+    ///
+    /// The zero-bit-injection transform is order-preserving only among keys
+    /// of uniform width (at least 4 bytes): keys shorter than 4 bytes pass
+    /// through untransformed, so mixing key widths under this configuration
+    /// yields unspecified ordering for cursors, iterators and range queries.
+    /// Use fixed-width keys (e.g. [`crate::keys::encode_u64`]) — point
+    /// lookups (`get`/`put`/`delete`) are unaffected either way.
     pub fn with_preprocessing() -> Self {
         HyperionConfig {
             eject_threshold: 8 * 1024,

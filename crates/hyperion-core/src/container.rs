@@ -167,7 +167,11 @@ impl ContainerRef {
 
     /// Updates the size field and the derived free field.
     pub fn set_size(&mut self, size: usize) {
-        debug_assert!(size <= self.capacity, "size {size} > capacity {}", self.capacity);
+        debug_assert!(
+            size <= self.capacity,
+            "size {size} > capacity {}",
+            self.capacity
+        );
         debug_assert!(size < (1 << 19), "container size field overflow");
         let header = (self.header() & !0x7ffff) | size as u32;
         self.set_header(header);
@@ -258,7 +262,10 @@ impl ContainerRef {
     /// the HP changed.
     pub fn insert_gap(&mut self, mm: &mut MemoryManager, at: usize, len: usize) -> bool {
         let size = self.size();
-        debug_assert!(at >= HEADER_SIZE && at <= size, "insert_gap at {at} size {size}");
+        debug_assert!(
+            at >= HEADER_SIZE && at <= size,
+            "insert_gap at {at} size {size}"
+        );
         let hp_changed = self.ensure_capacity(mm, size + len);
         let bytes = self.bytes_mut();
         bytes.copy_within(at..size, at + len);
@@ -394,9 +401,15 @@ mod tests {
         assert_eq!(c.size(), size_before + 30);
         assert_eq!(c.capacity(), 64);
         // Original bytes preserved around the gap.
-        assert!(c.bytes()[HEADER_SIZE..HEADER_SIZE + 10].iter().all(|&b| b == 0xAA));
-        assert!(c.bytes()[HEADER_SIZE + 10..HEADER_SIZE + 40].iter().all(|&b| b == 0));
-        assert!(c.bytes()[HEADER_SIZE + 40..HEADER_SIZE + 50].iter().all(|&b| b == 0xAA));
+        assert!(c.bytes()[HEADER_SIZE..HEADER_SIZE + 10]
+            .iter()
+            .all(|&b| b == 0xAA));
+        assert!(c.bytes()[HEADER_SIZE + 10..HEADER_SIZE + 40]
+            .iter()
+            .all(|&b| b == 0));
+        assert!(c.bytes()[HEADER_SIZE + 40..HEADER_SIZE + 50]
+            .iter()
+            .all(|&b| b == 0xAA));
     }
 
     #[test]
@@ -405,7 +418,9 @@ mod tests {
         let mut c = ContainerRef::create(&mut mm, &[0xBB; 24]);
         c.remove_range(HEADER_SIZE + 4, 8);
         assert_eq!(c.size(), HEADER_SIZE + 16);
-        assert!(c.bytes()[HEADER_SIZE..HEADER_SIZE + 16].iter().all(|&b| b == 0xBB));
+        assert!(c.bytes()[HEADER_SIZE..HEADER_SIZE + 16]
+            .iter()
+            .all(|&b| b == 0xBB));
         assert!(c.bytes()[HEADER_SIZE + 16..].iter().all(|&b| b == 0));
     }
 
@@ -449,7 +464,9 @@ mod tests {
         // Shrink back to no table.
         c.set_cjt_entries(&mut mm, &[]);
         assert_eq!(c.jt_groups(), 0);
-        assert!(c.bytes()[HEADER_SIZE..HEADER_SIZE + 10].iter().all(|&b| b == 7));
+        assert!(c.bytes()[HEADER_SIZE..HEADER_SIZE + 10]
+            .iter()
+            .all(|&b| b == 7));
     }
 
     #[test]
@@ -474,7 +491,10 @@ mod tests {
         let before_cap = c.capacity();
         c.insert_gap(&mut mm, HEADER_SIZE, 5000);
         assert!(c.capacity() > before_cap);
-        assert!(matches!(c.handle(), ContainerHandle::ChainSlot { index: 3, .. }));
+        assert!(matches!(
+            c.handle(),
+            ContainerHandle::ChainSlot { index: 3, .. }
+        ));
         // Re-open and verify persistence.
         let c2 = ContainerRef::open(&mm, ContainerHandle::ChainSlot { head, index: 3 });
         assert_eq!(c2.size(), HEADER_SIZE + 5050);

@@ -1,0 +1,800 @@
+//! Stateful cursors and lazy ordered iterators over the Hyperion trie.
+//!
+//! This module is the single traversal engine for every ordered read: the
+//! [`Cursor`] walks the container/node byte stream *incrementally* with an
+//! explicit frame stack, so keys are produced one at a time without ever
+//! materialising the key set.  Everything else — [`Iter`], [`Range`],
+//! [`Prefix`], the callback helpers (`range_from`, `for_each`) and the
+//! [`crate::OrderedRead`] trait plumbing — is a thin adapter over it.
+//!
+//! ```
+//! use hyperion_core::HyperionMap;
+//!
+//! let map: HyperionMap = [(b"that".to_vec(), 1), (b"the".to_vec(), 2), (b"to".to_vec(), 3)]
+//!     .into_iter()
+//!     .collect();
+//!
+//! // Lazy range scan: no Vec of keys is built behind the scenes.
+//! let hits: Vec<_> = map.range(&b"th"[..]..&b"ti"[..]).map(|(k, _)| k).collect();
+//! assert_eq!(hits, vec![b"that".to_vec(), b"the".to_vec()]);
+//!
+//! // Seek-and-step with an explicit cursor.
+//! let mut cur = map.cursor();
+//! cur.seek(b"the");
+//! assert_eq!(cur.next(), Some((b"the".to_vec(), 2)));
+//! assert_eq!(cur.next(), Some((b"to".to_vec(), 3)));
+//! assert_eq!(cur.next(), None);
+//! ```
+
+use crate::container::{ContainerHandle, ContainerRef};
+use crate::node::{is_invalid, is_t_node, parse_pc_node, parse_s_node, parse_t_node, ChildKind};
+use crate::scan::skip_t_children;
+use crate::trie::HyperionMap;
+use hyperion_mem::HyperionPointer;
+use std::ops::{Bound, RangeBounds};
+
+/// Computes the exclusive upper bound of the key range sharing `prefix`:
+/// the smallest byte string greater than every key starting with `prefix`.
+/// Returns `None` when no such bound exists (`prefix` is empty or all `0xff`).
+pub fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut end = prefix.to_vec();
+    while let Some(&last) = end.last() {
+        if last == 0xff {
+            end.pop();
+        } else {
+            *end.last_mut().unwrap() += 1;
+            return Some(end);
+        }
+    }
+    None
+}
+
+/// `true` if every key below the subtree identified by `prefix` is strictly
+/// smaller than `start` (prune condition for seeks).
+#[inline]
+fn subtree_before_start(prefix: &[u8], start: &[u8]) -> bool {
+    let l = prefix.len().min(start.len());
+    prefix[..l] < start[..l]
+}
+
+/// One suspended position inside the depth-first walk of the trie.
+///
+/// The stack discipline mirrors the byte-stream layout: a `Tops` frame walks
+/// the T records of one container region, pushing one `Subs` frame per
+/// T record; a `Subs` frame walks that T-node's S children, pushing child
+/// frames (embedded regions, standalone containers, chained bins or
+/// path-compressed emissions) on top of itself.  When a `Subs` frame is
+/// exhausted it has, as a side effect, discovered the offset of the next
+/// T sibling and writes it back into its parent `Tops` frame.
+enum Frame {
+    /// Iterate the valid slots of a chained extended bin in key order.
+    Chain {
+        head: HyperionPointer,
+        slots: Vec<usize>,
+        next: usize,
+        base: usize,
+    },
+    /// Walk the T records of the region `[pos, end)` of one container.
+    Tops {
+        handle: ContainerHandle,
+        pos: usize,
+        end: usize,
+        prev_key: Option<u8>,
+        base: usize,
+    },
+    /// Walk the S children of the current T record, starting at `pos`.
+    Subs {
+        handle: ContainerHandle,
+        pos: usize,
+        end: usize,
+        prev_key: Option<u8>,
+        base: usize,
+    },
+    /// A fully materialised pending emission (path-compressed suffix).
+    Emit { key: Vec<u8>, value: u64 },
+}
+
+/// A stateful cursor over a [`HyperionMap`].
+///
+/// The cursor walks the exact-fit container byte stream incrementally: each
+/// [`Cursor::next`] call parses just enough T/S records to reach the next
+/// key/value pair, in ascending key order.  [`Cursor::seek`] repositions the
+/// cursor at the first key `>= target`, pruning whole subtrees (and using
+/// jump successors to skip over their byte ranges) on the way down.
+///
+/// Keys handed out are in the *original* key space: when the map was built
+/// with key pre-processing, the cursor transforms the seek target and
+/// restores emitted keys transparently.  Pre-processing is order-preserving
+/// only for keys of uniform width (see
+/// [`crate::HyperionConfig::with_preprocessing`]); with mixed key widths the
+/// cursor's order follows the transformed byte stream, not the original keys.
+pub struct Cursor<'a> {
+    map: &'a HyperionMap,
+    stack: Vec<Frame>,
+    /// Current (transformed) key prefix along the active root-to-node path.
+    prefix: Vec<u8>,
+    /// Transformed seek bound; emission starts at the first key `>= start`.
+    start: Vec<u8>,
+    /// Set once the first in-bound key was emitted; disables bound checks.
+    started: bool,
+    /// The empty key is stored out-of-line and emitted before the root walk.
+    pending_empty: bool,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor positioned at the first key of the map.
+    pub fn new(map: &'a HyperionMap) -> Cursor<'a> {
+        let mut cursor = Cursor {
+            map,
+            stack: Vec::new(),
+            prefix: Vec::new(),
+            start: Vec::new(),
+            started: false,
+            pending_empty: false,
+        };
+        cursor.seek(&[]);
+        cursor
+    }
+
+    /// Repositions the cursor at the first key `>= target` (original key
+    /// space).  Seeking past the last key leaves the cursor exhausted.
+    pub fn seek(&mut self, target: &[u8]) {
+        self.start = self.map.transform_key(target).into_owned();
+        self.started = false;
+        self.prefix.clear();
+        self.stack.clear();
+        self.pending_empty = true;
+        if let Some(root) = self.map.root_pointer() {
+            self.push_pointer(root, 0);
+        }
+    }
+
+    /// Returns the next key/value pair in ascending order, or `None` when the
+    /// map is exhausted.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Vec<u8>, u64)> {
+        self.next_transformed()
+            .map(|(key, value)| (self.map.restore_key_bytes(&key), value))
+    }
+
+    /// `true` if `key` (transformed space) is within the seek bound; flips
+    /// `started` on the first hit so later comparisons are skipped.
+    #[inline]
+    fn passes(&mut self, key: &[u8]) -> bool {
+        if self.started {
+            return true;
+        }
+        if key >= self.start.as_slice() {
+            self.started = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pushes the frame(s) for the container(s) referenced by `hp`.
+    fn push_pointer(&mut self, hp: HyperionPointer, base: usize) {
+        let mm = self.map.memory_manager();
+        if hp.superbin() == 0 && mm.is_chained(hp) {
+            self.stack.push(Frame::Chain {
+                head: hp,
+                slots: mm.chained_valid_slots(hp),
+                next: 0,
+                base,
+            });
+        } else {
+            let handle = ContainerHandle::Standalone(hp);
+            let c = ContainerRef::open(mm, handle);
+            self.stack.push(Frame::Tops {
+                handle,
+                pos: c.stream_start(),
+                end: c.stream_end(),
+                prev_key: None,
+                base,
+            });
+        }
+    }
+
+    /// The traversal engine: advances the frame stack until the next
+    /// key/value pair (in transformed key space) is produced.
+    fn next_transformed(&mut self) -> Option<(Vec<u8>, u64)> {
+        if self.pending_empty {
+            self.pending_empty = false;
+            if let Some(v) = self.map.empty_key_value() {
+                if self.passes(&[]) {
+                    return Some((Vec::new(), v));
+                }
+            }
+        }
+        loop {
+            let frame = self.stack.pop()?;
+            match frame {
+                Frame::Emit { key, value } => {
+                    if self.passes(&key) {
+                        return Some((key, value));
+                    }
+                }
+                Frame::Chain {
+                    head,
+                    slots,
+                    mut next,
+                    base,
+                } => {
+                    self.prefix.truncate(base);
+                    if next >= slots.len() {
+                        continue;
+                    }
+                    let index = slots[next];
+                    next += 1;
+                    self.stack.push(Frame::Chain {
+                        head,
+                        slots,
+                        next,
+                        base,
+                    });
+                    let handle = ContainerHandle::ChainSlot { head, index };
+                    let c = ContainerRef::open(self.map.memory_manager(), handle);
+                    self.stack.push(Frame::Tops {
+                        handle,
+                        pos: c.stream_start(),
+                        end: c.stream_end(),
+                        prev_key: None,
+                        base,
+                    });
+                }
+                Frame::Tops {
+                    handle,
+                    mut pos,
+                    end,
+                    mut prev_key,
+                    base,
+                } => {
+                    self.prefix.truncate(base);
+                    let c = ContainerRef::open(self.map.memory_manager(), handle);
+                    let bytes = c.bytes();
+                    if pos >= end || is_invalid(bytes[pos]) {
+                        continue; // region exhausted: frame stays popped
+                    }
+                    let t = parse_t_node(bytes, pos, prev_key).expect("corrupt T record");
+                    prev_key = Some(t.key);
+                    self.prefix.push(t.key);
+                    if !self.started && subtree_before_start(&self.prefix, &self.start) {
+                        // The whole T subtree precedes the seek target: use the
+                        // jump successor (when present) to skip its byte range.
+                        pos = skip_t_children(&c, &t, end);
+                        self.stack.push(Frame::Tops {
+                            handle,
+                            pos,
+                            end,
+                            prev_key,
+                            base,
+                        });
+                        continue;
+                    }
+                    self.stack.push(Frame::Tops {
+                        handle,
+                        pos,
+                        end,
+                        prev_key,
+                        base,
+                    });
+                    // The Subs frame discovers the next T sibling offset and
+                    // writes it back into the Tops frame when it pops.
+                    self.stack.push(Frame::Subs {
+                        handle,
+                        pos: t.header_end,
+                        end,
+                        prev_key: None,
+                        base: base + 1,
+                    });
+                    if let Some(off) = t.value_offset {
+                        let value = c.read_u64(off);
+                        let key = self.prefix.clone();
+                        if self.passes(&key) {
+                            return Some((key, value));
+                        }
+                    }
+                }
+                Frame::Subs {
+                    handle,
+                    mut pos,
+                    end,
+                    mut prev_key,
+                    base,
+                } => {
+                    self.prefix.truncate(base);
+                    let c = ContainerRef::open(self.map.memory_manager(), handle);
+                    let bytes = c.bytes();
+                    if pos >= end || is_invalid(bytes[pos]) || is_t_node(bytes[pos]) {
+                        // All S children consumed: `pos` is the next T sibling.
+                        if let Some(Frame::Tops { pos: t_pos, .. }) = self.stack.last_mut() {
+                            *t_pos = pos;
+                        }
+                        continue;
+                    }
+                    let s = parse_s_node(bytes, pos, prev_key).expect("corrupt S record");
+                    pos = s.end;
+                    prev_key = Some(s.key);
+                    self.stack.push(Frame::Subs {
+                        handle,
+                        pos,
+                        end,
+                        prev_key,
+                        base,
+                    });
+                    self.prefix.push(s.key);
+                    if !self.started && subtree_before_start(&self.prefix, &self.start) {
+                        self.prefix.pop();
+                        continue;
+                    }
+                    // Push the child subtree first so it is visited *after* the
+                    // value stored at this node (shorter keys sort first).
+                    match s.child {
+                        ChildKind::None => {}
+                        ChildKind::PathCompressed => {
+                            let (has_value, pc_value, range) =
+                                parse_pc_node(bytes, s.child_offset.expect("pc child offset"));
+                            if has_value {
+                                let mut key = self.prefix.clone();
+                                key.extend_from_slice(&bytes[range]);
+                                self.stack.push(Frame::Emit {
+                                    key,
+                                    value: pc_value,
+                                });
+                            }
+                        }
+                        ChildKind::Embedded => {
+                            let child_off = s.child_offset.expect("embedded child offset");
+                            let size = bytes[child_off] as usize;
+                            self.stack.push(Frame::Tops {
+                                handle,
+                                pos: child_off + 1,
+                                end: child_off + size,
+                                prev_key: None,
+                                base: base + 1,
+                            });
+                        }
+                        ChildKind::Pointer => {
+                            let hp = c.read_hp(s.child_offset.expect("pointer child offset"));
+                            self.push_pointer(hp, base + 1);
+                        }
+                    }
+                    if let Some(off) = s.value_offset {
+                        let value = c.read_u64(off);
+                        let key = self.prefix.clone();
+                        if self.passes(&key) {
+                            return Some((key, value));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = (Vec<u8>, u64);
+
+    fn next(&mut self) -> Option<(Vec<u8>, u64)> {
+        Cursor::next(self)
+    }
+}
+
+impl std::fmt::Debug for Cursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cursor")
+            .field("depth", &self.stack.len())
+            .field("started", &self.started)
+            .finish()
+    }
+}
+
+/// Exclusive or inclusive upper bound of a [`Range`] (original key space).
+enum UpperBound {
+    Unbounded,
+    Excluded(Vec<u8>),
+    Included(Vec<u8>),
+}
+
+impl UpperBound {
+    #[inline]
+    fn admits(&self, key: &[u8]) -> bool {
+        match self {
+            UpperBound::Unbounded => true,
+            UpperBound::Excluded(end) => key < end.as_slice(),
+            UpperBound::Included(end) => key <= end.as_slice(),
+        }
+    }
+}
+
+/// Lazy iterator over all key/value pairs of a [`HyperionMap`] in ascending
+/// key order.  Created by [`HyperionMap::iter`].
+pub struct Iter<'a>(Cursor<'a>);
+
+impl Iterator for Iter<'_> {
+    type Item = (Vec<u8>, u64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(Vec<u8>, u64)> {
+        self.0.next()
+    }
+}
+
+/// Lazy iterator over a contiguous key range of a [`HyperionMap`].  Created
+/// by [`HyperionMap::range`].
+pub struct Range<'a> {
+    cursor: Cursor<'a>,
+    /// For an excluded start bound: skip the key equal to the bound (the
+    /// cursor always seeks to the first key `>=` a target).
+    skip_equal: Option<Vec<u8>>,
+    end: UpperBound,
+    done: bool,
+}
+
+impl Iterator for Range<'_> {
+    type Item = (Vec<u8>, u64);
+
+    fn next(&mut self) -> Option<(Vec<u8>, u64)> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let Some((key, value)) = self.cursor.next() else {
+                self.done = true;
+                return None;
+            };
+            if let Some(excluded) = self.skip_equal.take() {
+                if key == excluded {
+                    continue;
+                }
+            }
+            if !self.end.admits(&key) {
+                self.done = true;
+                return None;
+            }
+            return Some((key, value));
+        }
+    }
+}
+
+/// Lazy iterator over all keys sharing a prefix.  Created by
+/// [`HyperionMap::prefix`].
+pub struct Prefix<'a>(Range<'a>);
+
+impl Iterator for Prefix<'_> {
+    type Item = (Vec<u8>, u64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(Vec<u8>, u64)> {
+        self.0.next()
+    }
+}
+
+impl HyperionMap {
+    /// Returns a [`Cursor`] positioned at the first key.
+    pub fn cursor(&self) -> Cursor<'_> {
+        Cursor::new(self)
+    }
+
+    /// Lazily iterates over all key/value pairs in ascending key order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter(Cursor::new(self))
+    }
+
+    /// Lazily iterates over the keys within `bounds`, in ascending order.
+    ///
+    /// Accepts any [`RangeBounds`] over byte-string-like keys:
+    ///
+    /// ```
+    /// use hyperion_core::HyperionMap;
+    ///
+    /// let mut map = HyperionMap::new();
+    /// map.put(b"a", 1);
+    /// map.put(b"b", 2);
+    /// map.put(b"c", 3);
+    /// let keys: Vec<_> = map.range(&b"a"[..]..&b"c"[..]).map(|(k, _)| k).collect();
+    /// assert_eq!(keys, vec![b"a".to_vec(), b"b".to_vec()]);
+    /// assert_eq!(map.range(&b"b"[..]..).count(), 2);
+    /// ```
+    pub fn range<K, R>(&self, bounds: R) -> Range<'_>
+    where
+        K: AsRef<[u8]> + ?Sized,
+        R: RangeBounds<K>,
+    {
+        let mut cursor = Cursor::new(self);
+        let mut skip_equal = None;
+        match bounds.start_bound() {
+            Bound::Unbounded => {}
+            Bound::Included(start) => cursor.seek(start.as_ref()),
+            Bound::Excluded(start) => {
+                cursor.seek(start.as_ref());
+                skip_equal = Some(start.as_ref().to_vec());
+            }
+        }
+        let end = match bounds.end_bound() {
+            Bound::Unbounded => UpperBound::Unbounded,
+            Bound::Excluded(end) => UpperBound::Excluded(end.as_ref().to_vec()),
+            Bound::Included(end) => UpperBound::Included(end.as_ref().to_vec()),
+        };
+        Range {
+            cursor,
+            skip_equal,
+            end,
+            done: false,
+        }
+    }
+
+    /// Lazily iterates over all keys starting with `prefix`, in ascending
+    /// order.
+    ///
+    /// ```
+    /// use hyperion_core::HyperionMap;
+    ///
+    /// let mut map = HyperionMap::new();
+    /// map.put(b"the", 1);
+    /// map.put(b"that", 2);
+    /// map.put(b"to", 3);
+    /// let th: Vec<_> = map.prefix(b"th").map(|(k, _)| k).collect();
+    /// assert_eq!(th, vec![b"that".to_vec(), b"the".to_vec()]);
+    /// ```
+    pub fn prefix(&self, prefix: &[u8]) -> Prefix<'_> {
+        let mut cursor = Cursor::new(self);
+        cursor.seek(prefix);
+        let end = match prefix_upper_bound(prefix) {
+            Some(end) => UpperBound::Excluded(end),
+            None => UpperBound::Unbounded,
+        };
+        Prefix(Range {
+            cursor,
+            skip_equal: None,
+            end,
+            done: false,
+        })
+    }
+}
+
+/// A type-erased ordered iterator over `(key, value)` pairs, the return type
+/// of the [`crate::OrderedRead`] iterator methods.
+///
+/// Structures with a native cursor (Hyperion) return a lazy variant; the
+/// default trait implementation materialises via the callback walk, which is
+/// what the pointer-based baselines use.
+pub struct Entries<'a> {
+    inner: EntriesInner<'a>,
+    /// Optional exclusive upper bound in the original key space.
+    end: Option<Vec<u8>>,
+    done: bool,
+}
+
+enum EntriesInner<'a> {
+    /// An eagerly collected, sorted snapshot.
+    Sorted(std::vec::IntoIter<(Vec<u8>, u64)>),
+    /// A lazily advancing iterator (e.g. a Hyperion [`Cursor`]).
+    Lazy(Box<dyn Iterator<Item = (Vec<u8>, u64)> + 'a>),
+}
+
+impl<'a> Entries<'a> {
+    /// Wraps an eagerly collected vector of pairs (must be sorted by key).
+    pub fn from_sorted_vec(pairs: Vec<(Vec<u8>, u64)>) -> Entries<'a> {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0));
+        Entries {
+            inner: EntriesInner::Sorted(pairs.into_iter()),
+            end: None,
+            done: false,
+        }
+    }
+
+    /// Wraps a lazy iterator that yields pairs in ascending key order.
+    pub fn from_lazy<I>(iter: I) -> Entries<'a>
+    where
+        I: Iterator<Item = (Vec<u8>, u64)> + 'a,
+    {
+        Entries {
+            inner: EntriesInner::Lazy(Box::new(iter)),
+            end: None,
+            done: false,
+        }
+    }
+
+    /// Restricts the iterator to keys strictly below `end`, keeping the
+    /// tighter bound if one is already set.
+    pub fn below(mut self, end: Vec<u8>) -> Entries<'a> {
+        self.end = Some(match self.end.take() {
+            Some(existing) => existing.min(end),
+            None => end,
+        });
+        self
+    }
+}
+
+impl Iterator for Entries<'_> {
+    type Item = (Vec<u8>, u64);
+
+    fn next(&mut self) -> Option<(Vec<u8>, u64)> {
+        if self.done {
+            return None;
+        }
+        let next = match &mut self.inner {
+            EntriesInner::Sorted(it) => it.next(),
+            EntriesInner::Lazy(it) => it.next(),
+        };
+        match next {
+            Some((key, value)) => {
+                if let Some(end) = &self.end {
+                    if key.as_slice() >= end.as_slice() {
+                        self.done = true;
+                        return None;
+                    }
+                }
+                Some((key, value))
+            }
+            None => {
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_map(n: u64) -> (HyperionMap, BTreeMap<Vec<u8>, u64>) {
+        let mut map = HyperionMap::new();
+        let mut reference = BTreeMap::new();
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        for i in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Mix of short string keys and raw integer keys.
+            let key = if i % 3 == 0 {
+                format!("k{:06}", x % 100_000).into_bytes()
+            } else {
+                x.to_be_bytes().to_vec()
+            };
+            map.put(&key, i);
+            reference.insert(key, i);
+        }
+        (map, reference)
+    }
+
+    #[test]
+    fn cursor_yields_all_keys_in_order() {
+        let (map, reference) = sample_map(5_000);
+        let got: Vec<_> = map.iter().collect();
+        let expected: Vec<_> = reference.into_iter().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cursor_seek_matches_btreemap_range() {
+        let (map, reference) = sample_map(3_000);
+        for probe in [
+            &b""[..],
+            b"k0",
+            b"k05",
+            b"k099999",
+            b"zzz",
+            &[0x00],
+            &[0x80, 0x00],
+            &[0xff, 0xff, 0xff],
+        ] {
+            let mut cur = map.cursor();
+            cur.seek(probe);
+            let got: Vec<_> = (&mut cur).take(50).collect();
+            let expected: Vec<_> = reference
+                .range(probe.to_vec()..)
+                .take(50)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            assert_eq!(got, expected, "seek {probe:?}");
+        }
+    }
+
+    #[test]
+    fn seek_past_end_is_exhausted() {
+        let (map, _) = sample_map(500);
+        let mut cur = map.cursor();
+        cur.seek(&[0xff; 16]);
+        assert_eq!(cur.next(), None);
+        // A cursor can be re-seeked after exhaustion.
+        cur.seek(&[]);
+        assert!(cur.next().is_some());
+    }
+
+    #[test]
+    fn range_bounds_semantics() {
+        let mut map = HyperionMap::new();
+        for b in [b"a", b"b", b"c", b"d"] {
+            map.put(b, b[0] as u64);
+        }
+        let keys = |r: Range| r.map(|(k, _)| k).collect::<Vec<_>>();
+        assert_eq!(
+            keys(map.range(&b"b"[..]..&b"d"[..])),
+            vec![b"b".to_vec(), b"c".to_vec()]
+        );
+        assert_eq!(
+            keys(map.range(&b"b"[..]..=&b"d"[..])),
+            vec![b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
+        assert_eq!(keys(map.range(&b"b"[..]..&b"b"[..])), Vec::<Vec<u8>>::new());
+        assert_eq!(map.range::<[u8], _>(..).count(), 4);
+        use std::ops::Bound;
+        let after_b: Vec<_> = map
+            .range::<[u8], _>((Bound::Excluded(&b"b"[..]), Bound::Unbounded))
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(after_b, vec![b"c".to_vec(), b"d".to_vec()]);
+    }
+
+    #[test]
+    fn prefix_iteration_with_0xff_boundary() {
+        let mut map = HyperionMap::new();
+        map.put(&[0xff, 0x01], 1);
+        map.put(&[0xff, 0xff], 2);
+        map.put(&[0xff, 0xff, 0x00], 3);
+        map.put(&[0xfe], 4);
+        assert_eq!(map.prefix(&[0xff]).count(), 3);
+        assert_eq!(map.prefix(&[0xff, 0xff]).count(), 2);
+        assert_eq!(map.prefix(&[]).count(), 4);
+    }
+
+    #[test]
+    fn prefix_upper_bound_edge_cases() {
+        assert_eq!(prefix_upper_bound(b"abc"), Some(b"abd".to_vec()));
+        assert_eq!(prefix_upper_bound(&[0x01, 0xff]), Some(vec![0x02]));
+        assert_eq!(prefix_upper_bound(&[0xff, 0xff]), None);
+        assert_eq!(prefix_upper_bound(&[]), None);
+    }
+
+    #[test]
+    fn empty_key_is_iterated_first() {
+        let mut map = HyperionMap::new();
+        map.put(b"", 7);
+        map.put(b"a", 1);
+        let got: Vec<_> = map.iter().collect();
+        assert_eq!(got, vec![(Vec::new(), 7), (b"a".to_vec(), 1)]);
+        let mut cur = map.cursor();
+        cur.seek(b"a");
+        assert_eq!(cur.next(), Some((b"a".to_vec(), 1)));
+    }
+
+    #[test]
+    fn iteration_restores_preprocessed_keys() {
+        let mut map = HyperionMap::with_config(crate::HyperionConfig::with_preprocessing());
+        let mut reference = BTreeMap::new();
+        let mut x: u64 = 99;
+        for i in 0..2_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = x.to_be_bytes();
+            map.put(&key, i);
+            reference.insert(key.to_vec(), i);
+        }
+        let got: Vec<_> = map.iter().collect();
+        let expected: Vec<_> = reference.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(got, expected);
+        // Seek in original key space must also work under pre-processing.
+        let mid = expected[1000].0.clone();
+        let mut cur = map.cursor();
+        cur.seek(&mid);
+        assert_eq!(cur.next(), Some(expected[1000].clone()));
+    }
+
+    #[test]
+    fn lazy_iteration_stops_early_without_full_walk() {
+        let (map, reference) = sample_map(20_000);
+        // Taking 3 items from a lazy iterator must agree with the reference.
+        let got: Vec<_> = map.iter().take(3).collect();
+        let expected: Vec<_> = reference
+            .iter()
+            .take(3)
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        assert_eq!(got, expected);
+    }
+}

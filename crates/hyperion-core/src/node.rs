@@ -345,7 +345,7 @@ pub fn delta_for(prev_key: Option<u8>, key: u8, delta_enabled: bool) -> Option<u
     }
     let prev = prev_key?;
     let diff = key.wrapping_sub(prev);
-    if diff >= 1 && diff <= MAX_DELTA {
+    if (1..=MAX_DELTA).contains(&diff) {
         Some(diff)
     } else {
         None
@@ -458,7 +458,10 @@ mod tests {
     #[test]
     fn s_node_with_value_and_child() {
         // A key terminates here (with value) AND a longer key continues via HP.
-        let mut bytes = vec![make_s_flag(NodeType::LeafWithValue, 0, ChildKind::Pointer), b'k'];
+        let mut bytes = vec![
+            make_s_flag(NodeType::LeafWithValue, 0, ChildKind::Pointer),
+            b'k',
+        ];
         bytes.extend_from_slice(&99u64.to_le_bytes());
         bytes.extend_from_slice(&[9, 9, 9, 9, 9]);
         let s = parse_s_node(&bytes, 0, None).unwrap();

@@ -148,7 +148,9 @@ pub fn s_scan(c: &ContainerRef, t: &TNode, end: usize, target: u8) -> SScan {
     // no greater than 16*(slot+1); pick the greatest usable slot.
     if let Some(jt_off) = t.jt_offset {
         if target >= 16 {
-            let max_slot = ((target >> 4) as usize).saturating_sub(1).min(TNODE_JT_ENTRIES - 1);
+            let max_slot = ((target >> 4) as usize)
+                .saturating_sub(1)
+                .min(TNODE_JT_ENTRIES - 1);
             for slot in (0..=max_slot).rev() {
                 let v = c.read_u16(jt_off + slot * 2) as usize;
                 if v != 0 {

@@ -19,7 +19,7 @@ use crate::node::{
 };
 use crate::scan::{collect_s_records, collect_t_records, s_scan, skip_t_children, t_scan};
 use crate::stats::{TrieAnalysis, TrieCounters};
-use crate::KeyValueStore;
+use crate::{Entries, KvRead, KvWrite, OrderedRead};
 use hyperion_mem::{HyperionPointer, MemoryManager};
 use std::borrow::Cow;
 
@@ -46,7 +46,10 @@ enum StepResult {
 enum RegionGet {
     NotFound,
     Value(u64),
-    Descend { hp: HyperionPointer, consumed: usize },
+    Descend {
+        hp: HyperionPointer,
+        consumed: usize,
+    },
 }
 
 /// Location of the outermost embedded container on the current put path; used
@@ -135,6 +138,26 @@ impl HyperionMap {
         }
     }
 
+    /// The root pointer of the trie (crate-internal: cursor entry point).
+    pub(crate) fn root_pointer(&self) -> Option<HyperionPointer> {
+        self.root
+    }
+
+    /// The value stored under the empty key, if any (crate-internal).
+    pub(crate) fn empty_key_value(&self) -> Option<u64> {
+        self.empty_key_value
+    }
+
+    /// Applies the configured key pre-processing (crate-internal).
+    pub(crate) fn transform_key<'k>(&self, key: &'k [u8]) -> Cow<'k, [u8]> {
+        self.transform(key)
+    }
+
+    /// Undoes the configured key pre-processing (crate-internal).
+    pub(crate) fn restore_key_bytes(&self, key: &[u8]) -> Vec<u8> {
+        self.restore_key(key)
+    }
+
     fn resolve_handle(&self, hp: HyperionPointer, hint: u8) -> ContainerHandle {
         if hp.superbin() == 0 && self.mm.is_chained(hp) {
             let (index, _, _) = self
@@ -165,7 +188,10 @@ impl HyperionMap {
             match self.get_in_region(&c, c.stream_start(), c.stream_end(), rest) {
                 RegionGet::NotFound => return None,
                 RegionGet::Value(v) => return Some(v),
-                RegionGet::Descend { hp: child, consumed } => {
+                RegionGet::Descend {
+                    hp: child,
+                    consumed,
+                } => {
                     hp = child;
                     rest = &rest[consumed..];
                 }
@@ -274,7 +300,12 @@ impl HyperionMap {
         }
     }
 
-    fn put_into_pointer(&mut self, hp: HyperionPointer, key: &[u8], value: u64) -> (HyperionPointer, bool) {
+    fn put_into_pointer(
+        &mut self,
+        hp: HyperionPointer,
+        key: &[u8],
+        value: u64,
+    ) -> (HyperionPointer, bool) {
         let handle = self.resolve_handle(hp, key[0]);
         let mut c = ContainerRef::open(&self.mm, handle);
         let mut attempts = 0;
@@ -284,7 +315,10 @@ impl HyperionMap {
             let start = c.stream_start();
             let end = c.stream_end();
             match self.put_in_region(&mut c, start, end, &[], None, key, value) {
-                StepResult::Done { inserted, scanned_top } => break (inserted, scanned_top),
+                StepResult::Done {
+                    inserted,
+                    scanned_top,
+                } => break (inserted, scanned_top),
                 StepResult::Restart => continue,
             }
         };
@@ -318,7 +352,10 @@ impl HyperionMap {
         let is_top = embed_chain.is_empty();
         let ts = t_scan(c, region_start, region_end, key[0], is_top);
         let scanned_top = if is_top { ts.scanned } else { 0 };
-        let done = |inserted| StepResult::Done { inserted, scanned_top };
+        let done = |inserted| StepResult::Done {
+            inserted,
+            scanned_top,
+        };
 
         let Some(t) = ts.found else {
             // Insert a brand-new T record (plus everything below it).
@@ -334,7 +371,13 @@ impl HyperionMap {
             let at = ts.insert_at;
             c.bytes_mut()[at..at + stream.len()].copy_from_slice(&stream);
             if let Some(succ) = ts.successor {
-                self.fix_sibling_delta(c, embed_chain, succ.offset + stream.len(), succ.key, Some(key[0]));
+                self.fix_sibling_delta(
+                    c,
+                    embed_chain,
+                    succ.offset + stream.len(),
+                    succ.key,
+                    Some(key[0]),
+                );
             }
             return done(true);
         };
@@ -370,7 +413,13 @@ impl HyperionMap {
             let at = ss.insert_at;
             c.bytes_mut()[at..at + stream.len()].copy_from_slice(&stream);
             if let Some(succ) = ss.successor {
-                self.fix_sibling_delta(c, embed_chain, succ.offset + stream.len(), succ.key, Some(key[1]));
+                self.fix_sibling_delta(
+                    c,
+                    embed_chain,
+                    succ.offset + stream.len(),
+                    succ.key,
+                    Some(key[1]),
+                );
             }
             if is_top {
                 self.maintain_t_jumps(c, t.offset, ss.visited + 1);
@@ -479,9 +528,20 @@ impl HyperionMap {
                     b.encode_child(&entries)
                 };
                 if bytes.len() > total {
-                    self.grow_stream(c, embed_chain, child_off + total, bytes.len() - total, false);
+                    self.grow_stream(
+                        c,
+                        embed_chain,
+                        child_off + total,
+                        bytes.len() - total,
+                        false,
+                    );
                 } else if bytes.len() < total {
-                    self.shrink_stream(c, embed_chain, child_off + bytes.len(), total - bytes.len());
+                    self.shrink_stream(
+                        c,
+                        embed_chain,
+                        child_off + bytes.len(),
+                        total - bytes.len(),
+                    );
                 }
                 c.bytes_mut()[child_off..child_off + bytes.len()].copy_from_slice(&bytes);
                 self.set_child_kind(c, s.offset, kind);
@@ -615,7 +675,14 @@ impl HyperionMap {
         fixes
     }
 
-    fn apply_fixes(&self, c: &mut ContainerRef, fixes: &[Fix], at: usize, len: usize, is_insert: bool) {
+    fn apply_fixes(
+        &self,
+        c: &mut ContainerRef,
+        fixes: &[Fix],
+        at: usize,
+        len: usize,
+        is_insert: bool,
+    ) {
         let adjust = |pos: usize| -> usize {
             if is_insert {
                 if pos >= at {
@@ -687,7 +754,13 @@ impl HyperionMap {
         self.apply_fixes(c, &fixes, at, len, true);
     }
 
-    fn shrink_stream(&mut self, c: &mut ContainerRef, embed_chain: &[usize], at: usize, len: usize) {
+    fn shrink_stream(
+        &mut self,
+        c: &mut ContainerRef,
+        embed_chain: &[usize],
+        at: usize,
+        len: usize,
+    ) {
         let fixes = self.collect_fixes(c, at, len, false, false);
         c.remove_range(at, len);
         for &off in embed_chain {
@@ -946,7 +1019,11 @@ impl HyperionMap {
         removed
     }
 
-    fn delete_in_pointer(&mut self, hp: HyperionPointer, key: &[u8]) -> (HyperionPointer, bool, bool) {
+    fn delete_in_pointer(
+        &mut self,
+        hp: HyperionPointer,
+        key: &[u8],
+    ) -> (HyperionPointer, bool, bool) {
         let handle = self.resolve_handle(hp, key[0]);
         let mut c = ContainerRef::open(&self.mm, handle);
         let start = c.stream_start();
@@ -1039,7 +1116,14 @@ impl HyperionMap {
                     self.mm.free(new_hp);
                     self.shrink_stream(c, embed_chain, hp_pos, HP_SIZE);
                     self.set_child_kind(c, s.offset, ChildKind::None);
-                    self.cleanup_childless_s(c, embed_chain, &t, s.offset, ts.prev_key, ss.prev_key);
+                    self.cleanup_childless_s(
+                        c,
+                        embed_chain,
+                        &t,
+                        s.offset,
+                        ts.prev_key,
+                        ss.prev_key,
+                    );
                 } else if new_hp != child_hp {
                     c.write_hp(hp_pos, new_hp);
                 }
@@ -1050,15 +1134,27 @@ impl HyperionMap {
                 let emb_size = c.bytes()[child_off] as usize;
                 let mut chain = embed_chain.to_vec();
                 chain.push(child_off);
-                let removed =
-                    self.delete_in_region(c, child_off + 1, child_off + emb_size, &chain, remaining);
+                let removed = self.delete_in_region(
+                    c,
+                    child_off + 1,
+                    child_off + emb_size,
+                    &chain,
+                    remaining,
+                );
                 if !removed {
                     return false;
                 }
                 if c.bytes()[child_off] as usize <= 1 {
                     self.shrink_stream(c, embed_chain, child_off, c.bytes()[child_off] as usize);
                     self.set_child_kind(c, s.offset, ChildKind::None);
-                    self.cleanup_childless_s(c, embed_chain, &t, s.offset, ts.prev_key, ss.prev_key);
+                    self.cleanup_childless_s(
+                        c,
+                        embed_chain,
+                        &t,
+                        s.offset,
+                        ts.prev_key,
+                        ss.prev_key,
+                    );
                 }
                 true
             }
@@ -1157,24 +1253,26 @@ impl HyperionMap {
     // =====================================================================
     // ordered iteration / range queries
     // =====================================================================
+    //
+    // The traversal engine lives in `crate::iter`: a stateful cursor walks
+    // the container byte stream incrementally.  The lazy iterator entry
+    // points (`iter`, `range`, `prefix`, `cursor`) are defined next to it;
+    // the callback helpers below are thin adapters over the same cursor.
 
     /// Invokes `f(key, value)` for every key greater than or equal to `start`
     /// in ascending order, until `f` returns `false` (paper Section 3.1,
     /// "Operations").  Returns `false` if the callback stopped the scan.
+    ///
+    /// Thin adapter over [`HyperionMap::cursor`].
     pub fn range_from<F: FnMut(&[u8], u64) -> bool>(&self, start: &[u8], f: &mut F) -> bool {
-        let start = self.transform(start).into_owned();
-        if start.is_empty() {
-            if let Some(v) = self.empty_key_value {
-                if !f(&[], v) {
-                    return false;
-                }
+        let mut cursor = self.cursor();
+        cursor.seek(start);
+        while let Some((key, value)) = cursor.next() {
+            if !f(&key, value) {
+                return false;
             }
         }
-        let Some(root) = self.root else {
-            return true;
-        };
-        let mut prefix = Vec::new();
-        self.walk_pointer(root, &mut prefix, &start, f)
+        true
     }
 
     /// Invokes `f` for every key/value pair in ascending key order.
@@ -1184,134 +1282,12 @@ impl HyperionMap {
 
     /// Counts the keys in `[low, high)`.
     pub fn range_count(&self, low: &[u8], high: &[u8]) -> usize {
-        let mut count = 0usize;
-        let high = high.to_vec();
-        self.range_from(low, &mut |k, _| {
-            if k < high.as_slice() {
-                count += 1;
-                true
-            } else {
-                false
-            }
-        });
-        count
+        self.range(low..high).count()
     }
 
     /// Collects all key/value pairs (mostly useful in tests).
     pub fn to_vec(&self) -> Vec<(Vec<u8>, u64)> {
-        let mut out = Vec::with_capacity(self.len);
-        self.for_each(&mut |k, v| {
-            out.push((k.to_vec(), v));
-            true
-        });
-        out
-    }
-
-    fn subtree_before_start(prefix: &[u8], start: &[u8]) -> bool {
-        let l = prefix.len().min(start.len());
-        match prefix[..l].cmp(&start[..l]) {
-            std::cmp::Ordering::Less => true,
-            std::cmp::Ordering::Greater => false,
-            std::cmp::Ordering::Equal => false,
-        }
-    }
-
-    fn emit<F: FnMut(&[u8], u64) -> bool>(&self, key: &[u8], value: u64, start: &[u8], f: &mut F) -> bool {
-        if key >= start {
-            let restored = self.restore_key(key);
-            return f(&restored, value);
-        }
-        true
-    }
-
-    fn walk_pointer<F: FnMut(&[u8], u64) -> bool>(
-        &self,
-        hp: HyperionPointer,
-        prefix: &mut Vec<u8>,
-        start: &[u8],
-        f: &mut F,
-    ) -> bool {
-        if hp.superbin() == 0 && self.mm.is_chained(hp) {
-            for index in self.mm.chained_valid_slots(hp) {
-                let c = ContainerRef::open(&self.mm, ContainerHandle::ChainSlot { head: hp, index });
-                if !self.walk_region(&c, c.stream_start(), c.stream_end(), prefix, start, f) {
-                    return false;
-                }
-            }
-            true
-        } else {
-            let c = ContainerRef::open(&self.mm, ContainerHandle::Standalone(hp));
-            self.walk_region(&c, c.stream_start(), c.stream_end(), prefix, start, f)
-        }
-    }
-
-    fn walk_region<F: FnMut(&[u8], u64) -> bool>(
-        &self,
-        c: &ContainerRef,
-        region_start: usize,
-        region_end: usize,
-        prefix: &mut Vec<u8>,
-        start: &[u8],
-        f: &mut F,
-    ) -> bool {
-        for t in collect_t_records(c, region_start, region_end) {
-            prefix.push(t.key);
-            if Self::subtree_before_start(prefix, start) {
-                prefix.pop();
-                continue;
-            }
-            if let Some(off) = t.value_offset {
-                if !self.emit(prefix, c.read_u64(off), start, f) {
-                    prefix.pop();
-                    return false;
-                }
-            }
-            for s in collect_s_records(c, &t, region_end) {
-                prefix.push(s.key);
-                if Self::subtree_before_start(prefix, start) {
-                    prefix.pop();
-                    continue;
-                }
-                if let Some(off) = s.value_offset {
-                    if !self.emit(prefix, c.read_u64(off), start, f) {
-                        prefix.pop();
-                        prefix.pop();
-                        return false;
-                    }
-                }
-                let keep_going = match s.child {
-                    ChildKind::None => true,
-                    ChildKind::PathCompressed => {
-                        let (has_value, value, range) = parse_pc_node(c.bytes(), s.child_offset.unwrap());
-                        if has_value {
-                            let depth = prefix.len();
-                            prefix.extend_from_slice(&c.bytes()[range]);
-                            let ok = self.emit(prefix, value, start, f);
-                            prefix.truncate(depth);
-                            ok
-                        } else {
-                            true
-                        }
-                    }
-                    ChildKind::Embedded => {
-                        let child_off = s.child_offset.unwrap();
-                        let size = c.bytes()[child_off] as usize;
-                        self.walk_region(c, child_off + 1, child_off + size, prefix, start, f)
-                    }
-                    ChildKind::Pointer => {
-                        let hp = c.read_hp(s.child_offset.unwrap());
-                        self.walk_pointer(hp, prefix, start, f)
-                    }
-                };
-                prefix.pop();
-                if !keep_going {
-                    prefix.pop();
-                    return false;
-                }
-            }
-            prefix.pop();
-        }
-        true
+        self.iter().collect()
     }
 
     // =====================================================================
@@ -1335,7 +1311,8 @@ impl HyperionMap {
         if hp.superbin() == 0 && self.mm.is_chained(hp) {
             a.chained_groups += 1;
             for index in self.mm.chained_valid_slots(hp) {
-                let c = ContainerRef::open(&self.mm, ContainerHandle::ChainSlot { head: hp, index });
+                let c =
+                    ContainerRef::open(&self.mm, ContainerHandle::ChainSlot { head: hp, index });
                 a.containers += 1;
                 a.container_used_bytes += c.size() as u64;
                 a.container_capacity_bytes += c.capacity() as u64;
@@ -1376,7 +1353,8 @@ impl HyperionMap {
                 match s.child {
                     ChildKind::None => {}
                     ChildKind::PathCompressed => {
-                        let (has_value, _, range) = parse_pc_node(c.bytes(), s.child_offset.unwrap());
+                        let (has_value, _, range) =
+                            parse_pc_node(c.bytes(), s.child_offset.unwrap());
                         a.pc_nodes += 1;
                         a.pc_suffix_bytes += range.len() as u64;
                         if has_value {
@@ -1404,26 +1382,13 @@ impl Default for HyperionMap {
     }
 }
 
-impl KeyValueStore for HyperionMap {
-    fn put(&mut self, key: &[u8], value: u64) -> bool {
-        HyperionMap::put(self, key, value)
-    }
-
+impl KvRead for HyperionMap {
     fn get(&self, key: &[u8]) -> Option<u64> {
         HyperionMap::get(self, key)
     }
 
-    fn delete(&mut self, key: &[u8]) -> bool {
-        HyperionMap::delete(self, key)
-    }
-
     fn len(&self) -> usize {
         self.len
-    }
-
-    fn range_for_each(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
-        let mut wrapper = |k: &[u8], v: u64| f(k, v);
-        self.range_from(start, &mut wrapper);
     }
 
     fn memory_footprint(&self) -> usize {
@@ -1436,6 +1401,149 @@ impl KeyValueStore for HyperionMap {
         } else {
             "hyperion"
         }
+    }
+}
+
+impl KvWrite for HyperionMap {
+    fn put(&mut self, key: &[u8], value: u64) -> bool {
+        HyperionMap::put(self, key, value)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> bool {
+        HyperionMap::delete(self, key)
+    }
+}
+
+impl OrderedRead for HyperionMap {
+    fn for_each_from(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        let mut wrapper = |k: &[u8], v: u64| f(k, v);
+        self.range_from(start, &mut wrapper);
+    }
+
+    /// Overrides the eager default with the native lazy cursor.
+    fn iter_from(&self, start: &[u8]) -> Entries<'_> {
+        let mut cursor = self.cursor();
+        cursor.seek(start);
+        Entries::from_lazy(cursor)
+    }
+
+    /// Overrides the bounded default with the native lazy cursor.
+    fn range_iter(&self, start: &[u8], end: &[u8]) -> Entries<'_> {
+        self.iter_from(start).below(end.to_vec())
+    }
+}
+
+impl std::fmt::Debug for HyperionMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl Extend<(Vec<u8>, u64)> for HyperionMap {
+    fn extend<I: IntoIterator<Item = (Vec<u8>, u64)>>(&mut self, iter: I) {
+        for (key, value) in iter {
+            self.put(&key, value);
+        }
+    }
+}
+
+impl<'k> Extend<(&'k [u8], u64)> for HyperionMap {
+    fn extend<I: IntoIterator<Item = (&'k [u8], u64)>>(&mut self, iter: I) {
+        for (key, value) in iter {
+            self.put(key, value);
+        }
+    }
+}
+
+impl FromIterator<(Vec<u8>, u64)> for HyperionMap {
+    fn from_iter<I: IntoIterator<Item = (Vec<u8>, u64)>>(iter: I) -> Self {
+        let mut map = HyperionMap::new();
+        map.extend(iter);
+        map
+    }
+}
+
+impl<'k> FromIterator<(&'k [u8], u64)> for HyperionMap {
+    fn from_iter<I: IntoIterator<Item = (&'k [u8], u64)>>(iter: I) -> Self {
+        let mut map = HyperionMap::new();
+        map.extend(iter);
+        map
+    }
+}
+
+impl<'a> IntoIterator for &'a HyperionMap {
+    type Item = (Vec<u8>, u64);
+    type IntoIter = crate::iter::Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for HyperionMap {
+    type Item = (Vec<u8>, u64);
+    type IntoIter = std::vec::IntoIter<(Vec<u8>, u64)>;
+
+    /// Consumes the map.  The containers are drained into a sorted `Vec`
+    /// first; the underlying arena memory is released with the map.
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl HyperionMap {
+    /// Test-only consistency check: verifies that every jump-successor offset
+    /// points exactly at the next T sibling (or the end of the used region).
+    /// Returns a description of the first violation found.
+    #[doc(hidden)]
+    pub fn validate_jump_offsets(&self) -> Result<(), String> {
+        let Some(root) = self.root else { return Ok(()) };
+        let mut pending = vec![root];
+        while let Some(hp) = pending.pop() {
+            let handles: Vec<ContainerHandle> = if hp.superbin() == 0 && self.mm.is_chained(hp) {
+                self.mm
+                    .chained_valid_slots(hp)
+                    .into_iter()
+                    .map(|index| ContainerHandle::ChainSlot { head: hp, index })
+                    .collect()
+            } else {
+                vec![ContainerHandle::Standalone(hp)]
+            };
+            for handle in handles {
+                let c = ContainerRef::open(&self.mm, handle);
+                let end = c.stream_end();
+                let records = collect_t_records(&c, c.stream_start(), end);
+                for t in &records {
+                    if let Some(js_off) = t.js_offset {
+                        let v = c.read_u16(js_off) as usize;
+                        if v != 0 {
+                            // Re-derive the true next sibling by record walking.
+                            let mut p = t.header_end;
+                            let bytes = c.bytes();
+                            while p < end && !is_invalid(bytes[p]) && !is_t_node(bytes[p]) {
+                                let s = parse_s_node(bytes, p, None).unwrap();
+                                p = s.end;
+                            }
+                            if t.offset + v != p {
+                                return Err(format!(
+                                    "{handle:?}: T at {} key {} js target {} but true next {}",
+                                    t.offset,
+                                    t.key,
+                                    t.offset + v,
+                                    p
+                                ));
+                            }
+                        }
+                    }
+                    for s in collect_s_records(&c, t, end) {
+                        if s.child == ChildKind::Pointer {
+                            pending.push(c.read_hp(s.child_offset.unwrap()));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1599,7 +1707,10 @@ mod tests {
         }
         let analysis = map.analyze();
         assert!(analysis.containers >= 1);
-        assert!(analysis.delta_encoded_nodes > 0, "sequential keys must delta-encode");
+        assert!(
+            analysis.delta_encoded_nodes > 0,
+            "sequential keys must delta-encode"
+        );
         assert_eq!(map.len(), 50_000);
     }
 
@@ -1613,61 +1724,5 @@ mod tests {
         assert_eq!(a.values, 2000);
         assert!(a.t_nodes > 0 && a.s_nodes > 0);
         assert!(a.container_used_bytes <= a.container_capacity_bytes);
-    }
-}
-
-impl HyperionMap {
-    /// Test-only consistency check: verifies that every jump-successor offset
-    /// points exactly at the next T sibling (or the end of the used region).
-    /// Returns a description of the first violation found.
-    #[doc(hidden)]
-    pub fn validate_jump_offsets(&self) -> Result<(), String> {
-        let Some(root) = self.root else { return Ok(()) };
-        let mut pending = vec![root];
-        while let Some(hp) = pending.pop() {
-            let handles: Vec<ContainerHandle> = if hp.superbin() == 0 && self.mm.is_chained(hp) {
-                self.mm
-                    .chained_valid_slots(hp)
-                    .into_iter()
-                    .map(|index| ContainerHandle::ChainSlot { head: hp, index })
-                    .collect()
-            } else {
-                vec![ContainerHandle::Standalone(hp)]
-            };
-            for handle in handles {
-                let c = ContainerRef::open(&self.mm, handle);
-                let end = c.stream_end();
-                let records = collect_t_records(&c, c.stream_start(), end);
-                for t in &records {
-                    if let Some(js_off) = t.js_offset {
-                        let v = c.read_u16(js_off) as usize;
-                        if v != 0 {
-                            // Re-derive the true next sibling by record walking.
-                            let mut p = t.header_end;
-                            let bytes = c.bytes();
-                            while p < end && !is_invalid(bytes[p]) && !is_t_node(bytes[p]) {
-                                let s = parse_s_node(bytes, p, None).unwrap();
-                                p = s.end;
-                            }
-                            if t.offset + v != p {
-                                return Err(format!(
-                                    "{handle:?}: T at {} key {} js target {} but true next {}",
-                                    t.offset,
-                                    t.key,
-                                    t.offset + v,
-                                    p
-                                ));
-                            }
-                        }
-                    }
-                    for s in collect_s_records(&c, t, end) {
-                        if s.child == ChildKind::Pointer {
-                            pending.push(c.read_hp(s.child_offset.unwrap()));
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
     }
 }

@@ -76,7 +76,12 @@ fn string_keys_no_features() {
     for (i, k) in keys.iter().enumerate() {
         map.put(k, i as u64);
         for k2 in &keys[..=i] {
-            assert!(map.get(k2).is_some(), "lost {:?} after inserting {:?} (#{i})", String::from_utf8_lossy(k2), String::from_utf8_lossy(k));
+            assert!(
+                map.get(k2).is_some(),
+                "lost {:?} after inserting {:?} (#{i})",
+                String::from_utf8_lossy(k2),
+                String::from_utf8_lossy(k)
+            );
         }
     }
 }
@@ -90,7 +95,12 @@ fn string_keys_all_features() {
     for (i, k) in keys.iter().enumerate() {
         map.put(k, i as u64);
         for k2 in &keys[..=i] {
-            assert!(map.get(k2).is_some(), "lost {:?} after inserting {:?} (#{i})", String::from_utf8_lossy(k2), String::from_utf8_lossy(k));
+            assert!(
+                map.get(k2).is_some(),
+                "lost {:?} after inserting {:?} (#{i})",
+                String::from_utf8_lossy(k2),
+                String::from_utf8_lossy(k)
+            );
         }
     }
 }

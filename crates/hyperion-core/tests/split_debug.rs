@@ -14,11 +14,19 @@ fn split_debug_random() {
         reference.insert(key.to_vec(), i);
         if i % 2000 == 0 {
             if let Err(e) = map.validate_jump_offsets() {
-                panic!("jump offsets broken after insert #{i}: {e} (splits={})", map.counters().splits);
+                panic!(
+                    "jump offsets broken after insert #{i}: {e} (splits={})",
+                    map.counters().splits
+                );
             }
             for (k, v) in &reference {
                 if map.get(k) != Some(*v) {
-                    panic!("lost key {:x?} after insert #{i} (splits={} ejections={})", k, map.counters().splits, map.counters().ejections);
+                    panic!(
+                        "lost key {:x?} after insert #{i} (splits={} ejections={})",
+                        k,
+                        map.counters().splits,
+                        map.counters().ejections
+                    );
                 }
             }
         }
@@ -32,11 +40,18 @@ fn split_debug_sequential() {
         map.put(&i.to_be_bytes(), i);
         if i % 2000 == 0 {
             if let Err(e) = map.validate_jump_offsets() {
-                panic!("jump offsets broken after insert #{i}: {e} (splits={})", map.counters().splits);
+                panic!(
+                    "jump offsets broken after insert #{i}: {e} (splits={})",
+                    map.counters().splits
+                );
             }
             for j in (0..=i).step_by(101) {
                 if map.get(&j.to_be_bytes()) != Some(j) {
-                    panic!("lost key {j} after insert #{i} (splits={} ejections={})", map.counters().splits, map.counters().ejections);
+                    panic!(
+                        "lost key {j} after insert #{i} (splits={} ejections={})",
+                        map.counters().splits,
+                        map.counters().ejections
+                    );
                 }
             }
         }

@@ -74,7 +74,11 @@ fn i_split_only() {
         reference.insert(key.to_vec(), i);
         if i % 250 == 0 {
             for (k, v) in &reference {
-                assert_eq!(map.get(k), Some(*v), "[split-int] lost key after {i} inserts");
+                assert_eq!(
+                    map.get(k),
+                    Some(*v),
+                    "[split-int] lost key after {i} inserts"
+                );
             }
         }
     }

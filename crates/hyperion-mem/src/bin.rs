@@ -48,6 +48,7 @@ impl Bin {
 
     /// `true` if no chunk is in use.
     #[inline]
+    #[allow(dead_code)] // structural accessor kept for future compaction work
     pub fn is_empty(&self) -> bool {
         self.used == 0
     }
@@ -157,6 +158,7 @@ impl Bin {
 
     /// Bytes of backing memory owned by this bin (0 until materialised).
     #[inline]
+    #[allow(dead_code)] // structural accessor kept for future compaction work
     pub fn segment_bytes(&self, chunk_size: usize) -> usize {
         if self.segment.is_some() {
             CHUNKS_PER_BIN * chunk_size

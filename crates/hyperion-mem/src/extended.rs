@@ -83,7 +83,11 @@ impl ExtendedBin {
                 // Safety: the region [old_capacity, new_capacity) is freshly
                 // grown and owned by us.
                 unsafe {
-                    std::ptr::write_bytes(new_ptr.add(old_capacity), 0, new_capacity - old_capacity);
+                    std::ptr::write_bytes(
+                        new_ptr.add(old_capacity),
+                        0,
+                        new_capacity - old_capacity,
+                    );
                 }
             }
             self.ptr = new_ptr;
@@ -95,8 +99,7 @@ impl ExtendedBin {
     /// Frees the heap block and resets the record to the void state.
     pub fn release(&mut self) {
         if self.is_valid() && !self.ptr.is_null() {
-            let layout =
-                Layout::from_size_align(self.capacity(), 8).expect("invalid layout");
+            let layout = Layout::from_size_align(self.capacity(), 8).expect("invalid layout");
             // Safety: ptr was allocated by this module with the same layout.
             unsafe { dealloc(self.ptr, layout) };
         }

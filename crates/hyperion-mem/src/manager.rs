@@ -294,12 +294,7 @@ impl MemoryManager {
     }
 
     fn chain_slot(&self, head: HyperionPointer, index: usize) -> HyperionPointer {
-        HyperionPointer::new(
-            0,
-            head.metabin(),
-            head.bin(),
-            head.chunk() + index as u16,
-        )
+        HyperionPointer::new(0, head.metabin(), head.bin(), head.chunk() + index as u16)
     }
 
     // ----- extended-bin record storage --------------------------------------

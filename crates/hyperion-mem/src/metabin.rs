@@ -25,6 +25,7 @@ impl Metabin {
 
     /// Number of chunks in use across all bins.
     #[inline]
+    #[allow(dead_code)] // structural accessor kept for future compaction work
     pub fn used_chunks(&self) -> u32 {
         self.used_chunks
     }
@@ -43,6 +44,7 @@ impl Metabin {
 
     /// Mutable access to a bin by index.
     #[inline]
+    #[allow(dead_code)] // structural accessor kept for future compaction work
     pub fn bin_mut(&mut self, idx: u8) -> &mut Bin {
         &mut self.bins[idx as usize]
     }

@@ -43,8 +43,14 @@ impl HyperionPointer {
     /// Panics if any coordinate exceeds its bit width.
     pub fn new(superbin: u8, metabin: u16, bin: u8, chunk: u16) -> Self {
         assert!(superbin < 64, "superbin id out of range");
-        assert!((metabin as usize) < crate::MAX_METABINS, "metabin id out of range");
-        assert!((chunk as usize) < crate::CHUNKS_PER_BIN, "chunk id out of range");
+        assert!(
+            (metabin as usize) < crate::MAX_METABINS,
+            "metabin id out of range"
+        );
+        assert!(
+            (chunk as usize) < crate::CHUNKS_PER_BIN,
+            "chunk id out of range"
+        );
         HyperionPointer {
             superbin,
             metabin,

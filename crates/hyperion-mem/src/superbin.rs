@@ -117,6 +117,7 @@ impl Superbin {
     }
 
     /// Number of metabins that have been initialised.
+    #[allow(dead_code)] // structural accessor kept for future compaction work
     pub fn initialised_metabins(&self) -> usize {
         self.metabins.iter().filter(|m| m.is_some()).count()
     }
@@ -201,7 +202,6 @@ mod tests {
     fn consecutive_allocation_works_from_superbin() {
         let mut sb = Superbin::new(0);
         let (_, _, start) = sb.allocate_consecutive(8).unwrap();
-        assert_eq!(start % 1, 0);
         // Allocate again and make sure the ranges do not overlap.
         let (_, _, start2) = sb.allocate_consecutive(8).unwrap();
         assert!(start2 >= start + 8 || start >= start2 + 8);

@@ -80,8 +80,14 @@ mod tests {
 
     #[test]
     fn random_keys_are_reproducible() {
-        assert_eq!(random_integer_keys(100, 5).keys, random_integer_keys(100, 5).keys);
-        assert_ne!(random_integer_keys(100, 5).keys, random_integer_keys(100, 6).keys);
+        assert_eq!(
+            random_integer_keys(100, 5).keys,
+            random_integer_keys(100, 5).keys
+        );
+        assert_ne!(
+            random_integer_keys(100, 5).keys,
+            random_integer_keys(100, 6).keys
+        );
     }
 
     #[test]

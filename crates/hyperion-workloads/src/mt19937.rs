@@ -110,7 +110,10 @@ mod tests {
         }
         let expected = N * 32;
         let tolerance = N * 32 / 100;
-        assert!(ones.abs_diff(expected) < tolerance, "bit bias detected: {ones}");
+        assert!(
+            ones.abs_diff(expected) < tolerance,
+            "bit bias detected: {ones}"
+        );
     }
 
     #[test]

@@ -32,7 +32,8 @@ fn main() {
             reads.push(read);
         }
     }
-    let total_key_bytes: usize = index.to_vec().iter().map(|(k, _)| k.len()).sum();
+    // Lazy iteration: sums key lengths without materialising the key set.
+    let total_key_bytes: usize = index.iter().map(|(k, _)| k.len()).sum();
     println!(
         "indexed {} reads ({:.1} MiB of key material) in {:.1} MiB ({:.2} B/key)",
         index.len(),
@@ -45,16 +46,12 @@ fn main() {
         assert!(index.get(read).is_some());
     }
 
-    // Prefix scan: all reads starting with a given 8-mer.
+    // Prefix scan: all reads starting with a given 8-mer, via the lazy
+    // prefix iterator (stops as soon as the prefix range is exhausted).
     let probe = b"ACGTACGT";
-    let mut count = 0usize;
-    index.range_from(probe, &mut |key, _| {
-        if key.starts_with(probe) {
-            count += 1;
-            true
-        } else {
-            false
-        }
-    });
-    println!("reads starting with {}: {count}", String::from_utf8_lossy(probe));
+    let count = index.prefix(probe).count();
+    println!(
+        "reads starting with {}: {count}",
+        String::from_utf8_lossy(probe)
+    );
 }

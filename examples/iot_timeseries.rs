@@ -40,18 +40,21 @@ fn main() {
     );
 
     // Range query: the first 5 samples of device 42 from a given timestamp.
+    // The range iterator is lazy, so `take(5)` only walks 5 records; the
+    // upper bound keeps the scan inside this device's key range.
     let device = 42u16;
     let from = key_for(device, base + 600);
+    let until = (device + 1).to_be_bytes().to_vec();
     println!("first samples of device {device} from t+600s:");
-    let mut shown = 0;
-    index.range_from(&from, &mut |key, value| {
-        let dev = u16::from_be_bytes([key[0], key[1]]);
-        if dev != device {
-            return false;
-        }
+    for (key, value) in index.range(&from[..]..&until[..]).take(5) {
         let ts = u64::from_be_bytes(key[2..10].try_into().unwrap());
         println!("  t={ts} bytes={value}");
-        shown += 1;
-        shown < 5
-    });
+    }
+
+    // Per-device aggregation via the prefix iterator.
+    let total: u64 = index
+        .prefix(&device.to_be_bytes())
+        .map(|(_, bytes)| bytes)
+        .sum();
+    println!("device {device} transferred {total} bytes in total");
 }

@@ -17,13 +17,17 @@ fn main() {
     println!("the  -> {:?}", index.get(b"the"));
     println!("th   -> {:?}", index.get(b"th"));
 
-    // Ordered range query via callback, exactly like the paper's API: the
-    // callback is invoked for every key >= the prefix until it returns false.
+    // Ordered traversal is iterator-first: `range` and `prefix` return lazy
+    // iterators that walk the container byte stream incrementally.
     println!("keys starting at 't':");
-    index.range_from(b"t", &mut |key, value| {
-        println!("  {} = {value}", String::from_utf8_lossy(key));
-        true
-    });
+    for (key, value) in index.range(&b"t"[..]..) {
+        println!("  {} = {value}", String::from_utf8_lossy(&key));
+    }
+
+    // A seekable cursor gives the same traversal step by step.
+    let mut cursor = index.cursor();
+    cursor.seek(b"th");
+    println!("first key >= 'th': {:?}", cursor.next());
 
     // Structural statistics show where the memory efficiency comes from.
     let analysis = index.analyze();

@@ -24,7 +24,11 @@ fn main() {
             std::thread::spawn(move || {
                 for i in 0..n_per_thread {
                     // user:<uid>:session:<sid> -> last-seen timestamp
-                    let key = format!("user:{:07}:session:{:04}", (t * n_per_thread + i) % 99_991, i % 16);
+                    let key = format!(
+                        "user:{:07}:session:{:04}",
+                        (t * n_per_thread + i) % 99_991,
+                        i % 16
+                    );
                     store.put(key.as_bytes(), 1_700_000_000 + i);
                 }
             })
@@ -47,5 +51,15 @@ fn main() {
     );
 
     let probe = b"user:0012345:session:0003";
-    println!("lookup {:?} -> {:?}", String::from_utf8_lossy(probe), store.get(probe));
+    println!(
+        "lookup {:?} -> {:?}",
+        String::from_utf8_lossy(probe),
+        store.get(probe)
+    );
+
+    // Ordered prefix scan across all arenas: every session of one user.
+    // `prefix` snapshots each arena briefly and merges the runs lazily.
+    let user_prefix = b"user:0012345:";
+    let sessions = store.prefix(user_prefix).count();
+    println!("user 0012345 has {sessions} cached sessions (via merged prefix scan)");
 }

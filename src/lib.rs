@@ -6,14 +6,33 @@
 //! ([`hyperion_baselines`]) and the workload generators
 //! ([`hyperion_workloads`]).
 //!
+//! The public API is cursor/iterator-first: ordered reads return lazy
+//! iterators that walk the container byte stream incrementally, and the
+//! capability traits ([`KvRead`], [`KvWrite`], [`OrderedRead`]) are split so
+//! that every structure only promises what it can honour.
+//!
 //! ```
 //! use hyperion::HyperionMap;
 //!
 //! let mut map = HyperionMap::new();
 //! map.put(b"hello", 1);
 //! map.put(b"help", 2);
+//! map.put(b"hermit", 3);
 //! assert_eq!(map.get(b"hello"), Some(1));
-//! assert_eq!(map.range_count(b"hel", b"hem"), 2);
+//!
+//! // Lazy prefix and range iteration (no intermediate Vec):
+//! let hel: Vec<_> = map.prefix(b"hel").map(|(key, _)| key).collect();
+//! assert_eq!(hel, vec![b"hello".to_vec(), b"help".to_vec()]);
+//! assert_eq!(map.range(&b"hel"[..]..&b"hem"[..]).count(), 2);
+//!
+//! // Seekable cursor over the container byte stream:
+//! let mut cur = map.cursor();
+//! cur.seek(b"help");
+//! assert_eq!(cur.next(), Some((b"help".to_vec(), 2)));
+//!
+//! // The map composes with std iterator traits:
+//! let copy: HyperionMap = map.iter().collect();
+//! assert_eq!(copy.len(), 3);
 //! ```
 
 pub use hyperion_baselines as baselines;
@@ -21,5 +40,8 @@ pub use hyperion_core as core;
 pub use hyperion_mem as mem;
 pub use hyperion_workloads as workloads;
 
-pub use hyperion_core::{ConcurrentHyperion, HyperionConfig, HyperionMap, KeyValueStore};
+pub use hyperion_core::{
+    ConcurrentHyperion, Cursor, Entries, HyperionConfig, HyperionMap, Iter, KvRead, KvStore,
+    KvWrite, OrderedKvStore, OrderedRead, Prefix, Range,
+};
 pub use hyperion_mem::MemoryManager;

@@ -1,23 +1,38 @@
 //! Integration tests spanning the workspace: every index structure must agree
 //! with `BTreeMap` on identical workloads, and the ordered structures must
-//! produce identical range scans.
+//! produce identical range scans through the `OrderedRead` iterator API.
 
 use hyperion::baselines::{ArtTree, CritBitTree, HatTrie, JudyTrie, OpenHashMap, RedBlackTree};
-use hyperion::core::{HyperionConfig, KeyValueStore};
+use hyperion::core::{HyperionConfig, KvStore, OrderedKvStore};
 use hyperion::workloads::{random_integer_keys, NgramCorpus, NgramCorpusConfig};
 use hyperion::HyperionMap;
 use std::collections::BTreeMap;
 
-fn all_stores() -> Vec<Box<dyn KeyValueStore>> {
+fn all_stores() -> Vec<Box<dyn KvStore>> {
     vec![
         Box::new(HyperionMap::with_config(HyperionConfig::for_strings())),
-        Box::new(HyperionMap::with_config(HyperionConfig::with_preprocessing())),
+        Box::new(HyperionMap::with_config(
+            HyperionConfig::with_preprocessing(),
+        )),
         Box::new(ArtTree::new()),
         Box::new(HatTrie::new()),
         Box::new(JudyTrie::new()),
         Box::new(CritBitTree::new()),
         Box::new(RedBlackTree::new()),
         Box::new(OpenHashMap::new()),
+    ]
+}
+
+/// Every ordered structure (all six baselines minus the hash table, which the
+/// trait split exempts at compile time) as an `OrderedKvStore` trait object.
+fn ordered_stores() -> Vec<Box<dyn OrderedKvStore>> {
+    vec![
+        Box::new(HyperionMap::with_config(HyperionConfig::for_integers())),
+        Box::new(ArtTree::new()),
+        Box::new(HatTrie::new()),
+        Box::new(JudyTrie::new()),
+        Box::new(CritBitTree::new()),
+        Box::new(RedBlackTree::new()),
     ]
 }
 
@@ -72,24 +87,66 @@ fn ordered_stores_produce_identical_range_scans() {
         reference.insert(k.clone(), *v);
     }
     let expected: Vec<(Vec<u8>, u64)> = reference.into_iter().collect();
-    let ordered: Vec<Box<dyn KeyValueStore>> = vec![
-        Box::new(HyperionMap::with_config(HyperionConfig::for_integers())),
-        Box::new(ArtTree::new()),
-        Box::new(HatTrie::new()),
-        Box::new(JudyTrie::new()),
-        Box::new(CritBitTree::new()),
-        Box::new(RedBlackTree::new()),
-    ];
-    for mut store in ordered {
+    for mut store in ordered_stores() {
         for (k, v) in workload.keys.iter().zip(&workload.values) {
             store.put(k, *v);
         }
-        let mut got = Vec::new();
-        store.range_for_each(&[], &mut |k, v| {
-            got.push((k.to_vec(), v));
-            true
-        });
-        assert_eq!(got, expected, "{} range scan differs", store.name());
+        // Full scan through the iterator interface.
+        let got: Vec<(Vec<u8>, u64)> = store.iter_from(&[]).collect();
+        assert_eq!(got, expected, "{} full scan differs", store.name());
+        // Seek into the middle of the key space.
+        let mid = &expected[expected.len() / 2].0;
+        let got_tail: Vec<(Vec<u8>, u64)> = store.iter_from(mid).collect();
+        assert_eq!(
+            got_tail,
+            expected[expected.len() / 2..].to_vec(),
+            "{} seek scan differs",
+            store.name()
+        );
+    }
+}
+
+#[test]
+fn ordered_stores_agree_on_bounded_ranges_and_prefixes() {
+    let workload = random_integer_keys(5_000, 0xabc);
+    let mut reference = BTreeMap::new();
+    for (k, v) in workload.keys.iter().zip(&workload.values) {
+        reference.insert(k.clone(), *v);
+    }
+    let low = (u64::MAX / 3).to_be_bytes();
+    let high = (2 * (u64::MAX / 3)).to_be_bytes();
+    let expected_range: Vec<(Vec<u8>, u64)> = reference
+        .range(low.to_vec()..high.to_vec())
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    let prefix = [expected_range[0].0[0]];
+    let expected_prefix = reference.keys().filter(|k| k.starts_with(&prefix)).count();
+    for mut store in ordered_stores() {
+        for (k, v) in workload.keys.iter().zip(&workload.values) {
+            store.put(k, *v);
+        }
+        let got: Vec<(Vec<u8>, u64)> = store.range_iter(&low, &high).collect();
+        assert_eq!(
+            got,
+            expected_range,
+            "{} bounded range differs",
+            store.name()
+        );
+        assert_eq!(
+            store.range_count(&low, &high),
+            expected_range.len(),
+            "{} range_count differs",
+            store.name()
+        );
+        assert_eq!(
+            store.prefix_iter(&prefix).count(),
+            expected_prefix,
+            "{} prefix scan differs",
+            store.name()
+        );
+        // Empty range and seek-past-end behave uniformly.
+        assert_eq!(store.range_iter(&high, &low).count(), 0, "{}", store.name());
+        assert_eq!(store.iter_from(&[0xff; 16]).count(), 0, "{}", store.name());
     }
 }
 
@@ -107,7 +164,12 @@ fn deletions_are_consistent_across_stores() {
         }
         for (i, (k, v)) in workload.keys.iter().zip(&workload.values).enumerate() {
             let expected = if i % 3 == 0 { None } else { Some(*v) };
-            assert_eq!(store.get(k), expected, "{} delete inconsistency", store.name());
+            assert_eq!(
+                store.get(k),
+                expected,
+                "{} delete inconsistency",
+                store.name()
+            );
         }
     }
 }
@@ -116,6 +178,7 @@ fn deletions_are_consistent_across_stores() {
 fn hyperion_is_more_memory_efficient_than_pointer_heavy_baselines() {
     // The headline claim of the paper (Table 1): on string data Hyperion's
     // footprint per key is well below ART's and the red-black tree's.
+    use hyperion::{KvRead, KvWrite};
     let corpus = NgramCorpus::generate(&NgramCorpusConfig {
         entries: 20_000,
         ..Default::default()
@@ -133,5 +196,8 @@ fn hyperion_is_more_memory_efficient_than_pointer_heavy_baselines() {
     let a = art.memory_footprint() as f64 / workload.len() as f64;
     let r = rb.memory_footprint() as f64 / workload.len() as f64;
     assert!(h < a, "hyperion {h:.1} B/key should beat ART {a:.1} B/key");
-    assert!(h < r / 2.0, "hyperion {h:.1} B/key should be far below RB-tree {r:.1} B/key");
+    assert!(
+        h < r / 2.0,
+        "hyperion {h:.1} B/key should be far below RB-tree {r:.1} B/key"
+    );
 }

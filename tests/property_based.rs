@@ -1,65 +1,208 @@
 //! Property-based tests on the core data structures and invariants.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these tests use a small deterministic fuzz harness driven by the
+//! workspace's own MT19937-64: each property is checked over many randomly
+//! generated cases, and every failure message carries the case seed so a
+//! failure reproduces exactly.
 
-use hyperion::core::keys::{postprocess_key, preprocess_key};
+use hyperion::workloads::Mt19937_64;
 use hyperion::HyperionMap;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
+use std::ops::Bound;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Generates a random byte key of length `0..max_len`.
+fn random_key(rng: &mut Mt19937_64, max_len: usize) -> Vec<u8> {
+    let len = (rng.next_u64() as usize) % max_len;
+    (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect()
+}
 
-    /// Random sequences of put/get/delete must behave exactly like BTreeMap.
-    #[test]
-    fn hyperion_matches_btreemap(ops in proptest::collection::vec(
-        (proptest::collection::vec(any::<u8>(), 0..24), any::<u64>(), any::<bool>()),
-        1..400,
-    )) {
+/// Random sequences of put/get/delete must behave exactly like BTreeMap.
+#[test]
+fn hyperion_matches_btreemap_under_random_ops() {
+    for case in 0..64u64 {
+        let mut rng = Mt19937_64::new(0xb0b0 + case);
+        let ops = 1 + (rng.next_u64() as usize) % 400;
         let mut map = HyperionMap::new();
         let mut reference: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
-        for (key, value, delete) in &ops {
-            if *delete {
-                prop_assert_eq!(map.delete(key), reference.remove(key).is_some());
+        for _ in 0..ops {
+            let key = random_key(&mut rng, 24);
+            let value = rng.next_u64();
+            if rng.next_u64() % 4 == 0 {
+                assert_eq!(
+                    map.delete(&key),
+                    reference.remove(&key).is_some(),
+                    "case {case}: delete {key:x?}"
+                );
             } else {
-                let expected_new = !reference.contains_key(key);
-                prop_assert_eq!(map.put(key, *value), expected_new);
-                reference.insert(key.clone(), *value);
+                let expected_new = !reference.contains_key(&key);
+                assert_eq!(
+                    map.put(&key, value),
+                    expected_new,
+                    "case {case}: put {key:x?}"
+                );
+                reference.insert(key, value);
             }
         }
-        prop_assert_eq!(map.len(), reference.len());
+        assert_eq!(map.len(), reference.len(), "case {case}: len");
         for (k, v) in &reference {
-            prop_assert_eq!(map.get(k), Some(*v));
+            assert_eq!(map.get(k), Some(*v), "case {case}: get {k:x?}");
         }
-        let collected: Vec<(Vec<u8>, u64)> = map.to_vec();
+        let collected: Vec<(Vec<u8>, u64)> = map.iter().collect();
         let expected: Vec<(Vec<u8>, u64)> = reference.into_iter().collect();
-        prop_assert_eq!(collected, expected);
+        assert_eq!(collected, expected, "case {case}: ordered iteration");
+    }
+}
+
+/// `iter()`, `range()` and `prefix()` agree with `BTreeMap` on 10,000 random
+/// byte keys (the acceptance bar for the lazy iterator API).
+#[test]
+fn iterators_match_btreemap_on_10k_random_keys() {
+    let mut rng = Mt19937_64::new(0x17e8);
+    let mut map = HyperionMap::new();
+    let mut reference: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    while reference.len() < 10_000 {
+        let key = random_key(&mut rng, 16);
+        let value = rng.next_u64();
+        map.put(&key, value);
+        reference.insert(key, value);
     }
 
-    /// The key pre-processor must be injective, invertible and order preserving.
-    #[test]
-    fn preprocessing_is_order_preserving(mut values in proptest::collection::vec(any::<u64>(), 2..200)) {
+    // Full iteration.
+    let got: Vec<_> = map.iter().collect();
+    let expected: Vec<_> = reference.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    assert_eq!(got, expected);
+
+    // 100 random half-open ranges.
+    for case in 0..100 {
+        let mut a = random_key(&mut rng, 16);
+        let mut b = random_key(&mut rng, 16);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let got: Vec<_> = map.range(&a[..]..&b[..]).collect();
+        let expected: Vec<_> = reference
+            .range(a.clone()..b.clone())
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        assert_eq!(got, expected, "case {case}: range {a:x?}..{b:x?}");
+    }
+
+    // Random prefixes of random lengths.
+    for case in 0..100 {
+        let p = random_key(&mut rng, 4);
+        let got: Vec<_> = map.prefix(&p).map(|(k, _)| k).collect();
+        let expected: Vec<_> = reference
+            .keys()
+            .filter(|k| k.starts_with(&p))
+            .cloned()
+            .collect();
+        assert_eq!(got, expected, "case {case}: prefix {p:x?}");
+    }
+}
+
+/// Empty ranges, inverted bounds, exclusive bounds and seeks past the last
+/// key all behave like their `BTreeMap` counterparts.
+#[test]
+fn range_edge_cases_match_btreemap() {
+    let mut rng = Mt19937_64::new(0xedfe);
+    let mut map = HyperionMap::new();
+    let mut reference: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    for _ in 0..2_000 {
+        let key = random_key(&mut rng, 8);
+        let value = rng.next_u64();
+        map.put(&key, value);
+        reference.insert(key, value);
+    }
+    let some_key = reference.keys().nth(1_000).unwrap().clone();
+
+    // Empty range: identical bounds.
+    assert_eq!(map.range(&some_key[..]..&some_key[..]).count(), 0);
+
+    // Exclusive start bound skips exactly the bound key.
+    let got: Vec<_> = map
+        .range::<[u8], _>((Bound::Excluded(&some_key[..]), Bound::Unbounded))
+        .map(|(k, _)| k)
+        .collect();
+    let expected: Vec<_> = reference
+        .range::<Vec<u8>, _>((Bound::Excluded(&some_key), Bound::Unbounded))
+        .map(|(k, _)| k.clone())
+        .collect();
+    assert_eq!(got, expected);
+
+    // Inclusive end bound includes the bound key.
+    assert_eq!(
+        map.range(&some_key[..]..=&some_key[..]).count(),
+        1,
+        "inclusive singleton range"
+    );
+
+    // Seek past the largest possible key: exhausted cursor, empty iterators.
+    let past_end = vec![0xff; 20];
+    let mut cur = map.cursor();
+    cur.seek(&past_end);
+    assert_eq!(cur.next(), None);
+    assert_eq!(map.range(&past_end[..]..).count(), 0);
+    assert_eq!(
+        reference.range(past_end.clone()..).count(),
+        0,
+        "reference agrees the tail is empty"
+    );
+
+    // An empty map yields empty iterators everywhere.
+    let empty = HyperionMap::new();
+    assert_eq!(empty.iter().count(), 0);
+    assert_eq!(empty.prefix(b"x").count(), 0);
+    assert_eq!(empty.range(&b"a"[..]..&b"z"[..]).count(), 0);
+    assert_eq!(empty.cursor().next(), None);
+}
+
+/// The key pre-processor must be injective, invertible and order preserving.
+#[test]
+fn preprocessing_is_order_preserving() {
+    use hyperion::core::keys::{postprocess_key, preprocess_key};
+    for case in 0..32u64 {
+        let mut rng = Mt19937_64::new(0x9e37 + case);
+        let n = 2 + (rng.next_u64() as usize) % 200;
+        let mut values: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         values.sort_unstable();
         values.dedup();
-        let keys: Vec<Vec<u8>> = values.iter().map(|v| preprocess_key(&v.to_be_bytes())).collect();
+        let keys: Vec<Vec<u8>> = values
+            .iter()
+            .map(|v| preprocess_key(&v.to_be_bytes()))
+            .collect();
         for pair in keys.windows(2) {
-            prop_assert!(pair[0] < pair[1]);
+            assert!(pair[0] < pair[1], "case {case}: order violated");
         }
         for (v, k) in values.iter().zip(&keys) {
-            prop_assert_eq!(postprocess_key(k).unwrap(), v.to_be_bytes().to_vec());
+            assert_eq!(
+                postprocess_key(k).unwrap(),
+                v.to_be_bytes().to_vec(),
+                "case {case}: roundtrip"
+            );
         }
     }
+}
 
-    /// Range queries return exactly the keys >= the start key, in order.
-    #[test]
-    fn range_from_matches_btreemap(
-        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..12), 1..200),
-        start in proptest::collection::vec(any::<u8>(), 0..12),
-    ) {
+/// Range queries return exactly the keys >= the start key, in order
+/// (the callback adapter and the cursor agree by construction; this pins the
+/// cursor's seek semantics against BTreeMap).
+#[test]
+fn range_from_matches_btreemap() {
+    for case in 0..64u64 {
+        let mut rng = Mt19937_64::new(0x5eed + case);
+        let n = 1 + (rng.next_u64() as usize) % 200;
         let mut map = HyperionMap::new();
         let mut reference = BTreeMap::new();
-        for (i, k) in keys.iter().enumerate() {
-            map.put(k, i as u64);
-            reference.insert(k.clone(), i as u64);
+        for i in 0..n {
+            let mut key = random_key(&mut rng, 12);
+            if key.is_empty() {
+                key.push(0);
+            }
+            map.put(&key, i as u64);
+            reference.insert(key, i as u64);
         }
+        let start = random_key(&mut rng, 12);
         let mut got = Vec::new();
         map.range_from(&start, &mut |k, v| {
             got.push((k.to_vec(), v));
@@ -69,6 +212,6 @@ proptest! {
             .range(start.clone()..)
             .map(|(k, v)| (k.clone(), *v))
             .collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}: start {start:x?}");
     }
 }
