@@ -41,7 +41,34 @@ fn bench_bounded_range() {
     }
 }
 
+/// Streaming merged scan over the sharded front end: the k-way merge refills
+/// one bounded chunk per shard hand-over-hand, so this also measures the
+/// re-seek overhead that buys the O(shards × chunk) memory bound.
+fn bench_db_merged_scan() {
+    use hyperion_core::db::HyperionDb;
+    use hyperion_core::HyperionConfig;
+    let workload = random_integer_keys(10_000, 0x5ca9);
+    let group = BenchGroup::new("db_merged_scan")
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(200));
+    for shards in [1usize, 4, 16] {
+        for chunk in [64usize, 256] {
+            let db = HyperionDb::builder()
+                .shards(shards)
+                .config(HyperionConfig::for_integers())
+                .scan_chunk(chunk)
+                .build();
+            for (k, v) in workload.keys.iter().zip(&workload.values) {
+                db.put(k, *v).unwrap();
+            }
+            let label = format!("shards{shards:02}_chunk{chunk}");
+            group.bench(&label, || db.iter().count());
+        }
+    }
+}
+
 fn main() {
     bench_range_scan();
     bench_bounded_range();
+    bench_db_merged_scan();
 }

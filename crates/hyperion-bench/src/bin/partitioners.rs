@@ -1,0 +1,144 @@
+//! Partitioner throughput under skew (EXPERIMENTS.md, "Partitioners under
+//! skew").
+//!
+//! Compares the three `HyperionDb` partitioners on two multi-threaded
+//! workloads:
+//!
+//! * **uniform** — random 8-byte integer keys (every first byte equally
+//!   likely), the regime the paper's first-byte arena routing was designed
+//!   for;
+//! * **hot-prefix** — web-cache style string keys that *all* share the
+//!   `user:` prefix, which serialises first-byte routing on a single shard.
+//!
+//! Writes go through `WriteBatch` (one lock acquisition per shard per batch)
+//! and reads through `multi_get`, so the numbers isolate routing/contention
+//! rather than per-op lock overhead.
+//!
+//! ```bash
+//! cargo run --release -p hyperion-bench --bin partitioners [keys_per_thread]
+//! ```
+
+use hyperion_core::db::{
+    FibonacciPartitioner, FirstBytePartitioner, HyperionDb, Partitioner, RangePartitioner,
+    WriteBatch,
+};
+use hyperion_core::HyperionConfig;
+use hyperion_workloads::Mt19937_64;
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREADS: u64 = 8;
+const SHARDS: usize = 64;
+const BATCH: usize = 256;
+
+fn keys_for(workload: &str, thread: u64, n: u64) -> Vec<Vec<u8>> {
+    let mut rng = Mt19937_64::new(0xbeef ^ thread);
+    (0..n)
+        .map(|_| match workload {
+            "uniform" => rng.next_u64().to_be_bytes().to_vec(),
+            // 100% of keys share one prefix; the tail is still random so the
+            // tries stay balanced — only the *routing* is skewed.
+            "hot-prefix" => format!("user:{:016x}", rng.next_u64()).into_bytes(),
+            other => panic!("unknown workload {other}"),
+        })
+        .collect()
+}
+
+fn run(workload: &'static str, db: Arc<HyperionDb>, keys_per_thread: u64) -> (f64, f64) {
+    // Phase 1: batched writes from all threads.
+    let start = Instant::now();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let keys = keys_for(workload, t, keys_per_thread);
+                let mut batch = WriteBatch::with_capacity(BATCH);
+                for (i, key) in keys.iter().enumerate() {
+                    batch.put(key, i as u64);
+                    if batch.len() == BATCH {
+                        db.apply(&batch).expect("apply");
+                        batch.clear();
+                    }
+                }
+                if !batch.is_empty() {
+                    db.apply(&batch).expect("apply");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let write_mops = (THREADS * keys_per_thread) as f64 / start.elapsed().as_secs_f64() / 1e6;
+
+    // Phase 2: batched lookups of the same keys.
+    let start = Instant::now();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let keys = keys_for(workload, t, keys_per_thread);
+                let mut hits = 0usize;
+                for chunk in keys.chunks(BATCH) {
+                    let refs: Vec<&[u8]> = chunk.iter().map(|k| k.as_slice()).collect();
+                    hits += db
+                        .multi_get(&refs)
+                        .expect("multi_get")
+                        .iter()
+                        .flatten()
+                        .count();
+                }
+                assert_eq!(hits, keys.len(), "all keys must be found");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let read_mops = (THREADS * keys_per_thread) as f64 / start.elapsed().as_secs_f64() / 1e6;
+    (write_mops, read_mops)
+}
+
+fn main() {
+    let keys_per_thread: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    println!(
+        "partitioner throughput, {THREADS} threads x {keys_per_thread} keys, \
+         {SHARDS} shards, batches of {BATCH}\n"
+    );
+    println!(
+        "{:<12} {:<16} {:>12} {:>12} {:>18}",
+        "workload", "partitioner", "write Mops", "read Mops", "shard min/max keys"
+    );
+    for workload in ["uniform", "hot-prefix"] {
+        let partitioners: Vec<Arc<dyn Partitioner>> = vec![
+            Arc::new(FirstBytePartitioner),
+            Arc::new(FibonacciPartitioner),
+            Arc::new(RangePartitioner),
+        ];
+        for partitioner in partitioners {
+            let name = partitioner.name();
+            let db = Arc::new(
+                HyperionDb::builder()
+                    .shards(SHARDS)
+                    .config(HyperionConfig::for_strings())
+                    .partitioner_arc(partitioner)
+                    .build(),
+            );
+            let (write_mops, read_mops) = run(workload, Arc::clone(&db), keys_per_thread);
+            let lens = db.shard_lens();
+            println!(
+                "{:<12} {:<16} {:>12.2} {:>12.2} {:>8}/{}",
+                workload,
+                name,
+                write_mops,
+                read_mops,
+                lens.iter().min().unwrap(),
+                lens.iter().max().unwrap()
+            );
+        }
+        println!();
+    }
+}

@@ -17,6 +17,7 @@
 //! | `fig16`  | Figure 16 — Hyperion vs Hyperion_p allocation distribution |
 //! | `table3` | Table 3 — full-index range query duration |
 //! | `ablation` | Section 4.3/4.4 — effect of each Hyperion feature |
+//! | `partitioners` | `HyperionDb` partitioner throughput under key skew |
 
 use hyperion_baselines::{ArtTree, CritBitTree, HatTrie, JudyTrie, OpenHashMap, RedBlackTree};
 use hyperion_core::{HyperionConfig, HyperionMap, KvStore, OrderedKvStore};

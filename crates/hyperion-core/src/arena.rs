@@ -1,223 +1,124 @@
-//! Arenas: coarse-grained parallelism by sharding the key space.
+//! Arenas: the original coarse-grained concurrency wrapper, now a thin
+//! deprecated shim over [`crate::db::HyperionDb`].
 //!
 //! Hyperion does not implement fine-grained thread parallelism.  Instead an
 //! application can create up to 256 tries `T_i` and map every operation on a
-//! key `k` to `T_{k_0}` (paper Section 3.2, "Arenas").  Each arena owns its
-//! own memory manager and is protected by its own lock, so operations on keys
-//! with different leading bytes proceed concurrently.
+//! key `k` to `T_{k_0}` (paper Section 3.2, "Arenas").  [`ConcurrentHyperion`]
+//! exposed that directly as a `put/get/delete → bool` wrapper; the
+//! database-style front end in [`crate::db`] supersedes it with pluggable
+//! partitioning, batched operations, typed errors and streaming merged scans.
+//! This module keeps the old surface alive for existing callers: every method
+//! delegates to a [`HyperionDb`] configured with the paper-fidelity
+//! [`crate::db::FirstBytePartitioner`].
 
 use crate::config::HyperionConfig;
-use crate::iter::{prefix_upper_bound, Entries};
-use crate::trie::HyperionMap;
+use crate::db::{DbScan, HyperionDb};
+use crate::iter::Entries;
 use crate::{KvRead, KvWrite, OrderedRead};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::ops::{Bound, RangeBounds};
-use std::sync::{Mutex, MutexGuard};
+use std::ops::RangeBounds;
 
 /// Maximum number of arenas (one per possible leading key byte).
-pub const MAX_ARENAS: usize = 256;
+pub const MAX_ARENAS: usize = crate::db::MAX_SHARDS;
 
 /// A thread-safe Hyperion store sharding keys over multiple arenas.
 ///
 /// The individual tries `T_i` are mapped to the arenas `A_j` round-robin:
-/// `T_i -> A_{i mod j}`.
+/// `T_i -> A_{i mod j}`.  Deprecated: [`HyperionDb`] offers the same sharding
+/// plus batched operations, pluggable partitioning, typed errors and
+/// memory-bounded streaming scans.
+#[deprecated(
+    since = "0.2.0",
+    note = "use hyperion_core::db::HyperionDb (builder-configured, batched, typed errors, \
+            streaming scans); ConcurrentHyperion is now a thin shim over it"
+)]
 pub struct ConcurrentHyperion {
-    arenas: Vec<Mutex<HyperionMap>>,
+    db: HyperionDb,
 }
 
-/// Recovers the guard even if another thread panicked while holding the lock;
-/// the per-arena tries contain no invariants that span a poisoned section.
-fn lock(arena: &Mutex<HyperionMap>) -> MutexGuard<'_, HyperionMap> {
-    arena
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
+#[allow(deprecated)]
 impl ConcurrentHyperion {
     /// Creates a store with `arenas` arenas (clamped to `1..=256`).
     pub fn new(arenas: usize, config: HyperionConfig) -> Self {
-        let n = arenas.clamp(1, MAX_ARENAS);
-        let mut v = Vec::with_capacity(n);
-        for _ in 0..n {
-            v.push(Mutex::new(HyperionMap::with_config(config)));
+        ConcurrentHyperion {
+            db: HyperionDb::new(arenas, config),
         }
-        ConcurrentHyperion { arenas: v }
     }
 
     /// Number of arenas.
     pub fn arena_count(&self) -> usize {
-        self.arenas.len()
+        self.db.shard_count()
     }
 
-    #[inline]
-    fn arena_for(&self, key: &[u8]) -> &Mutex<HyperionMap> {
-        let first = key.first().copied().unwrap_or(0) as usize;
-        &self.arenas[first % self.arenas.len()]
+    /// The backing [`HyperionDb`] — the migration path off this shim.
+    pub fn as_db(&self) -> &HyperionDb {
+        &self.db
     }
 
     /// Inserts or updates a key.  Returns `true` if the key was new.
+    ///
+    /// Shares the backing [`HyperionDb`]'s key-length contract: keys longer
+    /// than [`crate::db::MAX_KEY_LEN`] panic (this surface has no error
+    /// channel), so the typed API and this shim always agree on what is
+    /// stored.  Use [`HyperionDb::put`] for a typed error instead.
     pub fn put(&self, key: &[u8], value: u64) -> bool {
-        lock(self.arena_for(key)).put(key, value)
+        self.db.put_recovering(key, value)
     }
 
     /// Looks up a key.
     pub fn get(&self, key: &[u8]) -> Option<u64> {
-        lock(self.arena_for(key)).get(key)
+        self.db.get_recovering(key)
     }
 
     /// Removes a key.  Returns `true` if it was present.
     pub fn delete(&self, key: &[u8]) -> bool {
-        lock(self.arena_for(key)).delete(key)
+        self.db.delete_recovering(key)
     }
 
     /// Total number of keys across all arenas.
     pub fn len(&self) -> usize {
-        self.arenas.iter().map(|a| lock(a).len()).sum()
+        self.db.len()
     }
 
     /// `true` if no arena stores any key.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.db.is_empty()
     }
 
     /// Total logical memory footprint across all arenas.
     pub fn footprint_bytes(&self) -> usize {
-        self.arenas.iter().map(|a| lock(a).footprint_bytes()).sum()
+        self.db.footprint_bytes()
     }
 
-    // =====================================================================
-    // ordered iteration
-    // =====================================================================
-
-    /// Takes a per-arena snapshot of the keys in `[start, end)` (each arena
-    /// locked once, briefly) and returns a lazy k-way merge over them.
-    fn snapshot(&self, start: &[u8], skip_equal: Option<&[u8]>, end: SnapshotEnd) -> MergedIter {
-        let mut sources = Vec::with_capacity(self.arenas.len());
-        for arena in &self.arenas {
-            let guard = lock(arena);
-            let mut cursor = guard.cursor();
-            cursor.seek(start);
-            let mut collected = Vec::new();
-            for (key, value) in cursor {
-                match &end {
-                    SnapshotEnd::Unbounded => {}
-                    SnapshotEnd::Excluded(e) => {
-                        if key.as_slice() >= e.as_slice() {
-                            break;
-                        }
-                    }
-                    SnapshotEnd::Included(e) => {
-                        if key.as_slice() > e.as_slice() {
-                            break;
-                        }
-                    }
-                }
-                if skip_equal == Some(key.as_slice()) {
-                    continue;
-                }
-                collected.push((key, value));
-            }
-            sources.push(collected);
-        }
-        MergedIter::new(sources)
-    }
-
-    /// Ordered iteration over all key/value pairs across all arenas.
-    ///
-    /// The iterator operates on a point-in-time snapshot: each arena is locked
-    /// once while its (bounded) contents are collected, then the per-arena
-    /// runs are merged lazily, so no lock is held while the caller consumes
-    /// the iterator.
-    pub fn iter(&self) -> MergedIter {
-        self.snapshot(&[], None, SnapshotEnd::Unbounded)
+    /// Ordered iteration over all key/value pairs across all arenas
+    /// (streaming merged scan, see [`HyperionDb::iter`]).
+    pub fn iter(&self) -> DbScan<'_> {
+        self.db.iter()
     }
 
     /// Ordered iteration over the keys within `bounds` across all arenas
-    /// (snapshot semantics, see [`ConcurrentHyperion::iter`]).
-    pub fn range<K, R>(&self, bounds: R) -> MergedIter
+    /// (streaming merged scan, see [`HyperionDb::range`]).
+    pub fn range<K, R>(&self, bounds: R) -> DbScan<'_>
     where
         K: AsRef<[u8]> + ?Sized,
         R: RangeBounds<K>,
     {
-        let (start, skip_equal) = match bounds.start_bound() {
-            Bound::Unbounded => (Vec::new(), None),
-            Bound::Included(s) => (s.as_ref().to_vec(), None),
-            Bound::Excluded(s) => (s.as_ref().to_vec(), Some(s.as_ref().to_vec())),
-        };
-        let end = match bounds.end_bound() {
-            Bound::Unbounded => SnapshotEnd::Unbounded,
-            Bound::Excluded(e) => SnapshotEnd::Excluded(e.as_ref().to_vec()),
-            Bound::Included(e) => SnapshotEnd::Included(e.as_ref().to_vec()),
-        };
-        self.snapshot(&start, skip_equal.as_deref(), end)
+        self.db.range(bounds)
     }
 
     /// Ordered iteration over all keys starting with `prefix` across all
-    /// arenas (snapshot semantics, see [`ConcurrentHyperion::iter`]).
-    pub fn prefix(&self, prefix: &[u8]) -> MergedIter {
-        let end = match prefix_upper_bound(prefix) {
-            Some(end) => SnapshotEnd::Excluded(end),
-            None => SnapshotEnd::Unbounded,
-        };
-        self.snapshot(prefix, None, end)
+    /// arenas (streaming merged scan, see [`HyperionDb::prefix`]).
+    pub fn prefix(&self, prefix: &[u8]) -> DbScan<'_> {
+        self.db.prefix(prefix)
     }
 
     /// Invokes `f` for every key/value pair in ascending key order across all
-    /// arenas, until `f` returns `false`.  Thin adapter over
-    /// [`ConcurrentHyperion::iter`].
+    /// arenas, until `f` returns `false`.
     pub fn for_each<F: FnMut(&[u8], u64) -> bool>(&self, f: &mut F) -> bool {
-        for (key, value) in self.iter() {
-            if !f(&key, value) {
-                return false;
-            }
-        }
-        true
+        self.db.for_each(f)
     }
 }
 
-/// Upper bound of a [`ConcurrentHyperion`] snapshot.
-enum SnapshotEnd {
-    Unbounded,
-    Excluded(Vec<u8>),
-    Included(Vec<u8>),
-}
-
-/// Lazy k-way merge over per-arena sorted snapshots; yields globally ordered
-/// `(key, value)` pairs.  Returned by the [`ConcurrentHyperion`] iterators.
-pub struct MergedIter {
-    sources: Vec<std::vec::IntoIter<(Vec<u8>, u64)>>,
-    /// Min-heap of the current head of every non-empty source.  Keys are
-    /// unique across arenas (a key lives in exactly one arena), so `(key,
-    /// source)` ordering is total.
-    heap: BinaryHeap<Reverse<(Vec<u8>, usize, u64)>>,
-}
-
-impl MergedIter {
-    fn new(snapshots: Vec<Vec<(Vec<u8>, u64)>>) -> MergedIter {
-        let mut sources: Vec<_> = snapshots.into_iter().map(|v| v.into_iter()).collect();
-        let mut heap = BinaryHeap::with_capacity(sources.len());
-        for (idx, source) in sources.iter_mut().enumerate() {
-            if let Some((key, value)) = source.next() {
-                heap.push(Reverse((key, idx, value)));
-            }
-        }
-        MergedIter { sources, heap }
-    }
-}
-
-impl Iterator for MergedIter {
-    type Item = (Vec<u8>, u64);
-
-    fn next(&mut self) -> Option<(Vec<u8>, u64)> {
-        let Reverse((key, idx, value)) = self.heap.pop()?;
-        if let Some((next_key, next_value)) = self.sources[idx].next() {
-            self.heap.push(Reverse((next_key, idx, next_value)));
-        }
-        Some((key, value))
-    }
-}
-
+#[allow(deprecated)]
 impl KvRead for ConcurrentHyperion {
     fn get(&self, key: &[u8]) -> Option<u64> {
         ConcurrentHyperion::get(self, key)
@@ -236,6 +137,7 @@ impl KvRead for ConcurrentHyperion {
     }
 }
 
+#[allow(deprecated)]
 impl KvWrite for ConcurrentHyperion {
     fn put(&mut self, key: &[u8], value: u64) -> bool {
         ConcurrentHyperion::put(self, key, value)
@@ -246,39 +148,26 @@ impl KvWrite for ConcurrentHyperion {
     }
 }
 
+#[allow(deprecated)]
 impl OrderedRead for ConcurrentHyperion {
     fn for_each_from(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
-        let mut cursor = self.snapshot(start, None, SnapshotEnd::Unbounded);
-        for (key, value) in &mut cursor {
-            if !f(&key, value) {
-                return;
-            }
-        }
+        self.db.for_each_from(start, f)
     }
 
     fn iter_from(&self, start: &[u8]) -> Entries<'_> {
-        Entries::from_lazy(self.snapshot(start, None, SnapshotEnd::Unbounded))
+        self.db.iter_from(start)
     }
 
-    /// Overrides the default with a bounded probe: each arena is asked for
-    /// its first key `>= start` (one cursor step under the lock), avoiding
-    /// the full snapshot the merged iterators take.
     fn seek_first(&self, start: &[u8]) -> Option<(Vec<u8>, u64)> {
-        self.arenas
-            .iter()
-            .filter_map(|arena| {
-                let guard = lock(arena);
-                let mut cursor = guard.cursor();
-                cursor.seek(start);
-                cursor.next()
-            })
-            .min()
+        self.db.seek_first(start)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::trie::HyperionMap;
     use std::sync::Arc;
 
     #[test]

@@ -57,7 +57,11 @@ impl ContainerHandle {
 ///
 /// The reference is only valid while the owning [`MemoryManager`] is alive and
 /// no other `ContainerRef` to the same chunk performs a reallocation.  The
-/// trie upholds this by operating on one root-to-leaf path at a time.
+/// trie upholds this by operating on one root-to-leaf path at a time; the
+/// read-only [`crate::Cursor`] clones references into its frame stack, which
+/// is sound because the cursor's shared borrow of the map rules out
+/// reallocation for its whole lifetime.
+#[derive(Clone)]
 pub struct ContainerRef {
     handle: ContainerHandle,
     ptr: *mut u8,

@@ -1,0 +1,1387 @@
+//! `HyperionDb`: a database-style sharded front end over [`HyperionMap`].
+//!
+//! The paper's arena design (Section 3.2) shards the key space over up to 256
+//! tries to get coarse-grained parallelism.  This module turns that idea into
+//! a real front-end API:
+//!
+//! * **Pluggable partitioning** — the [`Partitioner`] trait decides which
+//!   shard owns a key.  [`FirstBytePartitioner`] reproduces the paper's
+//!   `T_{k_0}` routing; [`FibonacciPartitioner`] hashes the whole key
+//!   (splitmix64 + Fibonacci multiplication) to fix hot-prefix skew; the
+//!   order-preserving [`RangePartitioner`] keeps cross-shard scans cheap by
+//!   letting range queries prune shards.
+//! * **Batched operations** — [`WriteBatch`] groups puts/deletes per shard and
+//!   applies each group under a single lock acquisition;
+//!   [`HyperionDb::multi_get`] does the same for point lookups, so lock
+//!   traffic amortises across operations.
+//! * **Typed errors** — the point/batch API returns
+//!   [`Result`]`<`[`PutOutcome`]`, `[`HyperionError`]`>` instead of bare
+//!   `bool`s: key-too-long, shard-poisoned and per-op batch failure reports
+//!   are first-class values.
+//! * **Streaming merged scans** — [`HyperionDb::iter`], [`HyperionDb::range`]
+//!   and [`HyperionDb::prefix`] return a [`DbScan`]: a hand-over-hand k-way
+//!   merge that buffers at most one refilled chunk per shard
+//!   ([`HyperionDbBuilder::scan_chunk`] entries), so a scan over millions of
+//!   keys allocates `O(shards × chunk)` memory instead of a full per-shard
+//!   snapshot.
+//!
+//! ```
+//! use hyperion_core::db::{FibonacciPartitioner, HyperionDb, WriteBatch};
+//!
+//! let db = HyperionDb::builder()
+//!     .shards(8)
+//!     .partitioner(FibonacciPartitioner)
+//!     .build();
+//!
+//! let mut batch = WriteBatch::new();
+//! batch.put(b"user:1", 10).put(b"user:2", 20).delete(b"user:3");
+//! let summary = db.apply(&batch).unwrap();
+//! assert_eq!(summary.inserted, 2);
+//!
+//! let got = db.multi_get(&[b"user:1", b"user:9"]).unwrap();
+//! assert_eq!(got, vec![Some(10), None]);
+//!
+//! // Streaming merged scan: globally ordered, bounded memory.
+//! let keys: Vec<_> = db.prefix(b"user:").map(|(k, _)| k).collect();
+//! assert_eq!(keys, vec![b"user:1".to_vec(), b"user:2".to_vec()]);
+//! ```
+//!
+//! # Locking and poisoning
+//!
+//! Every shard is one [`HyperionMap`] behind its own [`Mutex`]; a key is
+//! always owned by exactly one shard, so per-key operations never take more
+//! than one lock.  The typed point/batch API reports a panicked writer as
+//! [`HyperionError::ShardPoisoned`].  Read-only aggregates ([`HyperionDb::len`],
+//! [`HyperionDb::footprint_bytes`]) and scans *recover* poisoned locks
+//! instead: the per-shard tries hold no invariants that span a poisoned
+//! critical section, and a scan that silently dropped a shard would return
+//! wrong answers.
+
+use crate::config::HyperionConfig;
+use crate::iter::{prefix_upper_bound, Entries};
+use crate::trie::HyperionMap;
+use crate::{KvRead, KvWrite, OrderedRead};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::ops::{Bound, RangeBounds};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Maximum number of shards (one per possible leading key byte, as in the
+/// paper's arena design).
+pub const MAX_SHARDS: usize = 256;
+
+/// Maximum key length accepted by the typed [`HyperionDb`] API.  The trie
+/// handles longer keys on big stacks, but its subtree builder recurses two
+/// key bytes per level, so a database front end needs a contract: 1 KiB
+/// (the DynamoDB/MongoDB ballpark) keeps the recursion comfortably inside a
+/// default 2 MiB thread stack even in debug builds.
+pub const MAX_KEY_LEN: usize = 1024;
+
+/// Default number of entries a [`DbScan`] buffers per shard between lock
+/// acquisitions.
+pub const DEFAULT_SCAN_CHUNK: usize = 256;
+
+// =============================================================================
+// errors and outcomes
+// =============================================================================
+
+/// Typed error surface of the [`HyperionDb`] point and batch operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HyperionError {
+    /// The key exceeds [`MAX_KEY_LEN`].
+    KeyTooLong {
+        /// Length of the offending key.
+        len: usize,
+        /// The enforced maximum ([`MAX_KEY_LEN`]).
+        max: usize,
+    },
+    /// A writer panicked while holding this shard's lock.
+    ShardPoisoned {
+        /// Index of the poisoned shard.
+        shard: usize,
+    },
+    /// One or more operations of a [`WriteBatch`] failed; the report lists
+    /// what was applied and which ops failed.
+    BatchFailed(BatchReport),
+}
+
+impl fmt::Display for HyperionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyperionError::KeyTooLong { len, max } => {
+                write!(f, "key of {len} bytes exceeds the maximum of {max}")
+            }
+            HyperionError::ShardPoisoned { shard } => {
+                write!(f, "shard {shard} is poisoned (a writer panicked)")
+            }
+            HyperionError::BatchFailed(report) => {
+                write!(
+                    f,
+                    "batch partially failed: {} op(s) applied, {} failed",
+                    report.summary.applied(),
+                    report.failures.len(),
+                )?;
+                // The fields are pub, so an empty failures list is
+                // constructible; Display must not panic on it.
+                if let Some((index, error)) = report.failures.first() {
+                    write!(f, " (first: op #{index} — {error})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for HyperionError {}
+
+/// Outcome of a successful [`HyperionDb::put`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// The key was not present before.
+    Inserted,
+    /// An existing value was overwritten.
+    Updated,
+}
+
+impl PutOutcome {
+    /// `true` if the put created a new key.
+    #[inline]
+    pub fn was_insert(self) -> bool {
+        matches!(self, PutOutcome::Inserted)
+    }
+}
+
+/// Per-operation tallies of a successfully applied [`WriteBatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchSummary {
+    /// Puts that created a new key.
+    pub inserted: usize,
+    /// Puts that overwrote an existing value.
+    pub updated: usize,
+    /// Deletes that removed a present key.
+    pub deleted: usize,
+    /// Deletes whose key was absent.
+    pub missing: usize,
+}
+
+impl BatchSummary {
+    /// Total number of operations applied.
+    #[inline]
+    pub fn applied(&self) -> usize {
+        self.inserted + self.updated + self.deleted + self.missing
+    }
+}
+
+/// Partial-failure report of a [`WriteBatch`]: the summary of everything that
+/// *was* applied plus `(op index, error)` for every op that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Tallies of the applied operations.
+    pub summary: BatchSummary,
+    /// The failed operations, as `(index into the batch, error)` pairs in
+    /// batch order.
+    pub failures: Vec<(usize, HyperionError)>,
+}
+
+// =============================================================================
+// partitioners
+// =============================================================================
+
+/// Maps keys to shards.  Implementations must be pure functions of the key
+/// bytes and shard count: the same key must always land in the same shard.
+pub trait Partitioner: Send + Sync {
+    /// Returns the shard index for `key`; must be `< shards` (`shards >= 1`).
+    fn shard_of(&self, key: &[u8], shards: usize) -> usize;
+
+    /// `true` if `a <= b` implies `shard_of(a) <= shard_of(b)`.  Order
+    /// preservation lets range scans prune shards entirely outside the
+    /// requested bounds.
+    fn is_order_preserving(&self) -> bool {
+        false
+    }
+
+    /// Short identifier used in diagnostics and benchmark tables.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's arena routing: shard by the first key byte, folded round-robin
+/// onto the configured shard count (`T_i -> A_{i mod j}`, Section 3.2).
+///
+/// Faithful to the paper but skew-prone: keys sharing a hot prefix (e.g.
+/// `user:`) all serialise on one shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstBytePartitioner;
+
+impl Partitioner for FirstBytePartitioner {
+    #[inline]
+    fn shard_of(&self, key: &[u8], shards: usize) -> usize {
+        key.first().copied().unwrap_or(0) as usize % shards
+    }
+
+    fn name(&self) -> &'static str {
+        "first-byte"
+    }
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash partitioning: splitmix64 over the key bytes, mapped onto the shard
+/// range by Fibonacci multiplication (the top bits of `hash * 2^64 / φ`).
+///
+/// Spreads hot prefixes uniformly across shards, at the cost of making every
+/// scan visit every shard (hashing is not order-preserving).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FibonacciPartitioner;
+
+impl FibonacciPartitioner {
+    /// The 64-bit hash used for routing (exposed for tests/diagnostics).
+    #[inline]
+    pub fn hash(key: &[u8]) -> u64 {
+        let mut h = 0x51_7c_c1_b7_27_22_0a_95u64 ^ (key.len() as u64);
+        let mut chunks = key.chunks_exact(8);
+        for chunk in &mut chunks {
+            h = splitmix64(h ^ u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            h = splitmix64(h ^ u64::from_le_bytes(buf));
+        }
+        h
+    }
+}
+
+impl Partitioner for FibonacciPartitioner {
+    #[inline]
+    fn shard_of(&self, key: &[u8], shards: usize) -> usize {
+        // Fibonacci hashing: multiply by 2^64/φ and keep the top bits; the
+        // 128-bit product maps the hash uniformly onto [0, shards).
+        let fib = Self::hash(key).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((fib as u128 * shards as u128) >> 64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "fibonacci-hash"
+    }
+}
+
+/// Order-preserving partitioning: the first two key bytes (zero-padded) are
+/// read as a big-endian `u16` and mapped proportionally onto the shard range.
+///
+/// Because shard assignment is monotone in key order, a range scan only
+/// touches the shards overlapping its bounds — cross-shard scans stay cheap
+/// even with hundreds of shards.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RangePartitioner;
+
+impl Partitioner for RangePartitioner {
+    #[inline]
+    fn shard_of(&self, key: &[u8], shards: usize) -> usize {
+        let hi = key.first().copied().unwrap_or(0) as usize;
+        let lo = key.get(1).copied().unwrap_or(0) as usize;
+        ((hi << 8 | lo) * shards) >> 16
+    }
+
+    fn is_order_preserving(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "range"
+    }
+}
+
+// =============================================================================
+// builder
+// =============================================================================
+
+/// Configures and builds a [`HyperionDb`].
+pub struct HyperionDbBuilder {
+    shards: usize,
+    config: HyperionConfig,
+    partitioner: Arc<dyn Partitioner>,
+    scan_chunk: usize,
+}
+
+impl Default for HyperionDbBuilder {
+    fn default() -> Self {
+        HyperionDbBuilder {
+            shards: 16,
+            config: HyperionConfig::default(),
+            partitioner: Arc::new(FirstBytePartitioner),
+            scan_chunk: DEFAULT_SCAN_CHUNK,
+        }
+    }
+}
+
+impl HyperionDbBuilder {
+    /// Number of shards (clamped to `1..=`[`MAX_SHARDS`]).  Default: 16.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.clamp(1, MAX_SHARDS);
+        self
+    }
+
+    /// Per-shard trie configuration.  Default: [`HyperionConfig::default`].
+    pub fn config(mut self, config: HyperionConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Key-to-shard routing.  Default: [`FirstBytePartitioner`] (paper
+    /// fidelity).
+    pub fn partitioner<P: Partitioner + 'static>(mut self, partitioner: P) -> Self {
+        self.partitioner = Arc::new(partitioner);
+        self
+    }
+
+    /// Shared routing instance (for partitioners carrying state).
+    pub fn partitioner_arc(mut self, partitioner: Arc<dyn Partitioner>) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
+    /// Entries a [`DbScan`] buffers per shard between lock acquisitions
+    /// (clamped to `>= 1`).  Default: [`DEFAULT_SCAN_CHUNK`].
+    pub fn scan_chunk(mut self, chunk: usize) -> Self {
+        self.scan_chunk = chunk.max(1);
+        self
+    }
+
+    /// Builds the database.
+    pub fn build(self) -> HyperionDb {
+        let mut shards = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            shards.push(Mutex::new(HyperionMap::with_config(self.config)));
+        }
+        HyperionDb {
+            shards,
+            partitioner: self.partitioner,
+            scan_chunk: self.scan_chunk,
+        }
+    }
+}
+
+// =============================================================================
+// the database
+// =============================================================================
+
+/// A thread-safe, sharded Hyperion store with batched operations, pluggable
+/// partitioning, typed errors and streaming merged scans.  See the
+/// [module documentation](self) for an overview.
+pub struct HyperionDb {
+    shards: Vec<Mutex<HyperionMap>>,
+    partitioner: Arc<dyn Partitioner>,
+    scan_chunk: usize,
+}
+
+/// Recovers the guard even if another thread panicked while holding the lock;
+/// used by aggregates and scans (see the module docs on poisoning).
+fn lock_recover(shard: &Mutex<HyperionMap>) -> MutexGuard<'_, HyperionMap> {
+    shard
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl HyperionDb {
+    /// Returns a builder with the default configuration.
+    pub fn builder() -> HyperionDbBuilder {
+        HyperionDbBuilder::default()
+    }
+
+    /// Convenience constructor: `shards` shards routed by the paper's
+    /// [`FirstBytePartitioner`].
+    pub fn new(shards: usize, config: HyperionConfig) -> Self {
+        HyperionDb::builder().shards(shards).config(config).build()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured partitioner.
+    pub fn partitioner(&self) -> &dyn Partitioner {
+        &*self.partitioner
+    }
+
+    /// Entries buffered per shard by each scan chunk refill.
+    pub fn scan_chunk(&self) -> usize {
+        self.scan_chunk
+    }
+
+    /// The shard index `key` routes to.
+    #[inline]
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        let shard = self.partitioner.shard_of(key, self.shards.len());
+        debug_assert!(shard < self.shards.len(), "partitioner out of range");
+        shard.min(self.shards.len() - 1)
+    }
+
+    #[inline]
+    fn check_key(key: &[u8]) -> Result<(), HyperionError> {
+        if key.len() > MAX_KEY_LEN {
+            return Err(HyperionError::KeyTooLong {
+                len: key.len(),
+                max: MAX_KEY_LEN,
+            });
+        }
+        Ok(())
+    }
+
+    /// Locks shard `index` for the typed API, reporting poisoning.
+    fn lock_shard(&self, index: usize) -> Result<MutexGuard<'_, HyperionMap>, HyperionError> {
+        self.shards[index]
+            .lock()
+            .map_err(|_| HyperionError::ShardPoisoned { shard: index })
+    }
+
+    // =========================================================================
+    // typed point operations
+    // =========================================================================
+
+    /// Inserts or updates a key.
+    pub fn put(&self, key: &[u8], value: u64) -> Result<PutOutcome, HyperionError> {
+        Self::check_key(key)?;
+        let mut guard = self.lock_shard(self.shard_of(key))?;
+        Ok(if guard.put(key, value) {
+            PutOutcome::Inserted
+        } else {
+            PutOutcome::Updated
+        })
+    }
+
+    /// Looks up a key.  Keys longer than [`MAX_KEY_LEN`] can never have been
+    /// inserted, so they simply resolve to `None`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<u64>, HyperionError> {
+        if key.len() > MAX_KEY_LEN {
+            return Ok(None);
+        }
+        Ok(self.lock_shard(self.shard_of(key))?.get(key))
+    }
+
+    /// Removes a key.  Returns `true` if it was present.
+    pub fn delete(&self, key: &[u8]) -> Result<bool, HyperionError> {
+        if key.len() > MAX_KEY_LEN {
+            return Ok(false);
+        }
+        Ok(self.lock_shard(self.shard_of(key))?.delete(key))
+    }
+
+    // =========================================================================
+    // batched operations
+    // =========================================================================
+
+    /// Looks up many keys with one lock acquisition per *shard* instead of
+    /// one per key.  `results[i]` corresponds to `keys[i]`.
+    pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<u64>>, HyperionError> {
+        let mut results = vec![None; keys.len()];
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, key) in keys.iter().enumerate() {
+            if key.len() <= MAX_KEY_LEN {
+                groups[self.shard_of(key)].push(i);
+            }
+        }
+        for (shard, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let guard = self.lock_shard(shard)?;
+            for &i in group {
+                results[i] = guard.get(keys[i]);
+            }
+        }
+        Ok(results)
+    }
+
+    /// Applies a [`WriteBatch`], acquiring each involved shard's lock exactly
+    /// once.  Operations on the same key keep their batch order (a key always
+    /// routes to one shard, and per-shard application preserves batch order).
+    ///
+    /// On success returns the [`BatchSummary`].  If some operations fail
+    /// (over-long keys, poisoned shards) the rest are still applied and the
+    /// error carries a [`BatchReport`] with per-op indices.
+    pub fn apply(&self, batch: &WriteBatch) -> Result<BatchSummary, HyperionError> {
+        let mut summary = BatchSummary::default();
+        let mut failures: Vec<(usize, HyperionError)> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, op) in batch.ops.iter().enumerate() {
+            match Self::check_key(op.key()) {
+                Ok(()) => groups[self.shard_of(op.key())].push(i),
+                Err(e) => failures.push((i, e)),
+            }
+        }
+        for (shard, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut guard = match self.lock_shard(shard) {
+                Ok(guard) => guard,
+                Err(e) => {
+                    failures.extend(group.iter().map(|&i| (i, e.clone())));
+                    continue;
+                }
+            };
+            for &i in group {
+                match &batch.ops[i] {
+                    BatchOp::Put { key, value } => {
+                        if guard.put(key, *value) {
+                            summary.inserted += 1;
+                        } else {
+                            summary.updated += 1;
+                        }
+                    }
+                    BatchOp::Delete { key } => {
+                        if guard.delete(key) {
+                            summary.deleted += 1;
+                        } else {
+                            summary.missing += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if failures.is_empty() {
+            Ok(summary)
+        } else {
+            failures.sort_by_key(|(i, _)| *i);
+            Err(HyperionError::BatchFailed(BatchReport {
+                summary,
+                failures,
+            }))
+        }
+    }
+
+    // =========================================================================
+    // aggregates (recovering; see module docs on poisoning)
+    // =========================================================================
+
+    /// Total number of keys across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_recover(s).len()).sum()
+    }
+
+    /// `true` if no shard stores any key.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| lock_recover(s).is_empty())
+    }
+
+    /// Total logical memory footprint across all shards.
+    pub fn footprint_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_recover(s).footprint_bytes())
+            .sum()
+    }
+
+    /// Per-shard key counts — the load-balance fingerprint of the configured
+    /// partitioner.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| lock_recover(s).len()).collect()
+    }
+
+    // =========================================================================
+    // streaming merged scans
+    // =========================================================================
+
+    /// Globally ordered iteration over all key/value pairs.
+    ///
+    /// The scan is *streaming*: each shard contributes a bounded chunk
+    /// ([`HyperionDb::scan_chunk`] entries) that is refilled hand-over-hand
+    /// under a brief lock, so memory stays `O(shards × chunk)` no matter how
+    /// large the database is.  Keys written behind the scan's progress point
+    /// after their chunk was taken are not observed (chunk-granular snapshot
+    /// semantics).
+    pub fn iter(&self) -> DbScan<'_> {
+        DbScan::new(self, Vec::new(), false, ScanEnd::Unbounded)
+    }
+
+    /// Globally ordered iteration over the keys within `bounds` (streaming,
+    /// see [`HyperionDb::iter`]).  With an order-preserving partitioner only
+    /// the shards overlapping the bounds are visited.
+    pub fn range<K, R>(&self, bounds: R) -> DbScan<'_>
+    where
+        K: AsRef<[u8]> + ?Sized,
+        R: RangeBounds<K>,
+    {
+        let (start, skip_equal) = match bounds.start_bound() {
+            Bound::Unbounded => (Vec::new(), false),
+            Bound::Included(s) => (s.as_ref().to_vec(), false),
+            Bound::Excluded(s) => (s.as_ref().to_vec(), true),
+        };
+        let end = match bounds.end_bound() {
+            Bound::Unbounded => ScanEnd::Unbounded,
+            Bound::Excluded(e) => ScanEnd::Excluded(e.as_ref().to_vec()),
+            Bound::Included(e) => ScanEnd::Included(e.as_ref().to_vec()),
+        };
+        DbScan::new(self, start, skip_equal, end)
+    }
+
+    /// Globally ordered iteration over all keys starting with `prefix`
+    /// (streaming, see [`HyperionDb::iter`]).
+    pub fn prefix(&self, prefix: &[u8]) -> DbScan<'_> {
+        let end = match prefix_upper_bound(prefix) {
+            Some(end) => ScanEnd::Excluded(end),
+            None => ScanEnd::Unbounded,
+        };
+        DbScan::new(self, prefix.to_vec(), false, end)
+    }
+
+    /// Invokes `f` for every key/value pair in ascending key order until `f`
+    /// returns `false`.  Thin adapter over [`HyperionDb::iter`].
+    pub fn for_each<F: FnMut(&[u8], u64) -> bool>(&self, f: &mut F) -> bool {
+        for (key, value) in self.iter() {
+            if !f(&key, value) {
+                return false;
+            }
+        }
+        true
+    }
+
+    // Recovering variants backing the capability-trait impls and the
+    // deprecated `ConcurrentHyperion` shim (bool/Option surface).  The key
+    // length contract is shared with the typed API: if any write path
+    // accepted over-long keys, the typed `get`/`delete` (which treat them as
+    // impossible) could neither see nor remove them — and the stack-depth
+    // bound MAX_KEY_LEN exists for would be bypassed.  The bool surface has
+    // no error channel and silently dropping a write would read as "updated",
+    // so a violation panics (before any lock is taken — no poisoning).
+
+    pub(crate) fn put_recovering(&self, key: &[u8], value: u64) -> bool {
+        assert!(
+            key.len() <= MAX_KEY_LEN,
+            "key of {} bytes exceeds MAX_KEY_LEN ({MAX_KEY_LEN}); \
+             use HyperionDb::put for a typed error instead",
+            key.len()
+        );
+        lock_recover(&self.shards[self.shard_of(key)]).put(key, value)
+    }
+
+    pub(crate) fn get_recovering(&self, key: &[u8]) -> Option<u64> {
+        lock_recover(&self.shards[self.shard_of(key)]).get(key)
+    }
+
+    pub(crate) fn delete_recovering(&self, key: &[u8]) -> bool {
+        lock_recover(&self.shards[self.shard_of(key)]).delete(key)
+    }
+}
+
+impl fmt::Debug for HyperionDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HyperionDb")
+            .field("shards", &self.shards.len())
+            .field("partitioner", &self.partitioner.name())
+            .field("scan_chunk", &self.scan_chunk)
+            .finish()
+    }
+}
+
+// =============================================================================
+// write batches
+// =============================================================================
+
+/// One operation of a [`WriteBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BatchOp {
+    Put { key: Vec<u8>, value: u64 },
+    Delete { key: Vec<u8> },
+}
+
+impl BatchOp {
+    #[inline]
+    fn key(&self) -> &[u8] {
+        match self {
+            BatchOp::Put { key, .. } | BatchOp::Delete { key } => key,
+        }
+    }
+}
+
+/// A group of put/delete operations applied with one lock acquisition per
+/// involved shard (see [`HyperionDb::apply`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteBatch {
+    ops: Vec<BatchOp>,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// Creates an empty batch with capacity for `n` operations.
+    pub fn with_capacity(n: usize) -> WriteBatch {
+        WriteBatch {
+            ops: Vec::with_capacity(n),
+        }
+    }
+
+    /// Queues an insert/update.
+    pub fn put(&mut self, key: &[u8], value: u64) -> &mut WriteBatch {
+        self.ops.push(BatchOp::Put {
+            key: key.to_vec(),
+            value,
+        });
+        self
+    }
+
+    /// Queues a deletion.
+    pub fn delete(&mut self, key: &[u8]) -> &mut WriteBatch {
+        self.ops.push(BatchOp::Delete { key: key.to_vec() });
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Removes all queued operations, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+// =============================================================================
+// streaming merged scan
+// =============================================================================
+
+/// Upper bound of a [`DbScan`] (original key space).
+enum ScanEnd {
+    Unbounded,
+    Excluded(Vec<u8>),
+    Included(Vec<u8>),
+}
+
+impl ScanEnd {
+    #[inline]
+    fn admits(&self, key: &[u8]) -> bool {
+        match self {
+            ScanEnd::Unbounded => true,
+            ScanEnd::Excluded(end) => key < end.as_slice(),
+            ScanEnd::Included(end) => key <= end.as_slice(),
+        }
+    }
+}
+
+/// Refill state of one shard's stream within a [`DbScan`].
+enum StreamState {
+    /// The next refill seeks to `seek`; `skip_equal` drops a first entry equal
+    /// to it (resume point, or an excluded start bound).
+    Pending { seek: Vec<u8>, skip_equal: bool },
+    /// The shard has no further in-bound keys.
+    Exhausted,
+}
+
+/// One shard's contribution to the merge: a bounded buffer of pre-fetched
+/// entries plus the resume state for the next refill.
+struct ShardStream {
+    shard: usize,
+    buf: VecDeque<(Vec<u8>, u64)>,
+    state: StreamState,
+}
+
+/// A streaming, globally ordered k-way merge over the shards of a
+/// [`HyperionDb`]; returned by [`HyperionDb::iter`], [`HyperionDb::range`]
+/// and [`HyperionDb::prefix`].
+///
+/// Unlike a snapshot merge, the scan holds no lock while the caller consumes
+/// it *and* never materialises a shard: each shard stream buffers at most one
+/// chunk ([`HyperionDb::scan_chunk`] entries), refilled hand-over-hand by
+/// re-seeking past the last buffered key under a brief lock.  Peak buffered
+/// entries are therefore bounded by `shards × chunk`
+/// ([`DbScan::peak_buffered`] reports the observed maximum).
+pub struct DbScan<'a> {
+    db: &'a HyperionDb,
+    streams: Vec<ShardStream>,
+    /// Min-heap over the head of every live stream.  Keys are unique across
+    /// shards (each key routes to exactly one shard), so `(key, stream)`
+    /// ordering is total.
+    heap: BinaryHeap<Reverse<(Vec<u8>, usize, u64)>>,
+    end: ScanEnd,
+    chunk: usize,
+    peak_buffered: usize,
+}
+
+impl<'a> DbScan<'a> {
+    fn new(db: &'a HyperionDb, start: Vec<u8>, skip_equal: bool, end: ScanEnd) -> DbScan<'a> {
+        // With an order-preserving partitioner, only the shards overlapping
+        // [start, end] can hold in-bound keys.
+        let n = db.shards.len();
+        let (lo, hi) = if db.partitioner.is_order_preserving() {
+            let lo = db.partitioner.shard_of(&start, n).min(n - 1);
+            let hi = match &end {
+                ScanEnd::Unbounded => n - 1,
+                ScanEnd::Excluded(e) | ScanEnd::Included(e) => {
+                    db.partitioner.shard_of(e, n).min(n - 1)
+                }
+            };
+            (lo, hi.max(lo))
+        } else {
+            (0, n - 1)
+        };
+        let mut scan = DbScan {
+            db,
+            streams: (lo..=hi)
+                .map(|shard| ShardStream {
+                    shard,
+                    buf: VecDeque::new(),
+                    state: StreamState::Pending {
+                        seek: start.clone(),
+                        skip_equal,
+                    },
+                })
+                .collect(),
+            heap: BinaryHeap::with_capacity(hi - lo + 1),
+            end,
+            chunk: db.scan_chunk,
+            peak_buffered: 0,
+        };
+        for i in 0..scan.streams.len() {
+            scan.promote_head(i);
+        }
+        scan
+    }
+
+    /// Fetches the next chunk for stream `i` under its shard lock.
+    fn refill(&mut self, i: usize) {
+        let stream = &mut self.streams[i];
+        let StreamState::Pending { seek, skip_equal } =
+            std::mem::replace(&mut stream.state, StreamState::Exhausted)
+        else {
+            return;
+        };
+        let guard = lock_recover(&self.db.shards[stream.shard]);
+        let mut cursor = guard.cursor();
+        cursor.seek(&seek);
+        let mut skip = skip_equal;
+        let mut ran_dry = false;
+        while stream.buf.len() < self.chunk {
+            let Some((key, value)) = cursor.next() else {
+                ran_dry = true;
+                break;
+            };
+            if skip {
+                skip = false;
+                if key == seek {
+                    continue;
+                }
+            }
+            if !self.end.admits(&key) {
+                ran_dry = true;
+                break;
+            }
+            stream.buf.push_back((key, value));
+        }
+        if !ran_dry {
+            if let Some((last, _)) = stream.buf.back() {
+                stream.state = StreamState::Pending {
+                    seek: last.clone(),
+                    skip_equal: true,
+                };
+            }
+        }
+    }
+
+    /// Moves the head of stream `i` into the merge heap, refilling first if
+    /// the buffer ran empty.
+    fn promote_head(&mut self, i: usize) {
+        if self.streams[i].buf.is_empty() {
+            self.refill(i);
+            self.note_peak();
+        }
+        if let Some((key, value)) = self.streams[i].buf.pop_front() {
+            self.heap.push(Reverse((key, i, value)));
+        }
+    }
+
+    #[inline]
+    fn buffered(&self) -> usize {
+        self.heap.len() + self.streams.iter().map(|s| s.buf.len()).sum::<usize>()
+    }
+
+    #[inline]
+    fn note_peak(&mut self) {
+        self.peak_buffered = self.peak_buffered.max(self.buffered());
+    }
+
+    /// Entries currently buffered across all shard streams (including the
+    /// merge heap).  Bounded by `shards × chunk`.
+    pub fn buffered_entries(&self) -> usize {
+        self.buffered()
+    }
+
+    /// The maximum number of simultaneously buffered entries observed so far.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+}
+
+impl Iterator for DbScan<'_> {
+    type Item = (Vec<u8>, u64);
+
+    fn next(&mut self) -> Option<(Vec<u8>, u64)> {
+        let Reverse((key, i, value)) = self.heap.pop()?;
+        self.promote_head(i);
+        Some((key, value))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Everything buffered has already passed the bound checks, so it will
+        // be yielded: the buffered count is an honest lower bound.  The upper
+        // bound is unknown until every stream is exhausted.
+        let buffered = self.buffered();
+        let live = self
+            .streams
+            .iter()
+            .any(|s| matches!(s.state, StreamState::Pending { .. }));
+        (buffered, if live { None } else { Some(buffered) })
+    }
+}
+
+impl std::iter::FusedIterator for DbScan<'_> {}
+
+impl KvRead for HyperionDb {
+    fn get(&self, key: &[u8]) -> Option<u64> {
+        self.get_recovering(key)
+    }
+
+    fn len(&self) -> usize {
+        HyperionDb::len(self)
+    }
+
+    fn memory_footprint(&self) -> usize {
+        self.footprint_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "hyperion-db"
+    }
+}
+
+impl KvWrite for HyperionDb {
+    fn put(&mut self, key: &[u8], value: u64) -> bool {
+        self.put_recovering(key, value)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> bool {
+        self.delete_recovering(key)
+    }
+}
+
+impl OrderedRead for HyperionDb {
+    fn for_each_from(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
+        for (key, value) in self.range(start..) {
+            if !f(&key, value) {
+                return;
+            }
+        }
+    }
+
+    fn iter_from(&self, start: &[u8]) -> Entries<'_> {
+        Entries::from_lazy(self.range(start..))
+    }
+
+    fn range_iter(&self, start: &[u8], end: &[u8]) -> Entries<'_> {
+        Entries::from_lazy(self.range(start..end))
+    }
+
+    /// Overrides the default with a bounded probe: each shard is asked for its
+    /// first key `>= start` (one cursor step under the lock) instead of
+    /// starting a chunked scan.  With an order-preserving partitioner, shards
+    /// below `start`'s shard cannot hold in-bound keys and shard `i`'s keys
+    /// all precede shard `i + 1`'s, so the probe starts at `shard_of(start)`
+    /// and stops at the first shard that yields anything.
+    fn seek_first(&self, start: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let probe = |shard: &Mutex<HyperionMap>| {
+            let guard = lock_recover(shard);
+            let mut cursor = guard.cursor();
+            cursor.seek(start);
+            cursor.next()
+        };
+        if self.partitioner.is_order_preserving() {
+            let lo = self.shard_of(start);
+            self.shards[lo..].iter().find_map(probe)
+        } else {
+            self.shards.iter().filter_map(probe).min()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    fn sample_db(partitioner: impl Partitioner + 'static, shards: usize) -> HyperionDb {
+        HyperionDb::builder()
+            .shards(shards)
+            .partitioner(partitioner)
+            .build()
+    }
+
+    #[test]
+    fn typed_point_operations() {
+        let db = sample_db(FirstBytePartitioner, 8);
+        assert_eq!(db.put(b"alpha", 1), Ok(PutOutcome::Inserted));
+        assert_eq!(db.put(b"alpha", 2), Ok(PutOutcome::Updated));
+        assert_eq!(db.get(b"alpha"), Ok(Some(2)));
+        assert_eq!(db.delete(b"alpha"), Ok(true));
+        assert_eq!(db.delete(b"alpha"), Ok(false));
+        assert_eq!(db.get(b"alpha"), Ok(None));
+    }
+
+    #[test]
+    fn over_long_keys_are_typed_errors() {
+        let db = sample_db(FirstBytePartitioner, 4);
+        let long = vec![7u8; MAX_KEY_LEN + 1];
+        assert_eq!(
+            db.put(&long, 1),
+            Err(HyperionError::KeyTooLong {
+                len: MAX_KEY_LEN + 1,
+                max: MAX_KEY_LEN
+            })
+        );
+        // Reads of impossible keys are absences, not errors.
+        assert_eq!(db.get(&long), Ok(None));
+        assert_eq!(db.delete(&long), Ok(false));
+        // The trait/shim write path shares the contract: a store reachable
+        // through both surfaces must agree on what can exist.  With no error
+        // channel on the bool surface, violations are loud.
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| db.put_recovering(&long, 1)))
+                .is_err();
+        assert!(
+            panicked,
+            "bool write surface must reject over-long keys loudly"
+        );
+        assert_eq!(KvRead::get(&db, &long), None);
+        assert_eq!(db.len(), 0);
+        // The boundary length is accepted.
+        let exact = vec![7u8; MAX_KEY_LEN];
+        assert_eq!(db.put(&exact, 1), Ok(PutOutcome::Inserted));
+        assert_eq!(db.get(&exact), Ok(Some(1)));
+    }
+
+    #[test]
+    fn shard_poisoning_is_reported() {
+        let db = Arc::new(sample_db(FirstBytePartitioner, 4));
+        db.put(b"victim", 1).unwrap();
+        let shard = db.shard_of(b"victim");
+        // Poison the shard by panicking while holding its lock.
+        let db2 = Arc::clone(&db);
+        let _ = std::thread::spawn(move || {
+            let _guard = db2.shards[shard].lock().unwrap();
+            panic!("poison the shard");
+        })
+        .join();
+        assert_eq!(
+            db.put(b"victim", 2),
+            Err(HyperionError::ShardPoisoned { shard })
+        );
+        // Aggregates and scans recover.
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.iter().count(), 1);
+        assert_eq!(KvRead::get(&*db, b"victim"), Some(1));
+    }
+
+    #[test]
+    fn write_batch_groups_and_applies_in_order() {
+        let db = sample_db(FibonacciPartitioner, 8);
+        let mut batch = WriteBatch::with_capacity(5);
+        batch
+            .put(b"k1", 1)
+            .put(b"k2", 2)
+            .put(b"k1", 10) // same key again: batch order must win
+            .delete(b"k2")
+            .delete(b"nope");
+        let summary = db.apply(&batch).unwrap();
+        assert_eq!(summary.inserted, 2);
+        assert_eq!(summary.updated, 1);
+        assert_eq!(summary.deleted, 1);
+        assert_eq!(summary.missing, 1);
+        assert_eq!(summary.applied(), 5);
+        assert_eq!(db.get(b"k1"), Ok(Some(10)));
+        assert_eq!(db.get(b"k2"), Ok(None));
+    }
+
+    #[test]
+    fn batch_partial_failure_reports_indices() {
+        let db = sample_db(FirstBytePartitioner, 4);
+        let long = vec![1u8; MAX_KEY_LEN + 1];
+        let mut batch = WriteBatch::new();
+        batch.put(b"good", 1).put(&long, 2).put(b"also-good", 3);
+        let err = db.apply(&batch).unwrap_err();
+        let HyperionError::BatchFailed(report) = &err else {
+            panic!("expected BatchFailed, got {err:?}");
+        };
+        assert_eq!(report.summary.inserted, 2, "valid ops still applied");
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].0, 1, "op index of the bad key");
+        assert!(matches!(
+            report.failures[0].1,
+            HyperionError::KeyTooLong { .. }
+        ));
+        assert_eq!(db.get(b"good"), Ok(Some(1)));
+        assert_eq!(db.get(b"also-good"), Ok(Some(3)));
+        // The error is displayable.
+        assert!(err.to_string().contains("1 failed"));
+    }
+
+    #[test]
+    fn multi_get_matches_single_gets() {
+        for db in [
+            sample_db(FirstBytePartitioner, 8),
+            sample_db(FibonacciPartitioner, 8),
+            sample_db(RangePartitioner, 8),
+        ] {
+            for i in 0..500u64 {
+                db.put(format!("key{:04}", i * 7 % 1000).as_bytes(), i)
+                    .unwrap();
+            }
+            let probes: Vec<Vec<u8>> = (0..40)
+                .map(|i| format!("key{:04}", i * 25).into_bytes())
+                .collect();
+            let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+            let batch = db.multi_get(&refs).unwrap();
+            for (key, got) in refs.iter().zip(&batch) {
+                assert_eq!(
+                    *got,
+                    db.get(key).unwrap(),
+                    "{}",
+                    String::from_utf8_lossy(key)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioners_cover_all_shards_and_respect_bounds() {
+        for n in [1usize, 3, 8, 67, 256] {
+            for p in [
+                &FirstBytePartitioner as &dyn Partitioner,
+                &FibonacciPartitioner,
+                &RangePartitioner,
+            ] {
+                for i in 0..2000u64 {
+                    let key = splitmix64(i).to_be_bytes();
+                    let shard = p.shard_of(&key, n);
+                    assert!(shard < n, "{} out of range for {n} shards", p.name());
+                }
+                assert!(p.shard_of(&[], n) < n, "{} empty key", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn range_partitioner_is_monotone() {
+        let p = RangePartitioner;
+        for n in [2usize, 5, 16, 256] {
+            let mut last = 0usize;
+            for hi in 0..=255u8 {
+                let shard = p.shard_of(&[hi, 0], n);
+                assert!(shard >= last, "monotonicity violated at {hi:#x}/{n}");
+                last = shard;
+            }
+            assert_eq!(p.shard_of(&[0xff, 0xff, 0xff], n), n - 1);
+        }
+    }
+
+    #[test]
+    fn fibonacci_fixes_hot_prefix_skew() {
+        let shards = 16;
+        let first = sample_db(FirstBytePartitioner, shards);
+        let hashed = sample_db(FibonacciPartitioner, shards);
+        for i in 0..4000u64 {
+            // 100% hot prefix: every key starts with "user:".
+            let key = format!("user:{i:06}");
+            first.put(key.as_bytes(), i).unwrap();
+            hashed.put(key.as_bytes(), i).unwrap();
+        }
+        let first_max = *first.shard_lens().iter().max().unwrap();
+        assert_eq!(
+            first_max, 4000,
+            "first-byte routing serialises the hot prefix"
+        );
+        let hashed_lens = hashed.shard_lens();
+        let hashed_max = *hashed_lens.iter().max().unwrap();
+        let hashed_min = *hashed_lens.iter().min().unwrap();
+        assert!(
+            hashed_max < 4000 / shards * 2 && hashed_min > 0,
+            "hash routing must spread the hot prefix, got {hashed_lens:?}"
+        );
+    }
+
+    #[test]
+    fn scans_match_reference_for_every_partitioner() {
+        for p in [
+            Box::new(FirstBytePartitioner) as Box<dyn Partitioner>,
+            Box::new(FibonacciPartitioner),
+            Box::new(RangePartitioner),
+        ] {
+            let name = p.name();
+            let db = HyperionDb::builder()
+                .shards(7)
+                .partitioner_arc(Arc::from(p))
+                .scan_chunk(16) // small chunks: force many hand-over-hand refills
+                .build();
+            let mut reference = BTreeMap::new();
+            for i in 0..1500u64 {
+                let key = format!("k{:05}", i * 37 % 3000).into_bytes();
+                db.put(&key, i).unwrap();
+                reference.insert(key, i);
+            }
+            let expected: Vec<_> = reference.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            let got: Vec<_> = db.iter().collect();
+            assert_eq!(got, expected, "{name} full scan");
+
+            let lo = b"k00500".to_vec();
+            let hi = b"k02000".to_vec();
+            let got: Vec<_> = db.range(&lo[..]..&hi[..]).collect();
+            let expected_range: Vec<_> = reference
+                .range(lo.clone()..hi.clone())
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            assert_eq!(got, expected_range, "{name} bounded range");
+
+            // Inclusive end and excluded start.
+            use std::ops::Bound;
+            let got: Vec<_> = db
+                .range::<[u8], _>((Bound::Excluded(&lo[..]), Bound::Included(&hi[..])))
+                .collect();
+            let expected_ex: Vec<_> = reference
+                .range::<Vec<u8>, _>((Bound::Excluded(&lo), Bound::Included(&hi)))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            assert_eq!(got, expected_ex, "{name} excluded/included bounds");
+
+            let got = db.prefix(b"k01").count();
+            let expected_prefix = reference.keys().filter(|k| k.starts_with(b"k01")).count();
+            assert_eq!(got, expected_prefix, "{name} prefix");
+        }
+    }
+
+    #[test]
+    fn scan_memory_stays_bounded_by_chunks() {
+        let db = HyperionDb::builder().shards(4).scan_chunk(8).build();
+        for i in 0..5000u64 {
+            db.put(format!("{i:08}").as_bytes(), i).unwrap();
+        }
+        let mut scan = db.iter();
+        let mut n = 0usize;
+        while scan.next().is_some() {
+            n += 1;
+            assert!(
+                scan.buffered_entries() <= 4 * 8,
+                "buffer exceeded shards×chunk"
+            );
+        }
+        assert_eq!(n, 5000);
+        assert!(scan.peak_buffered() <= 4 * 8);
+    }
+
+    #[test]
+    fn scan_size_hint_is_honest_and_fused() {
+        let db = HyperionDb::builder().shards(3).scan_chunk(4).build();
+        for i in 0..100u64 {
+            db.put(&i.to_be_bytes(), i).unwrap();
+        }
+        let mut scan = db.iter();
+        let mut remaining = 100usize;
+        loop {
+            let (lo, hi) = scan.size_hint();
+            assert!(
+                lo <= remaining,
+                "lower bound {lo} above true count {remaining}"
+            );
+            if let Some(hi) = hi {
+                assert!(
+                    hi >= remaining,
+                    "upper bound {hi} below true count {remaining}"
+                );
+            }
+            if scan.next().is_none() {
+                break;
+            }
+            remaining -= 1;
+        }
+        assert_eq!(remaining, 0);
+        // Fused: keeps returning None.
+        assert_eq!(scan.next(), None);
+        assert_eq!(scan.next(), None);
+        assert_eq!(scan.size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn seek_first_agrees_across_partitioners() {
+        let dbs = [
+            sample_db(FirstBytePartitioner, 16),
+            sample_db(FibonacciPartitioner, 16),
+            sample_db(RangePartitioner, 16),
+        ];
+        let mut reference = BTreeMap::new();
+        for i in 0..400u64 {
+            let key = (i * 163 % 1000).to_be_bytes();
+            for db in &dbs {
+                db.put(&key, i).unwrap();
+            }
+            reference.insert(key.to_vec(), i);
+        }
+        for probe in [0u64, 1, 499, 500, 999, 1000, u64::MAX] {
+            let start = probe.to_be_bytes();
+            let expected = reference
+                .range(start.to_vec()..)
+                .next()
+                .map(|(k, v)| (k.clone(), *v));
+            for db in &dbs {
+                assert_eq!(
+                    OrderedRead::seek_first(db, &start),
+                    expected,
+                    "{} seek_first({probe})",
+                    db.partitioner().name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_db_and_empty_key() {
+        let db = sample_db(RangePartitioner, 5);
+        assert!(db.is_empty());
+        assert_eq!(db.iter().next(), None);
+        db.put(b"", 42).unwrap();
+        assert_eq!(db.get(b""), Ok(Some(42)));
+        assert_eq!(db.iter().next(), Some((Vec::new(), 42)));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn ordered_read_trait_surface() {
+        let db = sample_db(FibonacciPartitioner, 6);
+        for i in 0..300u64 {
+            db.put(&(i * 3).to_be_bytes(), i).unwrap();
+        }
+        let start = 150u64.to_be_bytes();
+        let end = 600u64.to_be_bytes();
+        assert_eq!(db.range_count(&start, &end), 150);
+        assert_eq!(
+            OrderedRead::seek_first(&db, &start),
+            Some((150u64.to_be_bytes().to_vec(), 50))
+        );
+        let got: Vec<_> = db.iter_from(&start).take(3).map(|(_, v)| v).collect();
+        assert_eq!(got, vec![50, 51, 52]);
+    }
+}

@@ -66,6 +66,12 @@ fn subtree_before_start(prefix: &[u8], start: &[u8]) -> bool {
 /// path-compressed emissions) on top of itself.  When a `Subs` frame is
 /// exhausted it has, as a side effect, discovered the offset of the next
 /// T sibling and writes it back into its parent `Tops` frame.
+///
+/// `Tops` and `Subs` frames carry the *resolved* [`ContainerRef`] (raw
+/// pointer + capacity), not just the handle: the container is opened once
+/// when the frame is created instead of on every advance step.  The cached
+/// pointer stays valid because the cursor's shared borrow of the map
+/// prevents any reallocation while frames are live.
 enum Frame {
     /// Iterate the valid slots of a chained extended bin in key order.
     Chain {
@@ -76,7 +82,7 @@ enum Frame {
     },
     /// Walk the T records of the region `[pos, end)` of one container.
     Tops {
-        handle: ContainerHandle,
+        c: ContainerRef,
         pos: usize,
         end: usize,
         prev_key: Option<u8>,
@@ -84,7 +90,7 @@ enum Frame {
     },
     /// Walk the S children of the current T record, starting at `pos`.
     Subs {
-        handle: ContainerHandle,
+        c: ContainerRef,
         pos: usize,
         end: usize,
         prev_key: Option<u8>,
@@ -183,12 +189,12 @@ impl<'a> Cursor<'a> {
                 base,
             });
         } else {
-            let handle = ContainerHandle::Standalone(hp);
-            let c = ContainerRef::open(mm, handle);
+            let c = ContainerRef::open(mm, ContainerHandle::Standalone(hp));
+            let (pos, end) = (c.stream_start(), c.stream_end());
             self.stack.push(Frame::Tops {
-                handle,
-                pos: c.stream_start(),
-                end: c.stream_end(),
+                c,
+                pos,
+                end,
                 prev_key: None,
                 base,
             });
@@ -234,23 +240,23 @@ impl<'a> Cursor<'a> {
                     });
                     let handle = ContainerHandle::ChainSlot { head, index };
                     let c = ContainerRef::open(self.map.memory_manager(), handle);
+                    let (pos, end) = (c.stream_start(), c.stream_end());
                     self.stack.push(Frame::Tops {
-                        handle,
-                        pos: c.stream_start(),
-                        end: c.stream_end(),
+                        c,
+                        pos,
+                        end,
                         prev_key: None,
                         base,
                     });
                 }
                 Frame::Tops {
-                    handle,
+                    c,
                     mut pos,
                     end,
                     mut prev_key,
                     base,
                 } => {
                     self.prefix.truncate(base);
-                    let c = ContainerRef::open(self.map.memory_manager(), handle);
                     let bytes = c.bytes();
                     if pos >= end || is_invalid(bytes[pos]) {
                         continue; // region exhausted: frame stays popped
@@ -263,7 +269,7 @@ impl<'a> Cursor<'a> {
                         // jump successor (when present) to skip its byte range.
                         pos = skip_t_children(&c, &t, end);
                         self.stack.push(Frame::Tops {
-                            handle,
+                            c,
                             pos,
                             end,
                             prev_key,
@@ -271,8 +277,9 @@ impl<'a> Cursor<'a> {
                         });
                         continue;
                     }
+                    let value = t.value_offset.map(|off| c.read_u64(off));
                     self.stack.push(Frame::Tops {
-                        handle,
+                        c: c.clone(),
                         pos,
                         end,
                         prev_key,
@@ -281,14 +288,13 @@ impl<'a> Cursor<'a> {
                     // The Subs frame discovers the next T sibling offset and
                     // writes it back into the Tops frame when it pops.
                     self.stack.push(Frame::Subs {
-                        handle,
+                        c,
                         pos: t.header_end,
                         end,
                         prev_key: None,
                         base: base + 1,
                     });
-                    if let Some(off) = t.value_offset {
-                        let value = c.read_u64(off);
+                    if let Some(value) = value {
                         let key = self.prefix.clone();
                         if self.passes(&key) {
                             return Some((key, value));
@@ -296,14 +302,13 @@ impl<'a> Cursor<'a> {
                     }
                 }
                 Frame::Subs {
-                    handle,
+                    c,
                     mut pos,
                     end,
                     mut prev_key,
                     base,
                 } => {
                     self.prefix.truncate(base);
-                    let c = ContainerRef::open(self.map.memory_manager(), handle);
                     let bytes = c.bytes();
                     if pos >= end || is_invalid(bytes[pos]) || is_t_node(bytes[pos]) {
                         // All S children consumed: `pos` is the next T sibling.
@@ -315,39 +320,63 @@ impl<'a> Cursor<'a> {
                     let s = parse_s_node(bytes, pos, prev_key).expect("corrupt S record");
                     pos = s.end;
                     prev_key = Some(s.key);
-                    self.stack.push(Frame::Subs {
-                        handle,
-                        pos,
-                        end,
-                        prev_key,
-                        base,
-                    });
                     self.prefix.push(s.key);
                     if !self.started && subtree_before_start(&self.prefix, &self.start) {
                         self.prefix.pop();
+                        self.stack.push(Frame::Subs {
+                            c,
+                            pos,
+                            end,
+                            prev_key,
+                            base,
+                        });
                         continue;
                     }
-                    // Push the child subtree first so it is visited *after* the
-                    // value stored at this node (shorter keys sort first).
+                    let value = s.value_offset.map(|off| c.read_u64(off));
+                    // Push the child subtree above the resumed Subs frame so it
+                    // is visited *after* the value stored at this node
+                    // (shorter keys sort first).
                     match s.child {
-                        ChildKind::None => {}
+                        ChildKind::None => {
+                            self.stack.push(Frame::Subs {
+                                c,
+                                pos,
+                                end,
+                                prev_key,
+                                base,
+                            });
+                        }
                         ChildKind::PathCompressed => {
                             let (has_value, pc_value, range) =
                                 parse_pc_node(bytes, s.child_offset.expect("pc child offset"));
-                            if has_value {
+                            let emit = has_value.then(|| {
                                 let mut key = self.prefix.clone();
                                 key.extend_from_slice(&bytes[range]);
-                                self.stack.push(Frame::Emit {
-                                    key,
-                                    value: pc_value,
-                                });
+                                (key, pc_value)
+                            });
+                            self.stack.push(Frame::Subs {
+                                c,
+                                pos,
+                                end,
+                                prev_key,
+                                base,
+                            });
+                            if let Some((key, value)) = emit {
+                                self.stack.push(Frame::Emit { key, value });
                             }
                         }
                         ChildKind::Embedded => {
                             let child_off = s.child_offset.expect("embedded child offset");
                             let size = bytes[child_off] as usize;
+                            self.stack.push(Frame::Subs {
+                                c: c.clone(),
+                                pos,
+                                end,
+                                prev_key,
+                                base,
+                            });
                             self.stack.push(Frame::Tops {
-                                handle,
+                                c,
                                 pos: child_off + 1,
                                 end: child_off + size,
                                 prev_key: None,
@@ -356,11 +385,17 @@ impl<'a> Cursor<'a> {
                         }
                         ChildKind::Pointer => {
                             let hp = c.read_hp(s.child_offset.expect("pointer child offset"));
+                            self.stack.push(Frame::Subs {
+                                c,
+                                pos,
+                                end,
+                                prev_key,
+                                base,
+                            });
                             self.push_pointer(hp, base + 1);
                         }
                     }
-                    if let Some(off) = s.value_offset {
-                        let value = c.read_u64(off);
+                    if let Some(value) = value {
                         let key = self.prefix.clone();
                         if self.passes(&key) {
                             return Some((key, value));
@@ -409,19 +444,47 @@ impl UpperBound {
 
 /// Lazy iterator over all key/value pairs of a [`HyperionMap`] in ascending
 /// key order.  Created by [`HyperionMap::iter`].
-pub struct Iter<'a>(Cursor<'a>);
+///
+/// Covers the whole map, so the number of remaining entries is known exactly:
+/// [`Iterator::size_hint`] is tight and [`ExactSizeIterator`] is implemented.
+pub struct Iter<'a> {
+    cursor: Cursor<'a>,
+    remaining: usize,
+}
 
 impl Iterator for Iter<'_> {
     type Item = (Vec<u8>, u64);
 
     #[inline]
     fn next(&mut self) -> Option<(Vec<u8>, u64)> {
-        self.0.next()
+        match self.cursor.next() {
+            Some(pair) => {
+                self.remaining -= 1;
+                Some(pair)
+            }
+            None => {
+                debug_assert_eq!(self.remaining, 0, "cursor ended early");
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
 
+impl ExactSizeIterator for Iter<'_> {}
+impl std::iter::FusedIterator for Iter<'_> {}
+
 /// Lazy iterator over a contiguous key range of a [`HyperionMap`].  Created
 /// by [`HyperionMap::range`].
+///
+/// How many keys fall inside the bounds is unknown until the walk finishes,
+/// so [`Iterator::size_hint`] honestly reports a lower bound of zero; the
+/// upper bound is the number of keys the map can still yield.
 pub struct Range<'a> {
     cursor: Cursor<'a>,
     /// For an excluded start bound: skip the key equal to the bound (the
@@ -429,6 +492,8 @@ pub struct Range<'a> {
     skip_equal: Option<Vec<u8>>,
     end: UpperBound,
     done: bool,
+    /// Upper bound on the remaining yields (total map size minus yields).
+    at_most: usize,
 }
 
 impl Iterator for Range<'_> {
@@ -445,6 +510,7 @@ impl Iterator for Range<'_> {
             };
             if let Some(excluded) = self.skip_equal.take() {
                 if key == excluded {
+                    self.at_most = self.at_most.saturating_sub(1);
                     continue;
                 }
             }
@@ -452,10 +518,22 @@ impl Iterator for Range<'_> {
                 self.done = true;
                 return None;
             }
+            self.at_most = self.at_most.saturating_sub(1);
             return Some((key, value));
         }
     }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            (0, Some(0))
+        } else {
+            (0, Some(self.at_most))
+        }
+    }
 }
+
+impl std::iter::FusedIterator for Range<'_> {}
 
 /// Lazy iterator over all keys sharing a prefix.  Created by
 /// [`HyperionMap::prefix`].
@@ -468,7 +546,14 @@ impl Iterator for Prefix<'_> {
     fn next(&mut self) -> Option<(Vec<u8>, u64)> {
         self.0.next()
     }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
 }
+
+impl std::iter::FusedIterator for Prefix<'_> {}
 
 impl HyperionMap {
     /// Returns a [`Cursor`] positioned at the first key.
@@ -478,7 +563,10 @@ impl HyperionMap {
 
     /// Lazily iterates over all key/value pairs in ascending key order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter(Cursor::new(self))
+        Iter {
+            cursor: Cursor::new(self),
+            remaining: self.len(),
+        }
     }
 
     /// Lazily iterates over the keys within `bounds`, in ascending order.
@@ -521,6 +609,7 @@ impl HyperionMap {
             skip_equal,
             end,
             done: false,
+            at_most: self.len(),
         }
     }
 
@@ -549,6 +638,7 @@ impl HyperionMap {
             skip_equal: None,
             end,
             done: false,
+            at_most: self.len(),
         })
     }
 }
@@ -634,7 +724,26 @@ impl Iterator for Entries<'_> {
             }
         }
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            return (0, Some(0));
+        }
+        let (lower, upper) = match &self.inner {
+            EntriesInner::Sorted(it) => it.size_hint(),
+            EntriesInner::Lazy(it) => it.size_hint(),
+        };
+        // An end bound can cut the walk short, making the inner lower bound
+        // dishonest; without one the inner hints pass through unchanged.
+        if self.end.is_some() {
+            (0, upper)
+        } else {
+            (lower, upper)
+        }
+    }
 }
+
+impl std::iter::FusedIterator for Entries<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -783,6 +892,60 @@ mod tests {
         let mut cur = map.cursor();
         cur.seek(&mid);
         assert_eq!(cur.next(), Some(expected[1000].clone()));
+    }
+
+    #[test]
+    fn iter_is_exact_size_and_fused() {
+        let (map, reference) = sample_map(2_000);
+        let mut iter = map.iter();
+        assert_eq!(iter.len(), reference.len());
+        assert_eq!(iter.size_hint(), (reference.len(), Some(reference.len())));
+        for remaining in (0..reference.len()).rev() {
+            assert!(iter.next().is_some());
+            assert_eq!(iter.len(), remaining);
+        }
+        assert_eq!(iter.next(), None);
+        assert_eq!(iter.next(), None, "fused after exhaustion");
+        assert_eq!(iter.size_hint(), (0, Some(0)));
+        // `count` and friends can rely on the exact hint.
+        assert_eq!(map.iter().count(), reference.len());
+    }
+
+    #[test]
+    fn range_and_prefix_size_hints_are_honest() {
+        let (map, reference) = sample_map(1_000);
+        let total = reference.len();
+        let mut range = map.range(&b"k"[..]..&b"l"[..]);
+        let (lo, hi) = range.size_hint();
+        assert_eq!(lo, 0, "bounded range cannot promise entries");
+        assert_eq!(hi, Some(total));
+        let mut yielded = 0usize;
+        while let Some(_) = range.next() {
+            yielded += 1;
+            let (lo, hi) = range.size_hint();
+            assert_eq!(lo, 0);
+            assert!(hi.unwrap() <= total - yielded);
+        }
+        assert!(yielded > 0);
+        assert_eq!(range.next(), None, "fused after exhaustion");
+        assert_eq!(range.size_hint(), (0, Some(0)));
+
+        let mut prefix = map.prefix(b"k");
+        assert_eq!(prefix.size_hint().0, 0);
+        assert_eq!(prefix.size_hint().1, Some(total));
+        assert_eq!(prefix.by_ref().count(), yielded);
+        assert_eq!(prefix.next(), None);
+        assert_eq!(prefix.size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn entries_size_hint_passthrough_and_bounded() {
+        let pairs: Vec<(Vec<u8>, u64)> = (0..10u64).map(|i| (vec![i as u8], i)).collect();
+        let entries = Entries::from_sorted_vec(pairs.clone());
+        assert_eq!(entries.size_hint(), (10, Some(10)));
+        let bounded = Entries::from_sorted_vec(pairs).below(vec![5]);
+        assert_eq!(bounded.size_hint().0, 0, "end bound may cut the walk short");
+        assert_eq!(bounded.count(), 5);
     }
 
     #[test]

@@ -49,6 +49,17 @@
 //! assert_eq!(cur.next(), Some((b"that".to_vec(), 1)));
 //! ```
 //!
+//! ## Sharded front end
+//!
+//! The concurrency layer is the [`db`] module: [`HyperionDb`] shards the key
+//! space over up to 256 per-lock tries (the paper's arenas, Section 3.2)
+//! behind a database-style API — a pluggable [`Partitioner`], batched
+//! operations ([`WriteBatch`], [`HyperionDb::multi_get`]), a typed
+//! [`HyperionError`]/[`PutOutcome`] surface, and streaming merged scans
+//! ([`DbScan`]) whose memory is bounded by `shards × chunk` regardless of
+//! database size.  The old [`ConcurrentHyperion`] wrapper remains as a thin
+//! deprecated shim.
+//!
 //! ## Trait hierarchy
 //!
 //! The capabilities of an index structure are split into composable traits
@@ -66,6 +77,7 @@ pub mod arena;
 pub mod builder;
 pub mod config;
 pub mod container;
+pub mod db;
 pub mod iter;
 pub mod keys;
 pub mod node;
@@ -73,8 +85,13 @@ pub mod scan;
 pub mod stats;
 pub mod trie;
 
+#[allow(deprecated)]
 pub use arena::ConcurrentHyperion;
 pub use config::HyperionConfig;
+pub use db::{
+    BatchReport, BatchSummary, DbScan, FibonacciPartitioner, FirstBytePartitioner, HyperionDb,
+    HyperionDbBuilder, HyperionError, Partitioner, PutOutcome, RangePartitioner, WriteBatch,
+};
 pub use iter::{Cursor, Entries, Iter, Prefix, Range};
 pub use stats::{TrieAnalysis, TrieCounters};
 pub use trie::HyperionMap;

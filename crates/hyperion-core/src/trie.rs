@@ -1217,7 +1217,11 @@ impl HyperionMap {
         } else {
             c.stream_end()
         };
-        let t = parse_t_node(c.bytes(), t.offset, None).expect("T record for cleanup");
+        // Re-parse with the *true* predecessor key: a delta-encoded T record
+        // parsed with `None` would report its raw delta as the key, and that
+        // wrong key would cascade into the successor's delta re-encoding in
+        // `remove_t_record`, corrupting the stream.
+        let t = parse_t_node(c.bytes(), t.offset, t_prev_key).expect("T record for cleanup");
         let has_children = t.header_end < region_end
             && !is_invalid(c.bytes()[t.header_end])
             && !is_t_node(c.bytes()[t.header_end]);
@@ -1550,6 +1554,52 @@ impl HyperionMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression test: removing a *delta-encoded* T record used to re-parse
+    /// it with no predecessor context, report the raw delta as its key, and
+    /// re-encode the successor sibling's delta against that wrong key —
+    /// silently corrupting the byte stream (wrong/garbage key bytes surfaced
+    /// by `get` misses and impossible keys in iteration).  Found by the
+    /// `HyperionDb` stress test; fixed in `remove_s_record`.
+    #[test]
+    fn delete_reencodes_successor_of_delta_encoded_sibling() {
+        let mut map = HyperionMap::new();
+        let mut reference = std::collections::BTreeMap::new();
+        let mut x: u64 = 0x9e3779b9;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        // Interleaved short prefixes create sibling T records one delta
+        // apart; the delete mix removes middle siblings of delta chains.
+        for round in 0..20_000u64 {
+            let key = format!("t{}:{:06}", step() % 8, step() % 4000).into_bytes();
+            if step() % 4 == 0 {
+                map.delete(&key);
+                reference.remove(&key);
+            } else {
+                let v = step();
+                map.put(&key, v);
+                reference.insert(key, v);
+            }
+            if round % 997 == 0 {
+                let got: Vec<_> = map.iter().collect();
+                let expected: Vec<_> = reference.iter().map(|(k, v)| (k.clone(), *v)).collect();
+                assert_eq!(got, expected, "stream corrupt after round {round}");
+            }
+        }
+        for (k, v) in &reference {
+            assert_eq!(
+                map.get(k),
+                Some(*v),
+                "lost {:?}",
+                String::from_utf8_lossy(k)
+            );
+        }
+        assert_eq!(map.len(), reference.len());
+    }
 
     #[test]
     fn put_get_small_words() {

@@ -1,17 +1,33 @@
-//! A *bin*: 4,096 fixed-size chunks carved out of one contiguous segment.
+//! A *bin*: 4,096 fixed-size chunks, backed by lazily materialised slabs.
 //!
-//! Bins track chunk occupancy with a 4,096-bit bitmap.  The backing segment is
-//! allocated lazily on first use, mirroring the paper's behaviour of issuing
-//! one kernel trap (one `mmap`) per 4,096 allocations.
+//! Bins track chunk occupancy with a 4,096-bit bitmap.  The backing memory is
+//! split into [`SLAB_CHUNKS`]-chunk slabs that are allocated on first use.
+//! The paper materialises the whole 4,096-chunk segment with one `mmap` and
+//! relies on the kernel to commit pages lazily; a `Vec`-backed reproduction
+//! has no such luxury — `vec![0u8; ...]` commits every page — so a bin that
+//! hands out a single chunk must not pin `4096 × chunk_size` bytes of
+//! physical memory.  (A sharded store whose containers grow through many
+//! size classes would otherwise commit gigabytes for megabytes of data.)
+//!
+//! Slabs never move once materialised (each is an individually boxed
+//! allocation), so raw chunk pointers stay stable for the lifetime of the
+//! bin — the same stability guarantee the single-segment layout gave.
 
 use crate::CHUNKS_PER_BIN;
 
 const BITMAP_WORDS: usize = CHUNKS_PER_BIN / 64;
 
+/// Chunks per lazily allocated slab.  64 chunks bound the worst-case
+/// committed-but-unused memory per touched bin to `64 × chunk_size` bytes
+/// (at most ~126 KiB for the largest superbin class).
+pub const SLAB_CHUNKS: usize = 64;
+
+const SLABS_PER_BIN: usize = CHUNKS_PER_BIN / SLAB_CHUNKS;
+
 /// One bin of 4,096 chunks of a fixed chunk size.
 pub struct Bin {
-    /// Lazily allocated backing segment of `CHUNKS_PER_BIN * chunk_size` bytes.
-    segment: Option<Box<[u8]>>,
+    /// Lazily materialised slabs of `SLAB_CHUNKS * chunk_size` bytes each.
+    slabs: Vec<Option<Box<[u8]>>>,
     /// Occupancy bitmap: bit set = chunk in use.
     bitmap: [u64; BITMAP_WORDS],
     /// Number of chunks currently in use.
@@ -19,10 +35,10 @@ pub struct Bin {
 }
 
 impl Bin {
-    /// Creates an empty bin with no backing segment yet.
+    /// Creates an empty bin with no backing memory yet.
     pub fn new() -> Self {
         Bin {
-            segment: None,
+            slabs: Vec::new(),
             bitmap: [0; BITMAP_WORDS],
             used: 0,
         }
@@ -34,10 +50,10 @@ impl Bin {
         self.used
     }
 
-    /// `true` once the backing segment has been materialised.
+    /// `true` once any backing slab has been materialised.
     #[inline]
     pub fn has_segment(&self) -> bool {
-        self.segment.is_some()
+        self.slabs.iter().any(|s| s.is_some())
     }
 
     /// `true` if every chunk is in use.
@@ -60,8 +76,20 @@ impl Bin {
         (self.bitmap[idx / 64] >> (idx % 64)) & 1 == 1
     }
 
-    /// Allocates one chunk, materialising the segment if needed, and returns
-    /// its index.  Returns `None` if the bin is full.
+    /// Materialises the slab holding `chunk`, if it is not resident yet.
+    fn ensure_slab(&mut self, chunk: usize, chunk_size: usize) {
+        let slab = chunk / SLAB_CHUNKS;
+        debug_assert!(slab < SLABS_PER_BIN);
+        if self.slabs.len() <= slab {
+            self.slabs.resize_with(slab + 1, || None);
+        }
+        if self.slabs[slab].is_none() {
+            self.slabs[slab] = Some(vec![0u8; SLAB_CHUNKS * chunk_size].into_boxed_slice());
+        }
+    }
+
+    /// Allocates one chunk, materialising its slab if needed, and returns its
+    /// index.  Returns `None` if the bin is full.
     ///
     /// The free-chunk search scans the bitmap 64 bits at a time; the paper uses
     /// SIMD for the same purpose, word-level bit scanning is the portable
@@ -70,15 +98,14 @@ impl Bin {
         if self.is_full() {
             return None;
         }
-        if self.segment.is_none() {
-            self.segment = Some(vec![0u8; CHUNKS_PER_BIN * chunk_size].into_boxed_slice());
-        }
         for (w, word) in self.bitmap.iter_mut().enumerate() {
             if *word != u64::MAX {
                 let bit = (!*word).trailing_zeros() as usize;
                 *word |= 1u64 << bit;
                 self.used += 1;
-                return Some((w * 64 + bit) as u16);
+                let idx = w * 64 + bit;
+                self.ensure_slab(idx, chunk_size);
+                return Some(idx as u16);
             }
         }
         None
@@ -90,10 +117,8 @@ impl Bin {
         if self.is_allocated(chunk) {
             return false;
         }
-        if self.segment.is_none() {
-            self.segment = Some(vec![0u8; CHUNKS_PER_BIN * chunk_size].into_boxed_slice());
-        }
         let idx = chunk as usize;
+        self.ensure_slab(idx, chunk_size);
         self.bitmap[idx / 64] |= 1u64 << (idx % 64);
         self.used += 1;
         true
@@ -134,37 +159,35 @@ impl Bin {
         let idx = chunk as usize;
         self.bitmap[idx / 64] &= !(1u64 << (idx % 64));
         self.used -= 1;
-        if let Some(seg) = &mut self.segment {
-            let start = idx * chunk_size;
-            seg[start..start + chunk_size].fill(0);
+        if let Some(Some(slab)) = self.slabs.get_mut(idx / SLAB_CHUNKS) {
+            let start = (idx % SLAB_CHUNKS) * chunk_size;
+            slab[start..start + chunk_size].fill(0);
         }
     }
 
-    /// Raw pointer to the start of a chunk.
+    /// Raw pointer to the start of a chunk.  The pointer stays valid for the
+    /// bin's lifetime: slabs are individually boxed and never move.
     ///
     /// # Panics
-    /// Panics if the segment has not been materialised.
+    /// Panics if the chunk's slab has not been materialised.
     #[inline]
     pub fn chunk_ptr(&self, chunk: u16, chunk_size: usize) -> *mut u8 {
-        let seg = self
-            .segment
+        let idx = chunk as usize;
+        debug_assert!(idx < CHUNKS_PER_BIN);
+        let slab = self.slabs[idx / SLAB_CHUNKS]
             .as_ref()
-            .expect("chunk_ptr on bin without segment");
-        debug_assert!((chunk as usize) < CHUNKS_PER_BIN);
-        // Safety: chunk index is bounded by CHUNKS_PER_BIN and the segment is
-        // exactly CHUNKS_PER_BIN * chunk_size bytes long.
-        unsafe { seg.as_ptr().add(chunk as usize * chunk_size) as *mut u8 }
+            .expect("chunk_ptr on unmaterialised slab");
+        // Safety: the in-slab index is bounded by SLAB_CHUNKS and the slab is
+        // exactly SLAB_CHUNKS * chunk_size bytes long.
+        unsafe { slab.as_ptr().add((idx % SLAB_CHUNKS) * chunk_size) as *mut u8 }
     }
 
-    /// Bytes of backing memory owned by this bin (0 until materialised).
+    /// Bytes of backing memory committed by this bin's resident slabs (0
+    /// until materialised).  `MemoryManager::stats` derives its existing-chunk
+    /// counts from this.
     #[inline]
-    #[allow(dead_code)] // structural accessor kept for future compaction work
     pub fn segment_bytes(&self, chunk_size: usize) -> usize {
-        if self.segment.is_some() {
-            CHUNKS_PER_BIN * chunk_size
-        } else {
-            0
-        }
+        self.slabs.iter().flatten().count() * SLAB_CHUNKS * chunk_size
     }
 }
 
@@ -241,5 +264,36 @@ mod tests {
         let pa = bin.chunk_ptr(a, 64) as usize;
         let pb = bin.chunk_ptr(b, 64) as usize;
         assert!(pa.abs_diff(pb) >= 64);
+    }
+
+    #[test]
+    fn one_chunk_commits_one_slab_only() {
+        let mut bin = Bin::new();
+        assert_eq!(bin.segment_bytes(1024), 0);
+        bin.allocate(1024).unwrap();
+        assert_eq!(
+            bin.segment_bytes(1024),
+            SLAB_CHUNKS * 1024,
+            "a single allocation must commit a single slab, not the whole bin"
+        );
+        // Jumping to a distant chunk commits exactly one more slab.
+        bin.allocate_specific((CHUNKS_PER_BIN - 1) as u16, 1024);
+        assert_eq!(bin.segment_bytes(1024), 2 * SLAB_CHUNKS * 1024);
+    }
+
+    #[test]
+    fn slab_pointers_stay_stable_across_later_allocations() {
+        let mut bin = Bin::new();
+        let first = bin.allocate(128).unwrap();
+        let p_before = bin.chunk_ptr(first, 128) as usize;
+        for _ in 0..CHUNKS_PER_BIN - 1 {
+            bin.allocate(128).unwrap();
+        }
+        assert!(bin.is_full());
+        let p_after = bin.chunk_ptr(first, 128) as usize;
+        assert_eq!(
+            p_before, p_after,
+            "materialising later slabs must not move earlier ones"
+        );
     }
 }

@@ -336,7 +336,9 @@ impl MemoryManager {
                 for bin in mb.bins() {
                     if bin.has_segment() {
                         materialised += 1;
-                        existing += CHUNKS_PER_BIN as u64;
+                        // Only slab-resident chunks count as existing: the
+                        // untouched remainder of the bin is never committed.
+                        existing += (bin.segment_bytes(chunk_size) / chunk_size) as u64;
                         allocated += bin.used() as u64;
                     }
                 }
@@ -532,7 +534,9 @@ mod tests {
         let stats = mm.stats();
         let sb1 = &stats.superbins[1];
         assert_eq!(sb1.allocated_chunks, 100);
-        assert_eq!(sb1.empty_chunks, CHUNKS_PER_BIN as u64 - 100);
+        // 100 chunks touch two 64-chunk slabs; only resident chunks count as
+        // existing, so the empty tail is 128 - 100, not 4096 - 100.
+        assert_eq!(sb1.empty_chunks, 2 * crate::bin::SLAB_CHUNKS as u64 - 100);
         assert_eq!(sb1.allocated_bytes, 3200);
         for hp in hps {
             mm.free(hp);

@@ -2,26 +2,29 @@
 //! by session- and object-identifiers, as in the Redis / Memcached scale-out
 //! scenario that motivates Hyperion (paper Section 1).
 //!
+//! Every key starts with `user:` — a worst case for the paper's first-byte
+//! arena routing, which would serialise the whole workload on one shard.
+//! The example runs the same load twice to show the difference, then uses
+//! the batched write/lookup API and a streaming merged prefix scan.
+//!
 //! ```bash
 //! cargo run --release --example web_cache
 //! ```
 
 use hyperion::core::HyperionConfig;
-use hyperion::ConcurrentHyperion;
+use hyperion::{FibonacciPartitioner, HyperionDb, WriteBatch};
 use std::sync::Arc;
 use std::time::Instant;
 
-fn main() {
-    let n_per_thread = 50_000u64;
-    let threads = 4;
-    // Shard the key space over 64 arenas, each its own lock + memory manager.
-    let store = Arc::new(ConcurrentHyperion::new(64, HyperionConfig::for_strings()));
+const BATCH: usize = 256;
 
+fn load(db: &Arc<HyperionDb>, threads: u64, n_per_thread: u64) -> f64 {
     let start = Instant::now();
     let handles: Vec<_> = (0..threads)
         .map(|t| {
-            let store = Arc::clone(&store);
+            let db = Arc::clone(db);
             std::thread::spawn(move || {
+                let mut batch = WriteBatch::with_capacity(BATCH);
                 for i in 0..n_per_thread {
                     // user:<uid>:session:<sid> -> last-seen timestamp
                     let key = format!(
@@ -29,7 +32,14 @@ fn main() {
                         (t * n_per_thread + i) % 99_991,
                         i % 16
                     );
-                    store.put(key.as_bytes(), 1_700_000_000 + i);
+                    batch.put(key.as_bytes(), 1_700_000_000 + i);
+                    if batch.len() == BATCH {
+                        db.apply(&batch).expect("batch apply");
+                        batch.clear();
+                    }
+                }
+                if !batch.is_empty() {
+                    db.apply(&batch).expect("batch apply");
                 }
             })
         })
@@ -37,29 +47,69 @@ fn main() {
     for h in handles {
         h.join().unwrap();
     }
-    let elapsed = start.elapsed();
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let n_per_thread = 50_000u64;
+    let threads = 4;
+
+    // Paper-fidelity routing: first key byte, folded onto 64 shards.  Every
+    // key starts with b'u', so every operation contends on one shard.
+    let skewed = Arc::new(HyperionDb::new(64, HyperionConfig::for_strings()));
+    let t_skewed = load(&skewed, threads, n_per_thread);
+
+    // Hash routing spreads the hot prefix across all shards.
+    let spread = Arc::new(
+        HyperionDb::builder()
+            .shards(64)
+            .config(HyperionConfig::for_strings())
+            .partitioner(FibonacciPartitioner)
+            .build(),
+    );
+    let t_spread = load(&spread, threads, n_per_thread);
+
+    let n = spread.len();
     println!(
-        "loaded {} cache entries from {threads} threads in {:.2?} ({:.2} Mops)",
-        store.len(),
-        elapsed,
-        store.len() as f64 / elapsed.as_secs_f64() / 1e6
+        "loaded {n} cache entries from {threads} threads (batched, {BATCH} ops/batch)\n\
+           first-byte partitioner: {t_skewed:.2}s ({:.2} Mops) — hot prefix serialises\n\
+           fibonacci partitioner:  {t_spread:.2}s ({:.2} Mops)",
+        n as f64 / t_skewed / 1e6,
+        n as f64 / t_spread / 1e6,
+    );
+    let lens = spread.shard_lens();
+    println!(
+        "shard balance under hashing: min {} / max {} keys per shard",
+        lens.iter().min().unwrap(),
+        lens.iter().max().unwrap()
     );
     println!(
         "logical footprint: {:.1} MiB ({:.1} bytes/entry)",
-        store.footprint_bytes() as f64 / (1024.0 * 1024.0),
-        store.footprint_bytes() as f64 / store.len() as f64
+        spread.footprint_bytes() as f64 / (1024.0 * 1024.0),
+        spread.footprint_bytes() as f64 / n as f64
     );
 
-    let probe = b"user:0012345:session:0003";
-    println!(
-        "lookup {:?} -> {:?}",
-        String::from_utf8_lossy(probe),
-        store.get(probe)
-    );
+    // Batched lookups: one lock acquisition per shard, not per key.
+    let probes: Vec<String> = (0..8)
+        .map(|s| format!("user:0012345:session:{s:04}"))
+        .collect();
+    let probe_refs: Vec<&[u8]> = probes.iter().map(|p| p.as_bytes()).collect();
+    let hits = spread
+        .multi_get(&probe_refs)
+        .expect("multi_get")
+        .iter()
+        .flatten()
+        .count();
+    println!("multi_get over {} session keys: {hits} hits", probes.len());
 
-    // Ordered prefix scan across all arenas: every session of one user.
-    // `prefix` snapshots each arena briefly and merges the runs lazily.
+    // Ordered prefix scan across all shards: every session of one user.
+    // The merged scan streams chunk-by-chunk — no per-shard snapshot.
     let user_prefix = b"user:0012345:";
-    let sessions = store.prefix(user_prefix).count();
-    println!("user 0012345 has {sessions} cached sessions (via merged prefix scan)");
+    let mut scan = spread.prefix(user_prefix);
+    let sessions = scan.by_ref().count();
+    println!(
+        "user 0012345 has {sessions} cached sessions \
+         (streaming merged scan, peak {} buffered entries)",
+        scan.peak_buffered()
+    );
 }

@@ -34,14 +34,42 @@
 //! let copy: HyperionMap = map.iter().collect();
 //! assert_eq!(copy.len(), 3);
 //! ```
+//!
+//! ## The sharded front end
+//!
+//! Multi-threaded workloads go through [`HyperionDb`], the database-style
+//! layer over the paper's arena sharding (Section 3.2): a builder-configured
+//! store with pluggable key partitioning, batched writes and lookups, typed
+//! errors and streaming merged scans whose memory stays bounded at
+//! `shards × chunk` entries no matter how large the database grows.
+//!
+//! ```
+//! use hyperion::{FibonacciPartitioner, HyperionDb, WriteBatch};
+//!
+//! let db = HyperionDb::builder()
+//!     .shards(8)
+//!     .partitioner(FibonacciPartitioner) // spreads hot prefixes
+//!     .build();
+//!
+//! let mut batch = WriteBatch::new();
+//! batch.put(b"user:1:name", 100).put(b"user:1:score", 42);
+//! db.apply(&batch).unwrap();
+//!
+//! assert_eq!(db.multi_get(&[b"user:1:score"]).unwrap(), vec![Some(42)]);
+//! assert_eq!(db.prefix(b"user:1:").count(), 2);
+//! ```
 
 pub use hyperion_baselines as baselines;
 pub use hyperion_core as core;
 pub use hyperion_mem as mem;
 pub use hyperion_workloads as workloads;
 
+#[allow(deprecated)]
+pub use hyperion_core::ConcurrentHyperion;
 pub use hyperion_core::{
-    ConcurrentHyperion, Cursor, Entries, HyperionConfig, HyperionMap, Iter, KvRead, KvStore,
-    KvWrite, OrderedKvStore, OrderedRead, Prefix, Range,
+    BatchReport, BatchSummary, Cursor, DbScan, Entries, FibonacciPartitioner, FirstBytePartitioner,
+    HyperionConfig, HyperionDb, HyperionDbBuilder, HyperionError, HyperionMap, Iter, KvRead,
+    KvStore, KvWrite, OrderedKvStore, OrderedRead, Partitioner, Prefix, PutOutcome, Range,
+    RangePartitioner, WriteBatch,
 };
 pub use hyperion_mem::MemoryManager;

@@ -5,7 +5,7 @@
 use hyperion::baselines::{ArtTree, CritBitTree, HatTrie, JudyTrie, OpenHashMap, RedBlackTree};
 use hyperion::core::{HyperionConfig, KvStore, OrderedKvStore};
 use hyperion::workloads::{random_integer_keys, NgramCorpus, NgramCorpusConfig};
-use hyperion::HyperionMap;
+use hyperion::{FibonacciPartitioner, HyperionDb, HyperionMap, RangePartitioner};
 use std::collections::BTreeMap;
 
 fn all_stores() -> Vec<Box<dyn KvStore>> {
@@ -14,6 +14,7 @@ fn all_stores() -> Vec<Box<dyn KvStore>> {
         Box::new(HyperionMap::with_config(
             HyperionConfig::with_preprocessing(),
         )),
+        Box::new(HyperionDb::new(8, HyperionConfig::for_strings())),
         Box::new(ArtTree::new()),
         Box::new(HatTrie::new()),
         Box::new(JudyTrie::new()),
@@ -25,9 +26,27 @@ fn all_stores() -> Vec<Box<dyn KvStore>> {
 
 /// Every ordered structure (all six baselines minus the hash table, which the
 /// trait split exempts at compile time) as an `OrderedKvStore` trait object.
+/// The sharded front end participates twice: hash partitioning exercises the
+/// all-shard merge, range partitioning the shard-pruning path.
 fn ordered_stores() -> Vec<Box<dyn OrderedKvStore>> {
     vec![
         Box::new(HyperionMap::with_config(HyperionConfig::for_integers())),
+        Box::new(
+            HyperionDb::builder()
+                .shards(8)
+                .config(HyperionConfig::for_integers())
+                .partitioner(FibonacciPartitioner)
+                .scan_chunk(64)
+                .build(),
+        ),
+        Box::new(
+            HyperionDb::builder()
+                .shards(8)
+                .config(HyperionConfig::for_integers())
+                .partitioner(RangePartitioner)
+                .scan_chunk(64)
+                .build(),
+        ),
         Box::new(ArtTree::new()),
         Box::new(HatTrie::new()),
         Box::new(JudyTrie::new()),

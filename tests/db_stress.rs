@@ -1,0 +1,218 @@
+//! Stress tests for the sharded `HyperionDb` front end: multi-threaded mixed
+//! batch workloads pinned against a mutex-wrapped `BTreeMap` oracle, and the
+//! bounded-memory guarantee of the streaming merged scan.
+
+use hyperion::workloads::Mt19937_64;
+use hyperion::{FibonacciPartitioner, HyperionDb, HyperionError, Partitioner, WriteBatch};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// 8 threads × mixed `WriteBatch` / `multi_get` / range traffic.  Each thread
+/// owns a disjoint key slice (tagged by thread id), so the shared oracle can
+/// be maintained exactly; the hot-prefix variant funnels every key through
+/// one common prefix to exercise skewed routing.
+fn mixed_workload(partitioner: impl Partitioner + 'static, hot_prefix: bool) {
+    const THREADS: u64 = 8;
+    const ROUNDS: usize = 120;
+    const BATCH: usize = 32;
+
+    let db = Arc::new(
+        HyperionDb::builder()
+            .shards(16)
+            .partitioner(partitioner)
+            .scan_chunk(32)
+            .build(),
+    );
+    let oracle = Arc::new(Mutex::new(BTreeMap::<Vec<u8>, u64>::new()));
+
+    let key_of = move |thread: u64, n: u64| -> Vec<u8> {
+        if hot_prefix {
+            // Every key shares one prefix: first-byte routing would serialise
+            // this; the hash partitioner must still spread it.
+            format!("hot:{thread}:{:06}", n % 4000).into_bytes()
+        } else {
+            format!("t{thread}:{:06}", n % 4000).into_bytes()
+        }
+    };
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let oracle = Arc::clone(&oracle);
+            std::thread::spawn(move || {
+                let mut rng = Mt19937_64::new(0x9e3779b9 + t);
+                let mut mine = BTreeMap::<Vec<u8>, u64>::new();
+                for round in 0..ROUNDS {
+                    // Build a mixed batch over this thread's key slice.
+                    let mut batch = WriteBatch::with_capacity(BATCH);
+                    let mut staged = Vec::with_capacity(BATCH);
+                    for _ in 0..BATCH {
+                        let key = key_of(t, rng.next_u64());
+                        if rng.next_u64() % 4 == 0 {
+                            batch.delete(&key);
+                            staged.push((key, None));
+                        } else {
+                            let value = rng.next_u64();
+                            batch.put(&key, value);
+                            staged.push((key, Some(value)));
+                        }
+                    }
+                    db.apply(&batch).expect("batch apply");
+                    // Mirror the batch into the shared oracle and the private
+                    // view; disjoint key slices make this race-free.
+                    {
+                        let mut oracle = oracle.lock().unwrap();
+                        for (key, value) in &staged {
+                            match value {
+                                Some(v) => {
+                                    oracle.insert(key.clone(), *v);
+                                    mine.insert(key.clone(), *v);
+                                }
+                                None => {
+                                    oracle.remove(key);
+                                    mine.remove(key);
+                                }
+                            }
+                        }
+                    }
+                    // multi_get over a mix of own hits and guaranteed misses.
+                    let probes: Vec<Vec<u8>> = (0..16)
+                        .map(|i| {
+                            if i % 4 == 0 {
+                                format!("miss:{t}:{i}").into_bytes()
+                            } else {
+                                key_of(t, rng.next_u64())
+                            }
+                        })
+                        .collect();
+                    let refs: Vec<&[u8]> = probes.iter().map(|p| p.as_slice()).collect();
+                    let got = db.multi_get(&refs).expect("multi_get");
+                    for (key, got) in probes.iter().zip(&got) {
+                        assert_eq!(
+                            *got,
+                            mine.get(key).copied(),
+                            "multi_get mismatch for {:?} (round {round})",
+                            String::from_utf8_lossy(key)
+                        );
+                    }
+                    // Streaming range scan under concurrent writers: must be
+                    // strictly ascending, and this thread's own keys must
+                    // carry values it wrote at some point.
+                    if round % 16 == 0 {
+                        let from = key_of(t, rng.next_u64());
+                        let mut last: Option<Vec<u8>> = None;
+                        for (key, _) in db.range(&from[..]..).take(200) {
+                            if let Some(prev) = &last {
+                                assert!(prev < &key, "merged scan out of order");
+                            }
+                            last = Some(key);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Quiesced: the database must agree exactly with the oracle.
+    let oracle = Arc::try_unwrap(oracle).unwrap().into_inner().unwrap();
+    assert_eq!(db.len(), oracle.len());
+    let got: Vec<_> = db.iter().collect();
+    let expected: Vec<_> = oracle.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    assert_eq!(got, expected, "final scan must match the oracle");
+}
+
+#[test]
+fn mixed_batch_workload_matches_oracle() {
+    mixed_workload(FibonacciPartitioner, false);
+}
+
+#[test]
+fn hot_prefix_workload_spreads_and_matches_oracle() {
+    mixed_workload(FibonacciPartitioner, true);
+}
+
+/// Acceptance criterion: a scan over 1M keys with a 64-entry chunk buffers at
+/// most `shards × 64` entries — no per-shard snapshot is ever taken.
+#[test]
+fn million_key_scan_allocates_bounded_memory() {
+    const N: u64 = 1_000_000;
+    const SHARDS: usize = 8;
+    const CHUNK: usize = 64;
+
+    let db = HyperionDb::builder()
+        .shards(SHARDS)
+        .scan_chunk(CHUNK)
+        .build();
+    let mut batch = WriteBatch::with_capacity(4096);
+    let mut rng = Mt19937_64::new(0xfeed_beef);
+    for i in 0..N {
+        // Random 8-byte keys spread over all shards and container shapes.
+        batch.put(&rng.next_u64().to_be_bytes(), i);
+        if batch.len() == 4096 {
+            db.apply(&batch).expect("load batch");
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        db.apply(&batch).expect("load batch");
+    }
+    let total = db.len();
+    assert!(
+        total > 990_000,
+        "the seeded RNG must not collide this often"
+    );
+
+    let mut scan = db.iter();
+    let mut count = 0usize;
+    let mut last: Option<Vec<u8>> = None;
+    while let Some((key, _)) = scan.next() {
+        count += 1;
+        if count % 4096 == 0 {
+            assert!(
+                scan.buffered_entries() <= SHARDS * CHUNK,
+                "buffered {} entries at step {count}, cap is {}",
+                scan.buffered_entries(),
+                SHARDS * CHUNK
+            );
+        }
+        if let Some(prev) = &last {
+            assert!(prev.as_slice() < key.as_slice(), "scan out of order");
+        }
+        last = Some(key);
+    }
+    assert_eq!(count, total, "scan must visit every key exactly once");
+    assert!(
+        scan.peak_buffered() <= SHARDS * CHUNK,
+        "peak buffered {} exceeds shards × chunk = {}",
+        scan.peak_buffered(),
+        SHARDS * CHUNK
+    );
+}
+
+/// The typed error surface composes: an over-long key inside a batch fails
+/// that op alone, and the report indexes it correctly even under threads.
+#[test]
+fn batch_partial_failures_are_precise() {
+    let db = HyperionDb::builder().shards(4).build();
+    let long = vec![9u8; hyperion::core::db::MAX_KEY_LEN + 1];
+    let mut batch = WriteBatch::new();
+    batch
+        .put(b"ok-1", 1)
+        .delete(&long)
+        .put(b"ok-2", 2)
+        .put(&long, 3);
+    let err = db.apply(&batch).unwrap_err();
+    match err {
+        HyperionError::BatchFailed(report) => {
+            assert_eq!(report.summary.inserted, 2);
+            let indices: Vec<usize> = report.failures.iter().map(|(i, _)| *i).collect();
+            assert_eq!(indices, vec![1, 3]);
+        }
+        other => panic!("expected BatchFailed, got {other:?}"),
+    }
+    assert_eq!(db.get(b"ok-1").unwrap(), Some(1));
+    assert_eq!(db.get(b"ok-2").unwrap(), Some(2));
+}
