@@ -1,0 +1,90 @@
+//! Micro-benchmark: deep cursor seeks.
+//!
+//! A `Cursor::seek` positions the cursor at the first key `>= target`.  Large
+//! containers (sequential integer keys concentrate hundreds of T records into
+//! few containers) make the initial T-record walk the dominant cost; the
+//! container jump table exists precisely to cut that walk short.  This bench
+//! measures seek+read latency into large and small containers; EXPERIMENTS.md
+//! records the numbers before/after CJT-seeded seeks.
+
+use hyperion_bench::microbench::BenchGroup;
+use hyperion_core::{HyperionConfig, HyperionMap};
+use std::time::Duration;
+
+const N: usize = 200_000;
+const PROBES: usize = 2_000;
+
+fn probe_targets(n: usize, seed: u64) -> Vec<u64> {
+    let mut x = seed;
+    (0..PROBES)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % n as u64
+        })
+        .collect()
+}
+
+/// Sequential integer keys: few, very large containers — the worst case for
+/// a linear T-record walk and the best case for the container jump table.
+fn bench_sequential_int() {
+    let mut map = HyperionMap::with_config(HyperionConfig::for_integers());
+    for i in 0..N as u64 {
+        map.put(&i.to_be_bytes(), i);
+    }
+    let targets: Vec<[u8; 8]> = probe_targets(N, 0x5eed)
+        .into_iter()
+        .map(|t| t.to_be_bytes())
+        .collect();
+    let group = BenchGroup::new("deep_seek")
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(300));
+    group.bench("sequential_int/seek_next", || {
+        let mut hits = 0usize;
+        let mut cursor = map.cursor();
+        for t in &targets {
+            cursor.seek(t);
+            if cursor.next().is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+}
+
+/// Random string keys: many mid-size containers reached through pointer
+/// descent; seeks exercise the whole frame stack.
+fn bench_string_keys() {
+    let mut map = HyperionMap::with_config(HyperionConfig::for_strings());
+    for i in 0..N as u64 {
+        let key = format!(
+            "user:{:012}",
+            i.wrapping_mul(0x9e3779b97f4a7c15) % 1_000_000_000
+        );
+        map.put(key.as_bytes(), i);
+    }
+    let targets: Vec<Vec<u8>> = probe_targets(1_000_000_000, 0xfeed)
+        .into_iter()
+        .map(|t| format!("user:{t:012}").into_bytes())
+        .collect();
+    let group = BenchGroup::new("deep_seek_strings")
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(300));
+    group.bench("string/seek_next", || {
+        let mut hits = 0usize;
+        let mut cursor = map.cursor();
+        for t in &targets {
+            cursor.seek(t);
+            if cursor.next().is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+}
+
+fn main() {
+    bench_sequential_int();
+    bench_string_keys();
+}

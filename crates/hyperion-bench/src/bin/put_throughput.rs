@@ -1,0 +1,188 @@
+//! `put_throughput` — write-path microbenchmark and CI smoke check.
+//!
+//! Measures Hyperion put throughput on the workloads of Tables 1–2 (random
+//! u64 integer keys, n-gram string keys), both as point puts and as sorted
+//! batch application, and verifies the single-pass write-engine contract:
+//! an adversarial keyset (deep shared prefixes forcing embedded-container
+//! ejections and container splits) must complete without the old
+//! "put did not converge (structural loop)" abort — structural changes are
+//! handled in place by the write cursor, surfaced as a typed error if the
+//! engine ever fails to converge.
+//!
+//! ```bash
+//! cargo run --release -p hyperion-bench --bin put_throughput            # full
+//! cargo run --release -p hyperion-bench --bin put_throughput -- --smoke # CI
+//! ```
+
+use hyperion_core::{HyperionConfig, HyperionMap};
+use hyperion_workloads::{random_integer_keys, NgramCorpus, NgramCorpusConfig};
+use std::time::Instant;
+
+fn mops(n: usize, secs: f64) -> f64 {
+    n as f64 / secs / 1e6
+}
+
+/// Times `f` and returns (result, seconds).
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+fn bench_integer(n: usize) {
+    let workload = random_integer_keys(n, 0xbe7c);
+    let pairs: Vec<(&[u8], u64)> = workload
+        .keys
+        .iter()
+        .map(|k| k.as_slice())
+        .zip(workload.values.iter().copied())
+        .collect();
+
+    // Point puts, random order.
+    let (map, secs) = timed(|| {
+        let mut map = HyperionMap::with_config(HyperionConfig::for_integers());
+        for &(k, v) in &pairs {
+            map.put(k, v);
+        }
+        map
+    });
+    assert_eq!(map.len(), n);
+    println!(
+        "int_random/point_put      {n:>8} keys  {:>8.3} Mops",
+        mops(n, secs)
+    );
+
+    // Batch puts: one sorted `put_many` application over the same keyset.
+    let (map, secs) = timed(|| {
+        let mut map = HyperionMap::with_config(HyperionConfig::for_integers());
+        map.put_many(pairs.iter().copied());
+        map
+    });
+    assert_eq!(map.len(), n);
+    println!(
+        "int_random/batch_put      {n:>8} keys  {:>8.3} Mops",
+        mops(n, secs)
+    );
+
+    // Point puts in pre-sorted key order (locality best case).
+    let mut sorted = pairs.clone();
+    sorted.sort();
+    let (map, secs) = timed(|| {
+        let mut map = HyperionMap::with_config(HyperionConfig::for_integers());
+        for &(k, v) in &sorted {
+            map.put(k, v);
+        }
+        map
+    });
+    assert_eq!(map.len(), n);
+    println!(
+        "int_sorted/point_put      {n:>8} keys  {:>8.3} Mops",
+        mops(n, secs)
+    );
+}
+
+fn bench_strings(n: usize) {
+    let corpus = NgramCorpus::generate(&NgramCorpusConfig {
+        entries: n,
+        ..Default::default()
+    });
+    let workload = corpus.workload.shuffled(0xc0ffee);
+    let pairs: Vec<(&[u8], u64)> = workload
+        .keys
+        .iter()
+        .map(|k| k.as_slice())
+        .zip(workload.values.iter().copied())
+        .collect();
+    let n = pairs.len();
+
+    let (map, secs) = timed(|| {
+        let mut map = HyperionMap::with_config(HyperionConfig::for_strings());
+        for &(k, v) in &pairs {
+            map.put(k, v);
+        }
+        map
+    });
+    let len = map.len();
+    println!(
+        "str_ngram/point_put       {n:>8} keys  {:>8.3} Mops",
+        mops(n, secs)
+    );
+
+    let (map, secs) = timed(|| {
+        let mut map = HyperionMap::with_config(HyperionConfig::for_strings());
+        map.put_many(pairs.iter().copied());
+        map
+    });
+    assert_eq!(map.len(), len);
+    println!(
+        "str_ngram/batch_put       {n:>8} keys  {:>8.3} Mops",
+        mops(n, secs)
+    );
+}
+
+/// Adversarial keyset: long keys sharing deep prefixes force path-compressed
+/// rewrites, embedded-container growth, ejections and splits — the shapes
+/// that drove the old write path through its up-to-32-attempt retry loop.
+fn smoke_structural(n: usize) {
+    let mut map = HyperionMap::new();
+    let mut oracle = std::collections::BTreeMap::new();
+    let mut x: u64 = 0x9e3779b97f4a7c15;
+    let mut step = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for i in 0..n as u64 {
+        // Deep shared prefixes with a fanning tail.
+        let key = format!(
+            "tenant/{:02}/bucket/{:03}/object-{:06}",
+            step() % 4,
+            step() % 64,
+            step() % 50_000
+        )
+        .into_bytes();
+        let v = step();
+        // Single-pass engine contract: structural changes (ejects, splits,
+        // gap growth) never bubble up as an error on this workload.
+        map.try_put(&key, v)
+            .expect("write engine failed to converge");
+        oracle.insert(key, v);
+        if i % 3 == 0 {
+            let dead = format!("tenant/{:02}/bucket/{:03}/x", step() % 4, step() % 64);
+            map.delete(dead.as_bytes());
+            oracle.remove(dead.as_bytes());
+        }
+    }
+    assert_eq!(map.len(), oracle.len(), "length diverged from oracle");
+    for (k, v) in &oracle {
+        assert_eq!(
+            map.get(k),
+            Some(*v),
+            "lost {:?}",
+            String::from_utf8_lossy(k)
+        );
+    }
+    map.validate_structure()
+        .expect("container invariants violated");
+    let counters = map.counters();
+    println!(
+        "structural smoke: {} keys, {} ejections, {} splits — single-pass engine converged",
+        map.len(),
+        counters.ejections,
+        counters.splits
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 20_000 } else { 200_000 };
+    println!(
+        "put_throughput (n = {n}{})",
+        if smoke { ", smoke" } else { "" }
+    );
+    bench_integer(n);
+    bench_strings(n);
+    smoke_structural(n.min(50_000));
+    println!("ok");
+}

@@ -176,7 +176,9 @@ impl ContainerRef {
             "size {size} > capacity {}",
             self.capacity
         );
-        debug_assert!(size < (1 << 19), "container size field overflow");
+        // A hard assert even in release builds: overflowing the 19-bit size
+        // field would silently corrupt the free/jump-table header bits.
+        assert!(size < (1 << 19), "container size field overflow");
         let header = (self.header() & !0x7ffff) | size as u32;
         self.set_header(header);
         self.refresh_free_field();
@@ -233,14 +235,18 @@ impl ContainerRef {
 
     // ----- byte-level editing ------------------------------------------------
 
-    /// Ensures the allocation can hold at least `needed` bytes, growing it in
-    /// 32-byte increments through the memory manager.  Returns `true` if the
-    /// handle (HP) changed and the parent's stored pointer must be updated.
+    /// Ensures the allocation can hold at least `needed` bytes, growing it
+    /// through the memory manager with the gap-growth headroom of
+    /// [`hyperion_mem::growth_rounded_size`] (small-class changes copy the
+    /// whole container, so growth skips classes geometrically).  Returns
+    /// `true` if the handle (HP) changed and the parent's stored pointer
+    /// must be updated.
     pub fn ensure_capacity(&mut self, mm: &mut MemoryManager, needed: usize) -> bool {
         if needed <= self.capacity {
             return false;
         }
-        let rounded = needed.div_ceil(CONTAINER_INCREMENT) * CONTAINER_INCREMENT;
+        let rounded = hyperion_mem::growth_rounded_size(needed).div_ceil(CONTAINER_INCREMENT)
+            * CONTAINER_INCREMENT;
         match self.handle {
             ContainerHandle::Standalone(hp) => {
                 let (new_hp, capacity) = mm.reallocate(hp, rounded);

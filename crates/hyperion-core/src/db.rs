@@ -60,6 +60,7 @@
 use crate::config::HyperionConfig;
 use crate::iter::{prefix_upper_bound, Entries};
 use crate::trie::HyperionMap;
+use crate::write::WriteError;
 use crate::{KvRead, KvWrite, OrderedRead};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -104,6 +105,13 @@ pub enum HyperionError {
     /// One or more operations of a [`WriteBatch`] failed; the report lists
     /// what was applied and which ops failed.
     BatchFailed(BatchReport),
+    /// The write engine failed to converge on this shard (a broken
+    /// structural invariant; see [`crate::WriteError`]).  The old write path
+    /// aborted the process after 32 retry attempts instead.
+    StructuralLoop {
+        /// Index of the shard whose engine failed.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for HyperionError {
@@ -114,6 +122,12 @@ impl fmt::Display for HyperionError {
             }
             HyperionError::ShardPoisoned { shard } => {
                 write!(f, "shard {shard} is poisoned (a writer panicked)")
+            }
+            HyperionError::StructuralLoop { shard } => {
+                write!(
+                    f,
+                    "write engine failed to converge on shard {shard} (structural loop)"
+                )
             }
             HyperionError::BatchFailed(report) => {
                 write!(
@@ -365,6 +379,7 @@ impl HyperionDbBuilder {
             shards,
             partitioner: self.partitioner,
             scan_chunk: self.scan_chunk,
+            scratch: Mutex::new(Vec::new()),
         }
     }
 }
@@ -380,6 +395,11 @@ pub struct HyperionDb {
     shards: Vec<Mutex<HyperionMap>>,
     partitioner: Arc<dyn Partitioner>,
     scan_chunk: usize,
+    /// Reusable per-shard index groups for [`HyperionDb::apply`] /
+    /// [`HyperionDb::multi_get`]: one `Vec<usize>` per shard, taken under a
+    /// brief lock so repeated batch calls do not reallocate the grouping
+    /// scaffolding.  Concurrent batch calls fall back to a fresh allocation.
+    scratch: Mutex<Vec<Vec<usize>>>,
 }
 
 /// Recovers the guard even if another thread panicked while holding the lock;
@@ -450,12 +470,13 @@ impl HyperionDb {
     /// Inserts or updates a key.
     pub fn put(&self, key: &[u8], value: u64) -> Result<PutOutcome, HyperionError> {
         Self::check_key(key)?;
-        let mut guard = self.lock_shard(self.shard_of(key))?;
-        Ok(if guard.put(key, value) {
-            PutOutcome::Inserted
-        } else {
-            PutOutcome::Updated
-        })
+        let shard = self.shard_of(key);
+        let mut guard = self.lock_shard(shard)?;
+        match guard.try_put(key, value) {
+            Ok(true) => Ok(PutOutcome::Inserted),
+            Ok(false) => Ok(PutOutcome::Updated),
+            Err(WriteError::StructuralLoop) => Err(HyperionError::StructuralLoop { shard }),
+        }
     }
 
     /// Looks up a key.  Keys longer than [`MAX_KEY_LEN`] can never have been
@@ -479,11 +500,35 @@ impl HyperionDb {
     // batched operations
     // =========================================================================
 
+    /// Takes the reusable per-shard grouping buffers (cleared, sized to the
+    /// shard count), or allocates fresh ones if another batch holds them.
+    fn take_scratch(&self) -> Vec<Vec<usize>> {
+        let mut groups = match self.scratch.try_lock() {
+            Ok(mut scratch) => std::mem::take(&mut *scratch),
+            Err(_) => Vec::new(),
+        };
+        groups.resize_with(self.shards.len(), Vec::new);
+        for group in &mut groups {
+            group.clear();
+        }
+        groups
+    }
+
+    /// Returns grouping buffers to the scratch slot (keeping their
+    /// capacity) unless another batch already replenished it.
+    fn return_scratch(&self, groups: Vec<Vec<usize>>) {
+        if let Ok(mut scratch) = self.scratch.try_lock() {
+            if scratch.is_empty() {
+                *scratch = groups;
+            }
+        }
+    }
+
     /// Looks up many keys with one lock acquisition per *shard* instead of
     /// one per key.  `results[i]` corresponds to `keys[i]`.
     pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<u64>>, HyperionError> {
         let mut results = vec![None; keys.len()];
-        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut groups = self.take_scratch();
         for (i, key) in keys.iter().enumerate() {
             if key.len() <= MAX_KEY_LEN {
                 groups[self.shard_of(key)].push(i);
@@ -493,11 +538,18 @@ impl HyperionDb {
             if group.is_empty() {
                 continue;
             }
-            let guard = self.lock_shard(shard)?;
+            let guard = match self.lock_shard(shard) {
+                Ok(guard) => guard,
+                Err(e) => {
+                    self.return_scratch(groups);
+                    return Err(e);
+                }
+            };
             for &i in group {
                 results[i] = guard.get(keys[i]);
             }
         }
+        self.return_scratch(groups);
         Ok(results)
     }
 
@@ -511,14 +563,14 @@ impl HyperionDb {
     pub fn apply(&self, batch: &WriteBatch) -> Result<BatchSummary, HyperionError> {
         let mut summary = BatchSummary::default();
         let mut failures: Vec<(usize, HyperionError)> = Vec::new();
-        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut groups = self.take_scratch();
         for (i, op) in batch.ops.iter().enumerate() {
             match Self::check_key(op.key()) {
                 Ok(()) => groups[self.shard_of(op.key())].push(i),
                 Err(e) => failures.push((i, e)),
             }
         }
-        for (shard, group) in groups.iter().enumerate() {
+        for (shard, group) in groups.iter_mut().enumerate() {
             if group.is_empty() {
                 continue;
             }
@@ -529,15 +581,57 @@ impl HyperionDb {
                     continue;
                 }
             };
-            for &i in group {
-                match &batch.ops[i] {
-                    BatchOp::Put { key, value } => {
-                        if guard.put(key, *value) {
-                            summary.inserted += 1;
-                        } else {
-                            summary.updated += 1;
+            // Stable-sort the shard's ops by key: ops on the same key keep
+            // batch order (so the final state matches sequential
+            // application), while ops on distinct keys commute.  Runs of
+            // puts on strictly distinct keys then flow through the write
+            // engine's sorted batch path — one locality-aware descent per
+            // run instead of one full descent per key.
+            group.sort_by(|&a, &b| batch.ops[a].key().cmp(batch.ops[b].key()));
+            let mut at = 0usize;
+            while at < group.len() {
+                let mut run = at;
+                while run < group.len() {
+                    let BatchOp::Put { key, .. } = &batch.ops[group[run]] else {
+                        break;
+                    };
+                    // A duplicate key ends the run: its ops must apply (and
+                    // count) in batch order, one at a time.
+                    if run > at && key.as_slice() <= batch.ops[group[run - 1]].key() {
+                        break;
+                    }
+                    run += 1;
+                }
+                if run - at >= 2 {
+                    let pairs: Vec<(&[u8], u64)> = group[at..run]
+                        .iter()
+                        .map(|&i| match &batch.ops[i] {
+                            BatchOp::Put { key, value } => (key.as_slice(), *value),
+                            BatchOp::Delete { .. } => unreachable!("run holds puts only"),
+                        })
+                        .collect();
+                    match guard.try_put_many(pairs.iter().copied()) {
+                        Ok(inserted) => {
+                            summary.inserted += inserted;
+                            summary.updated += (run - at) - inserted;
+                        }
+                        Err(WriteError::StructuralLoop) => {
+                            let e = HyperionError::StructuralLoop { shard };
+                            failures.extend(group[at..run].iter().map(|&i| (i, e.clone())));
                         }
                     }
+                    at = run;
+                    continue;
+                }
+                let i = group[at];
+                match &batch.ops[i] {
+                    BatchOp::Put { key, value } => match guard.try_put(key, *value) {
+                        Ok(true) => summary.inserted += 1,
+                        Ok(false) => summary.updated += 1,
+                        Err(WriteError::StructuralLoop) => {
+                            failures.push((i, HyperionError::StructuralLoop { shard }));
+                        }
+                    },
                     BatchOp::Delete { key } => {
                         if guard.delete(key) {
                             summary.deleted += 1;
@@ -546,8 +640,10 @@ impl HyperionDb {
                         }
                     }
                 }
+                at += 1;
             }
         }
+        self.return_scratch(groups);
         if failures.is_empty() {
             Ok(summary)
         } else {

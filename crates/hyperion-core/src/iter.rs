@@ -28,7 +28,7 @@
 
 use crate::container::{ContainerHandle, ContainerRef};
 use crate::node::{is_invalid, is_t_node, parse_pc_node, parse_s_node, parse_t_node, ChildKind};
-use crate::scan::skip_t_children;
+use crate::scan::{cjt_seed, skip_t_children, tnode_jt_seed};
 use crate::trie::HyperionMap;
 use hyperion_mem::HyperionPointer;
 use std::ops::{Bound, RangeBounds};
@@ -190,7 +190,7 @@ impl<'a> Cursor<'a> {
             });
         } else {
             let c = ContainerRef::open(mm, ContainerHandle::Standalone(hp));
-            let (pos, end) = (c.stream_start(), c.stream_end());
+            let (pos, end) = (self.seek_seed(&c, base), c.stream_end());
             self.stack.push(Frame::Tops {
                 c,
                 pos,
@@ -199,6 +199,55 @@ impl<'a> Cursor<'a> {
                 base,
             });
         }
+    }
+
+    /// The initial S-walk position below the T record `t` for a cursor at
+    /// key depth `base`: the T-node jump table's best slot when the cursor
+    /// is still seeking and `t` lies exactly on the seek path, the first
+    /// child otherwise.
+    fn subs_seed(
+        &self,
+        c: &ContainerRef,
+        t: &crate::node::TNode,
+        base: usize,
+        end: usize,
+    ) -> usize {
+        let default = t.header_end;
+        let Some(jt_off) = t.jt_offset else {
+            return default;
+        };
+        if !self.on_seek_path(base) {
+            return default;
+        }
+        tnode_jt_seed(c, t.offset, jt_off, self.start[base], default, end).unwrap_or(default)
+    }
+
+    /// `true` while the cursor is still seeking and the path walked so far
+    /// equals the seek prefix up to `base` (with a target byte at `base`):
+    /// only then may a jump table skip records, because everything skipped
+    /// sorts below the seek target and would be pruned anyway.
+    fn on_seek_path(&self, base: usize) -> bool {
+        !self.started
+            && base < self.start.len()
+            && self.prefix.len() >= base
+            && self.prefix[..base] == self.start[..base]
+    }
+
+    /// The initial T-walk position for a container entered at key depth
+    /// `base`: the container jump table's best entry when the cursor is
+    /// still seeking and this container lies exactly on the seek path, the
+    /// stream start otherwise.
+    ///
+    /// Seeding is sound because every T record skipped over has a key below
+    /// the seek byte, so its whole subtree precedes the seek target — the
+    /// walk would have pruned it record by record.  CJT entries reference
+    /// explicit-key records, so parsing can resume without a predecessor.
+    fn seek_seed(&self, c: &ContainerRef, base: usize) -> usize {
+        let default = c.stream_start();
+        if !self.on_seek_path(base) {
+            return default;
+        }
+        cjt_seed(c, self.start[base], default, c.stream_end()).unwrap_or(default)
     }
 
     /// The traversal engine: advances the frame stack until the next
@@ -240,7 +289,7 @@ impl<'a> Cursor<'a> {
                     });
                     let handle = ContainerHandle::ChainSlot { head, index };
                     let c = ContainerRef::open(self.map.memory_manager(), handle);
-                    let (pos, end) = (c.stream_start(), c.stream_end());
+                    let (pos, end) = (self.seek_seed(&c, base), c.stream_end());
                     self.stack.push(Frame::Tops {
                         c,
                         pos,
@@ -285,11 +334,16 @@ impl<'a> Cursor<'a> {
                         prev_key,
                         base,
                     });
+                    // While still seeking along the target path, the T-node
+                    // jump table (when present) positions the S walk close
+                    // to the target byte — same pruning argument as
+                    // `seek_seed`, one level down.
+                    let sub_pos = self.subs_seed(&c, &t, base + 1, end);
                     // The Subs frame discovers the next T sibling offset and
                     // writes it back into the Tops frame when it pops.
                     self.stack.push(Frame::Subs {
                         c,
-                        pos: t.header_end,
+                        pos: sub_pos,
                         end,
                         prev_key: None,
                         base: base + 1,

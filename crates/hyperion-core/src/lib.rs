@@ -84,6 +84,7 @@ pub mod node;
 pub mod scan;
 pub mod stats;
 pub mod trie;
+pub mod write;
 
 #[allow(deprecated)]
 pub use arena::ConcurrentHyperion;
@@ -95,6 +96,7 @@ pub use db::{
 pub use iter::{Cursor, Entries, Iter, Prefix, Range};
 pub use stats::{TrieAnalysis, TrieCounters};
 pub use trie::HyperionMap;
+pub use write::WriteError;
 
 /// Point-read capabilities shared by every index structure in the workspace.
 ///

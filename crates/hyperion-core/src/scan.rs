@@ -71,35 +71,90 @@ pub fn skip_t_children(c: &ContainerRef, t: &TNode, end: usize) -> usize {
     pos.min(end)
 }
 
+/// Best container-jump-table seed for `target`: the position of the greatest
+/// entry with key `<= target`, if it lies strictly inside `(after, end)`.
+/// Entries always reference explicit-key T records, so a caller resuming at
+/// the returned position needs no predecessor context.
+pub fn cjt_seed(c: &ContainerRef, target: u8, after: usize, end: usize) -> Option<usize> {
+    if c.jt_groups() == 0 {
+        return None;
+    }
+    let bytes = c.bytes();
+    let mut best: Option<(u8, u32)> = None;
+    for i in 0..c.jt_groups() * crate::container::CJT_GROUP {
+        let off = HEADER_SIZE + i * CJT_ENTRY_SIZE;
+        let raw = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        if raw == 0 {
+            continue;
+        }
+        let key = (raw & 0xff) as u8;
+        if key <= target && best.map(|(k, _)| key >= k).unwrap_or(true) {
+            best = Some((key, raw >> 8));
+        }
+    }
+    let (_, offset) = best?;
+    let candidate = c.stream_start() + offset as usize;
+    (candidate > after && candidate < end).then_some(candidate)
+}
+
+/// Best T-node jump-table seed for `target` below the T record at
+/// `t_offset` (jump table at `jt_off`): the position of the greatest usable
+/// slot, if it lies strictly inside `(after, end)`.  Slot entries reference
+/// explicit-key S records with keys no greater than `16 * (slot + 1)`.
+pub fn tnode_jt_seed(
+    c: &ContainerRef,
+    t_offset: usize,
+    jt_off: usize,
+    target: u8,
+    after: usize,
+    end: usize,
+) -> Option<usize> {
+    if target < 16 {
+        return None;
+    }
+    let max_slot = ((target >> 4) as usize)
+        .saturating_sub(1)
+        .min(TNODE_JT_ENTRIES - 1);
+    for slot in (0..=max_slot).rev() {
+        let v = c.read_u16(jt_off + slot * 2) as usize;
+        if v != 0 {
+            let candidate = t_offset + v;
+            return (candidate > after && candidate < end).then_some(candidate);
+        }
+    }
+    None
+}
+
 /// Scans the region `[start, end)` for the T-node with partial key `target`.
 ///
 /// `use_cjt` enables the container jump table (only valid when `start` is the
 /// container's stream start).
 pub fn t_scan(c: &ContainerRef, start: usize, end: usize, target: u8, use_cjt: bool) -> TScan {
+    t_scan_from(c, start, end, None, target, use_cjt)
+}
+
+/// Like [`t_scan`], but resumes from a mid-region position: `start` is the
+/// offset of some T record (or the region end) and `prev_key` the key of the
+/// record preceding it.  The write engine uses this to continue a batch scan
+/// from the previous key's position instead of the region start.
+pub fn t_scan_from(
+    c: &ContainerRef,
+    start: usize,
+    end: usize,
+    resume_prev: Option<u8>,
+    target: u8,
+    use_cjt: bool,
+) -> TScan {
     let bytes = c.bytes();
     let mut pos = start;
-    let mut prev_key: Option<u8> = None;
-    // Container jump table: find the greatest entry with key <= target and
-    // start scanning there.  Entries always reference T records with explicit
-    // keys, so delta resolution is unaffected.
-    if use_cjt && c.jt_groups() > 0 {
-        let mut best: Option<(u8, u32)> = None;
-        for i in 0..c.jt_groups() * crate::container::CJT_GROUP {
-            let off = HEADER_SIZE + i * CJT_ENTRY_SIZE;
-            let raw = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
-            if raw == 0 {
-                continue;
-            }
-            let key = (raw & 0xff) as u8;
-            if key <= target && best.map(|(k, _)| key >= k).unwrap_or(true) {
-                best = Some((key, raw >> 8));
-            }
-        }
-        if let Some((_, offset)) = best {
-            let candidate = c.stream_start() + offset as usize;
-            if candidate > pos && candidate < end {
-                pos = candidate;
-            }
+    let mut prev_key: Option<u8> = resume_prev;
+    // Container jump table: start scanning at the greatest entry with
+    // key <= target.  The true predecessor is unknown after a jump, which is
+    // safe: inserts fall back to an explicit key byte.
+    if use_cjt {
+        if let Some(candidate) = cjt_seed(c, target, pos, end) {
+            pos = candidate;
+            prev_key = None;
         }
     }
     let mut scanned = 0usize;
@@ -141,26 +196,36 @@ pub fn t_scan(c: &ContainerRef, start: usize, end: usize, target: u8, use_cjt: b
 
 /// Scans the S children of `t` for the S-node with partial key `target`.
 pub fn s_scan(c: &ContainerRef, t: &TNode, end: usize, target: u8) -> SScan {
+    s_scan_from(
+        c,
+        t.header_end,
+        end,
+        None,
+        target,
+        Some((t.offset, t.jt_offset)),
+    )
+}
+
+/// Like [`s_scan`], but resumes from a mid-run position: `start` is the
+/// offset of some S record (or the end of the run) and `resume_prev` the key
+/// of the S sibling preceding it.  `jt` carries the owning T record's offset
+/// and jump-table offset for seeding the initial position.
+pub fn s_scan_from(
+    c: &ContainerRef,
+    start: usize,
+    end: usize,
+    resume_prev: Option<u8>,
+    target: u8,
+    jt: Option<(usize, Option<usize>)>,
+) -> SScan {
     let bytes = c.bytes();
-    let mut pos = t.header_end;
-    let mut prev_key: Option<u8> = None;
-    // T-node jump table: entries reference explicit-key S records with keys
-    // no greater than 16*(slot+1); pick the greatest usable slot.
-    if let Some(jt_off) = t.jt_offset {
-        if target >= 16 {
-            let max_slot = ((target >> 4) as usize)
-                .saturating_sub(1)
-                .min(TNODE_JT_ENTRIES - 1);
-            for slot in (0..=max_slot).rev() {
-                let v = c.read_u16(jt_off + slot * 2) as usize;
-                if v != 0 {
-                    let candidate = t.offset + v;
-                    if candidate > pos && candidate < end {
-                        pos = candidate;
-                    }
-                    break;
-                }
-            }
+    let mut pos = start;
+    let mut prev_key: Option<u8> = resume_prev;
+    // T-node jump table: start the child walk at the greatest usable slot.
+    if let Some((t_offset, Some(jt_off))) = jt {
+        if let Some(candidate) = tnode_jt_seed(c, t_offset, jt_off, target, pos, end) {
+            pos = candidate;
+            prev_key = None;
         }
     }
     let mut visited = 0usize;
@@ -220,6 +285,26 @@ pub fn collect_t_records(c: &ContainerRef, start: usize, end: usize) -> Vec<TNod
             }
             p
         };
+        out.push(t);
+    }
+    out
+}
+
+/// Walks all T records of a region like [`collect_t_records`], but hops over
+/// each record's children via its jump successor when present.  Only valid
+/// when the container is in a consistent state (no byte shift in flight):
+/// the write engine's offset fix-ups keep jump successors exact, so walks
+/// performed *between* edits (container-jump-table rebuilds) can trust them.
+pub fn collect_t_records_trusted(c: &ContainerRef, start: usize, end: usize) -> Vec<TNode> {
+    let bytes = c.bytes();
+    let mut out = Vec::new();
+    let mut pos = start;
+    let mut prev_key = None;
+    while pos < end && !is_invalid(bytes[pos]) {
+        debug_assert!(is_t_node(bytes[pos]));
+        let t = parse_t_node(bytes, pos, prev_key).expect("corrupt T record");
+        prev_key = Some(t.key);
+        pos = skip_t_children(c, &t, end);
         out.push(t);
     }
     out

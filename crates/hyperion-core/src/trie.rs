@@ -7,18 +7,23 @@
 //! parent container, or stored as path-compressed suffixes.  All updates keep
 //! the siblings ordered, which enables delta encoding, early miss detection
 //! and fast ordered range queries.
+//!
+//! Reads live here ([`HyperionMap::get`]) and in [`crate::iter`] (the
+//! cursor / lazy iterators).  Every mutation — [`HyperionMap::put`], the
+//! sorted batch path [`HyperionMap::put_many`], [`HyperionMap::delete`] —
+//! delegates to the single-pass write engine in [`crate::write`], which
+//! documents the descent, split and gap-coalescing protocol.
 
-use crate::builder::StreamBuilder;
 use crate::config::HyperionConfig;
-use crate::container::{ContainerHandle, ContainerRef, CJT_GROUP, CJT_MAX_GROUPS, HEADER_SIZE};
+use crate::container::{ContainerHandle, ContainerRef};
 use crate::keys::{postprocess_key, preprocess_key};
 use crate::node::{
-    delta_for, delta_of, is_invalid, is_t_node, parse_pc_node, parse_s_node, parse_t_node,
-    ChildKind, NodeType, SNode, TNode, HP_SIZE, JS_SIZE, TNODE_JT_ENTRIES, TNODE_JT_SIZE,
-    VALUE_SIZE,
+    is_invalid, is_t_node, parse_pc_node, parse_s_node, parse_t_node, ChildKind, NodeType,
+    TNODE_JT_ENTRIES,
 };
-use crate::scan::{collect_s_records, collect_t_records, s_scan, skip_t_children, t_scan};
+use crate::scan::{collect_s_records, collect_t_records, s_scan, t_scan};
 use crate::stats::{TrieAnalysis, TrieCounters};
+use crate::write::{WriteEngine, WriteError};
 use crate::{Entries, KvRead, KvWrite, OrderedRead};
 use hyperion_mem::{HyperionPointer, MemoryManager};
 use std::borrow::Cow;
@@ -36,12 +41,6 @@ pub struct HyperionMap {
     counters: TrieCounters,
 }
 
-/// Result of one structural attempt inside a container.
-enum StepResult {
-    Done { inserted: bool, scanned_top: usize },
-    Restart,
-}
-
 /// Result of a read inside one container.
 enum RegionGet {
     NotFound,
@@ -50,26 +49,6 @@ enum RegionGet {
         hp: HyperionPointer,
         consumed: usize,
     },
-}
-
-/// Location of the outermost embedded container on the current put path; used
-/// to eject it when it can no longer grow in place.
-#[derive(Clone, Copy)]
-struct EmbedContext {
-    s_flag_offset: usize,
-    child_offset: usize,
-}
-
-/// One pending offset-field adjustment gathered before a byte shift.
-enum Fix {
-    /// Add `delta` to the u16 at `pos` (jump successor / T-node jump table).
-    U16 { pos: usize, delta: i64 },
-    /// Zero the u16 at `pos` (the target was removed).
-    U16Clear { pos: usize },
-    /// Add `delta` to the offset part of the container-jump-table entry at `pos`.
-    Cjt { pos: usize, delta: i64 },
-    /// Zero the container-jump-table entry at `pos`.
-    CjtClear { pos: usize },
 }
 
 impl HyperionMap {
@@ -261,12 +240,25 @@ impl HyperionMap {
     }
 
     // =====================================================================
-    // put
+    // put (delegates to the single-pass write engine in `crate::write`)
     // =====================================================================
 
     /// Inserts or updates a key.  Returns `true` if the key was not present
     /// before.
+    ///
+    /// # Panics
+    /// Panics if the write engine fails to converge (a broken structural
+    /// invariant; see [`WriteError::StructuralLoop`]).  Use
+    /// [`HyperionMap::try_put`] for a typed error instead.
     pub fn put(&mut self, key: &[u8], value: u64) -> bool {
+        self.try_put(key, value)
+            .expect("write engine failed to converge")
+    }
+
+    /// Inserts or updates a key, surfacing engine failures as a typed error
+    /// instead of panicking.  Returns `Ok(true)` if the key was not present
+    /// before.
+    pub fn try_put(&mut self, key: &[u8], value: u64) -> Result<bool, WriteError> {
         let key = self.transform(key).into_owned();
         if key.is_empty() {
             let inserted = self.empty_key_value.is_none();
@@ -274,719 +266,107 @@ impl HyperionMap {
             if inserted {
                 self.len += 1;
             }
-            return inserted;
+            return Ok(inserted);
         }
-        match self.root {
-            None => {
-                let stream = {
-                    let mut b = StreamBuilder::new(&mut self.mm, &self.config);
-                    b.build_stream(None, &[(key.clone(), value)])
-                };
-                let c = ContainerRef::create(&mut self.mm, &stream);
-                self.root = Some(c.handle().stored_pointer());
-                self.len += 1;
-                true
-            }
-            Some(root) => {
-                let (new_root, inserted) = self.put_into_pointer(root, &key, value);
-                if new_root != root {
-                    self.root = Some(new_root);
-                }
-                if inserted {
-                    self.len += 1;
-                }
-                inserted
-            }
-        }
+        Ok(self.write_transformed(vec![(key, value)])? == 1)
     }
 
-    fn put_into_pointer(
-        &mut self,
-        hp: HyperionPointer,
-        key: &[u8],
-        value: u64,
-    ) -> (HyperionPointer, bool) {
-        let handle = self.resolve_handle(hp, key[0]);
-        let mut c = ContainerRef::open(&self.mm, handle);
-        let mut attempts = 0;
-        let (inserted, scanned) = loop {
-            attempts += 1;
-            assert!(attempts <= 32, "put did not converge (structural loop)");
-            let start = c.stream_start();
-            let end = c.stream_end();
-            match self.put_in_region(&mut c, start, end, &[], None, key, value) {
-                StepResult::Done {
-                    inserted,
-                    scanned_top,
-                } => break (inserted, scanned_top),
-                StepResult::Restart => continue,
-            }
-        };
-        if self.config.container_jump_table
-            && scanned >= self.config.container_jump_table_scan_limit
-        {
-            self.rebuild_container_jump_table(&mut c);
-        }
-        let stored = if self.config.container_split {
-            match self.maybe_split(&mut c) {
-                Some(new_stored) => new_stored,
-                None => c.handle().stored_pointer(),
-            }
-        } else {
-            c.handle().stored_pointer()
-        };
-        (stored, inserted)
+    /// Inserts or updates many keys in one locality-aware pass.
+    ///
+    /// The pairs may arrive in any order and may contain duplicate keys (the
+    /// last value wins, like sequential puts).  Internally the keys are
+    /// sorted (in transformed key space) so the write engine descends once
+    /// per shared prefix, resumes its container scans across consecutive
+    /// keys, and splices runs of new records through one coalesced gap per
+    /// edit site instead of one memmove per key.  Returns the number of keys
+    /// that were not present before.
+    ///
+    /// # Panics
+    /// Panics if the write engine fails to converge; use
+    /// [`HyperionMap::try_put_many`] for a typed error.
+    pub fn put_many<'k, I>(&mut self, pairs: I) -> usize
+    where
+        I: IntoIterator<Item = (&'k [u8], u64)>,
+    {
+        self.try_put_many(pairs)
+            .expect("write engine failed to converge")
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn put_in_region(
-        &mut self,
-        c: &mut ContainerRef,
-        region_start: usize,
-        region_end: usize,
-        embed_chain: &[usize],
-        outer_embed: Option<EmbedContext>,
-        key: &[u8],
-        value: u64,
-    ) -> StepResult {
-        let is_top = embed_chain.is_empty();
-        let ts = t_scan(c, region_start, region_end, key[0], is_top);
-        let scanned_top = if is_top { ts.scanned } else { 0 };
-        let done = |inserted| StepResult::Done {
-            inserted,
-            scanned_top,
-        };
-
-        let Some(t) = ts.found else {
-            // Insert a brand-new T record (plus everything below it).
-            let estimate = 2 * key.len() + 48;
-            if self.needs_eject(c, outer_embed, embed_chain, estimate) {
-                return StepResult::Restart;
-            }
-            let stream = {
-                let mut b = StreamBuilder::new(&mut self.mm, &self.config);
-                b.build_stream(ts.prev_key, &[(key.to_vec(), value)])
-            };
-            self.grow_stream(c, embed_chain, ts.insert_at, stream.len(), true);
-            let at = ts.insert_at;
-            c.bytes_mut()[at..at + stream.len()].copy_from_slice(&stream);
-            if let Some(succ) = ts.successor {
-                self.fix_sibling_delta(
-                    c,
-                    embed_chain,
-                    succ.offset + stream.len(),
-                    succ.key,
-                    Some(key[0]),
-                );
-            }
-            return done(true);
-        };
-
-        if key.len() == 1 {
-            if let Some(off) = t.value_offset {
-                c.write_u64(off, value);
-                return done(false);
-            }
-            if self.needs_eject(c, outer_embed, embed_chain, VALUE_SIZE) {
-                return StepResult::Restart;
-            }
-            let value_pos = t.offset + 1 + t.explicit_key as usize;
-            self.grow_stream(c, embed_chain, value_pos, VALUE_SIZE, false);
-            c.write_u64(value_pos, value);
-            let flag = c.bytes()[t.offset];
-            c.bytes_mut()[t.offset] = (flag & !0b11) | NodeType::LeafWithValue as u8;
-            return done(true);
-        }
-
-        let ss = s_scan(c, &t, region_end, key[1]);
-        let Some(s) = ss.found else {
-            // Insert a new S record below the existing T-node.
-            let estimate = 2 * key.len() + 48;
-            if self.needs_eject(c, outer_embed, embed_chain, estimate) {
-                return StepResult::Restart;
-            }
-            let stream = {
-                let mut b = StreamBuilder::new(&mut self.mm, &self.config);
-                b.build_s_records(ss.prev_key, &[(key[1..].to_vec(), value)])
-            };
-            self.grow_stream(c, embed_chain, ss.insert_at, stream.len(), false);
-            let at = ss.insert_at;
-            c.bytes_mut()[at..at + stream.len()].copy_from_slice(&stream);
-            if let Some(succ) = ss.successor {
-                self.fix_sibling_delta(
-                    c,
-                    embed_chain,
-                    succ.offset + stream.len(),
-                    succ.key,
-                    Some(key[1]),
-                );
-            }
-            if is_top {
-                self.maintain_t_jumps(c, t.offset, ss.visited + 1);
-            }
-            return done(true);
-        };
-
-        if key.len() == 2 {
-            if let Some(off) = s.value_offset {
-                c.write_u64(off, value);
-                return done(false);
-            }
-            if self.needs_eject(c, outer_embed, embed_chain, VALUE_SIZE) {
-                return StepResult::Restart;
-            }
-            let value_pos = s.offset + 1 + s.explicit_key as usize;
-            self.grow_stream(c, embed_chain, value_pos, VALUE_SIZE, false);
-            c.write_u64(value_pos, value);
-            let flag = c.bytes()[s.offset];
-            c.bytes_mut()[s.offset] = (flag & !0b11) | NodeType::LeafWithValue as u8;
-            return done(true);
-        }
-
-        let remaining = &key[2..];
-        match s.child {
-            ChildKind::None => {
-                let estimate = 2 * remaining.len() + 48;
-                if self.needs_eject(c, outer_embed, embed_chain, estimate) {
-                    return StepResult::Restart;
-                }
-                let (kind, bytes) = {
-                    let mut b = StreamBuilder::new(&mut self.mm, &self.config);
-                    b.encode_child(&[(remaining.to_vec(), value)])
-                };
-                self.grow_stream(c, embed_chain, s.end, bytes.len(), false);
-                c.bytes_mut()[s.end..s.end + bytes.len()].copy_from_slice(&bytes);
-                self.set_child_kind(c, s.offset, kind);
-                done(true)
-            }
-            ChildKind::Pointer => {
-                let hp_pos = s.child_offset.expect("pointer child offset");
-                let child_hp = c.read_hp(hp_pos);
-                let (new_hp, inserted) = self.put_into_pointer(child_hp, remaining, value);
-                if new_hp != child_hp {
-                    c.write_hp(hp_pos, new_hp);
-                }
-                done(inserted)
-            }
-            ChildKind::Embedded => {
-                let child_off = s.child_offset.expect("embedded child offset");
-                let emb_size = c.bytes()[child_off] as usize;
-                let estimate = 2 * remaining.len() + 48;
-                let ctx = if is_top {
-                    EmbedContext {
-                        s_flag_offset: s.offset,
-                        child_offset: child_off,
-                    }
-                } else {
-                    outer_embed.expect("nested embedded without outer context")
-                };
-                let overflow = emb_size + estimate > self.config.embedded_max
-                    || embed_chain
-                        .iter()
-                        .any(|&off| c.bytes()[off] as usize + estimate > self.config.embedded_max)
-                    || c.size() + estimate > self.config.eject_threshold;
-                if overflow {
-                    self.eject_embedded(c, ctx);
-                    return StepResult::Restart;
-                }
-                let mut chain = embed_chain.to_vec();
-                chain.push(child_off);
-                match self.put_in_region(
-                    c,
-                    child_off + 1,
-                    child_off + emb_size,
-                    &chain,
-                    Some(ctx),
-                    remaining,
-                    value,
-                ) {
-                    StepResult::Done { inserted, .. } => done(inserted),
-                    StepResult::Restart => StepResult::Restart,
-                }
-            }
-            ChildKind::PathCompressed => {
-                let child_off = s.child_offset.expect("pc child offset");
-                let (has_value, pc_value, range) = parse_pc_node(c.bytes(), child_off);
-                let suffix: Vec<u8> = c.bytes()[range].to_vec();
-                let total = (c.bytes()[child_off] & 0x7f) as usize;
-                if has_value && suffix.as_slice() == remaining {
-                    c.write_u64(child_off + 1, value);
-                    return done(false);
-                }
-                let mut entries: Vec<(Vec<u8>, u64)> = vec![(remaining.to_vec(), value)];
-                if suffix.as_slice() != remaining {
-                    entries.push((suffix.clone(), if has_value { pc_value } else { 0 }));
-                }
-                entries.sort();
-                let estimate: usize =
-                    entries.iter().map(|(k, _)| 2 * k.len() + 32).sum::<usize>() + 16;
-                if self.needs_eject(c, outer_embed, embed_chain, estimate) {
-                    return StepResult::Restart;
-                }
-                let (kind, bytes) = {
-                    let mut b = StreamBuilder::new(&mut self.mm, &self.config);
-                    b.encode_child(&entries)
-                };
-                if bytes.len() > total {
-                    self.grow_stream(
-                        c,
-                        embed_chain,
-                        child_off + total,
-                        bytes.len() - total,
-                        false,
-                    );
-                } else if bytes.len() < total {
-                    self.shrink_stream(
-                        c,
-                        embed_chain,
-                        child_off + bytes.len(),
-                        total - bytes.len(),
-                    );
-                }
-                c.bytes_mut()[child_off..child_off + bytes.len()].copy_from_slice(&bytes);
-                self.set_child_kind(c, s.offset, kind);
-                done(true)
-            }
-        }
-    }
-
-    fn set_child_kind(&mut self, c: &mut ContainerRef, s_flag_offset: usize, kind: ChildKind) {
-        let flag = c.bytes()[s_flag_offset];
-        c.bytes_mut()[s_flag_offset] = (flag & 0b0011_1111) | ((kind as u8) << 6);
-    }
-
-    /// Checks whether adding `add` bytes would overflow an enclosing embedded
-    /// container or push the real container past the eject threshold.  If so,
-    /// the outermost embedded container on the path is ejected and the caller
-    /// must restart the operation.
-    fn needs_eject(
-        &mut self,
-        c: &mut ContainerRef,
-        outer_embed: Option<EmbedContext>,
-        embed_chain: &[usize],
-        add: usize,
-    ) -> bool {
-        if embed_chain.is_empty() {
-            return false;
-        }
-        let overflow = embed_chain
-            .iter()
-            .any(|&off| c.bytes()[off] as usize + add > self.config.embedded_max)
-            || c.size() + add > self.config.eject_threshold;
-        if overflow {
-            let ctx = outer_embed.expect("embedded path without outer context");
-            self.eject_embedded(c, ctx);
-            return true;
-        }
-        false
-    }
-
-    /// Ejects a top-level embedded container into a standalone container
-    /// referenced by a Hyperion Pointer (paper Figure 8).
-    fn eject_embedded(&mut self, c: &mut ContainerRef, ctx: EmbedContext) {
-        let size = c.bytes()[ctx.child_offset] as usize;
-        let body: Vec<u8> = c.bytes()[ctx.child_offset + 1..ctx.child_offset + size].to_vec();
-        let child = ContainerRef::create(&mut self.mm, &body);
-        let hp = child.handle().stored_pointer();
-        if size > HP_SIZE {
-            self.shrink_stream(c, &[], ctx.child_offset + HP_SIZE, size - HP_SIZE);
-        } else if size < HP_SIZE {
-            self.grow_stream(c, &[], ctx.child_offset + size, HP_SIZE - size, false);
-        }
-        c.write_hp(ctx.child_offset, hp);
-        self.set_child_kind(c, ctx.s_flag_offset, ChildKind::Pointer);
-        self.counters.ejections += 1;
-    }
-
-    // =====================================================================
-    // byte-shift plumbing: offset fix-ups for js / jt / container jump table
-    // =====================================================================
-
-    fn collect_fixes(
-        &self,
-        c: &ContainerRef,
-        at: usize,
-        len: usize,
-        is_insert: bool,
-        t_record_inserted: bool,
-    ) -> Vec<Fix> {
-        let mut fixes = Vec::new();
-        let stream_start = c.stream_start();
-        let delta = if is_insert { len as i64 } else { -(len as i64) };
-        // Container jump table entries.
-        for i in 0..c.jt_groups() * CJT_GROUP {
-            let pos = HEADER_SIZE + i * 4;
-            let raw = u32::from_le_bytes(c.bytes()[pos..pos + 4].try_into().unwrap());
-            if raw == 0 {
-                continue;
-            }
-            let target = stream_start + (raw >> 8) as usize;
-            if is_insert {
-                if target >= at {
-                    fixes.push(Fix::Cjt { pos, delta });
-                }
-            } else if target >= at + len {
-                fixes.push(Fix::Cjt { pos, delta });
-            } else if target >= at {
-                fixes.push(Fix::CjtClear { pos });
-            }
-        }
-        // Per-T-node jump successors and jump tables.
-        for t in collect_t_records(c, stream_start, c.stream_end()) {
-            if t.offset >= at {
-                continue;
-            }
-            if let Some(js_off) = t.js_offset {
-                let v = c.read_u16(js_off) as usize;
-                if v != 0 {
-                    let target = t.offset + v;
-                    if is_insert {
-                        let shift = target > at || (target == at && !t_record_inserted);
-                        if shift {
-                            fixes.push(Fix::U16 { pos: js_off, delta });
-                        }
-                    } else if target >= at + len {
-                        fixes.push(Fix::U16 { pos: js_off, delta });
-                    } else if target > at {
-                        fixes.push(Fix::U16Clear { pos: js_off });
-                    }
-                }
-            }
-            if let Some(jt_off) = t.jt_offset {
-                for slot in 0..TNODE_JT_ENTRIES {
-                    let pos = jt_off + slot * 2;
-                    let v = c.read_u16(pos) as usize;
-                    if v == 0 {
-                        continue;
-                    }
-                    let target = t.offset + v;
-                    if is_insert {
-                        if target >= at {
-                            fixes.push(Fix::U16 { pos, delta });
-                        }
-                    } else if target >= at + len {
-                        fixes.push(Fix::U16 { pos, delta });
-                    } else if target >= at {
-                        fixes.push(Fix::U16Clear { pos });
-                    }
-                }
-            }
-        }
-        fixes
-    }
-
-    fn apply_fixes(
-        &self,
-        c: &mut ContainerRef,
-        fixes: &[Fix],
-        at: usize,
-        len: usize,
-        is_insert: bool,
-    ) {
-        let adjust = |pos: usize| -> usize {
-            if is_insert {
-                if pos >= at {
-                    pos + len
-                } else {
-                    pos
-                }
-            } else if pos >= at + len {
-                pos - len
+    /// [`HyperionMap::put_many`] with a typed error surface.
+    pub fn try_put_many<'k, I>(&mut self, pairs: I) -> Result<usize, WriteError>
+    where
+        I: IntoIterator<Item = (&'k [u8], u64)>,
+    {
+        let mut entries: Vec<(Vec<u8>, u64)> = Vec::new();
+        let mut empty_key: Option<u64> = None;
+        for (key, value) in pairs {
+            let key = self.transform(key).into_owned();
+            if key.is_empty() {
+                empty_key = Some(value);
             } else {
-                pos
-            }
-        };
-        for fix in fixes {
-            match fix {
-                Fix::U16 { pos, delta } => {
-                    let pos = adjust(*pos);
-                    let v = c.read_u16(pos) as i64 + delta;
-                    if v > 0 && v <= u16::MAX as i64 {
-                        c.write_u16(pos, v as u16);
-                    } else {
-                        // The jump no longer fits into 16 bits: disable it (0
-                        // means "walk the records"), never store a wrong jump.
-                        c.write_u16(pos, 0);
-                    }
-                }
-                Fix::U16Clear { pos } => {
-                    let pos = adjust(*pos);
-                    c.write_u16(pos, 0);
-                }
-                Fix::Cjt { pos, delta } => {
-                    let pos = adjust(*pos);
-                    let raw = u32::from_le_bytes(c.bytes()[pos..pos + 4].try_into().unwrap());
-                    let key = raw & 0xff;
-                    let offset = (raw >> 8) as i64 + delta;
-                    debug_assert!(offset >= 0);
-                    let new_raw = key | ((offset as u32) << 8);
-                    c.bytes_mut()[pos..pos + 4].copy_from_slice(&new_raw.to_le_bytes());
-                }
-                Fix::CjtClear { pos } => {
-                    let pos = adjust(*pos);
-                    c.bytes_mut()[pos..pos + 4].copy_from_slice(&0u32.to_le_bytes());
-                }
+                entries.push((key, value));
             }
         }
-    }
-
-    fn grow_stream(
-        &mut self,
-        c: &mut ContainerRef,
-        embed_chain: &[usize],
-        at: usize,
-        len: usize,
-        t_record_inserted: bool,
-    ) {
-        // The "a new T sibling now starts at the insertion point" special case
-        // only applies when the record is inserted at the top level of the
-        // container; a T record inserted inside an embedded body still lives
-        // within some top-level T's child region, so jump successors pointing
-        // at the insertion point must shift.
-        let top_level_t_insert = t_record_inserted && embed_chain.is_empty();
-        let fixes = self.collect_fixes(c, at, len, true, top_level_t_insert);
-        c.insert_gap(&mut self.mm, at, len);
-        for &off in embed_chain {
-            let b = c.bytes()[off] as usize;
-            debug_assert!(b + len <= 255, "embedded container size overflow");
-            c.bytes_mut()[off] = (b + len) as u8;
-        }
-        self.apply_fixes(c, &fixes, at, len, true);
-    }
-
-    fn shrink_stream(
-        &mut self,
-        c: &mut ContainerRef,
-        embed_chain: &[usize],
-        at: usize,
-        len: usize,
-    ) {
-        let fixes = self.collect_fixes(c, at, len, false, false);
-        c.remove_range(at, len);
-        for &off in embed_chain {
-            let b = c.bytes()[off] as usize;
-            debug_assert!(b >= len);
-            c.bytes_mut()[off] = (b - len) as u8;
-        }
-        self.apply_fixes(c, &fixes, at, len, false);
-    }
-
-    /// Re-encodes the delta field of the sibling at `offset` after its
-    /// predecessor changed to `new_prev_key` (or disappeared).
-    fn fix_sibling_delta(
-        &mut self,
-        c: &mut ContainerRef,
-        embed_chain: &[usize],
-        offset: usize,
-        node_key: u8,
-        new_prev_key: Option<u8>,
-    ) {
-        let flag = c.bytes()[offset];
-        if delta_of(flag) == 0 {
-            return;
-        }
-        match delta_for(new_prev_key, node_key, self.config.delta_encoding) {
-            Some(d) => {
-                c.bytes_mut()[offset] = (flag & !(0b111 << 3)) | (d << 3);
+        let mut inserted = 0usize;
+        if let Some(value) = empty_key {
+            if self.empty_key_value.is_none() {
+                self.len += 1;
+                inserted += 1;
             }
+            self.empty_key_value = Some(value);
+        }
+        // Stable sort + last-wins dedup: equal keys keep arrival order, so
+        // keeping the final element of each run matches sequential puts.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut deduped: Vec<(Vec<u8>, u64)> = Vec::with_capacity(entries.len());
+        for entry in entries {
+            match deduped.last_mut() {
+                Some(last) if last.0 == entry.0 => *last = entry,
+                _ => deduped.push(entry),
+            }
+        }
+        inserted += self.write_transformed(deduped)?;
+        Ok(inserted)
+    }
+
+    /// Applies strictly ascending, de-duplicated transformed-key entries
+    /// through the write engine and maintains `root` / `len`.
+    fn write_transformed(&mut self, entries: Vec<(Vec<u8>, u64)>) -> Result<usize, WriteError> {
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let root = match self.root {
+            Some(root) => root,
             None => {
-                // The delta no longer fits: materialise an explicit key byte.
-                self.grow_stream(c, embed_chain, offset + 1, 1, false);
-                let flag = c.bytes()[offset];
-                c.bytes_mut()[offset] = flag & !(0b111 << 3);
-                c.bytes_mut()[offset + 1] = node_key;
-            }
-        }
-    }
-
-    // =====================================================================
-    // jump successor / jump table maintenance
-    // =====================================================================
-
-    fn maintain_t_jumps(&mut self, c: &mut ContainerRef, t_offset: usize, child_count: usize) {
-        if self.config.jump_successor && child_count >= self.config.jump_successor_threshold {
-            let t = parse_t_node(c.bytes(), t_offset, None).expect("T record for js maintenance");
-            if !t.has_js {
-                let js_pos = t
-                    .value_offset
-                    .map(|v| v + VALUE_SIZE)
-                    .unwrap_or(t.offset + 1 + t.explicit_key as usize);
-                let next_t = skip_t_children(c, &t, c.stream_end());
-                self.grow_stream(c, &[], js_pos, JS_SIZE, false);
-                let flag = c.bytes()[t_offset];
-                c.bytes_mut()[t_offset] = flag | (1 << 6);
-                let js_value = next_t + JS_SIZE - t.offset;
-                if js_value <= u16::MAX as usize {
-                    c.write_u16(js_pos, js_value as u16);
-                }
-            }
-        }
-        if self.config.tnode_jump_table && child_count >= self.config.tnode_jump_table_threshold {
-            let t = parse_t_node(c.bytes(), t_offset, None).expect("T record for jt maintenance");
-            if !t.has_jt {
-                let jt_pos = t
-                    .js_offset
-                    .map(|o| o + JS_SIZE)
-                    .or(t.value_offset.map(|v| v + VALUE_SIZE))
-                    .unwrap_or(t.offset + 1 + t.explicit_key as usize);
-                self.grow_stream(c, &[], jt_pos, TNODE_JT_SIZE, false);
-                let flag = c.bytes()[t_offset];
-                c.bytes_mut()[t_offset] = flag | (1 << 7);
-                // Fill the entries: slot i references the greatest explicit-key
-                // S child with key <= 16 * (i + 1).
-                let t = parse_t_node(c.bytes(), t_offset, None).expect("T record after jt insert");
-                let jt_off = t.jt_offset.expect("jt offset just created");
-                let children = collect_s_records(c, &t, c.stream_end());
-                let mut entries = [0u16; TNODE_JT_ENTRIES];
-                for s in &children {
-                    if !s.explicit_key {
-                        continue;
-                    }
-                    let rel = (s.offset - t.offset) as u16;
-                    let first_slot = (s.key as usize).div_ceil(16).saturating_sub(1);
-                    for entry in entries.iter_mut().skip(first_slot) {
-                        *entry = rel;
-                    }
-                }
-                for (i, v) in entries.iter().enumerate() {
-                    c.write_u16(jt_off + i * 2, *v);
-                }
-            }
-        }
-    }
-
-    fn rebuild_container_jump_table(&mut self, c: &mut ContainerRef) {
-        let stream_start = c.stream_start();
-        let records = collect_t_records(c, stream_start, c.stream_end());
-        let explicit: Vec<&TNode> = records.iter().filter(|t| t.explicit_key).collect();
-        if explicit.len() < CJT_GROUP {
-            return;
-        }
-        let max_entries = CJT_MAX_GROUPS * CJT_GROUP;
-        let take = explicit.len().min(max_entries);
-        let mut entries = Vec::with_capacity(take);
-        for i in 0..take {
-            let idx = i * explicit.len() / take;
-            let t = explicit[idx];
-            entries.push((t.key, (t.offset - stream_start) as u32));
-        }
-        entries.dedup_by_key(|(k, _)| *k);
-        c.set_cjt_entries(&mut self.mm, &entries);
-        self.counters.cjt_rebuilds += 1;
-    }
-
-    // =====================================================================
-    // vertical container splits (paper Figure 11)
-    // =====================================================================
-
-    fn maybe_split(&mut self, c: &mut ContainerRef) -> Option<HyperionPointer> {
-        let threshold = self.config.split_threshold(c.split_delay());
-        if c.size() < threshold {
-            return None;
-        }
-        let stream_start = c.stream_start();
-        let stream_end = c.stream_end();
-        let records = collect_t_records(c, stream_start, stream_end);
-        if records.len() < 2 {
-            return self.abort_split(c);
-        }
-        let (range_start, range_end) = match c.handle() {
-            ContainerHandle::Standalone(_) => (0usize, 256usize),
-            ContainerHandle::ChainSlot { head, index } => {
-                let valid = self.mm.chained_valid_slots(head);
-                let next = valid
-                    .iter()
-                    .copied()
-                    .filter(|&i| i > index)
-                    .min()
-                    .unwrap_or(8);
-                (index * 32, next * 32)
+                let c = ContainerRef::create(&mut self.mm, &[]);
+                let hp = c.handle().stored_pointer();
+                self.root = Some(hp);
+                hp
             }
         };
-        // Find the multiple-of-32 cut that best balances the two halves.
-        let mut best: Option<(usize, usize)> = None; // (cut_block, cut_record_idx)
-        let mut best_imbalance = usize::MAX;
-        for cut_block in 1..8usize {
-            let cut_key = cut_block * 32;
-            if cut_key <= range_start || cut_key >= range_end {
-                continue;
-            }
-            let Some(idx) = records.iter().position(|t| (t.key as usize) >= cut_key) else {
-                continue;
-            };
-            if idx == 0 {
-                continue;
-            }
-            let cut_offset = records[idx].offset;
-            let left = cut_offset - stream_start;
-            let right = stream_end - cut_offset;
-            if left < self.config.split_min_part || right < self.config.split_min_part {
-                continue;
-            }
-            let imbalance = left.abs_diff(right);
-            if imbalance < best_imbalance {
-                best_imbalance = imbalance;
-                best = Some((cut_block, idx));
-            }
-        }
-        let Some((cut_block, cut_idx)) = best else {
-            return self.abort_split(c);
+        let mut new_root = root;
+        let mut inserted = 0usize;
+        let result = {
+            let HyperionMap {
+                mm,
+                config,
+                counters,
+                ..
+            } = self;
+            let mut engine = WriteEngine::new(mm, config, counters);
+            engine.write_into_pointer(&mut new_root, 0, &entries, &mut inserted)
         };
-        let cut_offset = records[cut_idx].offset;
-        let left: Vec<u8> = c.bytes()[stream_start..cut_offset].to_vec();
-        let mut right: Vec<u8> = c.bytes()[cut_offset..stream_end].to_vec();
-        // The first record of the right half may no longer have a predecessor:
-        // force an explicit key byte.  The record grows by one byte, so its
-        // own jump-successor / jump-table offsets (which point past its
-        // children, relative to the record start) must grow by one as well.
-        if delta_of(right[0]) != 0 {
-            let first = &records[cut_idx];
-            right[0] &= !(0b111 << 3);
-            right.insert(1, first.key);
-            if let Some(js_off) = first.js_offset {
-                let pos = js_off - cut_offset + 1;
-                let v = u16::from_le_bytes([right[pos], right[pos + 1]]);
-                if v != 0 {
-                    let bumped = v.checked_add(1).unwrap_or(0).to_le_bytes();
-                    right[pos..pos + 2].copy_from_slice(&bumped);
-                }
-            }
-            if let Some(jt_off) = first.jt_offset {
-                for slot in 0..TNODE_JT_ENTRIES {
-                    let pos = jt_off - cut_offset + 1 + slot * 2;
-                    let v = u16::from_le_bytes([right[pos], right[pos + 1]]);
-                    if v != 0 {
-                        let bumped = v.checked_add(1).unwrap_or(0).to_le_bytes();
-                        right[pos..pos + 2].copy_from_slice(&bumped);
-                    }
-                }
-            }
+        // Commit progress even on failure: a split may have freed the old
+        // root allocation, and the inserts applied before the failure are
+        // real.  On `StructuralLoop` the failing container's own tally is
+        // indeterminate and the map must be treated as corrupt, but the
+        // committed state keeps reads from walking freed memory.
+        if new_root != root {
+            self.root = Some(new_root);
         }
-        self.counters.splits += 1;
-        match c.handle() {
-            ContainerHandle::Standalone(old_hp) => {
-                let head = self.mm.allocate_chained();
-                let slot_a = range_start / 32;
-                ContainerRef::create_chain_slot(&mut self.mm, head, slot_a, &left);
-                ContainerRef::create_chain_slot(&mut self.mm, head, cut_block, &right);
-                self.mm.free(old_hp);
-                Some(head)
-            }
-            ContainerHandle::ChainSlot { head, index } => {
-                ContainerRef::create_chain_slot(&mut self.mm, head, index, &left);
-                ContainerRef::create_chain_slot(&mut self.mm, head, cut_block, &right);
-                None
-            }
-        }
-    }
-
-    fn abort_split(&mut self, c: &mut ContainerRef) -> Option<HyperionPointer> {
-        let delay = c.split_delay();
-        if delay < 3 {
-            c.set_split_delay(delay + 1);
-        }
-        self.counters.split_aborts += 1;
-        None
+        self.len += inserted;
+        result?;
+        Ok(inserted)
     }
 
     // =====================================================================
@@ -1006,7 +386,16 @@ impl HyperionMap {
         let Some(root) = self.root else {
             return false;
         };
-        let (new_root, removed, now_empty) = self.delete_in_pointer(root, &key);
+        let (new_root, removed, now_empty) = {
+            let HyperionMap {
+                mm,
+                config,
+                counters,
+                ..
+            } = self;
+            let mut engine = WriteEngine::new(mm, config, counters);
+            engine.delete_in_pointer(root, &key)
+        };
         if removed {
             self.len -= 1;
         }
@@ -1017,241 +406,6 @@ impl HyperionMap {
             self.root = Some(new_root);
         }
         removed
-    }
-
-    fn delete_in_pointer(
-        &mut self,
-        hp: HyperionPointer,
-        key: &[u8],
-    ) -> (HyperionPointer, bool, bool) {
-        let handle = self.resolve_handle(hp, key[0]);
-        let mut c = ContainerRef::open(&self.mm, handle);
-        let start = c.stream_start();
-        let end = c.stream_end();
-        let removed = self.delete_in_region(&mut c, start, end, &[], key);
-        let empty = c.stream_end() == c.stream_start()
-            && matches!(c.handle(), ContainerHandle::Standalone(_));
-        (c.handle().stored_pointer(), removed, empty)
-    }
-
-    fn delete_in_region(
-        &mut self,
-        c: &mut ContainerRef,
-        region_start: usize,
-        region_end: usize,
-        embed_chain: &[usize],
-        key: &[u8],
-    ) -> bool {
-        let is_top = embed_chain.is_empty();
-        let ts = t_scan(c, region_start, region_end, key[0], is_top);
-        let Some(t) = ts.found else {
-            return false;
-        };
-        let region_end_now = |c: &ContainerRef, chain: &[usize]| -> usize {
-            if let Some(&outer) = chain.last() {
-                outer + c.bytes()[outer] as usize
-            } else {
-                c.stream_end()
-            }
-        };
-        if key.len() == 1 {
-            if t.node_type != NodeType::LeafWithValue {
-                return false;
-            }
-            let has_children = {
-                let end = region_end_now(c, embed_chain);
-                t.header_end < end
-                    && !is_invalid(c.bytes()[t.header_end])
-                    && !is_t_node(c.bytes()[t.header_end])
-            };
-            if has_children {
-                self.shrink_stream(c, embed_chain, t.value_offset.unwrap(), VALUE_SIZE);
-                let flag = c.bytes()[t.offset];
-                c.bytes_mut()[t.offset] = (flag & !0b11) | NodeType::Inner as u8;
-            } else {
-                self.remove_t_record(c, embed_chain, &t, ts.prev_key);
-            }
-            return true;
-        }
-        let ss = s_scan(c, &t, region_end, key[1]);
-        let Some(s) = ss.found else {
-            return false;
-        };
-        if key.len() == 2 {
-            if s.node_type != NodeType::LeafWithValue {
-                return false;
-            }
-            if s.child != ChildKind::None {
-                self.shrink_stream(c, embed_chain, s.value_offset.unwrap(), VALUE_SIZE);
-                let flag = c.bytes()[s.offset];
-                c.bytes_mut()[s.offset] = (flag & !0b11) | NodeType::Inner as u8;
-            } else {
-                self.remove_s_record(c, embed_chain, &t, &s, ts.prev_key, ss.prev_key);
-            }
-            return true;
-        }
-        let remaining = &key[2..];
-        match s.child {
-            ChildKind::None => false,
-            ChildKind::PathCompressed => {
-                let child_off = s.child_offset.unwrap();
-                let (has_value, _, range) = parse_pc_node(c.bytes(), child_off);
-                if !has_value || &c.bytes()[range] != remaining {
-                    return false;
-                }
-                let total = (c.bytes()[child_off] & 0x7f) as usize;
-                self.shrink_stream(c, embed_chain, child_off, total);
-                self.set_child_kind(c, s.offset, ChildKind::None);
-                self.cleanup_childless_s(c, embed_chain, &t, s.offset, ts.prev_key, ss.prev_key);
-                true
-            }
-            ChildKind::Pointer => {
-                let hp_pos = s.child_offset.unwrap();
-                let child_hp = c.read_hp(hp_pos);
-                let (new_hp, removed, child_empty) = self.delete_in_pointer(child_hp, remaining);
-                if !removed {
-                    return false;
-                }
-                if child_empty {
-                    self.mm.free(new_hp);
-                    self.shrink_stream(c, embed_chain, hp_pos, HP_SIZE);
-                    self.set_child_kind(c, s.offset, ChildKind::None);
-                    self.cleanup_childless_s(
-                        c,
-                        embed_chain,
-                        &t,
-                        s.offset,
-                        ts.prev_key,
-                        ss.prev_key,
-                    );
-                } else if new_hp != child_hp {
-                    c.write_hp(hp_pos, new_hp);
-                }
-                true
-            }
-            ChildKind::Embedded => {
-                let child_off = s.child_offset.unwrap();
-                let emb_size = c.bytes()[child_off] as usize;
-                let mut chain = embed_chain.to_vec();
-                chain.push(child_off);
-                let removed = self.delete_in_region(
-                    c,
-                    child_off + 1,
-                    child_off + emb_size,
-                    &chain,
-                    remaining,
-                );
-                if !removed {
-                    return false;
-                }
-                if c.bytes()[child_off] as usize <= 1 {
-                    self.shrink_stream(c, embed_chain, child_off, c.bytes()[child_off] as usize);
-                    self.set_child_kind(c, s.offset, ChildKind::None);
-                    self.cleanup_childless_s(
-                        c,
-                        embed_chain,
-                        &t,
-                        s.offset,
-                        ts.prev_key,
-                        ss.prev_key,
-                    );
-                }
-                true
-            }
-        }
-    }
-
-    /// Removes an S record that has become value-less and child-less; cascades
-    /// to the owning T record if it, too, becomes useless.
-    fn cleanup_childless_s(
-        &mut self,
-        c: &mut ContainerRef,
-        embed_chain: &[usize],
-        t: &TNode,
-        s_offset: usize,
-        t_prev_key: Option<u8>,
-        s_prev_key: Option<u8>,
-    ) {
-        let s = parse_s_node(c.bytes(), s_offset, s_prev_key.or(Some(0)))
-            .expect("S record for cleanup");
-        // Recompute the key from the original scan (prev may be None for the
-        // first child); parse_s_node only needs prev for the key value.
-        if s.node_type == NodeType::LeafWithValue || s.child != ChildKind::None {
-            return;
-        }
-        self.remove_s_record(c, embed_chain, t, &s, t_prev_key, s_prev_key);
-    }
-
-    fn remove_s_record(
-        &mut self,
-        c: &mut ContainerRef,
-        embed_chain: &[usize],
-        t: &TNode,
-        s: &SNode,
-        t_prev_key: Option<u8>,
-        s_prev_key: Option<u8>,
-    ) {
-        // Successor S sibling (if any) needs its delta re-encoded.  The check
-        // must stop at the end of the *current region*: the byte after an
-        // embedded container's body belongs to the enclosing scope.
-        let region_limit = if let Some(&outer) = embed_chain.last() {
-            outer + c.bytes()[outer] as usize
-        } else {
-            c.stream_end()
-        };
-        let succ_key = if s.end < region_limit
-            && !is_invalid(c.bytes()[s.end])
-            && !is_t_node(c.bytes()[s.end])
-        {
-            parse_s_node(c.bytes(), s.end, Some(s.key)).map(|n| n.key)
-        } else {
-            None
-        };
-        self.shrink_stream(c, embed_chain, s.offset, s.end - s.offset);
-        if let Some(sk) = succ_key {
-            self.fix_sibling_delta(c, embed_chain, s.offset, sk, s_prev_key);
-        }
-        // Remove the T record if it has no children and no value left.
-        let region_end = if let Some(&outer) = embed_chain.last() {
-            outer + c.bytes()[outer] as usize
-        } else {
-            c.stream_end()
-        };
-        // Re-parse with the *true* predecessor key: a delta-encoded T record
-        // parsed with `None` would report its raw delta as the key, and that
-        // wrong key would cascade into the successor's delta re-encoding in
-        // `remove_t_record`, corrupting the stream.
-        let t = parse_t_node(c.bytes(), t.offset, t_prev_key).expect("T record for cleanup");
-        let has_children = t.header_end < region_end
-            && !is_invalid(c.bytes()[t.header_end])
-            && !is_t_node(c.bytes()[t.header_end]);
-        if !has_children && t.node_type != NodeType::LeafWithValue {
-            self.remove_t_record(c, embed_chain, &t, t_prev_key);
-        }
-    }
-
-    fn remove_t_record(
-        &mut self,
-        c: &mut ContainerRef,
-        embed_chain: &[usize],
-        t: &TNode,
-        prev_key: Option<u8>,
-    ) {
-        let region_end = if let Some(&outer) = embed_chain.last() {
-            outer + c.bytes()[outer] as usize
-        } else {
-            c.stream_end()
-        };
-        let succ = if t.header_end < region_end && !is_invalid(c.bytes()[t.header_end]) {
-            parse_t_node(c.bytes(), t.header_end, Some(t.key))
-        } else {
-            None
-        };
-        let succ_key = succ.map(|n| n.key);
-        self.shrink_stream(c, embed_chain, t.offset, t.header_end - t.offset);
-        if let Some(sk) = succ_key {
-            self.fix_sibling_delta(c, embed_chain, t.offset, sk, prev_key);
-        }
     }
 
     // =====================================================================
@@ -1444,18 +598,19 @@ impl std::fmt::Debug for HyperionMap {
 }
 
 impl Extend<(Vec<u8>, u64)> for HyperionMap {
+    /// Routes through [`HyperionMap::put_many`]: the keys are sorted and
+    /// applied in one locality-aware pass of the write engine.
     fn extend<I: IntoIterator<Item = (Vec<u8>, u64)>>(&mut self, iter: I) {
-        for (key, value) in iter {
-            self.put(&key, value);
-        }
+        let pairs: Vec<(Vec<u8>, u64)> = iter.into_iter().collect();
+        self.put_many(pairs.iter().map(|(k, v)| (k.as_slice(), *v)));
     }
 }
 
 impl<'k> Extend<(&'k [u8], u64)> for HyperionMap {
+    /// Routes through [`HyperionMap::put_many`]: the keys are sorted and
+    /// applied in one locality-aware pass of the write engine.
     fn extend<I: IntoIterator<Item = (&'k [u8], u64)>>(&mut self, iter: I) {
-        for (key, value) in iter {
-            self.put(key, value);
-        }
+        self.put_many(iter);
     }
 }
 
@@ -1496,6 +651,250 @@ impl IntoIterator for HyperionMap {
 }
 
 impl HyperionMap {
+    /// Test-only structural invariant check: walks every container and
+    /// verifies header consistency (size / free fields), record ordering and
+    /// delta encoding, region containment of every record, jump-successor
+    /// and jump-table targets, container-jump-table entries, and that the
+    /// total number of stored values matches [`HyperionMap::len`].  Returns
+    /// a description of the first violation found.
+    #[doc(hidden)]
+    pub fn validate_structure(&self) -> Result<(), String> {
+        let mut values: usize = usize::from(self.empty_key_value.is_some());
+        let Some(root) = self.root else {
+            return if values == self.len {
+                Ok(())
+            } else {
+                Err(format!("empty trie but len is {}", self.len))
+            };
+        };
+        let mut pending = vec![root];
+        while let Some(hp) = pending.pop() {
+            let handles: Vec<ContainerHandle> = if hp.superbin() == 0 && self.mm.is_chained(hp) {
+                self.mm
+                    .chained_valid_slots(hp)
+                    .into_iter()
+                    .map(|index| ContainerHandle::ChainSlot { head: hp, index })
+                    .collect()
+            } else {
+                vec![ContainerHandle::Standalone(hp)]
+            };
+            for handle in handles {
+                let c = ContainerRef::open(&self.mm, handle);
+                if c.size() > c.capacity() {
+                    return Err(format!(
+                        "{handle:?}: size {} exceeds capacity {}",
+                        c.size(),
+                        c.capacity()
+                    ));
+                }
+                if c.stream_start() > c.size() {
+                    return Err(format!(
+                        "{handle:?}: stream start {} past size {}",
+                        c.stream_start(),
+                        c.size()
+                    ));
+                }
+                let expected_free = (c.capacity() - c.size()).min(255);
+                if c.free_field() != expected_free {
+                    return Err(format!(
+                        "{handle:?}: free field {} but capacity-size is {expected_free}",
+                        c.free_field()
+                    ));
+                }
+                let mut prev_cjt_key: Option<u8> = None;
+                for (key, off) in c.cjt_entries() {
+                    let target = c.stream_start() + off as usize;
+                    if target >= c.stream_end() {
+                        return Err(format!("{handle:?}: CJT entry {key} past stream end"));
+                    }
+                    match parse_t_node(c.bytes(), target, None) {
+                        Some(t) if t.explicit_key && t.key == key => {}
+                        other => {
+                            return Err(format!(
+                                "{handle:?}: CJT entry {key}@{target} does not reference an \
+                                 explicit T record with that key ({other:?})"
+                            ));
+                        }
+                    }
+                    if prev_cjt_key.is_some_and(|p| key <= p) {
+                        return Err(format!("{handle:?}: CJT keys not ascending at {key}"));
+                    }
+                    prev_cjt_key = Some(key);
+                }
+                self.validate_region(
+                    &c,
+                    c.stream_start(),
+                    c.stream_end(),
+                    &handle,
+                    &mut pending,
+                    &mut values,
+                )?;
+            }
+        }
+        if values != self.len {
+            return Err(format!(
+                "trie stores {values} values but len is {}",
+                self.len
+            ));
+        }
+        Ok(())
+    }
+
+    fn validate_region(
+        &self,
+        c: &ContainerRef,
+        start: usize,
+        end: usize,
+        handle: &ContainerHandle,
+        pending: &mut Vec<HyperionPointer>,
+        values: &mut usize,
+    ) -> Result<(), String> {
+        let bytes = c.bytes();
+        let mut pos = start;
+        let mut prev_t: Option<u8> = None;
+        while pos < end && !is_invalid(bytes[pos]) {
+            if !is_t_node(bytes[pos]) {
+                return Err(format!("{handle:?}: S record at T position {pos}"));
+            }
+            let Some(t) = parse_t_node(bytes, pos, prev_t) else {
+                return Err(format!("{handle:?}: unparsable T record at {pos}"));
+            };
+            if prev_t.is_none() && !t.explicit_key {
+                return Err(format!(
+                    "{handle:?}: first T record of region {start} is delta-encoded"
+                ));
+            }
+            if t.explicit_key && prev_t.is_some_and(|p| t.key <= p) {
+                return Err(format!(
+                    "{handle:?}: T records out of order at {pos} (key {})",
+                    t.key
+                ));
+            }
+            if t.header_end > end {
+                return Err(format!("{handle:?}: T record at {pos} spills past region"));
+            }
+            if t.node_type == NodeType::LeafWithValue {
+                *values += 1;
+            }
+            let mut spos = t.header_end;
+            let mut prev_s: Option<u8> = None;
+            while spos < end && !is_invalid(bytes[spos]) && !is_t_node(bytes[spos]) {
+                let Some(s) = parse_s_node(bytes, spos, prev_s) else {
+                    return Err(format!("{handle:?}: unparsable S record at {spos}"));
+                };
+                if prev_s.is_none() && !s.explicit_key {
+                    return Err(format!(
+                        "{handle:?}: first S child of T@{pos} is delta-encoded"
+                    ));
+                }
+                if s.explicit_key && prev_s.is_some_and(|p| s.key <= p) {
+                    return Err(format!(
+                        "{handle:?}: S records out of order at {spos} (key {})",
+                        s.key
+                    ));
+                }
+                if s.end > end {
+                    return Err(format!("{handle:?}: S record at {spos} spills past region"));
+                }
+                if s.node_type == NodeType::LeafWithValue {
+                    *values += 1;
+                }
+                match s.child {
+                    ChildKind::None => {}
+                    ChildKind::PathCompressed => {
+                        let child_off = s.child_offset.expect("pc child offset");
+                        let (has_value, _, range) = parse_pc_node(bytes, child_off);
+                        if range.end > s.end {
+                            return Err(format!(
+                                "{handle:?}: PC node at {child_off} spills past its S record"
+                            ));
+                        }
+                        if has_value {
+                            *values += 1;
+                        }
+                    }
+                    ChildKind::Embedded => {
+                        let child_off = s.child_offset.expect("embedded child offset");
+                        let size = bytes[child_off] as usize;
+                        if size < 2 {
+                            return Err(format!(
+                                "{handle:?}: empty embedded container at {child_off}"
+                            ));
+                        }
+                        if child_off + size > s.end {
+                            return Err(format!(
+                                "{handle:?}: embedded container at {child_off} spills past its \
+                                 S record"
+                            ));
+                        }
+                        self.validate_region(
+                            c,
+                            child_off + 1,
+                            child_off + size,
+                            handle,
+                            pending,
+                            values,
+                        )?;
+                    }
+                    ChildKind::Pointer => {
+                        pending.push(c.read_hp(s.child_offset.expect("pointer child offset")));
+                    }
+                }
+                prev_s = Some(s.key);
+                spos = s.end;
+            }
+            // Jump successor must point exactly at the next T sibling (or the
+            // end of the walked run).
+            if let Some(js_off) = t.js_offset {
+                let v = c.read_u16(js_off) as usize;
+                if v != 0 && t.offset + v != spos {
+                    return Err(format!(
+                        "{handle:?}: T@{} js target {} but true next sibling {spos}",
+                        t.offset,
+                        t.offset + v
+                    ));
+                }
+            }
+            // Jump-table entries must reference explicit-key S children of
+            // this T record with keys within the slot bound.
+            if let Some(jt_off) = t.jt_offset {
+                for slot in 0..TNODE_JT_ENTRIES {
+                    let v = c.read_u16(jt_off + slot * 2) as usize;
+                    if v == 0 {
+                        continue;
+                    }
+                    let target = t.offset + v;
+                    if target <= t.offset || target >= spos {
+                        return Err(format!(
+                            "{handle:?}: T@{} jt slot {slot} target {target} outside children",
+                            t.offset
+                        ));
+                    }
+                    match parse_s_node(bytes, target, None) {
+                        Some(s) if s.explicit_key && (s.key as usize) <= 16 * (slot + 1) => {}
+                        other => {
+                            return Err(format!(
+                                "{handle:?}: T@{} jt slot {slot} bad target ({other:?})",
+                                t.offset
+                            ));
+                        }
+                    }
+                }
+            }
+            prev_t = Some(t.key);
+            pos = spos;
+        }
+        if pos != end && !(pos < end && is_invalid(bytes[pos]) && start == c.stream_start()) {
+            // Embedded bodies are exact-fit; the top-level stream may only
+            // stop early at zeroed (never-written) bytes, which `stream_end`
+            // should already exclude.
+            return Err(format!(
+                "{handle:?}: region [{start}, {end}) ends early at {pos}"
+            ));
+        }
+        Ok(())
+    }
+
     /// Test-only consistency check: verifies that every jump-successor offset
     /// points exactly at the next T sibling (or the end of the used region).
     /// Returns a description of the first violation found.

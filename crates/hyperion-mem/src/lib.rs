@@ -97,9 +97,35 @@ pub fn extended_rounded_size(size: usize) -> usize {
     }
 }
 
+/// Gap-growth policy for the write path: the size to *request* when an
+/// existing allocation must grow to hold `needed` bytes.
+///
+/// Within the small size classes, every class change is an
+/// allocate-copy-free (chunks live in per-class segments), so growing a hot
+/// container 32 bytes at a time costs one full copy per increment.  Adding
+/// 12.5% headroom makes consecutive growths skip classes geometrically —
+/// O(log n) copies over a container's lifetime instead of O(n / 32) — while
+/// bounding the slack a growing container can hold to 1/8 of its size
+/// (at most 252 bytes before the allocation leaves the small classes).
+/// Freshly created containers still allocate exact-fit; only *growth* pays
+/// the headroom.
+#[inline]
+pub fn growth_rounded_size(needed: usize) -> usize {
+    needed + needed / 8
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn growth_headroom_is_one_eighth() {
+        assert_eq!(growth_rounded_size(64), 72);
+        assert_eq!(growth_rounded_size(1024), 1152);
+        // Consecutive growths skip at least one 32-byte class beyond 256 B.
+        let grown = growth_rounded_size(256);
+        assert!(superbin_for_size(grown) > superbin_for_size(256));
+    }
 
     #[test]
     fn superbin_mapping_matches_paper() {

@@ -70,6 +70,6 @@ pub use hyperion_core::{
     BatchReport, BatchSummary, Cursor, DbScan, Entries, FibonacciPartitioner, FirstBytePartitioner,
     HyperionConfig, HyperionDb, HyperionDbBuilder, HyperionError, HyperionMap, Iter, KvRead,
     KvStore, KvWrite, OrderedKvStore, OrderedRead, Partitioner, Prefix, PutOutcome, Range,
-    RangePartitioner, WriteBatch,
+    RangePartitioner, WriteBatch, WriteError,
 };
 pub use hyperion_mem::MemoryManager;

@@ -215,3 +215,217 @@ fn range_from_matches_btreemap() {
         assert_eq!(got, expected, "case {case}: start {start:x?}");
     }
 }
+
+/// The single-pass write engine under interleaved point puts, deletes and
+/// sorted batch application (`put_many`), in sorted, reverse and random key
+/// orders, against a `BTreeMap` oracle — with the full container-invariant
+/// check (header sizes, record ordering, jump-successor / jump-table /
+/// container-jump-table consistency, value counts) after every structural
+/// mutation.
+#[test]
+fn write_engine_invariants_under_interleaved_ops() {
+    #[derive(Clone, Copy)]
+    enum Order {
+        Sorted,
+        Reverse,
+        Random,
+    }
+    for (case, order) in [Order::Sorted, Order::Reverse, Order::Random]
+        .into_iter()
+        .cycle()
+        .take(24)
+        .enumerate()
+    {
+        let case = case as u64;
+        let mut rng = Mt19937_64::new(0xeb617 + case);
+        let mut map = HyperionMap::new();
+        let mut reference: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for round in 0..12 {
+            // One batch of puts...
+            let n = 1 + (rng.next_u64() as usize) % 120;
+            let mut pairs: Vec<(Vec<u8>, u64)> = (0..n)
+                .map(|_| (random_key(&mut rng, 18), rng.next_u64()))
+                .collect();
+            match order {
+                Order::Sorted => pairs.sort(),
+                Order::Reverse => {
+                    pairs.sort();
+                    pairs.reverse();
+                }
+                Order::Random => {}
+            }
+            let expected_inserted = {
+                let unique: std::collections::BTreeMap<&[u8], u64> =
+                    pairs.iter().map(|(k, v)| (k.as_slice(), *v)).collect();
+                unique
+                    .keys()
+                    .filter(|k| !reference.contains_key(**k))
+                    .count()
+            };
+            let inserted = map.put_many(pairs.iter().map(|(k, v)| (k.as_slice(), *v)));
+            assert_eq!(
+                inserted, expected_inserted,
+                "case {case} round {round}: batch insert count"
+            );
+            for (k, v) in &pairs {
+                reference.insert(k.clone(), *v);
+            }
+            map.validate_structure()
+                .unwrap_or_else(|e| panic!("case {case} round {round} after batch: {e}"));
+
+            // ... then interleaved point puts and deletes.
+            for _ in 0..30 {
+                let key = random_key(&mut rng, 18);
+                if rng.next_u64() % 3 == 0 {
+                    assert_eq!(
+                        map.delete(&key),
+                        reference.remove(&key).is_some(),
+                        "case {case} round {round}: delete {key:x?}"
+                    );
+                } else {
+                    let value = rng.next_u64();
+                    assert_eq!(
+                        map.put(&key, value),
+                        !reference.contains_key(&key),
+                        "case {case} round {round}: put {key:x?}"
+                    );
+                    reference.insert(key, value);
+                }
+            }
+            map.validate_structure()
+                .unwrap_or_else(|e| panic!("case {case} round {round} after points: {e}"));
+            assert_eq!(map.len(), reference.len(), "case {case} round {round}: len");
+        }
+        let collected: Vec<(Vec<u8>, u64)> = map.iter().collect();
+        let expected: Vec<(Vec<u8>, u64)> = reference.into_iter().collect();
+        assert_eq!(collected, expected, "case {case}: final iteration");
+    }
+}
+
+/// Batch application must behave exactly like sequential puts — same final
+/// state *and* same insert count — when keys collide within the batch
+/// (last value wins) and with previously stored keys (update, not insert).
+#[test]
+fn put_many_matches_sequential_puts() {
+    for case in 0..32u64 {
+        let mut rng = Mt19937_64::new(0xba7c4 + case);
+        let n = 1 + (rng.next_u64() as usize) % 300;
+        let pairs: Vec<(Vec<u8>, u64)> = (0..n)
+            .map(|_| (random_key(&mut rng, 10), rng.next_u64()))
+            .collect();
+        let pre: Vec<(Vec<u8>, u64)> = (0..n / 2)
+            .map(|_| (random_key(&mut rng, 10), rng.next_u64()))
+            .collect();
+
+        let mut batched = HyperionMap::new();
+        let mut sequential = HyperionMap::new();
+        for (k, v) in &pre {
+            batched.put(k, *v);
+            sequential.put(k, *v);
+        }
+        let batch_inserted = batched.put_many(pairs.iter().map(|(k, v)| (k.as_slice(), *v)));
+        let mut seq_inserted = 0usize;
+        for (k, v) in &pairs {
+            if sequential.put(k, *v) {
+                seq_inserted += 1;
+            }
+        }
+        // Sequential puts count a key inserted then re-put as one insert +
+        // one update; the batch sees it once.  Compare against the number of
+        // *distinct* new keys, which both agree on.
+        let distinct_new = seq_inserted;
+        assert_eq!(batch_inserted, distinct_new, "case {case}: insert count");
+        assert_eq!(
+            batched.to_vec(),
+            sequential.to_vec(),
+            "case {case}: final state"
+        );
+        batched
+            .validate_structure()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+    }
+}
+
+/// `WriteBatch` application through `HyperionDb` (which re-orders ops per
+/// shard into sorted runs for the write engine) must match a `BTreeMap`
+/// oracle applying the ops in batch order, including the per-op summary.
+#[test]
+fn db_write_batch_matches_oracle() {
+    use hyperion::core::db::{FibonacciPartitioner, HyperionDb, WriteBatch};
+    for case in 0..16u64 {
+        let mut rng = Mt19937_64::new(0xdbba7 + case);
+        let db = HyperionDb::builder()
+            .shards(5)
+            .partitioner(FibonacciPartitioner)
+            .build();
+        let mut reference: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for round in 0..6 {
+            let mut batch = WriteBatch::new();
+            let mut expected = hyperion::core::db::BatchSummary::default();
+            let n = 1 + (rng.next_u64() as usize) % 150;
+            let mut shadow = reference.clone();
+            for _ in 0..n {
+                let mut key = random_key(&mut rng, 10);
+                if key.len() > 1 && rng.next_u64() % 4 == 0 {
+                    key.truncate(3); // force duplicate keys within the batch
+                }
+                if rng.next_u64() % 4 == 0 {
+                    batch.delete(&key);
+                    if shadow.remove(&key).is_some() {
+                        expected.deleted += 1;
+                    } else {
+                        expected.missing += 1;
+                    }
+                } else {
+                    let value = rng.next_u64();
+                    batch.put(&key, value);
+                    if shadow.insert(key, value).is_some() {
+                        expected.updated += 1;
+                    } else {
+                        expected.inserted += 1;
+                    }
+                }
+            }
+            let summary = db.apply(&batch).unwrap();
+            assert_eq!(summary, expected, "case {case} round {round}: summary");
+            reference = shadow;
+        }
+        let got: Vec<(Vec<u8>, u64)> = db.iter().collect();
+        let expected: Vec<(Vec<u8>, u64)> = reference.into_iter().collect();
+        assert_eq!(got, expected, "case {case}: final state");
+    }
+}
+
+/// Regression: a batch sharing one 2-byte prefix used to be encoded as a
+/// single child body, which could exceed the 19-bit container size field
+/// and abort.  The engine must feed the child in bounded chunks (the child
+/// upgrades None -> embedded/PC -> pointer along the way).
+#[test]
+fn huge_shared_prefix_batch_stays_within_container_limits() {
+    let mut rng = Mt19937_64::new(0x51ab);
+    let mut map = HyperionMap::new();
+    map.put(b"ab", 1);
+    let pairs: Vec<(Vec<u8>, u64)> = (0..40_000u64)
+        .map(|i| {
+            let mut key = b"ab".to_vec();
+            key.extend((0..16).map(|_| (rng.next_u64() & 0xff) as u8));
+            (key, i)
+        })
+        .collect();
+    let inserted = map.put_many(pairs.iter().map(|(k, v)| (k.as_slice(), *v)));
+    let mut reference: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    reference.insert(b"ab".to_vec(), 1);
+    for (k, v) in &pairs {
+        reference.insert(k.clone(), *v);
+    }
+    assert_eq!(inserted, reference.len() - 1);
+    assert_eq!(map.len(), reference.len());
+    map.validate_structure()
+        .expect("invariants after huge batch");
+    for (k, v) in reference.iter().step_by(97) {
+        assert_eq!(map.get(k), Some(*v));
+    }
+    let collected: Vec<(Vec<u8>, u64)> = map.iter().collect();
+    let expected: Vec<(Vec<u8>, u64)> = reference.into_iter().collect();
+    assert_eq!(collected, expected);
+}
