@@ -1,0 +1,231 @@
+//! `get_throughput` — read-path microbenchmark and CI smoke check.
+//!
+//! Measures Hyperion read throughput on the workloads of Tables 1–2 (random
+//! u64 integer keys, n-gram string keys), comparing three read paths:
+//!
+//! * **point gets** — one `HyperionMap::get` per key, shuffled probe order,
+//!   with a 1-in-8 mix of missing keys (the realistic serving shape);
+//! * **`get_many`** — the same probes in sorted-resume batches: the read
+//!   engine descends once per shared prefix and resumes its container scans
+//!   across consecutive keys (mirroring `put_many`);
+//! * **`multi_get`** — the same batches through a sharded `HyperionDb`, one
+//!   lock acquisition *and* one resume-scan group per shard per batch.
+//!
+//! With `--smoke` the run shrinks and every result is checked against a
+//! `BTreeMap` oracle (hits, misses, duplicate probes, order faithfulness),
+//! wiring the read engine into CI next to `put_throughput --smoke`.
+//!
+//! ```bash
+//! cargo run --release -p hyperion-bench --bin get_throughput            # full
+//! cargo run --release -p hyperion-bench --bin get_throughput -- --smoke # CI
+//! ```
+
+use hyperion_core::db::{FibonacciPartitioner, HyperionDb};
+use hyperion_core::{HyperionConfig, HyperionMap};
+use hyperion_workloads::{random_integer_keys, Mt19937_64, NgramCorpus, NgramCorpusConfig};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Keys per `get_many` / `multi_get` batch (small = per-request serving
+/// shape, large = offline/bulk shape where descent sharing and the
+/// prefetched frontier pay off most).
+const BATCHES: &[usize] = &[256, 4096];
+/// Shards of the `HyperionDb` used for the `multi_get` rows.
+const DB_SHARDS: usize = 8;
+
+fn mops(n: usize, secs: f64) -> f64 {
+    n as f64 / secs / 1e6
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Shuffled probe set over `keys` with a 1-in-8 mix of missing keys.
+/// Returns the probes and the number of expected hits.
+fn probes(keys: &[Vec<u8>], seed: u64) -> (Vec<Vec<u8>>, usize) {
+    let mut rng = Mt19937_64::new(seed);
+    let mut out: Vec<Vec<u8>> = Vec::with_capacity(keys.len());
+    let mut hits = 0usize;
+    for key in keys {
+        if rng.next_u64() % 8 == 0 {
+            // A probe that can never hit: longer than any stored key of this
+            // workload shape.
+            let mut miss = key.clone();
+            miss.extend_from_slice(b"\xffmiss");
+            out.push(miss);
+        } else {
+            out.push(key.clone());
+            hits += 1;
+        }
+    }
+    // Fisher–Yates shuffle so point probes do not arrive in insertion order.
+    for i in (1..out.len()).rev() {
+        let j = (rng.next_u64() as usize) % (i + 1);
+        out.swap(i, j);
+    }
+    // Recount hits after the miss substitution (duplicate source keys keep
+    // the count correct: substitution decided per probe).
+    (out, hits)
+}
+
+struct Workbench {
+    label: &'static str,
+    map: HyperionMap,
+    db: HyperionDb,
+    probes: Vec<Vec<u8>>,
+    expected_hits: usize,
+    oracle: BTreeMap<Vec<u8>, u64>,
+}
+
+impl Workbench {
+    fn build(
+        label: &'static str,
+        config: HyperionConfig,
+        keys: Vec<Vec<u8>>,
+        values: Vec<u64>,
+        seed: u64,
+    ) -> Workbench {
+        let mut map = HyperionMap::with_config(config);
+        map.put_many(
+            keys.iter()
+                .map(|k| k.as_slice())
+                .zip(values.iter().copied()),
+        );
+        let db = HyperionDb::builder()
+            .shards(DB_SHARDS)
+            .config(config)
+            .partitioner(FibonacciPartitioner)
+            .build();
+        for (k, v) in keys.iter().zip(values.iter()) {
+            db.put(k, *v).expect("db put");
+        }
+        let mut oracle = BTreeMap::new();
+        for (k, v) in keys.iter().zip(values.iter()) {
+            oracle.insert(k.clone(), *v);
+        }
+        let (probes, expected_hits) = probes(&keys, seed);
+        Workbench {
+            label,
+            map,
+            db,
+            probes,
+            expected_hits,
+            oracle,
+        }
+    }
+
+    fn run(&self, check: bool) {
+        let n = self.probes.len();
+        let refs: Vec<&[u8]> = self.probes.iter().map(|k| k.as_slice()).collect();
+
+        // Point gets.
+        let (hits, secs) = timed(|| {
+            let mut hits = 0usize;
+            for key in &refs {
+                if self.map.get(key).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+        assert_eq!(hits, self.expected_hits, "{}: point get hits", self.label);
+        println!(
+            "{}/point_get      {n:>8} keys  {:>8.3} Mops",
+            self.label,
+            mops(n, secs)
+        );
+
+        for &batch in BATCHES {
+            // Batched gets through the map's sorted-resume engine.
+            let (results, secs) = timed(|| {
+                let mut results: Vec<Option<u64>> = Vec::with_capacity(n);
+                for chunk in refs.chunks(batch) {
+                    results.extend(self.map.get_many(chunk));
+                }
+                results
+            });
+            let hits = results.iter().flatten().count();
+            assert_eq!(hits, self.expected_hits, "{}: get_many hits", self.label);
+            println!(
+                "{}/get_many({batch:>4})  {n:>8} keys  {:>8.3} Mops",
+                self.label,
+                mops(n, secs)
+            );
+            if check {
+                self.check_results(&results, "get_many");
+            }
+
+            // Batched gets through the sharded front end.
+            let (results, secs) = timed(|| {
+                let mut results: Vec<Option<u64>> = Vec::with_capacity(n);
+                for chunk in refs.chunks(batch) {
+                    results.extend(self.db.multi_get(chunk).expect("multi_get"));
+                }
+                results
+            });
+            let hits = results.iter().flatten().count();
+            assert_eq!(hits, self.expected_hits, "{}: multi_get hits", self.label);
+            println!(
+                "{}/multi_get({batch:>4}) {n:>8} keys  {:>8.3} Mops  ({DB_SHARDS} shards)",
+                self.label,
+                mops(n, secs)
+            );
+            if check {
+                self.check_results(&results, "multi_get");
+            }
+        }
+    }
+
+    /// Order faithfulness: `results[i]` must be the oracle's answer for
+    /// `probes[i]`, including duplicates and misses.
+    fn check_results(&self, results: &[Option<u64>], path: &str) {
+        assert_eq!(results.len(), self.probes.len(), "{path}: result length");
+        for (key, got) in self.probes.iter().zip(results) {
+            assert_eq!(
+                *got,
+                self.oracle.get(key).copied(),
+                "{}: {path} mismatch for {:?}",
+                self.label,
+                String::from_utf8_lossy(key)
+            );
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 20_000 } else { 500_000 };
+    println!(
+        "get_throughput (n = {n}{})",
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let workload = random_integer_keys(n, 0xbe7c);
+    Workbench::build(
+        "int_random",
+        HyperionConfig::for_integers(),
+        workload.keys,
+        workload.values,
+        0x9e7,
+    )
+    .run(smoke);
+
+    let corpus = NgramCorpus::generate(&NgramCorpusConfig {
+        entries: if smoke { n } else { 200_000 },
+        ..Default::default()
+    });
+    let workload = corpus.workload.shuffled(0xc0ffee);
+    Workbench::build(
+        "str_ngram",
+        HyperionConfig::for_strings(),
+        workload.keys,
+        workload.values,
+        0x5712,
+    )
+    .run(smoke);
+
+    println!("ok");
+}

@@ -19,8 +19,8 @@
 //! ```
 
 use hyperion_core::db::{
-    FibonacciPartitioner, FirstBytePartitioner, HyperionDb, Partitioner, RangePartitioner,
-    WriteBatch,
+    FibonacciPartitioner, FirstBytePartitioner, HyperionDb, Partitioner, PrefixHashPartitioner,
+    RangePartitioner, WriteBatch,
 };
 use hyperion_core::HyperionConfig;
 use hyperion_workloads::Mt19937_64;
@@ -113,13 +113,18 @@ fn main() {
         "workload", "partitioner", "write Mops", "read Mops", "shard min/max keys"
     );
     for workload in ["uniform", "hot-prefix"] {
-        let partitioners: Vec<Arc<dyn Partitioner>> = vec![
-            Arc::new(FirstBytePartitioner),
-            Arc::new(FibonacciPartitioner),
-            Arc::new(RangePartitioner),
+        // The prefix-hash dial: 2 bytes is one full container level — ideal
+        // for fixed-width integer keys; 8 bytes reaches past the `user:`
+        // prefix of the hot-prefix workload (any shorter prefix-hash
+        // serialises it on one shard exactly like first-byte routing).
+        let partitioners: Vec<(&'static str, Arc<dyn Partitioner>)> = vec![
+            ("first-byte", Arc::new(FirstBytePartitioner)),
+            ("fibonacci-hash", Arc::new(FibonacciPartitioner)),
+            ("prefix-hash(2)", Arc::new(PrefixHashPartitioner::new(2))),
+            ("prefix-hash(8)", Arc::new(PrefixHashPartitioner::new(8))),
+            ("range", Arc::new(RangePartitioner)),
         ];
-        for partitioner in partitioners {
-            let name = partitioner.name();
+        for (name, partitioner) in partitioners {
             let db = Arc::new(
                 HyperionDb::builder()
                     .shards(SHARDS)

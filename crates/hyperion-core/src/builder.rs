@@ -21,16 +21,46 @@ use hyperion_mem::MemoryManager;
 /// One entry to encode: the remaining key suffix and its value.
 pub type Entry = (Vec<u8>, u64);
 
+/// Parent size beyond which even single-suffix children are spilled into
+/// real containers instead of path-compressed nodes (see
+/// [`StreamBuilder::with_parent_size`]).  A PC node costs up to 127 bytes of
+/// parent; a Hyperion Pointer costs 5, so spilling *shrinks* the parent.
+const PC_SPILL_SIZE: usize = 128 * 1024;
+
 /// Builds node streams, allocating real child containers when necessary.
 pub struct StreamBuilder<'a> {
     mm: &'a mut MemoryManager,
     config: &'a HyperionConfig,
+    /// Size of the container the stream will be spliced into; 0 when unknown
+    /// (fresh containers).  See [`StreamBuilder::with_parent_size`].
+    parent_size: usize,
 }
 
 impl<'a> StreamBuilder<'a> {
     /// Creates a builder borrowing the trie's memory manager and configuration.
     pub fn new(mm: &'a mut MemoryManager, config: &'a HyperionConfig) -> Self {
-        StreamBuilder { mm, config }
+        StreamBuilder {
+            mm,
+            config,
+            parent_size: 0,
+        }
+    }
+
+    /// Declares the current size of the destination container so child
+    /// encoding can respond to eject pressure.
+    ///
+    /// Embedded containers are only ever *ejected* when a write descends
+    /// through them ([`crate::write`]'s `make_room`), so a container that
+    /// keeps receiving brand-new subtrees — and cannot split, like a chain
+    /// slot already covering a single 32-key block — would grow embeds
+    /// without bound and overflow the 19-bit container size field.  Past the
+    /// eject threshold the builder therefore stops nesting: multi-key
+    /// children go straight into real child containers (5-byte pointers in
+    /// the parent), and past `PC_SPILL_SIZE` (128 KiB) even unique suffixes
+    /// do.
+    pub fn with_parent_size(mut self, size: usize) -> Self {
+        self.parent_size = size;
+        self
     }
 
     /// Builds a node stream (starting at the T level) for the given sorted,
@@ -137,12 +167,15 @@ impl<'a> StreamBuilder<'a> {
 
     /// Encodes the child payload for the given child entries (suffixes below
     /// an S-node).  Chooses, in order of preference: no child, a
-    /// path-compressed node, an embedded container, a real child container.
+    /// path-compressed node, an embedded container, a real child container —
+    /// degrading towards real containers when the destination is under eject
+    /// pressure (see [`StreamBuilder::with_parent_size`]).
     pub fn encode_child(&mut self, children: &[Entry]) -> (ChildKind, Vec<u8>) {
         if children.is_empty() {
             return (ChildKind::None, Vec::new());
         }
-        if children.len() == 1 && pc_fits(children[0].0.len()) {
+        let pressure = self.parent_size >= self.config.eject_threshold;
+        if children.len() == 1 && pc_fits(children[0].0.len()) && self.parent_size < PC_SPILL_SIZE {
             let (suffix, value) = &children[0];
             return (
                 ChildKind::PathCompressed,
@@ -150,7 +183,7 @@ impl<'a> StreamBuilder<'a> {
             );
         }
         let body = self.build_stream(None, children);
-        if body.len() < self.config.embedded_max {
+        if !pressure && body.len() < self.config.embedded_max {
             let mut bytes = Vec::with_capacity(body.len() + 1);
             bytes.push((body.len() + 1) as u8);
             bytes.extend_from_slice(&body);

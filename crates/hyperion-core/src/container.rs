@@ -87,6 +87,22 @@ impl ContainerRef {
         }
     }
 
+    /// Wraps an already-resolved allocation (crate-internal fast path: the
+    /// read engine resolves handle, pointer and capacity in one metadata
+    /// pass via [`MemoryManager::resolve_for_read`]).
+    #[inline]
+    pub(crate) fn from_parts(
+        handle: ContainerHandle,
+        ptr: *mut u8,
+        capacity: usize,
+    ) -> ContainerRef {
+        ContainerRef {
+            handle,
+            ptr,
+            capacity,
+        }
+    }
+
     /// Allocates and initialises a new standalone container whose node stream
     /// is `payload`.
     pub fn create(mm: &mut MemoryManager, payload: &[u8]) -> ContainerRef {

@@ -7,7 +7,9 @@
 //! * **Pluggable partitioning** — the [`Partitioner`] trait decides which
 //!   shard owns a key.  [`FirstBytePartitioner`] reproduces the paper's
 //!   `T_{k_0}` routing; [`FibonacciPartitioner`] hashes the whole key
-//!   (splitmix64 + Fibonacci multiplication) to fix hot-prefix skew; the
+//!   (splitmix64 + Fibonacci multiplication) to fix hot-prefix skew;
+//!   [`PrefixHashPartitioner`] hashes only a fixed-length key prefix,
+//!   balancing shards while keeping every shard's trie prefix-dense; the
 //!   order-preserving [`RangePartitioner`] keeps cross-shard scans cheap by
 //!   letting range queries prune shards.
 //! * **Batched operations** — [`WriteBatch`] groups puts/deletes per shard and
@@ -287,6 +289,63 @@ impl Partitioner for FibonacciPartitioner {
     }
 }
 
+/// Locality-preserving hash partitioning: only the key's first
+/// `prefix_len` bytes are hashed for shard routing; the tail never affects
+/// the route.
+///
+/// [`FibonacciPartitioner`] balances hot prefixes but destroys per-shard
+/// *prefix density*: hashing the whole key scatters keys that share a long
+/// prefix across all shards, so every shard's trie sees ~1 key per prefix —
+/// sparse, large, path-compressed containers and ~3× slower writes under
+/// uniform load (EXPERIMENTS.md "Partitioners under skew").  Routing on a
+/// fixed-length prefix keeps *all* keys sharing that prefix on one shard:
+/// the trie below every routed prefix is exactly as dense as in an
+/// unsharded map, while distinct prefixes still spread uniformly.
+///
+/// `prefix_len` is the balance/density dial:
+///
+/// * it must exceed the length of any hot shared prefix, or that prefix
+///   serialises on one shard exactly like [`FirstBytePartitioner`] (e.g.
+///   `user:`-style keys need `prefix_len > 5`);
+/// * every byte *not* covered loses nothing — it stays on the same shard as
+///   its siblings.  The default of 2 covers one full container level
+///   (Hyperion consumes 16 bits of key per container), which is where the
+///   density loss is paid.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixHashPartitioner {
+    /// Number of leading key bytes that determine the route.
+    pub prefix_len: usize,
+}
+
+impl PrefixHashPartitioner {
+    /// Routes on the first `prefix_len` key bytes (shorter keys are hashed
+    /// whole).
+    pub fn new(prefix_len: usize) -> PrefixHashPartitioner {
+        PrefixHashPartitioner { prefix_len }
+    }
+}
+
+impl Default for PrefixHashPartitioner {
+    /// Routes on the first two key bytes: one full container level of the
+    /// trie, the paper's 16-bit partial key.
+    fn default() -> PrefixHashPartitioner {
+        PrefixHashPartitioner { prefix_len: 2 }
+    }
+}
+
+impl Partitioner for PrefixHashPartitioner {
+    #[inline]
+    fn shard_of(&self, key: &[u8], shards: usize) -> usize {
+        let prefix = &key[..key.len().min(self.prefix_len)];
+        let fib = FibonacciPartitioner::hash(prefix).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((fib as u128 * shards as u128) >> 64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "prefix-hash"
+    }
+}
+
 /// Order-preserving partitioning: the first two key bytes (zero-padded) are
 /// read as a big-endian `u16` and mapped proportionally onto the shard range.
 ///
@@ -524,8 +583,12 @@ impl HyperionDb {
         }
     }
 
-    /// Looks up many keys with one lock acquisition per *shard* instead of
-    /// one per key.  `results[i]` corresponds to `keys[i]`.
+    /// Looks up many keys with one lock acquisition *and one resume-scan
+    /// descent group* per shard instead of one full descent per key:
+    /// each shard's probes route through [`HyperionMap::get_many`], which
+    /// sorts them in transformed key space and resumes its container scans
+    /// across consecutive keys (the read-side mirror of `put_many`).
+    /// `results[i]` corresponds to `keys[i]`.
     pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<u64>>, HyperionError> {
         let mut results = vec![None; keys.len()];
         let mut groups = self.take_scratch();
@@ -534,6 +597,7 @@ impl HyperionDb {
                 groups[self.shard_of(key)].push(i);
             }
         }
+        let mut shard_keys: Vec<&[u8]> = Vec::new();
         for (shard, group) in groups.iter().enumerate() {
             if group.is_empty() {
                 continue;
@@ -545,8 +609,10 @@ impl HyperionDb {
                     return Err(e);
                 }
             };
-            for &i in group {
-                results[i] = guard.get(keys[i]);
+            shard_keys.clear();
+            shard_keys.extend(group.iter().map(|&i| keys[i]));
+            for (&i, value) in group.iter().zip(guard.get_many(&shard_keys)) {
+                results[i] = value;
             }
         }
         self.return_scratch(groups);
@@ -707,7 +773,7 @@ impl HyperionDb {
         K: AsRef<[u8]> + ?Sized,
         R: RangeBounds<K>,
     {
-        let (start, skip_equal) = match bounds.start_bound() {
+        let (start, exclusive) = match bounds.start_bound() {
             Bound::Unbounded => (Vec::new(), false),
             Bound::Included(s) => (s.as_ref().to_vec(), false),
             Bound::Excluded(s) => (s.as_ref().to_vec(), true),
@@ -717,7 +783,7 @@ impl HyperionDb {
             Bound::Excluded(e) => ScanEnd::Excluded(e.as_ref().to_vec()),
             Bound::Included(e) => ScanEnd::Included(e.as_ref().to_vec()),
         };
-        DbScan::new(self, start, skip_equal, end)
+        DbScan::new(self, start, exclusive, end)
     }
 
     /// Globally ordered iteration over all keys starting with `prefix`
@@ -874,9 +940,11 @@ impl ScanEnd {
 
 /// Refill state of one shard's stream within a [`DbScan`].
 enum StreamState {
-    /// The next refill seeks to `seek`; `skip_equal` drops a first entry equal
-    /// to it (resume point, or an excluded start bound).
-    Pending { seek: Vec<u8>, skip_equal: bool },
+    /// The next refill seeks to `seek`; `exclusive` resumes *after* it (the
+    /// last buffered key of the previous chunk, or an excluded start bound)
+    /// via [`crate::Cursor::seek_exclusive`] instead of filtering the first
+    /// yielded entry.
+    Pending { seek: Vec<u8>, exclusive: bool },
     /// The shard has no further in-bound keys.
     Exhausted,
 }
@@ -912,7 +980,7 @@ pub struct DbScan<'a> {
 }
 
 impl<'a> DbScan<'a> {
-    fn new(db: &'a HyperionDb, start: Vec<u8>, skip_equal: bool, end: ScanEnd) -> DbScan<'a> {
+    fn new(db: &'a HyperionDb, start: Vec<u8>, exclusive: bool, end: ScanEnd) -> DbScan<'a> {
         // With an order-preserving partitioner, only the shards overlapping
         // [start, end] can hold in-bound keys.
         let n = db.shards.len();
@@ -936,7 +1004,7 @@ impl<'a> DbScan<'a> {
                     buf: VecDeque::new(),
                     state: StreamState::Pending {
                         seek: start.clone(),
-                        skip_equal,
+                        exclusive,
                     },
                 })
                 .collect(),
@@ -954,27 +1022,24 @@ impl<'a> DbScan<'a> {
     /// Fetches the next chunk for stream `i` under its shard lock.
     fn refill(&mut self, i: usize) {
         let stream = &mut self.streams[i];
-        let StreamState::Pending { seek, skip_equal } =
+        let StreamState::Pending { seek, exclusive } =
             std::mem::replace(&mut stream.state, StreamState::Exhausted)
         else {
             return;
         };
         let guard = lock_recover(&self.db.shards[stream.shard]);
         let mut cursor = guard.cursor();
-        cursor.seek(&seek);
-        let mut skip = skip_equal;
+        if exclusive {
+            cursor.seek_exclusive(&seek);
+        } else {
+            cursor.seek(&seek);
+        }
         let mut ran_dry = false;
         while stream.buf.len() < self.chunk {
             let Some((key, value)) = cursor.next() else {
                 ran_dry = true;
                 break;
             };
-            if skip {
-                skip = false;
-                if key == seek {
-                    continue;
-                }
-            }
             if !self.end.admits(&key) {
                 ran_dry = true;
                 break;
@@ -985,7 +1050,7 @@ impl<'a> DbScan<'a> {
             if let Some((last, _)) = stream.buf.back() {
                 stream.state = StreamState::Pending {
                     seek: last.clone(),
-                    skip_equal: true,
+                    exclusive: true,
                 };
             }
         }

@@ -119,8 +119,12 @@ pub struct Cursor<'a> {
     stack: Vec<Frame>,
     /// Current (transformed) key prefix along the active root-to-node path.
     prefix: Vec<u8>,
-    /// Transformed seek bound; emission starts at the first key `>= start`.
+    /// Transformed seek bound; emission starts at the first key `>= start`
+    /// (`> start` for an exclusive seek).
     start: Vec<u8>,
+    /// Exclusive seek bound: the resume protocol used by `DbScan` chunk
+    /// refills and excluded range starts — skip a key equal to the bound.
+    exclusive: bool,
     /// Set once the first in-bound key was emitted; disables bound checks.
     started: bool,
     /// The empty key is stored out-of-line and emitted before the root walk.
@@ -135,6 +139,7 @@ impl<'a> Cursor<'a> {
             stack: Vec::new(),
             prefix: Vec::new(),
             start: Vec::new(),
+            exclusive: false,
             started: false,
             pending_empty: false,
         };
@@ -145,7 +150,24 @@ impl<'a> Cursor<'a> {
     /// Repositions the cursor at the first key `>= target` (original key
     /// space).  Seeking past the last key leaves the cursor exhausted.
     pub fn seek(&mut self, target: &[u8]) {
-        self.start = self.map.transform_key(target).into_owned();
+        self.seek_impl(target, false);
+    }
+
+    /// Repositions the cursor at the first key *strictly greater than*
+    /// `target` — the resume primitive: a scan that consumed up to some key
+    /// continues after it without re-yielding or re-comparing it.  Used by
+    /// `DbScan` chunk refills and excluded range start bounds.
+    pub fn seek_exclusive(&mut self, target: &[u8]) {
+        self.seek_impl(target, true);
+    }
+
+    fn seek_impl(&mut self, target: &[u8], exclusive: bool) {
+        // Re-fill the owned bound in place: repeated seeks (chunked scans
+        // re-seek per refill) reuse the buffer instead of allocating.
+        let transformed = self.map.transform_key(target);
+        self.start.clear();
+        self.start.extend_from_slice(&transformed);
+        self.exclusive = exclusive;
         self.started = false;
         self.prefix.clear();
         self.stack.clear();
@@ -170,12 +192,15 @@ impl<'a> Cursor<'a> {
         if self.started {
             return true;
         }
-        if key >= self.start.as_slice() {
-            self.started = true;
-            true
+        let within = if self.exclusive {
+            key > self.start.as_slice()
         } else {
-            false
+            key >= self.start.as_slice()
+        };
+        if within {
+            self.started = true;
         }
+        within
     }
 
     /// Pushes the frame(s) for the container(s) referenced by `hp`.
@@ -541,9 +566,6 @@ impl std::iter::FusedIterator for Iter<'_> {}
 /// upper bound is the number of keys the map can still yield.
 pub struct Range<'a> {
     cursor: Cursor<'a>,
-    /// For an excluded start bound: skip the key equal to the bound (the
-    /// cursor always seeks to the first key `>=` a target).
-    skip_equal: Option<Vec<u8>>,
     end: UpperBound,
     done: bool,
     /// Upper bound on the remaining yields (total map size minus yields).
@@ -557,24 +579,18 @@ impl Iterator for Range<'_> {
         if self.done {
             return None;
         }
-        loop {
-            let Some((key, value)) = self.cursor.next() else {
-                self.done = true;
-                return None;
-            };
-            if let Some(excluded) = self.skip_equal.take() {
-                if key == excluded {
-                    self.at_most = self.at_most.saturating_sub(1);
-                    continue;
-                }
-            }
-            if !self.end.admits(&key) {
-                self.done = true;
-                return None;
-            }
-            self.at_most = self.at_most.saturating_sub(1);
-            return Some((key, value));
+        // Excluded start bounds are handled by `Cursor::seek_exclusive`, so
+        // every yielded key only needs the upper-bound check.
+        let Some((key, value)) = self.cursor.next() else {
+            self.done = true;
+            return None;
+        };
+        if !self.end.admits(&key) {
+            self.done = true;
+            return None;
         }
+        self.at_most = self.at_most.saturating_sub(1);
+        Some((key, value))
     }
 
     #[inline]
@@ -644,14 +660,10 @@ impl HyperionMap {
         R: RangeBounds<K>,
     {
         let mut cursor = Cursor::new(self);
-        let mut skip_equal = None;
         match bounds.start_bound() {
             Bound::Unbounded => {}
             Bound::Included(start) => cursor.seek(start.as_ref()),
-            Bound::Excluded(start) => {
-                cursor.seek(start.as_ref());
-                skip_equal = Some(start.as_ref().to_vec());
-            }
+            Bound::Excluded(start) => cursor.seek_exclusive(start.as_ref()),
         }
         let end = match bounds.end_bound() {
             Bound::Unbounded => UpperBound::Unbounded,
@@ -660,7 +672,6 @@ impl HyperionMap {
         };
         Range {
             cursor,
-            skip_equal,
             end,
             done: false,
             at_most: self.len(),
@@ -689,7 +700,6 @@ impl HyperionMap {
         };
         Prefix(Range {
             cursor,
-            skip_equal: None,
             end,
             done: false,
             at_most: self.len(),

@@ -65,16 +65,89 @@ pub fn preprocess_key(key: &[u8]) -> Vec<u8> {
     if key.len() < PREPROCESS_INPUT_PREFIX {
         return key.to_vec();
     }
-    let mut out = Vec::with_capacity(key.len() + 1);
-    out.push(key[0]);
+    let mut out = vec![0u8; key.len() + 1];
+    preprocess_into(key, &mut out);
+    out
+}
+
+/// Writes the transformed form of `key` (which must be at least
+/// [`PREPROCESS_INPUT_PREFIX`] bytes) into `out[..key.len() + 1]`.  The one
+/// definition of the Section 3.4 bit regrouping, shared by the allocating
+/// [`preprocess_key`] and the stack-buffer [`TransformedKey`] so the two
+/// transforms cannot drift apart.
+fn preprocess_into(key: &[u8], out: &mut [u8]) {
+    out[0] = key[0];
     let bits: u32 = ((key[1] as u32) << 16) | ((key[2] as u32) << 8) | key[3] as u32;
     for group in 0..4 {
         let shift = 18 - 6 * group;
-        let six = ((bits >> shift) & 0x3f) as u8;
-        out.push(six << 2);
+        out[1 + group] = (((bits >> shift) & 0x3f) as u8) << 2;
     }
-    out.extend_from_slice(&key[PREPROCESS_INPUT_PREFIX..]);
-    out
+    out[PREPROCESS_OUTPUT_PREFIX..key.len() + 1].copy_from_slice(&key[PREPROCESS_INPUT_PREFIX..]);
+}
+
+/// Stack capacity of a [`TransformedKey`]: transformed keys up to this many
+/// bytes (original keys one byte shorter) never touch the heap.
+pub const TRANSFORM_STACK_BYTES: usize = 64;
+
+/// A key in transformed (trie-internal) key space, produced without a heap
+/// allocation whenever possible.
+///
+/// The read path calls the key pre-processor once per `get`; forcing a `Vec`
+/// per lookup (the old `Cow::into_owned` shape) put an allocator round-trip
+/// on the hottest path in the system.  This type borrows the caller's bytes
+/// when no transformation applies, spills into an inline stack buffer for
+/// typical key lengths, and only heap-allocates for keys longer than
+/// [`TRANSFORM_STACK_BYTES`] bytes.
+pub enum TransformedKey<'a> {
+    /// No transformation applied: the caller's bytes are the transformed key.
+    Borrowed(&'a [u8]),
+    /// Transformed into an inline buffer; `len` bytes are valid.
+    Stack {
+        /// Inline storage.
+        buf: [u8; TRANSFORM_STACK_BYTES],
+        /// Number of valid bytes in `buf`.
+        len: u8,
+    },
+    /// Transformed key too long for the inline buffer.
+    Heap(Vec<u8>),
+}
+
+impl<'a> TransformedKey<'a> {
+    /// Applies the Hyperion key pre-processor when `preprocess` is set,
+    /// avoiding heap allocation for keys that fit the inline buffer.
+    pub fn new(key: &'a [u8], preprocess: bool) -> TransformedKey<'a> {
+        if !preprocess || key.len() < PREPROCESS_INPUT_PREFIX {
+            return TransformedKey::Borrowed(key);
+        }
+        if key.len() + 1 > TRANSFORM_STACK_BYTES {
+            return TransformedKey::Heap(preprocess_key(key));
+        }
+        let mut buf = [0u8; TRANSFORM_STACK_BYTES];
+        preprocess_into(key, &mut buf);
+        TransformedKey::Stack {
+            buf,
+            len: (key.len() + 1) as u8,
+        }
+    }
+
+    /// The transformed key bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            TransformedKey::Borrowed(key) => key,
+            TransformedKey::Stack { buf, len } => &buf[..*len as usize],
+            TransformedKey::Heap(key) => key,
+        }
+    }
+}
+
+impl std::ops::Deref for TransformedKey<'_> {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
 }
 
 /// Inverts [`preprocess_key`].
@@ -194,5 +267,30 @@ mod tests {
     fn postprocess_rejects_non_preprocessed_input() {
         // 0xff has its low bits set, which the pre-processor never produces.
         assert_eq!(postprocess_key(&[1, 0xff, 0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn transformed_key_matches_preprocess_key() {
+        // Borrowed when preprocessing is off or the key is too short.
+        assert!(matches!(
+            TransformedKey::new(b"whatever", false),
+            TransformedKey::Borrowed(_)
+        ));
+        assert!(matches!(
+            TransformedKey::new(b"ab", true),
+            TransformedKey::Borrowed(_)
+        ));
+        // Stack for typical keys, heap beyond the inline buffer — all three
+        // shapes must agree byte-for-byte with the allocating transform.
+        for len in [4usize, 8, 17, 63, 64, 200] {
+            let key: Vec<u8> = (0..len).map(|i| (i * 37 + len) as u8).collect();
+            let t = TransformedKey::new(&key, true);
+            assert_eq!(t.as_slice(), preprocess_key(&key).as_slice(), "len {len}");
+            match &t {
+                TransformedKey::Stack { .. } => assert!(len < TRANSFORM_STACK_BYTES),
+                TransformedKey::Heap(_) => assert!(len + 1 > TRANSFORM_STACK_BYTES),
+                TransformedKey::Borrowed(_) => panic!("len {len} should transform"),
+            }
+        }
     }
 }

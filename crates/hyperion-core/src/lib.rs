@@ -81,6 +81,7 @@ pub mod db;
 pub mod iter;
 pub mod keys;
 pub mod node;
+pub mod read;
 pub mod scan;
 pub mod stats;
 pub mod trie;
@@ -91,7 +92,8 @@ pub use arena::ConcurrentHyperion;
 pub use config::HyperionConfig;
 pub use db::{
     BatchReport, BatchSummary, DbScan, FibonacciPartitioner, FirstBytePartitioner, HyperionDb,
-    HyperionDbBuilder, HyperionError, Partitioner, PutOutcome, RangePartitioner, WriteBatch,
+    HyperionDbBuilder, HyperionError, Partitioner, PrefixHashPartitioner, PutOutcome,
+    RangePartitioner, WriteBatch,
 };
 pub use iter::{Cursor, Entries, Iter, Prefix, Range};
 pub use stats::{TrieAnalysis, TrieCounters};

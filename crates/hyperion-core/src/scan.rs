@@ -12,6 +12,7 @@
 use crate::container::{ContainerRef, CJT_ENTRY_SIZE, HEADER_SIZE};
 use crate::node::{
     is_invalid, is_t_node, parse_s_node, parse_t_node, SNode, TNode, TNODE_JT_ENTRIES,
+    TNODE_JT_STRIDE,
 };
 
 /// Result of scanning for a T-node with a given partial key.
@@ -75,32 +76,38 @@ pub fn skip_t_children(c: &ContainerRef, t: &TNode, end: usize) -> usize {
 /// entry with key `<= target`, if it lies strictly inside `(after, end)`.
 /// Entries always reference explicit-key T records, so a caller resuming at
 /// the returned position needs no predecessor context.
+///
+/// The table's live entries are ascending by key (cleared entries are zero),
+/// so the scan stops at the first entry past the target instead of reading
+/// every slot of every group.
 pub fn cjt_seed(c: &ContainerRef, target: u8, after: usize, end: usize) -> Option<usize> {
-    if c.jt_groups() == 0 {
+    let groups = c.jt_groups();
+    if groups == 0 {
         return None;
     }
     let bytes = c.bytes();
-    let mut best: Option<(u8, u32)> = None;
-    for i in 0..c.jt_groups() * crate::container::CJT_GROUP {
+    let mut best: Option<u32> = None;
+    for i in 0..groups * crate::container::CJT_GROUP {
         let off = HEADER_SIZE + i * CJT_ENTRY_SIZE;
         let raw = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
         if raw == 0 {
             continue;
         }
-        let key = (raw & 0xff) as u8;
-        if key <= target && best.map(|(k, _)| key >= k).unwrap_or(true) {
-            best = Some((key, raw >> 8));
+        if (raw & 0xff) as u8 > target {
+            // Live keys ascend: no later entry can improve on `best`.
+            break;
         }
+        best = Some(raw >> 8);
     }
-    let (_, offset) = best?;
-    let candidate = c.stream_start() + offset as usize;
+    let candidate = c.stream_start() + best? as usize;
     (candidate > after && candidate < end).then_some(candidate)
 }
 
 /// Best T-node jump-table seed for `target` below the T record at
 /// `t_offset` (jump table at `jt_off`): the position of the greatest usable
 /// slot, if it lies strictly inside `(after, end)`.  Slot entries reference
-/// explicit-key S records with keys no greater than `16 * (slot + 1)`.
+/// explicit-key S records with keys no greater than
+/// [`TNODE_JT_STRIDE`]` * (slot + 1)`.
 pub fn tnode_jt_seed(
     c: &ContainerRef,
     t_offset: usize,
@@ -109,10 +116,10 @@ pub fn tnode_jt_seed(
     after: usize,
     end: usize,
 ) -> Option<usize> {
-    if target < 16 {
+    if (target as usize) < TNODE_JT_STRIDE {
         return None;
     }
-    let max_slot = ((target >> 4) as usize)
+    let max_slot = (target as usize / TNODE_JT_STRIDE)
         .saturating_sub(1)
         .min(TNODE_JT_ENTRIES - 1);
     for slot in (0..=max_slot).rev() {

@@ -8,20 +8,23 @@
 //! the siblings ordered, which enables delta encoding, early miss detection
 //! and fast ordered range queries.
 //!
-//! Reads live here ([`HyperionMap::get`]) and in [`crate::iter`] (the
+//! Point reads go through the single-pass read engine in [`crate::read`]
+//! ([`HyperionMap::get`], [`HyperionMap::contains_key`], and the batched
+//! [`HyperionMap::get_many`]); ordered reads live in [`crate::iter`] (the
 //! cursor / lazy iterators).  Every mutation — [`HyperionMap::put`], the
 //! sorted batch path [`HyperionMap::put_many`], [`HyperionMap::delete`] —
 //! delegates to the single-pass write engine in [`crate::write`], which
-//! documents the descent, split and gap-coalescing protocol.
+//! documents the descent, split and gap-coalescing protocol the read engine
+//! mirrors.
 
 use crate::config::HyperionConfig;
 use crate::container::{ContainerHandle, ContainerRef};
-use crate::keys::{postprocess_key, preprocess_key};
+use crate::keys::{postprocess_key, preprocess_key, TransformedKey};
 use crate::node::{
     is_invalid, is_t_node, parse_pc_node, parse_s_node, parse_t_node, ChildKind, NodeType,
-    TNODE_JT_ENTRIES,
+    TNODE_JT_ENTRIES, TNODE_JT_STRIDE,
 };
-use crate::scan::{collect_s_records, collect_t_records, s_scan, t_scan};
+use crate::scan::{collect_s_records, collect_t_records};
 use crate::stats::{TrieAnalysis, TrieCounters};
 use crate::write::{WriteEngine, WriteError};
 use crate::{Entries, KvRead, KvWrite, OrderedRead};
@@ -39,16 +42,6 @@ pub struct HyperionMap {
     empty_key_value: Option<u64>,
     len: usize,
     counters: TrieCounters,
-}
-
-/// Result of a read inside one container.
-enum RegionGet {
-    NotFound,
-    Value(u64),
-    Descend {
-        hp: HyperionPointer,
-        consumed: usize,
-    },
 }
 
 impl HyperionMap {
@@ -137,106 +130,29 @@ impl HyperionMap {
         self.restore_key(key)
     }
 
-    fn resolve_handle(&self, hp: HyperionPointer, hint: u8) -> ContainerHandle {
-        if hp.superbin() == 0 && self.mm.is_chained(hp) {
-            let (index, _, _) = self
-                .mm
-                .resolve_chained(hp, hint)
-                .expect("chained pointer without valid slot");
-            ContainerHandle::ChainSlot { head: hp, index }
-        } else {
-            ContainerHandle::Standalone(hp)
-        }
-    }
-
     // =====================================================================
-    // get
+    // get (delegates to the single-pass read engine in `crate::read`)
     // =====================================================================
 
     /// Looks up a key and returns its value, if present.
     pub fn get(&self, key: &[u8]) -> Option<u64> {
-        let key = self.transform(key);
+        let key = TransformedKey::new(key, self.config.key_preprocessing);
         if key.is_empty() {
             return self.empty_key_value;
         }
-        let mut hp = self.root?;
-        let mut rest: &[u8] = &key;
-        loop {
-            let handle = self.resolve_handle(hp, rest[0]);
-            let c = ContainerRef::open(&self.mm, handle);
-            match self.get_in_region(&c, c.stream_start(), c.stream_end(), rest) {
-                RegionGet::NotFound => return None,
-                RegionGet::Value(v) => return Some(v),
-                RegionGet::Descend {
-                    hp: child,
-                    consumed,
-                } => {
-                    hp = child;
-                    rest = &rest[consumed..];
-                }
-            }
-        }
+        self.lookup_transformed(&key, true)
     }
 
     /// `true` if the key is present.
+    ///
+    /// Shares the read engine's fast path with [`HyperionMap::get`] but stops
+    /// at the record match without reading the value word.
     pub fn contains_key(&self, key: &[u8]) -> bool {
-        self.get(key).is_some()
-    }
-
-    fn get_in_region(&self, c: &ContainerRef, start: usize, end: usize, key: &[u8]) -> RegionGet {
-        let is_top = start == c.stream_start();
-        let ts = t_scan(c, start, end, key[0], is_top);
-        let Some(t) = ts.found else {
-            return RegionGet::NotFound;
-        };
-        if key.len() == 1 {
-            return match t.value_offset {
-                Some(off) if t.node_type == NodeType::LeafWithValue => {
-                    RegionGet::Value(c.read_u64(off))
-                }
-                _ => RegionGet::NotFound,
-            };
+        let key = TransformedKey::new(key, self.config.key_preprocessing);
+        if key.is_empty() {
+            return self.empty_key_value.is_some();
         }
-        let ss = s_scan(c, &t, end, key[1]);
-        let Some(s) = ss.found else {
-            return RegionGet::NotFound;
-        };
-        if key.len() == 2 {
-            return match s.value_offset {
-                Some(off) if s.node_type == NodeType::LeafWithValue => {
-                    RegionGet::Value(c.read_u64(off))
-                }
-                _ => RegionGet::NotFound,
-            };
-        }
-        let remaining = &key[2..];
-        match s.child {
-            ChildKind::None => RegionGet::NotFound,
-            ChildKind::Pointer => RegionGet::Descend {
-                hp: c.read_hp(s.child_offset.expect("pointer child offset")),
-                consumed: 2,
-            },
-            ChildKind::Embedded => {
-                let child_off = s.child_offset.expect("embedded child offset");
-                let size = c.bytes()[child_off] as usize;
-                match self.get_in_region(c, child_off + 1, child_off + size, remaining) {
-                    RegionGet::Descend { hp, consumed } => RegionGet::Descend {
-                        hp,
-                        consumed: consumed + 2,
-                    },
-                    other => other,
-                }
-            }
-            ChildKind::PathCompressed => {
-                let child_off = s.child_offset.expect("pc child offset");
-                let (has_value, value, range) = parse_pc_node(c.bytes(), child_off);
-                if has_value && &c.bytes()[range] == remaining {
-                    RegionGet::Value(value)
-                } else {
-                    RegionGet::NotFound
-                }
-            }
-        }
+        self.lookup_transformed(&key, false).is_some()
     }
 
     // =====================================================================
@@ -543,6 +459,11 @@ impl Default for HyperionMap {
 impl KvRead for HyperionMap {
     fn get(&self, key: &[u8]) -> Option<u64> {
         HyperionMap::get(self, key)
+    }
+
+    /// Overrides the `get`-based default with the value-free fast path.
+    fn contains(&self, key: &[u8]) -> bool {
+        HyperionMap::contains_key(self, key)
     }
 
     fn len(&self) -> usize {
@@ -871,7 +792,9 @@ impl HyperionMap {
                         ));
                     }
                     match parse_s_node(bytes, target, None) {
-                        Some(s) if s.explicit_key && (s.key as usize) <= 16 * (slot + 1) => {}
+                        Some(s)
+                            if s.explicit_key
+                                && (s.key as usize) <= TNODE_JT_STRIDE * (slot + 1) => {}
                         other => {
                             return Err(format!(
                                 "{handle:?}: T@{} jt slot {slot} bad target ({other:?})",

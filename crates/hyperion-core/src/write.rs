@@ -63,7 +63,7 @@ use crate::container::{ContainerHandle, ContainerRef, CJT_GROUP, CJT_MAX_GROUPS,
 use crate::node::{
     delta_for, delta_of, is_invalid, is_t_node, parse_pc_node, parse_s_node, parse_t_node,
     ChildKind, NodeType, SNode, TNode, HP_SIZE, JS_SIZE, TNODE_JT_ENTRIES, TNODE_JT_SIZE,
-    VALUE_SIZE,
+    TNODE_JT_STRIDE, VALUE_SIZE,
 };
 use crate::scan::{
     collect_s_records, collect_t_records_trusted, s_scan, s_scan_from, skip_t_children, t_scan,
@@ -72,10 +72,15 @@ use crate::scan::{
 use crate::stats::TrieCounters;
 use hyperion_mem::{HyperionPointer, MemoryManager};
 
-/// Upper bound on the byte length of one coalesced splice.  Bounds transient
-/// container growth between split checks (the container size field is 19
-/// bits) while still amortising the memmove over many records.
+/// Lower bound of the adaptive splice cap (the old fixed cap): even a
+/// container already past its split threshold still coalesces runs of this
+/// many bytes.
 pub(crate) const MAX_SPLICE_BYTES: usize = 3072;
+
+/// Upper bound of the adaptive splice cap.  Together with the split
+/// threshold ceiling (208 KiB at maximum split delay) this keeps transient
+/// container growth far below the 19-bit container size field.
+const MAX_SPLICE_CAP: usize = 48 * 1024;
 
 /// Slop added to `make_room` requests so follow-up fix-ups (sibling delta
 /// re-encoding materialising an explicit key byte) cannot overflow an
@@ -360,7 +365,12 @@ struct TopsOutcome {
     consumed: usize,
     /// How many of the consumed entries created a new key.
     inserted: usize,
-    /// Longest single T-record walk observed (container-jump-table trigger).
+    /// Total T records walked across the visit (container-jump-table
+    /// trigger).  A point put contributes its single scan; a batch's resumed
+    /// scans sum to roughly one walk of the container — either way the
+    /// trigger reflects how much linear scanning the container costs, which
+    /// a per-scan maximum under resumed batch scans never did (batch-built
+    /// containers used to end up with no jump table at all).
     scanned: usize,
 }
 
@@ -387,6 +397,15 @@ impl<'a> WriteEngine<'a> {
             counters,
             edits: Vec::new(),
         }
+    }
+
+    /// Byte cap of one coalesced splice into `c`: a quarter of the
+    /// container's current split threshold (clamped to
+    /// `[MAX_SPLICE_BYTES, MAX_SPLICE_CAP]`), so large sorted runs coalesce
+    /// proportionally to how far the container is allowed to grow before the
+    /// next split check instead of stopping at a fixed 3 KiB.
+    fn splice_cap(&self, c: &ContainerRef) -> usize {
+        (self.config.split_threshold(c.split_delay()) / 4).clamp(MAX_SPLICE_BYTES, MAX_SPLICE_CAP)
     }
 
     fn resolve_handle(&self, hp: HyperionPointer, hint: u8) -> ContainerHandle {
@@ -558,7 +577,7 @@ impl<'a> WriteEngine<'a> {
         let mut prev: Option<u8> = None;
         let mut first_scan = true;
         let mut inserted = 0usize;
-        let mut scanned_max = 0usize;
+        let mut scanned_total = 0usize;
         let mut i = 0usize;
         while i < entries.len() {
             let (_, region_end) = site.region(&frame);
@@ -572,11 +591,12 @@ impl<'a> WriteEngine<'a> {
                 top && first_scan,
             );
             first_scan = false;
-            scanned_max = scanned_max.max(ts.scanned);
+            scanned_total += ts.scanned;
             match ts.found {
                 None => {
                     // Coalesced run: every consecutive entry whose first byte
                     // sorts before the successor record joins one splice.
+                    let cap = self.splice_cap(&site.regs[frame.cid]);
                     let limit = ts.successor.as_ref().map(|s| s.key);
                     let mut est = splice_estimate(&entries[i].0, depth);
                     let mut j = i + 1;
@@ -586,7 +606,7 @@ impl<'a> WriteEngine<'a> {
                             break;
                         }
                         let e = splice_estimate(&entries[j].0, depth);
-                        if est + e > MAX_SPLICE_BYTES {
+                        if est + e > cap {
                             break;
                         }
                         est += e;
@@ -599,7 +619,9 @@ impl<'a> WriteEngine<'a> {
                         .map(|(k, v)| (k[depth..].to_vec(), *v))
                         .collect();
                     let stream = {
-                        let mut b = StreamBuilder::new(self.mm, self.config);
+                        let parent_size = site.regs[frame.cid].size();
+                        let mut b =
+                            StreamBuilder::new(self.mm, self.config).with_parent_size(parent_size);
                         b.build_stream(ts.prev_key, &run)
                     };
                     self.edits.clear();
@@ -684,7 +706,7 @@ impl<'a> WriteEngine<'a> {
         Ok(TopsOutcome {
             consumed: i,
             inserted,
-            scanned: scanned_max,
+            scanned: scanned_total,
         })
     }
 
@@ -748,6 +770,7 @@ impl<'a> WriteEngine<'a> {
                 children_seen += ss.visited;
                 match ss.found {
                     None => {
+                        let cap = self.splice_cap(&site.regs[frame.cid]);
                         let limit = ss.successor.as_ref().map(|s| s.key);
                         let mut est = splice_estimate(&entries[i].0, depth + 1);
                         let mut j = i + 1;
@@ -757,7 +780,7 @@ impl<'a> WriteEngine<'a> {
                                 break;
                             }
                             let e = splice_estimate(&entries[j].0, depth + 1);
-                            if est + e > MAX_SPLICE_BYTES {
+                            if est + e > cap {
                                 break;
                             }
                             est += e;
@@ -770,7 +793,9 @@ impl<'a> WriteEngine<'a> {
                             .map(|(k, v)| (k[depth + 1..].to_vec(), *v))
                             .collect();
                         let stream = {
-                            let mut b = StreamBuilder::new(self.mm, self.config);
+                            let parent_size = site.regs[frame.cid].size();
+                            let mut b = StreamBuilder::new(self.mm, self.config)
+                                .with_parent_size(parent_size);
                             b.build_s_records(ss.prev_key, &run)
                         };
                         self.edits.clear();
@@ -900,12 +925,13 @@ impl<'a> WriteEngine<'a> {
         while i < entries.len() {
             let s = parse_s_node(site.regs[frame.cid].bytes(), *s_off, s_prev_key)
                 .expect("S record for child edit");
+            let cap = self.splice_cap(&site.regs[frame.cid]);
             let chunk_end = |entries: &[(Vec<u8>, u64)], from: usize| -> usize {
                 let mut est = 0usize;
                 let mut j = from;
                 while j < entries.len() {
                     let e = splice_estimate(&entries[j].0, depth + 2);
-                    if j > from && est + e > MAX_SPLICE_BYTES {
+                    if j > from && est + e > cap {
                         break;
                     }
                     est += e;
@@ -921,7 +947,9 @@ impl<'a> WriteEngine<'a> {
                         .map(|(k, v)| (k[depth + 2..].to_vec(), *v))
                         .collect();
                     let (kind, bytes) = {
-                        let mut b = StreamBuilder::new(self.mm, self.config);
+                        let parent_size = site.regs[frame.cid].size();
+                        let mut b =
+                            StreamBuilder::new(self.mm, self.config).with_parent_size(parent_size);
                         b.encode_child(&run)
                     };
                     self.edits.clear();
@@ -1047,7 +1075,8 @@ impl<'a> WriteEngine<'a> {
             }
         }
         let (kind, bytes) = {
-            let mut b = StreamBuilder::new(self.mm, self.config);
+            let parent_size = site.regs[frame.cid].size();
+            let mut b = StreamBuilder::new(self.mm, self.config).with_parent_size(parent_size);
             b.encode_child(&merged)
         };
         self.edits.clear();
@@ -1470,8 +1499,22 @@ impl<'a> WriteEngine<'a> {
     // jump successor / jump table maintenance
     // =====================================================================
 
-    fn maintain_t_jumps(&mut self, c: &mut ContainerRef, t_offset: usize, child_count: usize) {
-        if self.config.jump_successor && child_count >= self.config.jump_successor_threshold {
+    fn maintain_t_jumps(&mut self, c: &mut ContainerRef, t_offset: usize, visited: usize) {
+        // The thresholds compare against the T record's *actual* child count.
+        // The caller's visited count is only a lower bound — a batch's
+        // resumed scans visit each child once across the whole batch, so a
+        // per-descent count would leave batch-built T records without jumps
+        // (and their readers scanning hundreds of S records linearly).  The
+        // count walk is lean (flag-derived record ends) and only runs while
+        // a jump structure is actually missing.
+        let t0 = parse_t_node(c.bytes(), t_offset, None).expect("T record for jump maintenance");
+        let needs_js = self.config.jump_successor && !t0.has_js;
+        let needs_jt = self.config.tnode_jump_table && !t0.has_jt;
+        if !needs_js && !needs_jt {
+            return;
+        }
+        let child_count = visited.max(count_s_children(c, t0.header_end, c.stream_end()));
+        if needs_js && child_count >= self.config.jump_successor_threshold {
             let t = parse_t_node(c.bytes(), t_offset, None).expect("T record for js maintenance");
             if !t.has_js {
                 let js_pos = t
@@ -1488,7 +1531,7 @@ impl<'a> WriteEngine<'a> {
                 }
             }
         }
-        if self.config.tnode_jump_table && child_count >= self.config.tnode_jump_table_threshold {
+        if needs_jt && child_count >= self.config.tnode_jump_table_threshold {
             let t = parse_t_node(c.bytes(), t_offset, None).expect("T record for jt maintenance");
             if !t.has_jt {
                 let jt_pos = t
@@ -1499,6 +1542,36 @@ impl<'a> WriteEngine<'a> {
                 self.grow_stream(c, &[], jt_pos, TNODE_JT_SIZE, false);
                 let flag = c.bytes()[t_offset];
                 c.bytes_mut()[t_offset] = flag | (1 << 7);
+                // Jump-table entries may only reference *explicit-key*
+                // S records (a seeded scan has no predecessor context).
+                // Sorted batch streams delta-encode nearly every sibling, so
+                // a table built over them would have nothing usable to point
+                // at — all slots would fall back to the first child and the
+                // seeded walk would be as linear as no table at all.
+                // Materialise an explicit key byte for the best seed of
+                // every slot first, one record at a time (each grow shifts
+                // the offsets behind it).
+                loop {
+                    let t = parse_t_node(c.bytes(), t_offset, None).expect("T record for jt fill");
+                    let children = collect_s_records(c, &t, c.stream_end());
+                    let mut convert: Option<(usize, u8)> = None;
+                    'slots: for slot in 0..TNODE_JT_ENTRIES {
+                        let bound = TNODE_JT_STRIDE * (slot + 1);
+                        for s in children.iter().rev() {
+                            if (s.key as usize) <= bound {
+                                if !s.explicit_key {
+                                    convert = Some((s.offset, s.key));
+                                }
+                                continue 'slots;
+                            }
+                        }
+                    }
+                    let Some((offset, key)) = convert else { break };
+                    self.grow_stream(c, &[], offset + 1, 1, false);
+                    let flag = c.bytes()[offset];
+                    c.bytes_mut()[offset] = flag & !(0b111 << 3);
+                    c.bytes_mut()[offset + 1] = key;
+                }
                 // Fill the entries: slot i references the greatest explicit-key
                 // S child with key <= 16 * (i + 1).
                 let t = parse_t_node(c.bytes(), t_offset, None).expect("T record after jt insert");
@@ -1510,7 +1583,7 @@ impl<'a> WriteEngine<'a> {
                         continue;
                     }
                     let rel = (s.offset - t.offset) as u16;
-                    let first_slot = (s.key as usize).div_ceil(16).saturating_sub(1);
+                    let first_slot = (s.key as usize).div_ceil(TNODE_JT_STRIDE).saturating_sub(1);
                     for entry in entries.iter_mut().skip(first_slot) {
                         *entry = rel;
                     }
@@ -1523,27 +1596,57 @@ impl<'a> WriteEngine<'a> {
     }
 
     fn rebuild_container_jump_table(&mut self, c: &mut ContainerRef) {
-        let stream_start = c.stream_start();
         // The rebuild runs between edits, when jump successors are exact:
         // the trusted walk hops over children instead of re-parsing every
         // S record (the untrusting walk made rebuilds the dominant cost of
         // the whole insert path).
-        let records = collect_t_records_trusted(c, stream_start, c.stream_end());
-        let explicit: Vec<&TNode> = records.iter().filter(|t| t.explicit_key).collect();
-        if explicit.len() < CJT_GROUP {
-            return;
-        }
+        //
+        // Entries may only reference *explicit-key* T records (a seeded scan
+        // has no predecessor context), but sorted batch streams delta-encode
+        // most T siblings — sampling only what happens to be explicit left
+        // batch-built containers without a usable table.  The rebuild
+        // therefore samples evenly over *all* records and materialises an
+        // explicit key byte for each sampled record first, one at a time
+        // (each grow shifts the offsets behind it, so re-walk after each).
         let max_entries = CJT_MAX_GROUPS * CJT_GROUP;
-        let take = explicit.len().min(max_entries);
-        let mut entries = Vec::with_capacity(take);
-        for i in 0..take {
-            let idx = i * explicit.len() / take;
-            let t = explicit[idx];
-            entries.push((t.key, (t.offset - stream_start) as u32));
+        loop {
+            let stream_start = c.stream_start();
+            let records = collect_t_records_trusted(c, stream_start, c.stream_end());
+            // Below two groups' worth of records a table saves almost no
+            // walking (jump-successor hops already bound the walk) but costs
+            // 28 bytes plus explicit-key conversions per container — on the
+            // string data sets most containers are this small.
+            if records.len() < 2 * CJT_GROUP {
+                return;
+            }
+            // Half-density sampling: one entry per two records bounds the
+            // post-seed walk at two hops for half the table (and half the
+            // explicit-key conversion bytes) of a full-density table.
+            let take = (records.len() / 2).clamp(CJT_GROUP, max_entries);
+            let mut convert: Option<(usize, u8)> = None;
+            for i in 0..take {
+                let t = &records[i * records.len() / take];
+                if !t.explicit_key {
+                    convert = Some((t.offset, t.key));
+                    break;
+                }
+            }
+            let Some((offset, key)) = convert else {
+                let mut entries = Vec::with_capacity(take);
+                for i in 0..take {
+                    let t = &records[i * records.len() / take];
+                    entries.push((t.key, (t.offset - stream_start) as u32));
+                }
+                entries.dedup_by_key(|(k, _)| *k);
+                c.set_cjt_entries(self.mm, &entries);
+                self.counters.cjt_rebuilds += 1;
+                return;
+            };
+            self.grow_stream(c, &[], offset + 1, 1, false);
+            let flag = c.bytes()[offset];
+            c.bytes_mut()[offset] = flag & !(0b111 << 3);
+            c.bytes_mut()[offset + 1] = key;
         }
-        entries.dedup_by_key(|(k, _)| *k);
-        c.set_cjt_entries(self.mm, &entries);
-        self.counters.cjt_rebuilds += 1;
     }
 
     // =====================================================================
@@ -1645,16 +1748,34 @@ impl<'a> WriteEngine<'a> {
             ContainerHandle::Standalone(old_hp) => {
                 let head = self.mm.allocate_chained();
                 let slot_a = range_start / 32;
-                ContainerRef::create_chain_slot(self.mm, head, slot_a, &left);
-                ContainerRef::create_chain_slot(self.mm, head, cut_block, &right);
+                let mut left_c = ContainerRef::create_chain_slot(self.mm, head, slot_a, &left);
+                let mut right_c = ContainerRef::create_chain_slot(self.mm, head, cut_block, &right);
                 self.mm.free(old_hp);
+                self.rebuild_split_halves(&mut left_c, &mut right_c);
                 Some(head)
             }
             ContainerHandle::ChainSlot { head, index } => {
-                ContainerRef::create_chain_slot(self.mm, head, index, &left);
-                ContainerRef::create_chain_slot(self.mm, head, cut_block, &right);
+                let mut left_c = ContainerRef::create_chain_slot(self.mm, head, index, &left);
+                let mut right_c = ContainerRef::create_chain_slot(self.mm, head, cut_block, &right);
+                self.rebuild_split_halves(&mut left_c, &mut right_c);
                 None
             }
+        }
+    }
+
+    /// Rebuilds the container jump tables of a split's two halves.
+    ///
+    /// A split copies the raw node streams, dropping the source container's
+    /// jump table — and under sorted input (batches, sequential keys) the
+    /// left half may never be written again, so no later visit would ever
+    /// rebuild it: readers would walk its T records linearly forever.
+    fn rebuild_split_halves(&mut self, left: &mut ContainerRef, right: &mut ContainerRef) {
+        if self.config.container_jump_table {
+            self.rebuild_container_jump_table(left);
+            self.rebuild_container_jump_table(right);
+            // The rebuild's explicit-key conversions logged raw edits against
+            // the halves; no event log spans a split, so drop them.
+            self.edits.clear();
         }
     }
 
@@ -1914,4 +2035,19 @@ impl<'a> WriteEngine<'a> {
 /// key bytes, value, path-compressed header per level).
 fn splice_estimate(key: &[u8], depth: usize) -> usize {
     2 * (key.len() - depth) + 24
+}
+
+/// Counts the S records starting at `from`, stopping at the next T record,
+/// invalid memory or `end`.  Used by the jump maintenance to compare a
+/// T record's true child count against the acceleration thresholds.
+fn count_s_children(c: &ContainerRef, from: usize, end: usize) -> usize {
+    let bytes = c.bytes();
+    let mut pos = from;
+    let mut count = 0usize;
+    while pos < end && !is_invalid(bytes[pos]) && !is_t_node(bytes[pos]) {
+        let s = parse_s_node(bytes, pos, None).expect("corrupt S record");
+        pos = s.end;
+        count += 1;
+    }
+    count
 }

@@ -252,6 +252,53 @@ impl MemoryManager {
         None
     }
 
+    /// One-pass read-side resolution of `hp`: chained heads resolve their
+    /// slot by `hint` (chunk `hint >> 5`, falling back to the next valid
+    /// slot below), plain HPs resolve directly.  Returns
+    /// `(chain slot index if chained, payload pointer, capacity)`.
+    ///
+    /// Equivalent to `is_chained` + `resolve_chained`/`resolve` + `capacity`
+    /// but reads each metadata record once — the point-lookup hot path
+    /// resolves a container per descent level, so the redundant record
+    /// walks were measurable.
+    pub fn resolve_for_read(
+        &self,
+        hp: HyperionPointer,
+        hint: u8,
+    ) -> Option<(Option<usize>, *mut u8, usize)> {
+        if hp.superbin() != 0 {
+            return Some((
+                None,
+                self.chunk_ptr(hp),
+                chunk_size_of_superbin(hp.superbin()),
+            ));
+        }
+        let head = self.read_record(hp);
+        if !head.is_chain_head() {
+            debug_assert!(head.is_valid(), "resolving void extended bin {hp:?}");
+            return Some((None, head.ptr(), head.capacity()));
+        }
+        let start = (hint >> 5) as usize;
+        for index in (0..=start).rev() {
+            let record = if index == 0 {
+                head
+            } else {
+                self.read_record(self.chain_slot(hp, index))
+            };
+            if record.is_valid() {
+                return Some((Some(index), record.ptr(), record.capacity()));
+            }
+        }
+        None
+    }
+
+    /// The smallest valid slot index strictly greater than `after` in a
+    /// chained extended bin, if any.  Allocation-free companion of
+    /// [`MemoryManager::chained_valid_slots`] for read-side slot routing.
+    pub fn chained_next_valid_slot(&self, head: HyperionPointer, after: usize) -> Option<usize> {
+        ((after + 1)..CHAIN_LEN).find(|&i| self.read_record(self.chain_slot(head, i)).is_valid())
+    }
+
     /// Returns the valid slot indices of a chained extended bin.
     pub fn chained_valid_slots(&self, head: HyperionPointer) -> Vec<usize> {
         (0..CHAIN_LEN)

@@ -429,3 +429,122 @@ fn huge_shared_prefix_batch_stays_within_container_limits() {
     let expected: Vec<(Vec<u8>, u64)> = reference.into_iter().collect();
     assert_eq!(collected, expected);
 }
+
+/// `get_many` must be order-faithful (`results[i]` answers `keys[i]`) and
+/// agree with a `BTreeMap` oracle under interleaved puts and deletes, for
+/// batches mixing present keys, never-inserted keys, deleted keys, duplicate
+/// probes and the empty key — in sorted, reverse and random probe orders.
+#[test]
+fn get_many_matches_oracle_under_interleaved_ops() {
+    for case in 0..24u64 {
+        let mut rng = Mt19937_64::new(0x6e7_3a11 + case);
+        let mut map = HyperionMap::new();
+        let mut reference: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let mut deleted: Vec<Vec<u8>> = Vec::new();
+        let ops = 200 + (rng.next_u64() as usize) % 2000;
+        for _ in 0..ops {
+            let key = random_key(&mut rng, 18);
+            if rng.next_u64() % 5 == 0 {
+                map.delete(&key);
+                if reference.remove(&key).is_some() {
+                    deleted.push(key);
+                }
+            } else {
+                let value = rng.next_u64();
+                map.put(&key, value);
+                reference.insert(key, value);
+            }
+        }
+        // Probe set: hits, misses, deleted keys, duplicates, the empty key.
+        let mut probes: Vec<Vec<u8>> = Vec::new();
+        for (k, _) in reference.iter().step_by(3) {
+            probes.push(k.clone());
+            if rng.next_u64() % 4 == 0 {
+                probes.push(k.clone()); // duplicate probe in the same batch
+            }
+        }
+        for _ in 0..probes.len() / 4 + 1 {
+            probes.push(random_key(&mut rng, 18)); // likely miss
+        }
+        probes.extend(deleted.into_iter().take(16));
+        probes.push(Vec::new());
+        for order in ["sorted", "reverse", "random"] {
+            match order {
+                "sorted" => probes.sort(),
+                "reverse" => probes.reverse(),
+                _ => {
+                    for i in (1..probes.len()).rev() {
+                        let j = (rng.next_u64() as usize) % (i + 1);
+                        probes.swap(i, j);
+                    }
+                }
+            }
+            let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+            let got = map.get_many(&refs);
+            assert_eq!(got.len(), probes.len(), "case {case} {order}: length");
+            for (probe, result) in probes.iter().zip(&got) {
+                assert_eq!(
+                    *result,
+                    reference.get(probe).copied(),
+                    "case {case} {order}: probe {probe:x?}"
+                );
+            }
+        }
+    }
+}
+
+/// `HyperionDb::multi_get` must agree with per-key `get` and the oracle for
+/// every partitioner, including over-long keys (resolved to `None`, never an
+/// error) and batches spanning all shards.
+#[test]
+fn db_multi_get_matches_oracle() {
+    use hyperion::core::db::{
+        FibonacciPartitioner, HyperionDb, Partitioner, PrefixHashPartitioner, RangePartitioner,
+    };
+    use std::sync::Arc;
+    let partitioners: Vec<Arc<dyn Partitioner>> = vec![
+        Arc::new(FibonacciPartitioner),
+        Arc::new(PrefixHashPartitioner::default()),
+        Arc::new(RangePartitioner),
+    ];
+    for partitioner in partitioners {
+        let name = partitioner.name();
+        let mut rng = Mt19937_64::new(0xdbb);
+        let db = HyperionDb::builder()
+            .shards(7)
+            .partitioner_arc(partitioner)
+            .build();
+        let mut reference: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for _ in 0..3000 {
+            let key = random_key(&mut rng, 12);
+            let value = rng.next_u64();
+            if rng.next_u64() % 6 == 0 {
+                db.delete(&key).unwrap();
+                reference.remove(&key);
+            } else {
+                db.put(&key, value).unwrap();
+                reference.insert(key, value);
+            }
+        }
+        let mut probes: Vec<Vec<u8>> = reference.keys().step_by(2).cloned().collect();
+        for _ in 0..200 {
+            probes.push(random_key(&mut rng, 12));
+        }
+        probes.push(Vec::new());
+        probes.push(vec![0xab; 2000]); // over MAX_KEY_LEN: always None
+        for i in (1..probes.len()).rev() {
+            let j = (rng.next_u64() as usize) % (i + 1);
+            probes.swap(i, j);
+        }
+        let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+        let got = db.multi_get(&refs).unwrap();
+        for (probe, result) in probes.iter().zip(&got) {
+            assert_eq!(
+                *result,
+                reference.get(probe).copied(),
+                "{name}: probe {probe:x?}"
+            );
+            assert_eq!(*result, db.get(probe).unwrap(), "{name}: vs point get");
+        }
+    }
+}
