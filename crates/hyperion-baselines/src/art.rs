@@ -221,6 +221,48 @@ impl Layout {
         }
     }
 
+    /// Iterates children in descending key order (mirror of
+    /// [`Layout::for_each_ordered`]).
+    fn for_each_ordered_rev<'a>(&'a self, f: &mut dyn FnMut(u8, &'a Node) -> bool) -> bool {
+        match self {
+            Layout::Node4 { keys, children } => {
+                for (i, child) in children.iter().enumerate().rev() {
+                    if !f(keys[i], child) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Layout::Node16 { keys, children } => {
+                for (i, child) in children.iter().enumerate().rev() {
+                    if !f(keys[i], child) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Layout::Node48 { index, children } => {
+                for byte in (0..256usize).rev() {
+                    let slot = index[byte];
+                    if slot != u8::MAX && !f(byte as u8, &children[slot as usize]) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Layout::Node256 { children } => {
+                for (byte, child) in children.iter().enumerate().rev() {
+                    if let Some(child) = child {
+                        if !f(byte as u8, child) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
     /// Bytes of memory used by this layout's bookkeeping (children counted
     /// separately).
     fn layout_bytes(&self) -> usize {
@@ -426,6 +468,52 @@ impl ArtTree {
         }
     }
 
+    /// Mirror of [`ArtTree::walk`]: keys in *descending* order, skipping keys
+    /// `>= bound`.  Subtrees whose minimum possible key (the path prefix
+    /// itself) already reaches the bound are pruned whole.
+    fn walk_back(
+        node: &Node,
+        prefix: &mut Vec<u8>,
+        bound: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], u64) -> bool,
+    ) -> bool {
+        match node {
+            Node::Leaf { key, value } => {
+                let depth = prefix.len();
+                prefix.extend_from_slice(key);
+                let ok = bound.is_some_and(|b| prefix.as_slice() >= b) || f(prefix, *value);
+                prefix.truncate(depth);
+                ok
+            }
+            Node::Inner(inner) => {
+                let depth = prefix.len();
+                prefix.extend_from_slice(&inner.prefix[..inner.prefix_len]);
+                // Every key below extends `prefix`: the subtree minimum is
+                // the prefix itself, so a prefix at or above the bound prunes
+                // the whole node.
+                if bound.is_some_and(|b| prefix.as_slice() >= b) {
+                    prefix.truncate(depth);
+                    return true;
+                }
+                let mut ok = inner.layout.for_each_ordered_rev(&mut |byte, child| {
+                    prefix.push(byte);
+                    let keep = Self::walk_back(child, prefix, bound, f);
+                    prefix.pop();
+                    keep
+                });
+                // The terminal is the shortest key of this subtree: last in
+                // descending order (its bound check happened above).
+                if ok {
+                    if let Some(v) = inner.terminal {
+                        ok = f(prefix, v);
+                    }
+                }
+                prefix.truncate(depth);
+                ok
+            }
+        }
+    }
+
     fn node_bytes(node: &Node) -> usize {
         match node {
             Node::Leaf { key, .. } => std::mem::size_of::<Node>() + key.len(),
@@ -528,6 +616,30 @@ impl OrderedRead for ArtTree {
             let mut prefix = Vec::new();
             Self::walk(root, &mut prefix, start, f);
         }
+    }
+
+    /// Rightmost descent through the adaptive layouts.
+    fn last(&self) -> Option<(Vec<u8>, u64)> {
+        let mut out = None;
+        if let Some(root) = &self.root {
+            Self::walk_back(root, &mut Vec::new(), None, &mut |k, v| {
+                out = Some((k.to_vec(), v));
+                false
+            });
+        }
+        out
+    }
+
+    /// Bound-pruned reverse walk stopping at the first in-bound key.
+    fn pred(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let mut out = None;
+        if let Some(root) = &self.root {
+            Self::walk_back(root, &mut Vec::new(), Some(key), &mut |k, v| {
+                out = Some((k.to_vec(), v));
+                false
+            });
+        }
+        out
     }
 }
 

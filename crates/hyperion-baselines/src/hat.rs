@@ -213,6 +213,54 @@ impl HatTrie {
         }
     }
 
+    /// Mirror of [`HatTrie::walk`]: keys in *descending* order, skipping keys
+    /// `>= bound`.  Container contents must be sorted before they can be
+    /// walked in either direction — the same range-query cost the paper
+    /// charges the HAT-trie forward, paid here on the backward side too.
+    fn walk_back(
+        node: &HatNode,
+        prefix: &mut Vec<u8>,
+        bound: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], u64) -> bool,
+    ) -> bool {
+        match node {
+            HatNode::Container { buckets, .. } => {
+                let mut pairs: Vec<&(Vec<u8>, u64)> = buckets.iter().flatten().collect();
+                pairs.sort_by(|a, b| b.0.cmp(&a.0));
+                for (suffix, value) in pairs {
+                    let depth = prefix.len();
+                    prefix.extend_from_slice(suffix);
+                    let keep = bound.is_some_and(|b| prefix.as_slice() >= b) || f(prefix, *value);
+                    prefix.truncate(depth);
+                    if !keep {
+                        return false;
+                    }
+                }
+                true
+            }
+            HatNode::Trie { terminal, children } => {
+                if bound.is_some_and(|b| prefix.as_slice() >= b) {
+                    return true;
+                }
+                for (b, child) in children.iter().enumerate().rev() {
+                    if let Some(child) = child {
+                        prefix.push(b as u8);
+                        let keep = Self::walk_back(child, prefix, bound, f);
+                        prefix.pop();
+                        if !keep {
+                            return false;
+                        }
+                    }
+                }
+                // Terminal last: the shortest key of this subtree.
+                match terminal {
+                    Some(v) => f(prefix, *v),
+                    None => true,
+                }
+            }
+        }
+    }
+
     fn bytes(node: &HatNode) -> usize {
         match node {
             HatNode::Container { buckets, .. } => {
@@ -278,6 +326,26 @@ impl OrderedRead for HatTrie {
     fn for_each_from(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
         let mut prefix = Vec::new();
         Self::walk(&self.root, &mut prefix, start, f);
+    }
+
+    /// Reverse walk taking the first (greatest) key.
+    fn last(&self) -> Option<(Vec<u8>, u64)> {
+        let mut out = None;
+        Self::walk_back(&self.root, &mut Vec::new(), None, &mut |k, v| {
+            out = Some((k.to_vec(), v));
+            false
+        });
+        out
+    }
+
+    /// Bound-pruned reverse walk stopping at the first in-bound key.
+    fn pred(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let mut out = None;
+        Self::walk_back(&self.root, &mut Vec::new(), Some(key), &mut |k, v| {
+            out = Some((k.to_vec(), v));
+            false
+        });
+        out
     }
 }
 

@@ -108,6 +108,25 @@ impl CritBitTree {
         }
     }
 
+    /// Mirror of [`CritBitTree::walk`]: leaves in *descending* key order
+    /// (right subtree first), skipping keys `>= bound`.  The crit-bit
+    /// discipline keeps leaves in sorted left-to-right order, so the reverse
+    /// in-order walk needs no key comparisons between siblings.
+    fn walk_back(
+        node: &CbNode,
+        bound: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], u64) -> bool,
+    ) -> bool {
+        match node {
+            CbNode::Leaf { key, value } => {
+                bound.is_some_and(|b| key.as_slice() >= b) || f(key, *value)
+            }
+            CbNode::Inner { left, right, .. } => {
+                Self::walk_back(right, bound, f) && Self::walk_back(left, bound, f)
+            }
+        }
+    }
+
     fn bytes(node: &CbNode) -> usize {
         match node {
             CbNode::Leaf { key, .. } => std::mem::size_of::<CbNode>() + key.capacity(),
@@ -300,6 +319,30 @@ impl OrderedRead for CritBitTree {
         if let Some(root) = &self.root {
             Self::walk(root, start, f);
         }
+    }
+
+    /// Descends the right spine: the last leaf in crit-bit order.
+    fn last(&self) -> Option<(Vec<u8>, u64)> {
+        let mut out = None;
+        if let Some(root) = &self.root {
+            Self::walk_back(root, None, &mut |k, v| {
+                out = Some((k.to_vec(), v));
+                false
+            });
+        }
+        out
+    }
+
+    /// Reverse walk stopping at the first leaf below the bound.
+    fn pred(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let mut out = None;
+        if let Some(root) = &self.root {
+            Self::walk_back(root, Some(key), &mut |k, v| {
+                out = Some((k.to_vec(), v));
+                false
+            });
+        }
+        out
     }
 }
 

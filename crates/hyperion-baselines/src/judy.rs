@@ -194,6 +194,43 @@ impl Branch {
         }
     }
 
+    /// Iterates children in descending key order (mirror of
+    /// [`Branch::for_each_ordered`]).
+    fn for_each_ordered_rev<'a>(&'a self, f: &mut dyn FnMut(u8, &'a JudyNode) -> bool) -> bool {
+        match self {
+            Branch::Linear { keys, children } => {
+                for (i, child) in children.iter().enumerate().rev() {
+                    if !f(keys[i], child) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Branch::Bitmap { bitmap, children } => {
+                let mut idx = children.len();
+                for byte in (0..256usize).rev() {
+                    if Self::contains(bitmap, byte as u8) {
+                        idx -= 1;
+                        if !f(byte as u8, &children[idx]) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            Branch::Uncompressed { children } => {
+                for (byte, child) in children.iter().enumerate().rev() {
+                    if let Some(child) = child {
+                        if !f(byte as u8, child) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+
     fn bytes(&self) -> usize {
         match self {
             Branch::Linear { keys, children } => {
@@ -337,6 +374,45 @@ impl JudyTrie {
         }
     }
 
+    /// Mirror of [`JudyTrie::walk`]: keys in *descending* order, skipping
+    /// keys `>= bound`; subtrees whose minimum key (the path prefix) reaches
+    /// the bound are pruned whole.
+    fn walk_back(
+        node: &JudyNode,
+        prefix: &mut Vec<u8>,
+        bound: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], u64) -> bool,
+    ) -> bool {
+        match node {
+            JudyNode::Leaf { suffix, value } => {
+                let depth = prefix.len();
+                prefix.extend_from_slice(suffix);
+                let keep = bound.is_some_and(|b| prefix.as_slice() >= b) || f(prefix, *value);
+                prefix.truncate(depth);
+                keep
+            }
+            JudyNode::Inner { terminal, branch } => {
+                if bound.is_some_and(|b| prefix.as_slice() >= b) {
+                    return true;
+                }
+                let keep = branch.for_each_ordered_rev(&mut |byte, child| {
+                    prefix.push(byte);
+                    let keep = Self::walk_back(child, prefix, bound, f);
+                    prefix.pop();
+                    keep
+                });
+                if !keep {
+                    return false;
+                }
+                // Terminal last: the shortest key of this subtree.
+                match terminal {
+                    Some(v) => f(prefix, *v),
+                    None => true,
+                }
+            }
+        }
+    }
+
     fn bytes(node: &JudyNode) -> usize {
         match node {
             JudyNode::Leaf { suffix, .. } => std::mem::size_of::<JudyNode>() + suffix.capacity(),
@@ -440,6 +516,30 @@ impl OrderedRead for JudyTrie {
             let mut prefix = Vec::new();
             Self::walk(root, &mut prefix, start, f);
         }
+    }
+
+    /// Rightmost descent through the adaptive branch layouts.
+    fn last(&self) -> Option<(Vec<u8>, u64)> {
+        let mut out = None;
+        if let Some(root) = &self.root {
+            Self::walk_back(root, &mut Vec::new(), None, &mut |k, v| {
+                out = Some((k.to_vec(), v));
+                false
+            });
+        }
+        out
+    }
+
+    /// Bound-pruned reverse walk stopping at the first in-bound key.
+    fn pred(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let mut out = None;
+        if let Some(root) = &self.root {
+            Self::walk_back(root, &mut Vec::new(), Some(key), &mut |k, v| {
+                out = Some((k.to_vec(), v));
+                false
+            });
+        }
+        out
     }
 }
 

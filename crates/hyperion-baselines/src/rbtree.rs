@@ -247,6 +247,31 @@ impl OrderedRead for RedBlackTree {
     fn for_each_from(&self, start: &[u8], f: &mut dyn FnMut(&[u8], u64) -> bool) {
         Self::walk(&self.root, start, f);
     }
+
+    /// The greatest key sits at the end of the right spine: `O(log n)`.
+    fn last(&self) -> Option<(Vec<u8>, u64)> {
+        let mut cur = self.root.as_deref()?;
+        while let Some(right) = cur.right.as_deref() {
+            cur = right;
+        }
+        Some((cur.key.clone(), cur.value))
+    }
+
+    /// Textbook BST predecessor descent: go right below the bound keeping
+    /// the best candidate, left otherwise — `O(log n)`, no walk.
+    fn pred(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let mut best: Option<&RbNode> = None;
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            if n.key.as_slice() < key {
+                best = Some(n);
+                cur = n.right.as_deref();
+            } else {
+                cur = n.left.as_deref();
+            }
+        }
+        best.map(|n| (n.key.clone(), n.value))
+    }
 }
 
 #[cfg(test)]

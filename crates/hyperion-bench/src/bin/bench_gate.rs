@@ -1,0 +1,101 @@
+//! `bench_gate` — the CI perf-trajectory regression gate.
+//!
+//! Compares two flat metric files produced by the benchmark binaries'
+//! `--json` flag (see `hyperion_bench::json`) and exits non-zero when any
+//! metric regressed beyond the threshold:
+//!
+//! ```bash
+//! cargo run --release -p hyperion-bench --bin bench_gate -- \
+//!     BENCH_baseline.json BENCH_smoke.json --max-regression 25
+//! ```
+//!
+//! Direction comes from the metric name: `*_mops` is higher-is-better (a
+//! regression is a drop), `*_bpk` lower-is-better (a regression is growth).
+//! Every baseline metric must be present in the current file — a silently
+//! dropped metric would let a regression hide by renaming.  Metrics only in
+//! the current file are reported as informational (new benchmarks land
+//! before their baseline is re-recorded).
+
+use hyperion_bench::json::parse_flat_json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn load(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read metric file {path}: {e}"));
+    parse_flat_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression_pct = 25.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-regression" {
+            i += 1;
+            max_regression_pct = args
+                .get(i)
+                .and_then(|v| v.parse().ok())
+                .expect("--max-regression takes a percentage");
+        } else {
+            paths.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json> [--max-regression <pct>]");
+        return ExitCode::from(2);
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut failures = 0usize;
+    println!(
+        "{:<34} {:>12} {:>12} {:>9}",
+        "metric", "baseline", "current", "change"
+    );
+    for (key, base) in &baseline {
+        let Some(cur) = current.get(key) else {
+            println!("{key:<34} {base:>12.3} {:>12} {:>9}", "MISSING", "FAIL");
+            failures += 1;
+            continue;
+        };
+        // Regression fraction, positive = worse.  `_bpk` metrics (bytes per
+        // key) regress upward; throughput metrics regress downward.
+        let lower_is_better = key.ends_with("_bpk");
+        let regression = if *base == 0.0 {
+            0.0
+        } else if lower_is_better {
+            (cur - base) / base
+        } else {
+            (base - cur) / base
+        };
+        let change_pct = if *base == 0.0 {
+            0.0
+        } else {
+            (cur - base) / base * 100.0
+        };
+        let verdict = if regression * 100.0 > max_regression_pct {
+            failures += 1;
+            "  FAIL"
+        } else {
+            ""
+        };
+        println!("{key:<34} {base:>12.3} {cur:>12.3} {change_pct:>+8.1}%{verdict}");
+    }
+    for (key, cur) in &current {
+        if !baseline.contains_key(key) {
+            println!("{key:<34} {:>12} {cur:>12.3}   (new, no baseline)", "-");
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} metric(s) regressed more than {max_regression_pct}% \
+             vs {baseline_path}"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: all metrics within {max_regression_pct}% of {baseline_path}");
+    ExitCode::SUCCESS
+}

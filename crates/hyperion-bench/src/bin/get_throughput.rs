@@ -20,11 +20,12 @@
 //! cargo run --release -p hyperion-bench --bin get_throughput -- --smoke # CI
 //! ```
 
+use hyperion_bench::json::{arg_json_path, merge_into_file};
+use hyperion_bench::{mops, timed_best_of};
 use hyperion_core::db::{FibonacciPartitioner, HyperionDb};
 use hyperion_core::{HyperionConfig, HyperionMap};
 use hyperion_workloads::{random_integer_keys, Mt19937_64, NgramCorpus, NgramCorpusConfig};
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 /// Keys per `get_many` / `multi_get` batch (small = per-request serving
 /// shape, large = offline/bulk shape where descent sharing and the
@@ -33,14 +34,8 @@ const BATCHES: &[usize] = &[256, 4096];
 /// Shards of the `HyperionDb` used for the `multi_get` rows.
 const DB_SHARDS: usize = 8;
 
-fn mops(n: usize, secs: f64) -> f64 {
-    n as f64 / secs / 1e6
-}
-
-fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_secs_f64())
+fn timed<T>(f: impl FnMut() -> T) -> (T, f64) {
+    timed_best_of(3, f)
 }
 
 /// Shuffled probe set over `keys` with a 1-in-8 mix of missing keys.
@@ -117,7 +112,7 @@ impl Workbench {
         }
     }
 
-    fn run(&self, check: bool) {
+    fn run(&self, check: bool, metrics: &mut Vec<(String, f64)>) {
         let n = self.probes.len();
         let refs: Vec<&[u8]> = self.probes.iter().map(|k| k.as_slice()).collect();
 
@@ -137,6 +132,7 @@ impl Workbench {
             self.label,
             mops(n, secs)
         );
+        metrics.push((format!("get/{}_point_mops", self.label), mops(n, secs)));
 
         for &batch in BATCHES {
             // Batched gets through the map's sorted-resume engine.
@@ -154,6 +150,10 @@ impl Workbench {
                 self.label,
                 mops(n, secs)
             );
+            metrics.push((
+                format!("get/{}_get_many_{batch}_mops", self.label),
+                mops(n, secs),
+            ));
             if check {
                 self.check_results(&results, "get_many");
             }
@@ -173,6 +173,10 @@ impl Workbench {
                 self.label,
                 mops(n, secs)
             );
+            metrics.push((
+                format!("get/{}_multi_get_{batch}_mops", self.label),
+                mops(n, secs),
+            ));
             if check {
                 self.check_results(&results, "multi_get");
             }
@@ -197,11 +201,13 @@ impl Workbench {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let json_path = arg_json_path();
     let n = if smoke { 20_000 } else { 500_000 };
     println!(
         "get_throughput (n = {n}{})",
         if smoke { ", smoke" } else { "" }
     );
+    let mut metrics: Vec<(String, f64)> = Vec::new();
 
     let workload = random_integer_keys(n, 0xbe7c);
     Workbench::build(
@@ -211,7 +217,7 @@ fn main() {
         workload.values,
         0x9e7,
     )
-    .run(smoke);
+    .run(smoke, &mut metrics);
 
     let corpus = NgramCorpus::generate(&NgramCorpusConfig {
         entries: if smoke { n } else { 200_000 },
@@ -225,7 +231,11 @@ fn main() {
         workload.values,
         0x5712,
     )
-    .run(smoke);
+    .run(smoke, &mut metrics);
 
+    if let Some(path) = json_path {
+        merge_into_file(&path, &metrics).expect("writing metric file");
+        println!("metrics merged into {}", path.display());
+    }
     println!("ok");
 }

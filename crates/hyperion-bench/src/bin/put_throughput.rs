@@ -14,22 +14,18 @@
 //! cargo run --release -p hyperion-bench --bin put_throughput -- --smoke # CI
 //! ```
 
+use hyperion_bench::json::{arg_json_path, merge_into_file};
+use hyperion_bench::{mops, timed_best_of};
 use hyperion_core::{HyperionConfig, HyperionMap};
 use hyperion_workloads::{random_integer_keys, NgramCorpus, NgramCorpusConfig};
-use std::time::Instant;
 
-fn mops(n: usize, secs: f64) -> f64 {
-    n as f64 / secs / 1e6
+/// Each timed closure rebuilds its map from scratch, so the best-of-N
+/// noise damping runs twice, not three times.
+fn timed<T>(f: impl FnMut() -> T) -> (T, f64) {
+    timed_best_of(2, f)
 }
 
-/// Times `f` and returns (result, seconds).
-fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_secs_f64())
-}
-
-fn bench_integer(n: usize) {
+fn bench_integer(n: usize, metrics: &mut Vec<(String, f64)>) {
     let workload = random_integer_keys(n, 0xbe7c);
     let pairs: Vec<(&[u8], u64)> = workload
         .keys
@@ -51,6 +47,11 @@ fn bench_integer(n: usize) {
         "int_random/point_put      {n:>8} keys  {:>8.3} Mops",
         mops(n, secs)
     );
+    metrics.push(("put/int_random_point_mops".into(), mops(n, secs)));
+    metrics.push((
+        "put/int_random_bpk".into(),
+        map.footprint_bytes() as f64 / n as f64,
+    ));
 
     // Batch puts: one sorted `put_many` application over the same keyset.
     let (map, secs) = timed(|| {
@@ -63,6 +64,7 @@ fn bench_integer(n: usize) {
         "int_random/batch_put      {n:>8} keys  {:>8.3} Mops",
         mops(n, secs)
     );
+    metrics.push(("put/int_random_batch_mops".into(), mops(n, secs)));
 
     // Point puts in pre-sorted key order (locality best case).
     let mut sorted = pairs.clone();
@@ -79,9 +81,10 @@ fn bench_integer(n: usize) {
         "int_sorted/point_put      {n:>8} keys  {:>8.3} Mops",
         mops(n, secs)
     );
+    metrics.push(("put/int_sorted_point_mops".into(), mops(n, secs)));
 }
 
-fn bench_strings(n: usize) {
+fn bench_strings(n: usize, metrics: &mut Vec<(String, f64)>) {
     let corpus = NgramCorpus::generate(&NgramCorpusConfig {
         entries: n,
         ..Default::default()
@@ -107,6 +110,11 @@ fn bench_strings(n: usize) {
         "str_ngram/point_put       {n:>8} keys  {:>8.3} Mops",
         mops(n, secs)
     );
+    metrics.push(("put/str_ngram_point_mops".into(), mops(n, secs)));
+    metrics.push((
+        "put/str_ngram_bpk".into(),
+        map.footprint_bytes() as f64 / len as f64,
+    ));
 
     let (map, secs) = timed(|| {
         let mut map = HyperionMap::with_config(HyperionConfig::for_strings());
@@ -118,6 +126,7 @@ fn bench_strings(n: usize) {
         "str_ngram/batch_put       {n:>8} keys  {:>8.3} Mops",
         mops(n, secs)
     );
+    metrics.push(("put/str_ngram_batch_mops".into(), mops(n, secs)));
 }
 
 /// Adversarial keyset: long keys sharing deep prefixes force path-compressed
@@ -176,13 +185,19 @@ fn smoke_structural(n: usize) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let json_path = arg_json_path();
     let n = if smoke { 20_000 } else { 200_000 };
     println!(
         "put_throughput (n = {n}{})",
         if smoke { ", smoke" } else { "" }
     );
-    bench_integer(n);
-    bench_strings(n);
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    bench_integer(n, &mut metrics);
+    bench_strings(n, &mut metrics);
     smoke_structural(n.min(50_000));
+    if let Some(path) = json_path {
+        merge_into_file(&path, &metrics).expect("writing metric file");
+        println!("metrics merged into {}", path.display());
+    }
     println!("ok");
 }

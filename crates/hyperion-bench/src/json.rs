@@ -1,0 +1,173 @@
+//! Minimal flat-JSON metric files — the machine-readable perf trajectory.
+//!
+//! The benchmark binaries (`put_throughput`, `get_throughput`,
+//! `scan_throughput`) accept `--json <path>` and *merge* their metrics into
+//! one flat JSON object (`{"workload/metric_mops": 1.234, ...}`), so the CI
+//! perf-smoke step can run all three and end up with a single
+//! `BENCH_smoke.json` artifact.  `bench_gate` then compares that file against
+//! the committed `BENCH_baseline.json` and fails the build on regressions.
+//!
+//! The build environment has no crates.io access (no `serde`), and the format
+//! is deliberately restricted to one flat `string -> number` object so a
+//! ~60-line parser is exact: keys contain no escapes, values are plain JSON
+//! numbers.  Key naming carries the gate direction: `*_mops` metrics are
+//! higher-is-better, `*_bpk` (bytes per key) lower-is-better.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parses a flat `{"key": number, ...}` JSON object.  Rejects nesting,
+/// strings values and escapes — the format is a contract, not a subset.
+pub fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    };
+    let expect = |pos: &mut usize, c: u8| -> Result<(), String> {
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {} of metric file",
+                c as char, *pos
+            ))
+        }
+    };
+    skip_ws(&mut pos);
+    expect(&mut pos, b'{')?;
+    skip_ws(&mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        return Ok(out);
+    }
+    loop {
+        skip_ws(&mut pos);
+        expect(&mut pos, b'"')?;
+        let key_start = pos;
+        while pos < bytes.len() && bytes[pos] != b'"' {
+            if bytes[pos] == b'\\' {
+                return Err(format!("escape in key at byte {pos} (unsupported)"));
+            }
+            pos += 1;
+        }
+        let key = text[key_start..pos].to_string();
+        expect(&mut pos, b'"')?;
+        skip_ws(&mut pos);
+        expect(&mut pos, b':')?;
+        skip_ws(&mut pos);
+        let num_start = pos;
+        while pos < bytes.len()
+            && matches!(bytes[pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            pos += 1;
+        }
+        let value: f64 = text[num_start..pos]
+            .parse()
+            .map_err(|e| format!("bad number for {key:?}: {e}"))?;
+        out.insert(key, value);
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(&b',') => pos += 1,
+            Some(&b'}') => {
+                pos += 1;
+                break;
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?} at byte {pos}")),
+        }
+    }
+    skip_ws(&mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(out)
+}
+
+/// Serialises a flat metric map (sorted keys, one entry per line, stable
+/// formatting so baseline diffs are reviewable).
+pub fn format_flat_json(metrics: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        out.push_str(&format!("  \"{key}\": {value:.4}"));
+        out.push_str(if i + 1 == metrics.len() { "\n" } else { ",\n" });
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Merges `metrics` into the flat JSON file at `path` (created if absent):
+/// the mechanism that lets three benchmark binaries build one
+/// `BENCH_smoke.json`.
+pub fn merge_into_file(path: &Path, metrics: &[(String, f64)]) -> Result<(), String> {
+    let mut map = match std::fs::read_to_string(path) {
+        Ok(text) => parse_flat_json(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    for (key, value) in metrics {
+        map.insert(key.clone(), *value);
+    }
+    std::fs::write(path, format_flat_json(&map))
+        .map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// The `--json <path>` argument shared by the benchmark binaries.
+pub fn arg_json_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut map = BTreeMap::new();
+        map.insert("a/b_mops".to_string(), 1.25);
+        map.insert("c_bpk".to_string(), 21.0);
+        let text = format_flat_json(&map);
+        let parsed = parse_flat_json(&text).unwrap();
+        assert_eq!(parsed, map);
+    }
+
+    #[test]
+    fn parses_empty_and_whitespace() {
+        assert!(parse_flat_json("{}").unwrap().is_empty());
+        assert_eq!(
+            parse_flat_json(" {\n \"k\" : -1.5e2 } ").unwrap()["k"],
+            -150.0
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_flat_json("{\"k\": \"str\"}").is_err());
+        assert!(parse_flat_json("{\"k\": 1} x").is_err());
+        assert!(parse_flat_json("[1]").is_err());
+    }
+
+    #[test]
+    fn merge_updates_existing_keys() {
+        let dir = std::env::temp_dir().join(format!("hyperion-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+        merge_into_file(&path, &[("a_mops".into(), 1.0), ("b_bpk".into(), 2.0)]).unwrap();
+        merge_into_file(&path, &[("a_mops".into(), 3.0), ("c_mops".into(), 4.0)]).unwrap();
+        let map = parse_flat_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(map["a_mops"], 3.0);
+        assert_eq!(map["b_bpk"], 2.0);
+        assert_eq!(map["c_mops"], 4.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -25,7 +25,10 @@
 //!   merge that buffers at most one refilled chunk per shard
 //!   ([`HyperionDbBuilder::scan_chunk`] entries), so a scan over millions of
 //!   keys allocates `O(shards × chunk)` memory instead of a full per-shard
-//!   snapshot.
+//!   snapshot.  [`HyperionDb::iter_rev`], [`HyperionDb::range_rev`] and
+//!   [`HyperionDb::prefix_rev`] run the same merge *descending*: every shard
+//!   walks its trie backward and the frontier is a max-heap, with identical
+//!   memory bounds and [`RangePartitioner`] shard pruning.
 //!
 //! ```
 //! use hyperion_core::db::{FibonacciPartitioner, HyperionDb, WriteBatch};
@@ -60,7 +63,7 @@
 //! wrong answers.
 
 use crate::config::HyperionConfig;
-use crate::iter::{prefix_upper_bound, Entries};
+use crate::iter::{prefix_upper_bound, Entries, LowerBound, UpperBound};
 use crate::trie::HyperionMap;
 use crate::write::WriteError;
 use crate::{KvRead, KvWrite, OrderedRead};
@@ -762,7 +765,7 @@ impl HyperionDb {
     /// after their chunk was taken are not observed (chunk-granular snapshot
     /// semantics).
     pub fn iter(&self) -> DbScan<'_> {
-        DbScan::new(self, Vec::new(), false, ScanEnd::Unbounded)
+        DbScan::new(self, Vec::new(), false, UpperBound::Unbounded)
     }
 
     /// Globally ordered iteration over the keys within `bounds` (streaming,
@@ -779,9 +782,9 @@ impl HyperionDb {
             Bound::Excluded(s) => (s.as_ref().to_vec(), true),
         };
         let end = match bounds.end_bound() {
-            Bound::Unbounded => ScanEnd::Unbounded,
-            Bound::Excluded(e) => ScanEnd::Excluded(e.as_ref().to_vec()),
-            Bound::Included(e) => ScanEnd::Included(e.as_ref().to_vec()),
+            Bound::Unbounded => UpperBound::Unbounded,
+            Bound::Excluded(e) => UpperBound::Excluded(e.as_ref().to_vec()),
+            Bound::Included(e) => UpperBound::Included(e.as_ref().to_vec()),
         };
         DbScan::new(self, start, exclusive, end)
     }
@@ -790,10 +793,50 @@ impl HyperionDb {
     /// (streaming, see [`HyperionDb::iter`]).
     pub fn prefix(&self, prefix: &[u8]) -> DbScan<'_> {
         let end = match prefix_upper_bound(prefix) {
-            Some(end) => ScanEnd::Excluded(end),
-            None => ScanEnd::Unbounded,
+            Some(end) => UpperBound::Excluded(end),
+            None => UpperBound::Unbounded,
         };
         DbScan::new(self, prefix.to_vec(), false, end)
+    }
+
+    /// Globally ordered iteration over all key/value pairs in *descending*
+    /// key order (streaming like [`HyperionDb::iter`]; every shard walks its
+    /// trie backward and the merge runs max-heap-first).
+    pub fn iter_rev(&self) -> DbScan<'_> {
+        DbScan::new_rev(self, UpperBound::Unbounded, LowerBound::Unbounded)
+    }
+
+    /// Globally ordered iteration over the keys within `bounds` in
+    /// *descending* key order.  The reverse walk starts at the upper bound
+    /// and stops below the lower one; with an order-preserving partitioner
+    /// only the shards overlapping the bounds are visited, exactly like the
+    /// forward [`HyperionDb::range`].
+    pub fn range_rev<K, R>(&self, bounds: R) -> DbScan<'_>
+    where
+        K: AsRef<[u8]> + ?Sized,
+        R: RangeBounds<K>,
+    {
+        let lower = match bounds.start_bound() {
+            Bound::Unbounded => LowerBound::Unbounded,
+            Bound::Included(s) => LowerBound::Included(s.as_ref().to_vec()),
+            Bound::Excluded(s) => LowerBound::Excluded(s.as_ref().to_vec()),
+        };
+        let upper = match bounds.end_bound() {
+            Bound::Unbounded => UpperBound::Unbounded,
+            Bound::Excluded(e) => UpperBound::Excluded(e.as_ref().to_vec()),
+            Bound::Included(e) => UpperBound::Included(e.as_ref().to_vec()),
+        };
+        DbScan::new_rev(self, upper, lower)
+    }
+
+    /// Globally ordered iteration over all keys starting with `prefix`, in
+    /// *descending* key order (streaming, see [`HyperionDb::iter_rev`]).
+    pub fn prefix_rev(&self, prefix: &[u8]) -> DbScan<'_> {
+        let upper = match prefix_upper_bound(prefix) {
+            Some(end) => UpperBound::Excluded(end),
+            None => UpperBound::Unbounded,
+        };
+        DbScan::new_rev(self, upper, LowerBound::Included(prefix.to_vec()))
     }
 
     /// Invokes `f` for every key/value pair in ascending key order until `f`
@@ -920,31 +963,19 @@ impl WriteBatch {
 // streaming merged scan
 // =============================================================================
 
-/// Upper bound of a [`DbScan`] (original key space).
-enum ScanEnd {
-    Unbounded,
-    Excluded(Vec<u8>),
-    Included(Vec<u8>),
-}
-
-impl ScanEnd {
-    #[inline]
-    fn admits(&self, key: &[u8]) -> bool {
-        match self {
-            ScanEnd::Unbounded => true,
-            ScanEnd::Excluded(end) => key < end.as_slice(),
-            ScanEnd::Included(end) => key <= end.as_slice(),
-        }
-    }
-}
-
 /// Refill state of one shard's stream within a [`DbScan`].
 enum StreamState {
-    /// The next refill seeks to `seek`; `exclusive` resumes *after* it (the
-    /// last buffered key of the previous chunk, or an excluded start bound)
-    /// via [`crate::Cursor::seek_exclusive`] instead of filtering the first
-    /// yielded entry.
-    Pending { seek: Vec<u8>, exclusive: bool },
+    /// The next refill seeks to `seek` and resumes in the scan direction.
+    /// `None` seeks to the far end of the shard in that direction (only used
+    /// by a reverse scan's initial unbounded seek; forward scans always carry
+    /// a start key, the empty key meaning "everything").  When `inclusive`
+    /// is false the walk resumes *past* the seek key — the hand-over-hand
+    /// resume protocol after a chunk's last buffered key, via
+    /// [`crate::Cursor::seek_exclusive`] / [`crate::Cursor::seek_for_pred_exclusive`].
+    Pending {
+        seek: Option<Vec<u8>>,
+        inclusive: bool,
+    },
     /// The shard has no further in-bound keys.
     Exhausted,
 }
@@ -957,9 +988,51 @@ struct ShardStream {
     state: StreamState,
 }
 
+/// The merge frontier of a [`DbScan`]: a min-heap for ascending scans, a
+/// max-heap for descending ones.  Keys are unique across shards (each key
+/// routes to exactly one shard), so `(key, stream, value)` ordering is total.
+enum MergeHeap {
+    Min(BinaryHeap<Reverse<(Vec<u8>, usize, u64)>>),
+    Max(BinaryHeap<(Vec<u8>, usize, u64)>),
+}
+
+impl MergeHeap {
+    fn with_capacity(reverse: bool, capacity: usize) -> MergeHeap {
+        if reverse {
+            MergeHeap::Max(BinaryHeap::with_capacity(capacity))
+        } else {
+            MergeHeap::Min(BinaryHeap::with_capacity(capacity))
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, key: Vec<u8>, stream: usize, value: u64) {
+        match self {
+            MergeHeap::Min(heap) => heap.push(Reverse((key, stream, value))),
+            MergeHeap::Max(heap) => heap.push((key, stream, value)),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Vec<u8>, usize, u64)> {
+        match self {
+            MergeHeap::Min(heap) => heap.pop().map(|Reverse(entry)| entry),
+            MergeHeap::Max(heap) => heap.pop(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            MergeHeap::Min(heap) => heap.len(),
+            MergeHeap::Max(heap) => heap.len(),
+        }
+    }
+}
+
 /// A streaming, globally ordered k-way merge over the shards of a
-/// [`HyperionDb`]; returned by [`HyperionDb::iter`], [`HyperionDb::range`]
-/// and [`HyperionDb::prefix`].
+/// [`HyperionDb`]; returned by [`HyperionDb::iter`], [`HyperionDb::range`],
+/// [`HyperionDb::prefix`] and their `_rev` counterparts.
 ///
 /// Unlike a snapshot merge, the scan holds no lock while the caller consumes
 /// it *and* never materialises a shard: each shard stream buffers at most one
@@ -967,28 +1040,68 @@ struct ShardStream {
 /// re-seeking past the last buffered key under a brief lock.  Peak buffered
 /// entries are therefore bounded by `shards × chunk`
 /// ([`DbScan::peak_buffered`] reports the observed maximum).
+///
+/// A reverse scan runs the same machinery mirrored: every shard stream walks
+/// its trie backward (the [`crate::Cursor`] reverse engine), the merge
+/// frontier is a max-heap, and refills resume *below* the chunk's smallest
+/// key.  [`RangePartitioner`] shard pruning applies to both directions.
 pub struct DbScan<'a> {
     db: &'a HyperionDb,
     streams: Vec<ShardStream>,
-    /// Min-heap over the head of every live stream.  Keys are unique across
-    /// shards (each key routes to exactly one shard), so `(key, stream)`
-    /// ordering is total.
-    heap: BinaryHeap<Reverse<(Vec<u8>, usize, u64)>>,
-    end: ScanEnd,
+    heap: MergeHeap,
+    /// `true` for a descending scan.
+    reverse: bool,
+    /// Forward stop bound (checked per key while ascending).
+    end: UpperBound,
+    /// Reverse stop bound (checked per key while descending).
+    lower: LowerBound,
     chunk: usize,
     peak_buffered: usize,
 }
 
 impl<'a> DbScan<'a> {
-    fn new(db: &'a HyperionDb, start: Vec<u8>, exclusive: bool, end: ScanEnd) -> DbScan<'a> {
+    fn new(db: &'a HyperionDb, start: Vec<u8>, exclusive: bool, end: UpperBound) -> DbScan<'a> {
+        let lower = LowerBound::Unbounded; // forward: handled by the seek
+        Self::build(db, false, Some(start), !exclusive, end, lower)
+    }
+
+    fn new_rev(db: &'a HyperionDb, upper: UpperBound, lower: LowerBound) -> DbScan<'a> {
+        // The reverse walk starts at the upper bound: translate it into the
+        // initial backward seek (`None` = the far end of each shard).
+        let (seek, inclusive) = match &upper {
+            UpperBound::Unbounded => (None, true),
+            UpperBound::Excluded(e) => (Some(e.clone()), false),
+            UpperBound::Included(e) => (Some(e.clone()), true),
+        };
+        Self::build(db, true, seek, inclusive, upper, lower)
+    }
+
+    fn build(
+        db: &'a HyperionDb,
+        reverse: bool,
+        seek: Option<Vec<u8>>,
+        inclusive: bool,
+        end: UpperBound,
+        lower: LowerBound,
+    ) -> DbScan<'a> {
         // With an order-preserving partitioner, only the shards overlapping
-        // [start, end] can hold in-bound keys.
+        // [lower, end] can hold in-bound keys — in either direction.
         let n = db.shards.len();
         let (lo, hi) = if db.partitioner.is_order_preserving() {
-            let lo = db.partitioner.shard_of(&start, n).min(n - 1);
+            let lo = match &lower {
+                LowerBound::Unbounded => 0,
+                LowerBound::Excluded(s) | LowerBound::Included(s) => {
+                    db.partitioner.shard_of(s, n).min(n - 1)
+                }
+            };
+            let lo = match (reverse, &seek) {
+                // A forward scan's lower bound is its seek key.
+                (false, Some(s)) => lo.max(db.partitioner.shard_of(s, n).min(n - 1)),
+                _ => lo,
+            };
             let hi = match &end {
-                ScanEnd::Unbounded => n - 1,
-                ScanEnd::Excluded(e) | ScanEnd::Included(e) => {
+                UpperBound::Unbounded => n - 1,
+                UpperBound::Excluded(e) | UpperBound::Included(e) => {
                     db.partitioner.shard_of(e, n).min(n - 1)
                 }
             };
@@ -1003,13 +1116,15 @@ impl<'a> DbScan<'a> {
                     shard,
                     buf: VecDeque::new(),
                     state: StreamState::Pending {
-                        seek: start.clone(),
-                        exclusive,
+                        seek: seek.clone(),
+                        inclusive,
                     },
                 })
                 .collect(),
-            heap: BinaryHeap::with_capacity(hi - lo + 1),
+            heap: MergeHeap::with_capacity(reverse, hi - lo + 1),
+            reverse,
             end,
+            lower,
             chunk: db.scan_chunk,
             peak_buffered: 0,
         };
@@ -1022,25 +1137,38 @@ impl<'a> DbScan<'a> {
     /// Fetches the next chunk for stream `i` under its shard lock.
     fn refill(&mut self, i: usize) {
         let stream = &mut self.streams[i];
-        let StreamState::Pending { seek, exclusive } =
+        let StreamState::Pending { seek, inclusive } =
             std::mem::replace(&mut stream.state, StreamState::Exhausted)
         else {
             return;
         };
         let guard = lock_recover(&self.db.shards[stream.shard]);
         let mut cursor = guard.cursor();
-        if exclusive {
-            cursor.seek_exclusive(&seek);
-        } else {
-            cursor.seek(&seek);
+        match (&seek, self.reverse, inclusive) {
+            (None, true, _) => cursor.seek_last(),
+            (None, false, _) => cursor.seek(&[]),
+            (Some(k), true, true) => cursor.seek_for_pred(k),
+            (Some(k), true, false) => cursor.seek_for_pred_exclusive(k),
+            (Some(k), false, true) => cursor.seek(k),
+            (Some(k), false, false) => cursor.seek_exclusive(k),
         }
         let mut ran_dry = false;
         while stream.buf.len() < self.chunk {
-            let Some((key, value)) = cursor.next() else {
+            let next = if self.reverse {
+                cursor.prev()
+            } else {
+                cursor.next()
+            };
+            let Some((key, value)) = next else {
                 ran_dry = true;
                 break;
             };
-            if !self.end.admits(&key) {
+            let in_bound = if self.reverse {
+                self.lower.admits(&key)
+            } else {
+                self.end.admits(&key)
+            };
+            if !in_bound {
                 ran_dry = true;
                 break;
             }
@@ -1049,8 +1177,8 @@ impl<'a> DbScan<'a> {
         if !ran_dry {
             if let Some((last, _)) = stream.buf.back() {
                 stream.state = StreamState::Pending {
-                    seek: last.clone(),
-                    exclusive: true,
+                    seek: Some(last.clone()),
+                    inclusive: false,
                 };
             }
         }
@@ -1064,7 +1192,7 @@ impl<'a> DbScan<'a> {
             self.note_peak();
         }
         if let Some((key, value)) = self.streams[i].buf.pop_front() {
-            self.heap.push(Reverse((key, i, value)));
+            self.heap.push(key, i, value);
         }
     }
 
@@ -1076,6 +1204,11 @@ impl<'a> DbScan<'a> {
     #[inline]
     fn note_peak(&mut self) {
         self.peak_buffered = self.peak_buffered.max(self.buffered());
+    }
+
+    /// `true` for a descending scan.
+    pub fn is_reverse(&self) -> bool {
+        self.reverse
     }
 
     /// Entries currently buffered across all shard streams (including the
@@ -1094,7 +1227,7 @@ impl Iterator for DbScan<'_> {
     type Item = (Vec<u8>, u64);
 
     fn next(&mut self) -> Option<(Vec<u8>, u64)> {
-        let Reverse((key, i, value)) = self.heap.pop()?;
+        let (key, i, value) = self.heap.pop()?;
         self.promote_head(i);
         Some((key, value))
     }
@@ -1177,6 +1310,34 @@ impl OrderedRead for HyperionDb {
             self.shards[lo..].iter().find_map(probe)
         } else {
             self.shards.iter().filter_map(probe).min()
+        }
+    }
+
+    /// Overrides the full forward walk with a bounded probe: each shard is
+    /// asked for its greatest key (one reverse-cursor step under the lock).
+    /// With an order-preserving partitioner, shard `i`'s keys all precede
+    /// shard `i + 1`'s, so the probe walks the shards from the top down and
+    /// stops at the first hit.
+    fn last(&self) -> Option<(Vec<u8>, u64)> {
+        let probe = |shard: &Mutex<HyperionMap>| lock_recover(shard).last();
+        if self.partitioner.is_order_preserving() {
+            self.shards.iter().rev().find_map(probe)
+        } else {
+            self.shards.iter().filter_map(probe).max()
+        }
+    }
+
+    /// Overrides the walk-to-bound default with a bounded probe, the mirror
+    /// of [`OrderedRead::seek_first`]: each shard answers its own
+    /// predecessor query under a brief lock, and order preservation prunes
+    /// shards above the bound.
+    fn pred(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let probe = |shard: &Mutex<HyperionMap>| lock_recover(shard).pred(key);
+        if self.partitioner.is_order_preserving() {
+            let hi = self.shard_of(key);
+            self.shards[..=hi].iter().rev().find_map(probe)
+        } else {
+            self.shards.iter().filter_map(probe).max()
         }
     }
 }
@@ -1516,6 +1677,132 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn reverse_scans_match_reference_for_every_partitioner() {
+        for p in [
+            Box::new(FirstBytePartitioner) as Box<dyn Partitioner>,
+            Box::new(FibonacciPartitioner),
+            Box::new(RangePartitioner),
+        ] {
+            let name = p.name();
+            let db = HyperionDb::builder()
+                .shards(7)
+                .partitioner_arc(Arc::from(p))
+                .scan_chunk(16) // small chunks: force many hand-over-hand refills
+                .build();
+            let mut reference = BTreeMap::new();
+            for i in 0..1500u64 {
+                let key = format!("k{:05}", i * 37 % 3000).into_bytes();
+                db.put(&key, i).unwrap();
+                reference.insert(key, i);
+            }
+            let expected: Vec<_> = reference
+                .iter()
+                .rev()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            let got: Vec<_> = db.iter_rev().collect();
+            assert_eq!(got, expected, "{name} full reverse scan");
+
+            let lo = b"k00500".to_vec();
+            let hi = b"k02000".to_vec();
+            let got: Vec<_> = db.range_rev(&lo[..]..&hi[..]).collect();
+            let expected_range: Vec<_> = reference
+                .range(lo.clone()..hi.clone())
+                .rev()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            assert_eq!(got, expected_range, "{name} bounded reverse range");
+
+            use std::ops::Bound;
+            let got: Vec<_> = db
+                .range_rev::<[u8], _>((Bound::Excluded(&lo[..]), Bound::Included(&hi[..])))
+                .collect();
+            let expected_ex: Vec<_> = reference
+                .range::<Vec<u8>, _>((Bound::Excluded(&lo), Bound::Included(&hi)))
+                .rev()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            assert_eq!(got, expected_ex, "{name} reverse excluded/included bounds");
+
+            let got: Vec<_> = db.prefix_rev(b"k01").map(|(k, _)| k).collect();
+            let mut expected_prefix: Vec<_> = reference
+                .keys()
+                .filter(|k| k.starts_with(b"k01"))
+                .cloned()
+                .collect();
+            expected_prefix.reverse();
+            assert_eq!(got, expected_prefix, "{name} reverse prefix");
+        }
+    }
+
+    #[test]
+    fn reverse_scan_memory_stays_bounded_by_chunks() {
+        let db = HyperionDb::builder().shards(4).scan_chunk(8).build();
+        for i in 0..5000u64 {
+            db.put(format!("{i:08}").as_bytes(), i).unwrap();
+        }
+        let mut scan = db.iter_rev();
+        assert!(scan.is_reverse());
+        let mut n = 0usize;
+        let mut last: Option<Vec<u8>> = None;
+        while let Some((key, _)) = scan.next() {
+            n += 1;
+            if let Some(prev) = &last {
+                assert!(key < *prev, "reverse scan not descending");
+            }
+            last = Some(key);
+            assert!(
+                scan.buffered_entries() <= 4 * 8,
+                "buffer exceeded shards×chunk"
+            );
+        }
+        assert_eq!(n, 5000);
+        assert!(scan.peak_buffered() <= 4 * 8);
+    }
+
+    #[test]
+    fn last_and_pred_agree_across_partitioners() {
+        let dbs = [
+            sample_db(FirstBytePartitioner, 16),
+            sample_db(FibonacciPartitioner, 16),
+            sample_db(RangePartitioner, 16),
+        ];
+        let mut reference = BTreeMap::new();
+        for i in 0..400u64 {
+            let key = (i * 163 % 1000).to_be_bytes();
+            for db in &dbs {
+                db.put(&key, i).unwrap();
+            }
+            reference.insert(key.to_vec(), i);
+        }
+        let expected_last = reference.iter().next_back().map(|(k, v)| (k.clone(), *v));
+        for probe in [0u64, 1, 499, 500, 999, 1000, u64::MAX] {
+            let key = probe.to_be_bytes();
+            let expected = reference
+                .range(..key.to_vec())
+                .next_back()
+                .map(|(k, v)| (k.clone(), *v));
+            for db in &dbs {
+                assert_eq!(
+                    OrderedRead::last(db),
+                    expected_last,
+                    "{} last",
+                    db.partitioner().name()
+                );
+                assert_eq!(
+                    OrderedRead::pred(db, &key),
+                    expected,
+                    "{} pred({probe})",
+                    db.partitioner().name()
+                );
+            }
+        }
+        let empty = sample_db(RangePartitioner, 4);
+        assert_eq!(OrderedRead::last(&empty), None);
+        assert_eq!(OrderedRead::pred(&empty, b"x"), None);
     }
 
     #[test]

@@ -69,7 +69,8 @@
 //!   `memory_footprint`,
 //! * [`KvWrite`] — mutations: `put` / `delete`,
 //! * [`OrderedRead`] — ordered traversal: `for_each_from`, `iter_from`,
-//!   `range_iter`, `prefix_iter` (requires [`KvRead`]),
+//!   `range_iter`, `prefix_iter`, plus the backward queries `last` and
+//!   `pred` (requires [`KvRead`]),
 //! * [`KvStore`] / [`OrderedKvStore`] — auto-implemented combinations for
 //!   trait objects (`Box<dyn OrderedKvStore>`).
 
@@ -206,6 +207,36 @@ pub trait OrderedRead: KvRead {
             false
         });
         first
+    }
+
+    /// Returns the greatest stored key with its value, or `None` when the
+    /// store is empty.  The default walks the whole key space forward;
+    /// structures with a backward walk (Hyperion's reverse cursor, the
+    /// baselines' right-spine descents) override it with an `O(depth)`
+    /// implementation.
+    fn last(&self) -> Option<(Vec<u8>, u64)> {
+        let mut last = None;
+        self.for_each_from(&[], &mut |k, v| {
+            last = Some((k.to_vec(), v));
+            true
+        });
+        last
+    }
+
+    /// Returns the greatest key *strictly less than* `key` with its value —
+    /// the predecessor query, the mirror of [`OrderedRead::seek_first`].
+    /// The default walks forward up to `key` and keeps the last in-bound
+    /// pair; backward-capable structures override it.
+    fn pred(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        let mut pred = None;
+        self.for_each_from(&[], &mut |k, v| {
+            if k >= key {
+                return false;
+            }
+            pred = Some((k.to_vec(), v));
+            true
+        });
+        pred
     }
 }
 

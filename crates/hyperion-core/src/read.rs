@@ -112,7 +112,21 @@ fn prefetch(ptr: *const u8) {
         // (`wrapping_add` keeps the address computation defined).
         _mm_prefetch(ptr.wrapping_add(64) as *const i8, _MM_HINT_T0);
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        // `PRFM PLDL1KEEP` is the AArch64 analogue of `_mm_prefetch(T0)`:
+        // load prefetch into L1 with temporal reuse.  There is no stable
+        // aarch64 prefetch intrinsic, so the instruction is emitted directly;
+        // like its x86 counterpart it never faults on bad addresses.
+        std::arch::asm!(
+            "prfm pldl1keep, [{line0}]",
+            "prfm pldl1keep, [{line1}]",
+            line0 = in(reg) ptr,
+            line1 = in(reg) ptr.wrapping_add(64),
+            options(nostack, preserves_flags, readonly)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     let _ = ptr;
 }
 

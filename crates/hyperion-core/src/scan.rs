@@ -303,6 +303,21 @@ pub fn collect_t_records(c: &ContainerRef, start: usize, end: usize) -> Vec<TNod
 /// the write engine's offset fix-ups keep jump successors exact, so walks
 /// performed *between* edits (container-jump-table rebuilds) can trust them.
 pub fn collect_t_records_trusted(c: &ContainerRef, start: usize, end: usize) -> Vec<TNode> {
+    collect_t_records_trusted_bounded(c, start, end, None)
+}
+
+/// Like [`collect_t_records_trusted`], but stops before the first record
+/// whose key exceeds `max_key` (when given).  The reverse cursor uses this
+/// as its per-frame checkpoint pass: one forward scan of the region records
+/// every sibling offset at or below the seek bound, and the walk then plays
+/// the checkpoints back in descending order — siblings above the bound are
+/// never even collected.
+pub fn collect_t_records_trusted_bounded(
+    c: &ContainerRef,
+    start: usize,
+    end: usize,
+    max_key: Option<u8>,
+) -> Vec<TNode> {
     let bytes = c.bytes();
     let mut out = Vec::new();
     let mut pos = start;
@@ -310,6 +325,9 @@ pub fn collect_t_records_trusted(c: &ContainerRef, start: usize, end: usize) -> 
     while pos < end && !is_invalid(bytes[pos]) {
         debug_assert!(is_t_node(bytes[pos]));
         let t = parse_t_node(bytes, pos, prev_key).expect("corrupt T record");
+        if max_key.is_some_and(|m| t.key > m) {
+            break;
+        }
         prev_key = Some(t.key);
         pos = skip_t_children(c, &t, end);
         out.push(t);
@@ -319,12 +337,41 @@ pub fn collect_t_records_trusted(c: &ContainerRef, start: usize, end: usize) -> 
 
 /// Walks all S records belonging to `t`, in order.
 pub fn collect_s_records(c: &ContainerRef, t: &TNode, end: usize) -> Vec<SNode> {
+    collect_s_records_bounded(c, t, end, None)
+}
+
+/// Like [`collect_s_records`], but stops before the first child whose key
+/// exceeds `max_key` (when given) — the S-level checkpoint pass of the
+/// reverse cursor.
+pub fn collect_s_records_bounded(
+    c: &ContainerRef,
+    t: &TNode,
+    end: usize,
+    max_key: Option<u8>,
+) -> Vec<SNode> {
+    collect_s_records_from(c, t.header_end, end, max_key)
+}
+
+/// S-record collection resuming at an arbitrary record offset `start` (the
+/// first S child of a T record, or a T-node jump-table target — both start
+/// explicit-key records, so no predecessor context is needed).  Stops at the
+/// run's end (next T record / invalid byte / `end`) or before the first key
+/// above `max_key`.
+pub fn collect_s_records_from(
+    c: &ContainerRef,
+    start: usize,
+    end: usize,
+    max_key: Option<u8>,
+) -> Vec<SNode> {
     let bytes = c.bytes();
     let mut out = Vec::new();
-    let mut pos = t.header_end;
+    let mut pos = start;
     let mut prev_key = None;
     while pos < end && !is_invalid(bytes[pos]) && !is_t_node(bytes[pos]) {
         let s = parse_s_node(bytes, pos, prev_key).expect("corrupt S record");
+        if max_key.is_some_and(|m| s.key > m) {
+            break;
+        }
         prev_key = Some(s.key);
         pos = s.end;
         out.push(s);

@@ -499,16 +499,25 @@ impl OrderedRead for HyperionMap {
         self.range_from(start, &mut wrapper);
     }
 
-    /// Overrides the eager default with the native lazy cursor.
+    /// Overrides the eager default with the native lazy cursor; the wrapped
+    /// [`crate::Range`] is double-ended, so `next_back` stays lazy too.
     fn iter_from(&self, start: &[u8]) -> Entries<'_> {
-        let mut cursor = self.cursor();
-        cursor.seek(start);
-        Entries::from_lazy(cursor)
+        Entries::from_bidi(self.range(start..))
     }
 
     /// Overrides the bounded default with the native lazy cursor.
     fn range_iter(&self, start: &[u8], end: &[u8]) -> Entries<'_> {
-        self.iter_from(start).below(end.to_vec())
+        Entries::from_bidi(self.range(start..end))
+    }
+
+    /// Overrides the full forward walk with the reverse cursor.
+    fn last(&self) -> Option<(Vec<u8>, u64)> {
+        HyperionMap::last(self)
+    }
+
+    /// Overrides the forward walk-to-bound with the reverse cursor.
+    fn pred(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
+        HyperionMap::pred(self, key)
     }
 }
 

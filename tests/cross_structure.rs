@@ -170,6 +170,88 @@ fn ordered_stores_agree_on_bounded_ranges_and_prefixes() {
 }
 
 #[test]
+fn ordered_stores_agree_on_last_and_pred() {
+    let workload = random_integer_keys(5_000, 0xbace);
+    let mut reference = BTreeMap::new();
+    for (k, v) in workload.keys.iter().zip(&workload.values) {
+        reference.insert(k.clone(), *v);
+    }
+    let expected_last = reference.iter().next_back().map(|(k, v)| (k.clone(), *v));
+    for mut store in ordered_stores() {
+        for (k, v) in workload.keys.iter().zip(&workload.values) {
+            store.put(k, *v);
+        }
+        assert_eq!(store.last(), expected_last, "{} last", store.name());
+        // Predecessor probes: stored keys (strictly-less contract), their
+        // neighbours, the extremes, and the empty key.
+        let mut probes: Vec<Vec<u8>> = reference.keys().step_by(250).cloned().collect();
+        probes.extend(reference.keys().step_by(333).map(|k| {
+            let mut k = k.clone();
+            k.push(0);
+            k
+        }));
+        probes.push(Vec::new());
+        probes.push(vec![0x00]);
+        probes.push(vec![0xff; 9]);
+        for probe in &probes {
+            let expected = reference
+                .range(..probe.clone())
+                .next_back()
+                .map(|(k, v)| (k.clone(), *v));
+            assert_eq!(
+                store.pred(probe),
+                expected,
+                "{} pred({probe:x?})",
+                store.name()
+            );
+        }
+    }
+    // An empty store answers neither query.
+    for store in ordered_stores() {
+        assert_eq!(store.last(), None, "{} empty last", store.name());
+        assert_eq!(store.pred(b"x"), None, "{} empty pred", store.name());
+    }
+}
+
+#[test]
+fn ordered_stores_reverse_entries_agree() {
+    // `Entries` is double-ended for every implementation: the Hyperion
+    // overrides walk backward lazily, the baselines' eager snapshots step
+    // back through the sorted vector.
+    let workload = random_integer_keys(3_000, 0xdead);
+    let mut reference = BTreeMap::new();
+    for (k, v) in workload.keys.iter().zip(&workload.values) {
+        reference.insert(k.clone(), *v);
+    }
+    let low = (u64::MAX / 3).to_be_bytes();
+    let high = (2 * (u64::MAX / 3)).to_be_bytes();
+    let expected_tail: Vec<(Vec<u8>, u64)> = reference
+        .range(low.to_vec()..)
+        .rev()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    let expected_range_rev: Vec<(Vec<u8>, u64)> = reference
+        .range(low.to_vec()..high.to_vec())
+        .rev()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    for mut store in ordered_stores() {
+        for (k, v) in workload.keys.iter().zip(&workload.values) {
+            store.put(k, *v);
+        }
+        let got: Vec<(Vec<u8>, u64)> = store.iter_from(&low).rev().collect();
+        assert_eq!(got, expected_tail, "{} reverse iter_from", store.name());
+        let got: Vec<(Vec<u8>, u64)> = store.range_iter(&low, &high).rev().collect();
+        assert_eq!(
+            got,
+            expected_range_rev,
+            "{} reverse range_iter",
+            store.name()
+        );
+    }
+}
+
+#[test]
 fn deletions_are_consistent_across_stores() {
     let workload = random_integer_keys(5_000, 0x99);
     for mut store in all_stores() {

@@ -430,6 +430,239 @@ fn huge_shared_prefix_batch_stays_within_container_limits() {
     assert_eq!(collected, expected);
 }
 
+/// Interleaved forward/backward cursor walks (`next`/`prev`/`seek`/
+/// `seek_exclusive`/`seek_last`/`seek_for_pred`) against a `BTreeMap`-backed
+/// model of the cursor contract: the reference point is the last returned
+/// key (or the seek target before anything was returned); `next()` returns
+/// the smallest key strictly above it, `prev()` the greatest key strictly
+/// below it.
+#[test]
+fn interleaved_cursor_walks_match_model() {
+    /// The model cursor: a position in the key space plus whether the
+    /// boundary key itself was consumed.
+    #[derive(Clone, Debug)]
+    enum Model {
+        /// Reference point `key`; `next` yields the first key > key if
+        /// `above`, else >= key.  `prev` yields the last key < key if
+        /// `below`, else <= key.  (`above`/`below` encode in-/exclusivity.)
+        At {
+            key: Vec<u8>,
+            above: bool,
+            below: bool,
+        },
+        /// Past the greatest key (after `seek_last`).
+        End,
+    }
+    for case in 0..48u64 {
+        let mut rng = Mt19937_64::new(0xc4a5e + case);
+        let mut map = HyperionMap::new();
+        let mut reference: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let n = 50 + (rng.next_u64() as usize) % 500;
+        for _ in 0..n {
+            let key = random_key(&mut rng, 12);
+            let value = rng.next_u64();
+            map.put(&key, value);
+            reference.insert(key, value);
+        }
+        let mut cursor = map.cursor();
+        // Cursor::new == seek(&[]).
+        let mut model = Model::At {
+            key: Vec::new(),
+            above: false,
+            below: true,
+        };
+        for step in 0..200 {
+            match rng.next_u64() % 8 {
+                0 => {
+                    let target = random_key(&mut rng, 12);
+                    cursor.seek(&target);
+                    model = Model::At {
+                        key: target,
+                        above: false,
+                        below: true,
+                    };
+                }
+                1 => {
+                    let target = random_key(&mut rng, 12);
+                    cursor.seek_exclusive(&target);
+                    model = Model::At {
+                        key: target,
+                        above: true,
+                        below: false,
+                    };
+                }
+                2 => {
+                    cursor.seek_last();
+                    model = Model::End;
+                }
+                3 => {
+                    let target = random_key(&mut rng, 12);
+                    cursor.seek_for_pred(&target);
+                    model = Model::At {
+                        key: target,
+                        above: true,
+                        below: false,
+                    };
+                }
+                4 => {
+                    let target = random_key(&mut rng, 12);
+                    cursor.seek_for_pred_exclusive(&target);
+                    model = Model::At {
+                        key: target,
+                        above: false,
+                        below: true,
+                    };
+                }
+                _ => {
+                    // Steps are twice as likely as seeks.
+                    let forward = rng.next_u64() % 2 == 0;
+                    let expected = match (&model, forward) {
+                        (Model::End, true) => None,
+                        (Model::End, false) => {
+                            reference.iter().next_back().map(|(k, v)| (k.clone(), *v))
+                        }
+                        (Model::At { key, above, .. }, true) => {
+                            let bound = if *above {
+                                Bound::Excluded(key.clone())
+                            } else {
+                                Bound::Included(key.clone())
+                            };
+                            reference
+                                .range((bound, Bound::Unbounded))
+                                .next()
+                                .map(|(k, v)| (k.clone(), *v))
+                        }
+                        (Model::At { key, below, .. }, false) => {
+                            let bound = if *below {
+                                Bound::Excluded(key.clone())
+                            } else {
+                                Bound::Included(key.clone())
+                            };
+                            reference
+                                .range((Bound::Unbounded, bound))
+                                .next_back()
+                                .map(|(k, v)| (k.clone(), *v))
+                        }
+                    };
+                    let got = if forward {
+                        cursor.next()
+                    } else {
+                        cursor.prev()
+                    };
+                    assert_eq!(
+                        got,
+                        expected,
+                        "case {case} step {step}: {} from {model:?}",
+                        if forward { "next" } else { "prev" }
+                    );
+                    // A returned key becomes the new reference point; a dry
+                    // step leaves the position unchanged.
+                    if let Some((key, _)) = got {
+                        model = Model::At {
+                            key,
+                            above: true,
+                            below: true,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reverse iteration (`iter().rev()`, `range(..).rev()`) and the backward
+/// queries (`last`/`pred`) stay correct across structural mutations —
+/// interleaved batch puts, point puts and deletes in sorted, reverse and
+/// random key orders force splits/ejections — with the full container
+/// invariant check after every mutation round.
+#[test]
+fn reverse_iteration_survives_structural_mutations() {
+    #[derive(Clone, Copy)]
+    enum Order {
+        Sorted,
+        Reverse,
+        Random,
+    }
+    for (case, order) in [Order::Sorted, Order::Reverse, Order::Random]
+        .into_iter()
+        .cycle()
+        .take(12)
+        .enumerate()
+    {
+        let case = case as u64;
+        let mut rng = Mt19937_64::new(0xfeed_beef + case);
+        let mut map = HyperionMap::new();
+        let mut reference: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for round in 0..8 {
+            let n = 1 + (rng.next_u64() as usize) % 200;
+            let mut pairs: Vec<(Vec<u8>, u64)> = (0..n)
+                .map(|_| (random_key(&mut rng, 16), rng.next_u64()))
+                .collect();
+            match order {
+                Order::Sorted => pairs.sort(),
+                Order::Reverse => {
+                    pairs.sort();
+                    pairs.reverse();
+                }
+                Order::Random => {}
+            }
+            map.put_many(pairs.iter().map(|(k, v)| (k.as_slice(), *v)));
+            for (k, v) in &pairs {
+                reference.insert(k.clone(), *v);
+            }
+            for _ in 0..25 {
+                let key = random_key(&mut rng, 16);
+                if rng.next_u64() % 3 == 0 {
+                    map.delete(&key);
+                    reference.remove(&key);
+                } else {
+                    let value = rng.next_u64();
+                    map.put(&key, value);
+                    reference.insert(key, value);
+                }
+            }
+            map.validate_structure()
+                .unwrap_or_else(|e| panic!("case {case} round {round}: {e}"));
+            // Full reverse iteration after the mutations.
+            let got: Vec<(Vec<u8>, u64)> = map.iter().rev().collect();
+            let expected: Vec<(Vec<u8>, u64)> = reference
+                .iter()
+                .rev()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            assert_eq!(got, expected, "case {case} round {round}: reverse iter");
+            // Reverse bounded range.
+            let mut a = random_key(&mut rng, 16);
+            let mut b = random_key(&mut rng, 16);
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            let got: Vec<(Vec<u8>, u64)> = map.range(&a[..]..&b[..]).rev().collect();
+            let expected: Vec<(Vec<u8>, u64)> = reference
+                .range(a.clone()..b.clone())
+                .rev()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            assert_eq!(got, expected, "case {case} round {round}: reverse range");
+            // last/pred agree with the oracle.
+            assert_eq!(
+                map.last(),
+                reference.iter().next_back().map(|(k, v)| (k.clone(), *v)),
+                "case {case} round {round}: last"
+            );
+            let probe = random_key(&mut rng, 16);
+            assert_eq!(
+                map.pred(&probe),
+                reference
+                    .range(..probe.clone())
+                    .next_back()
+                    .map(|(k, v)| (k.clone(), *v)),
+                "case {case} round {round}: pred {probe:x?}"
+            );
+        }
+    }
+}
+
 /// `get_many` must be order-faithful (`results[i]` answers `keys[i]`) and
 /// agree with a `BTreeMap` oracle under interleaved puts and deletes, for
 /// batches mixing present keys, never-inserted keys, deleted keys, duplicate

@@ -1,0 +1,147 @@
+//! Acceptance tests for the backward traversal engine at scale: `Iter`,
+//! `Range`, `Prefix` and `DbScan` reverse traversal are each verified against
+//! a `BTreeMap` oracle at >= 100,000 keys (the PR's acceptance bar), plus
+//! `last`/`pred` spot checks along the way.
+
+use hyperion::core::db::RangePartitioner;
+use hyperion::workloads::Mt19937_64;
+use hyperion::{HyperionDb, HyperionMap};
+use std::collections::BTreeMap;
+
+const KEYS: usize = 100_000;
+
+/// 100k mixed-shape keys (8-byte integers and short strings) plus a
+/// `BTreeMap` oracle.
+fn big_fixture() -> (HyperionMap, BTreeMap<Vec<u8>, u64>) {
+    let mut rng = Mt19937_64::new(0xbac_5ca9);
+    let mut reference = BTreeMap::new();
+    while reference.len() < KEYS {
+        let x = rng.next_u64();
+        let key = if x % 4 == 0 {
+            format!("user:{:010}", x % 3_000_000).into_bytes()
+        } else {
+            x.to_be_bytes().to_vec()
+        };
+        reference.insert(key, rng.next_u64());
+    }
+    let mut map = HyperionMap::new();
+    map.put_many(reference.iter().map(|(k, v)| (k.as_slice(), *v)));
+    assert_eq!(map.len(), reference.len());
+    (map, reference)
+}
+
+#[test]
+fn iter_rev_matches_btreemap_at_100k() {
+    let (map, reference) = big_fixture();
+    let got: Vec<(Vec<u8>, u64)> = map.iter().rev().collect();
+    let expected: Vec<(Vec<u8>, u64)> = reference
+        .iter()
+        .rev()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    assert_eq!(got.len(), expected.len());
+    assert_eq!(got, expected);
+    assert_eq!(
+        map.last(),
+        reference.iter().next_back().map(|(k, v)| (k.clone(), *v))
+    );
+}
+
+#[test]
+fn range_rev_matches_btreemap_at_100k() {
+    let (map, reference) = big_fixture();
+    let mut rng = Mt19937_64::new(0x4a11);
+    let keys: Vec<&Vec<u8>> = reference.keys().collect();
+    // A full-coverage reverse range plus random sub-ranges.
+    let got: Vec<(Vec<u8>, u64)> = map.range::<[u8], _>(..).rev().collect();
+    let expected: Vec<(Vec<u8>, u64)> = reference
+        .iter()
+        .rev()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    assert_eq!(got, expected, "unbounded reverse range");
+    for case in 0..20 {
+        let mut a = keys[(rng.next_u64() as usize) % keys.len()].clone();
+        let mut b = keys[(rng.next_u64() as usize) % keys.len()].clone();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let got: Vec<(Vec<u8>, u64)> = map.range(&a[..]..&b[..]).rev().collect();
+        let expected: Vec<(Vec<u8>, u64)> = reference
+            .range(a.clone()..b.clone())
+            .rev()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        assert_eq!(got, expected, "case {case}: rev range {a:x?}..{b:x?}");
+        // pred at the range boundary agrees with the oracle.
+        let expected_pred = reference
+            .range(..a.clone())
+            .next_back()
+            .map(|(k, v)| (k.clone(), *v));
+        assert_eq!(map.pred(&a), expected_pred, "case {case}: pred");
+    }
+}
+
+#[test]
+fn prefix_rev_matches_btreemap_at_100k() {
+    let (map, reference) = big_fixture();
+    for prefix in [&b"user:"[..], b"user:00000", b"", &[0x00], &[0x42], &[0xff]] {
+        let got: Vec<Vec<u8>> = map.prefix(prefix).rev().map(|(k, _)| k).collect();
+        let mut expected: Vec<Vec<u8>> = reference
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        expected.reverse();
+        assert_eq!(got, expected, "rev prefix {prefix:x?}");
+    }
+}
+
+#[test]
+fn db_scan_rev_matches_btreemap_at_100k() {
+    let (_, reference) = big_fixture();
+    // Order-preserving partitioner: the reverse merge must also exercise the
+    // shard-pruning path.
+    let db = HyperionDb::builder()
+        .shards(16)
+        .partitioner(RangePartitioner)
+        .scan_chunk(128)
+        .build();
+    let pairs: Vec<(&[u8], u64)> = reference.iter().map(|(k, v)| (k.as_slice(), *v)).collect();
+    for (k, v) in &pairs {
+        db.put(k, *v).unwrap();
+    }
+    let got: Vec<(Vec<u8>, u64)> = db.iter_rev().collect();
+    let expected: Vec<(Vec<u8>, u64)> = reference
+        .iter()
+        .rev()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    assert_eq!(got.len(), expected.len());
+    assert_eq!(got, expected, "full reverse merged scan");
+
+    let mut rng = Mt19937_64::new(0x9eed);
+    let keys: Vec<&Vec<u8>> = reference.keys().collect();
+    for case in 0..10 {
+        let mut a = keys[(rng.next_u64() as usize) % keys.len()].clone();
+        let mut b = keys[(rng.next_u64() as usize) % keys.len()].clone();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let got: Vec<(Vec<u8>, u64)> = db.range_rev(&a[..]..&b[..]).collect();
+        let expected: Vec<(Vec<u8>, u64)> = reference
+            .range(a.clone()..b.clone())
+            .rev()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        assert_eq!(got, expected, "case {case}: db rev range");
+    }
+    let got: Vec<Vec<u8>> = db.prefix_rev(b"user:0").map(|(k, _)| k).collect();
+    let mut expected: Vec<Vec<u8>> = reference
+        .keys()
+        .filter(|k| k.starts_with(b"user:0"))
+        .cloned()
+        .collect();
+    expected.reverse();
+    assert_eq!(got, expected, "db rev prefix");
+}
