@@ -10,7 +10,8 @@
 //! ```
 //!
 //! Direction comes from the metric name: `*_mops` is higher-is-better (a
-//! regression is a drop), `*_bpk` lower-is-better (a regression is growth).
+//! regression is a drop); `*_bpk` (bytes per key) and `*_us` (latency
+//! percentiles) are lower-is-better (a regression is growth).
 //! Every baseline metric must be present in the current file — a silently
 //! dropped metric would let a regression hide by renaming.  Metrics only in
 //! the current file are reported as informational (new benchmarks land
@@ -61,9 +62,10 @@ fn main() -> ExitCode {
             failures += 1;
             continue;
         };
-        // Regression fraction, positive = worse.  `_bpk` metrics (bytes per
-        // key) regress upward; throughput metrics regress downward.
-        let lower_is_better = key.ends_with("_bpk");
+        // Regression fraction, positive = worse.  `_bpk` (bytes per key) and
+        // `_us` (latency) metrics regress upward; throughput metrics regress
+        // downward.
+        let lower_is_better = key.ends_with("_bpk") || key.ends_with("_us");
         let regression = if *base == 0.0 {
             0.0
         } else if lower_is_better {

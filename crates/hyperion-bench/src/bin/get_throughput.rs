@@ -20,6 +20,7 @@
 //! cargo run --release -p hyperion-bench --bin get_throughput -- --smoke # CI
 //! ```
 
+use hyperion_bench::hist::Hist;
 use hyperion_bench::json::{arg_json_path, merge_into_file};
 use hyperion_bench::{mops, timed_best_of};
 use hyperion_core::db::{FibonacciPartitioner, HyperionDb};
@@ -133,6 +134,26 @@ impl Workbench {
             mops(n, secs)
         );
         metrics.push((format!("get/{}_point_mops", self.label), mops(n, secs)));
+
+        // Per-operation latency distribution of the same point gets: the
+        // throughput row averages the whole loop, the histogram shows the
+        // tail (`bench_gate` treats the `_us` metrics as lower-is-better).
+        let mut hist = Hist::new();
+        let mut hits = 0usize;
+        for key in &refs {
+            let start = std::time::Instant::now();
+            if self.map.get(key).is_some() {
+                hits += 1;
+            }
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+        assert_eq!(
+            hits, self.expected_hits,
+            "{}: latency pass hits",
+            self.label
+        );
+        println!("{}/point_get latency: {}", self.label, hist.summary_us());
+        metrics.extend(hist.percentile_metrics(&format!("get/{}_point", self.label)));
 
         for &batch in BATCHES {
             // Batched gets through the map's sorted-resume engine.

@@ -14,6 +14,7 @@
 //! cargo run --release -p hyperion-bench --bin put_throughput -- --smoke # CI
 //! ```
 
+use hyperion_bench::hist::Hist;
 use hyperion_bench::json::{arg_json_path, merge_into_file};
 use hyperion_bench::{mops, timed_best_of};
 use hyperion_core::{HyperionConfig, HyperionMap};
@@ -23,6 +24,29 @@ use hyperion_workloads::{random_integer_keys, NgramCorpus, NgramCorpusConfig};
 /// noise damping runs twice, not three times.
 fn timed<T>(f: impl FnMut() -> T) -> (T, f64) {
     timed_best_of(2, f)
+}
+
+/// Builds a fresh map from `pairs` timing every individual put, and merges
+/// the p50/p95/p99 of the distribution into `metrics` under `prefix` (`_us`
+/// suffix: `bench_gate` treats latency as lower-is-better).  The throughput
+/// rows average the whole loop; this is where write-path tail stalls
+/// (splits, ejections, slab growth) become visible.
+fn latency_pass(
+    config: HyperionConfig,
+    pairs: &[(&[u8], u64)],
+    prefix: &str,
+    metrics: &mut Vec<(String, f64)>,
+) {
+    let mut map = HyperionMap::with_config(config);
+    let mut hist = Hist::new();
+    for &(k, v) in pairs {
+        let start = std::time::Instant::now();
+        map.put(k, v);
+        hist.record(start.elapsed().as_nanos() as u64);
+    }
+    assert_eq!(hist.count() as usize, pairs.len());
+    println!("{prefix} latency: {}", hist.summary_us());
+    metrics.extend(hist.percentile_metrics(prefix));
 }
 
 fn bench_integer(n: usize, metrics: &mut Vec<(String, f64)>) {
@@ -82,6 +106,13 @@ fn bench_integer(n: usize, metrics: &mut Vec<(String, f64)>) {
         mops(n, secs)
     );
     metrics.push(("put/int_sorted_point_mops".into(), mops(n, secs)));
+
+    latency_pass(
+        HyperionConfig::for_integers(),
+        &pairs,
+        "put/int_random_point",
+        metrics,
+    );
 }
 
 fn bench_strings(n: usize, metrics: &mut Vec<(String, f64)>) {
@@ -127,6 +158,13 @@ fn bench_strings(n: usize, metrics: &mut Vec<(String, f64)>) {
         mops(n, secs)
     );
     metrics.push(("put/str_ngram_batch_mops".into(), mops(n, secs)));
+
+    latency_pass(
+        HyperionConfig::for_strings(),
+        &pairs,
+        "put/str_ngram_point",
+        metrics,
+    );
 }
 
 /// Adversarial keyset: long keys sharing deep prefixes force path-compressed

@@ -1,0 +1,344 @@
+//! A zero-dependency HDR-style latency histogram.
+//!
+//! The scenario benchmarks (`ycsb_throughput`) and the microbench binaries
+//! report latency *percentiles*, not just best-of-N throughput: tail latency
+//! is exactly what an averaged Mops number hides, and it is the metric the
+//! "millions of users" north star is actually judged by.  The build
+//! environment has no crates.io access (no `hdrhistogram`), so this is a
+//! from-scratch log-linear histogram in the HDR spirit:
+//!
+//! * values `< 64` land in exact unit buckets;
+//! * larger values share 64 linear sub-buckets per power of two, giving a
+//!   guaranteed relative error below `1/64` (~1.6%) across the full `u64`
+//!   range — nanosecond recordings stay accurate from sub-microsecond ops to
+//!   multi-second stalls;
+//! * recording is two branches, a `leading_zeros` and one array increment —
+//!   cheap enough to sit inside a per-operation timing loop;
+//! * histograms [`Hist::merge`] losslessly, so per-client recordings combine
+//!   into one distribution without sharing anything during the run.
+//!
+//! ```
+//! use hyperion_bench::hist::Hist;
+//!
+//! let mut h = Hist::new();
+//! for us in [10u64, 20, 30, 40, 1000] {
+//!     h.record(us * 1_000); // nanoseconds
+//! }
+//! assert_eq!(h.count(), 5);
+//! assert!(h.value_at_percentile(50.0) >= 20_000);
+//! assert!(h.value_at_percentile(99.9) >= 1_000_000);
+//! ```
+
+/// Sub-buckets per power of two — the precision/size dial.  64 keeps the
+/// relative quantisation error below 1.6% and the whole histogram at
+/// `64 + 58 × 64` buckets (≈30 KiB of `u64` counts).
+const SUB_BUCKETS: usize = 64;
+/// log2([`SUB_BUCKETS`]).
+const SUB_BITS: u32 = 6;
+/// Bucket count covering the full `u64` value range: 64 exact unit buckets
+/// plus one 64-wide linear segment per exponent from 6 to 63.
+const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// A log-linear histogram over `u64` values (conventionally nanoseconds).
+#[derive(Clone)]
+pub struct Hist {
+    counts: Vec<u64>,
+    count: u64,
+    total: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+/// Bucket index of `value`: exact below [`SUB_BUCKETS`], log-linear above.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros(); // >= SUB_BITS
+        let sub = (value >> (exp - SUB_BITS)) as usize - SUB_BUCKETS;
+        (exp - SUB_BITS + 1) as usize * SUB_BUCKETS + sub
+    }
+}
+
+/// Largest value mapping to bucket `index` (the reported quantile bound:
+/// "p99 <= this", never an underestimate).
+#[inline]
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        index as u64
+    } else {
+        let exp = (index / SUB_BUCKETS) as u32 - 1 + SUB_BITS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let base = (SUB_BUCKETS as u64 + sub) << (exp - SUB_BITS);
+        base + ((1u64 << (exp - SUB_BITS)) - 1)
+    }
+}
+
+impl Hist {
+    /// Creates an empty histogram.
+    pub fn new() -> Hist {
+        Hist {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value (conventionally nanoseconds).
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.total += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value — exact, not quantised.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (exact sum / count).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The value at (or quantised just above) the given percentile in
+    /// `0.0..=100.0`; at most ~1.6% above the true quantile.  Returns the
+    /// exact maximum for the top bucket and 0 for an empty histogram.
+    pub fn value_at_percentile(&self, pct: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report beyond the observed maximum (the last
+                // occupied bucket's upper edge can exceed it).
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every recording of `other` into `self` (lossless: both use the
+    /// same fixed bucket layout).
+    pub fn merge(&mut self, other: &Hist) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Formats the standard latency summary line, scaling nanosecond
+    /// recordings to microseconds.
+    pub fn summary_us(&self) -> String {
+        format!(
+            "p50 {:>8.1}us  p95 {:>8.1}us  p99 {:>8.1}us  max {:>8.1}us  (n = {})",
+            self.value_at_percentile(50.0) as f64 / 1e3,
+            self.value_at_percentile(95.0) as f64 / 1e3,
+            self.value_at_percentile(99.0) as f64 / 1e3,
+            self.max as f64 / 1e3,
+            self.count,
+        )
+    }
+
+    /// `(metric suffix, value in µs)` pairs for the `--json` trajectory:
+    /// `p50/p95/p99` under the given metric prefix.  The `_us` suffix tells
+    /// `bench_gate` the direction (latency regresses *upward*).
+    pub fn percentile_metrics(&self, prefix: &str) -> Vec<(String, f64)> {
+        [(50.0, "p50"), (95.0, "p95"), (99.0, "p99")]
+            .iter()
+            .map(|&(pct, name)| {
+                (
+                    format!("{prefix}_{name}_us"),
+                    self.value_at_percentile(pct) as f64 / 1e3,
+                )
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hist")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .field("p50", &self.value_at_percentile(50.0))
+            .field("p99", &self.value_at_percentile(99.0))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Hist::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        // With 64 exact buckets, every percentile is exact.
+        assert_eq!(h.value_at_percentile(50.0), 31);
+        assert_eq!(h.value_at_percentile(100.0), 63);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..10_000 {
+            let v = step() % 1_000_000_000 + 1;
+            let mut h = Hist::new();
+            h.record(v);
+            let q = h.value_at_percentile(100.0);
+            assert!(q >= v || q == h.max());
+            let err = (q as f64 - v as f64) / v as f64;
+            assert!((0.0..=1.0 / 64.0 + 1e-9).contains(&err), "{v} -> {q}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_ordered() {
+        let mut h = Hist::new();
+        let mut x = 88172645463325252u64;
+        for _ in 0..100_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 10_000_000);
+        }
+        let mut last = 0;
+        for pct in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+            let v = h.value_at_percentile(pct);
+            assert!(v >= last, "p{pct} = {v} < previous {last}");
+            last = v;
+        }
+        assert_eq!(h.value_at_percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn known_distribution_quantiles() {
+        // 90 values of 100ns, 9 of 10_000ns, 1 of 1_000_000ns.
+        let mut h = Hist::new();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(10_000);
+        }
+        h.record(1_000_000);
+        let p50 = h.value_at_percentile(50.0);
+        let p95 = h.value_at_percentile(95.0);
+        let p99 = h.value_at_percentile(99.0);
+        let p100 = h.value_at_percentile(100.0);
+        assert!((100..=102).contains(&p50), "p50 = {p50}");
+        assert!((10_000..=10_160).contains(&p95), "p95 = {p95}");
+        assert!((10_000..=10_160).contains(&p99), "p99 = {p99}");
+        assert_eq!(p100, 1_000_000);
+        assert!((h.mean() - 10_990.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut all = Hist::new();
+        for i in 0..5_000u64 {
+            let v = i * i % 777_777;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for pct in [50.0, 90.0, 99.0] {
+            assert_eq!(a.value_at_percentile(pct), all.value_at_percentile(pct));
+        }
+    }
+
+    #[test]
+    fn bucket_roundtrip_covers_u64() {
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1 << 20,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_of(v);
+            assert!(idx < BUCKETS, "{v} -> {idx}");
+            let upper = bucket_upper(idx);
+            assert!(upper >= v, "{v} -> bucket {idx} upper {upper}");
+            if v >= 64 {
+                // Upper edge within 1/64 of the value.
+                assert!(upper - v <= v / SUB_BUCKETS as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.value_at_percentile(99.0), 0);
+    }
+}

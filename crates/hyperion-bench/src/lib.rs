@@ -32,6 +32,7 @@ use hyperion_core::{HyperionConfig, HyperionMap, KvStore, OrderedKvStore};
 use hyperion_workloads::Workload;
 use std::time::Instant;
 
+pub mod hist;
 pub mod json;
 pub mod microbench;
 

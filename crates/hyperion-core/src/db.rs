@@ -622,6 +622,43 @@ impl HyperionDb {
         Ok(results)
     }
 
+    /// Removes many keys with one lock acquisition per involved shard,
+    /// mirroring [`HyperionDb::multi_get`]: each shard's keys route through
+    /// [`HyperionMap::delete_many`], which applies them in sorted order for
+    /// container-cache locality.  `results[i]` is `true` iff `keys[i]` was
+    /// present; keys longer than [`MAX_KEY_LEN`] can never have been
+    /// inserted, so they simply resolve to `false`.  [`WriteBatch`] delete
+    /// runs flow through the same per-shard path (see [`HyperionDb::apply`]).
+    pub fn delete_many(&self, keys: &[&[u8]]) -> Result<Vec<bool>, HyperionError> {
+        let mut results = vec![false; keys.len()];
+        let mut groups = self.take_scratch();
+        for (i, key) in keys.iter().enumerate() {
+            if key.len() <= MAX_KEY_LEN {
+                groups[self.shard_of(key)].push(i);
+            }
+        }
+        let mut shard_keys: Vec<&[u8]> = Vec::new();
+        for (shard, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut guard = match self.lock_shard(shard) {
+                Ok(guard) => guard,
+                Err(e) => {
+                    self.return_scratch(groups);
+                    return Err(e);
+                }
+            };
+            shard_keys.clear();
+            shard_keys.extend(group.iter().map(|&i| keys[i]));
+            for (&i, removed) in group.iter().zip(guard.delete_many(&shard_keys)) {
+                results[i] = removed;
+            }
+        }
+        self.return_scratch(groups);
+        Ok(results)
+    }
+
     /// Applies a [`WriteBatch`], acquiring each involved shard's lock exactly
     /// once.  Operations on the same key keep their batch order (a key always
     /// routes to one shard, and per-shard application preserves batch order).
@@ -690,6 +727,32 @@ impl HyperionDb {
                         }
                     }
                     at = run;
+                    continue;
+                }
+                // Coalesce runs of deletes the same way: one
+                // `HyperionMap::delete_many` call per run, under the one lock
+                // this shard already holds.  Duplicate keys are fine — the
+                // group is stable-sorted and `delete_many` preserves arrival
+                // order among equals, so outcomes match sequential deletes.
+                let mut del_run = at;
+                while del_run < group.len()
+                    && matches!(&batch.ops[group[del_run]], BatchOp::Delete { .. })
+                {
+                    del_run += 1;
+                }
+                if del_run - at >= 2 {
+                    let keys: Vec<&[u8]> = group[at..del_run]
+                        .iter()
+                        .map(|&i| batch.ops[i].key())
+                        .collect();
+                    for removed in guard.delete_many(&keys) {
+                        if removed {
+                            summary.deleted += 1;
+                        } else {
+                            summary.missing += 1;
+                        }
+                    }
+                    at = del_run;
                     continue;
                 }
                 let i = group[at];
@@ -1488,6 +1551,66 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn delete_many_matches_single_deletes() {
+        for db in [
+            sample_db(FirstBytePartitioner, 8),
+            sample_db(FibonacciPartitioner, 8),
+            sample_db(RangePartitioner, 8),
+        ] {
+            let mut oracle = BTreeMap::new();
+            for i in 0..500u64 {
+                let key = format!("key{:04}", i * 7 % 1000).into_bytes();
+                db.put(&key, i).unwrap();
+                oracle.insert(key, i);
+            }
+            // Hits, misses, duplicates and an over-long key in one call.
+            let long = vec![9u8; MAX_KEY_LEN + 1];
+            let mut probes: Vec<Vec<u8>> = (0..40)
+                .map(|i| format!("key{:04}", i * 30).into_bytes())
+                .collect();
+            probes.push(probes[0].clone()); // duplicate: second must miss
+            probes.push(long);
+            let refs: Vec<&[u8]> = probes.iter().map(|k| k.as_slice()).collect();
+            let removed = db.delete_many(&refs).unwrap();
+            for (i, key) in refs.iter().enumerate() {
+                // The last probe is over-long (can never exist) and the one
+                // before it duplicates probes[0] (already removed): both miss.
+                let expected = if i >= refs.len() - 2 {
+                    false
+                } else {
+                    oracle.remove(*key).is_some()
+                };
+                assert_eq!(removed[i], expected, "probe {i}");
+                assert_eq!(db.get(key).unwrap(), None);
+            }
+            assert_eq!(db.len(), oracle.len());
+        }
+    }
+
+    #[test]
+    fn batch_delete_runs_match_sequential_semantics() {
+        let db = sample_db(FibonacciPartitioner, 4);
+        for i in 0..100u64 {
+            db.put(format!("k{i:03}").as_bytes(), i).unwrap();
+        }
+        let mut batch = WriteBatch::new();
+        // A long delete run (coalesced through delete_many), including a
+        // duplicate key and a miss, then a put after the run.
+        for i in 0..50u64 {
+            batch.delete(format!("k{i:03}").as_bytes());
+        }
+        batch.delete(b"k000"); // duplicate: must count as missing
+        batch.delete(b"absent");
+        batch.put(b"k000", 777);
+        let summary = db.apply(&batch).unwrap();
+        assert_eq!(summary.deleted, 50);
+        assert_eq!(summary.missing, 2);
+        assert_eq!(summary.inserted, 1, "put after delete run re-inserts");
+        assert_eq!(db.get(b"k000"), Ok(Some(777)));
+        assert_eq!(db.len(), 51);
     }
 
     #[test]

@@ -324,6 +324,27 @@ impl HyperionMap {
         removed
     }
 
+    /// Removes many keys in one locality-aware pass.  `results[i]` is `true`
+    /// iff `keys[i]` was present when its delete applied; duplicate keys are
+    /// fine (the first occurrence removes, later ones report `false`, exactly
+    /// like sequential deletes).
+    ///
+    /// The deletions are applied in sorted key order (stable, so duplicates
+    /// keep arrival order) — consecutive deletes then revisit the same
+    /// containers while they are still cache-hot, the read-side mirror of
+    /// the [`HyperionMap::put_many`] / [`HyperionMap::get_many`] sort.  Each
+    /// delete still descends on its own: a structural delete (record removal,
+    /// gap shrink) invalidates any resume point a batched walk could carry.
+    pub fn delete_many(&mut self, keys: &[&[u8]]) -> Vec<bool> {
+        let mut results = vec![false; keys.len()];
+        let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+        order.sort_by(|&a, &b| keys[a as usize].cmp(keys[b as usize]));
+        for &i in &order {
+            results[i as usize] = self.delete(keys[i as usize]);
+        }
+        results
+    }
+
     // =====================================================================
     // ordered iteration / range queries
     // =====================================================================

@@ -1,0 +1,311 @@
+//! A blocking client for the Hyperion wire protocol.
+//!
+//! Two usage styles over the same connection:
+//!
+//! * **synchronous** — [`Client::get`], [`Client::put`], … issue one request
+//!   and wait for its answer;
+//! * **pipelined** — [`Client::send`] buffers any number of requests,
+//!   [`Client::flush`] pushes them out in one write, and [`Client::recv`]
+//!   returns responses as they arrive, identified by request id (the server
+//!   may answer out of order).  Pipelining is what feeds the server's
+//!   per-shard coalescing: a window of N in-flight requests lets a worker
+//!   drain them as one group.
+//!
+//! The two styles compose: a synchronous call made while pipelined responses
+//! are still in flight parks foreign responses internally and hands them
+//! back from later [`Client::recv`] calls.
+
+use crate::protocol::{
+    decode_response, encode_request, BatchEntry, ErrorCode, ProtoError, Request, Response,
+    StatsSnapshot, MAX_FRAME,
+};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent bytes that do not decode as a response frame.
+    Protocol(ProtoError),
+    /// The server answered with a typed error response.
+    Server {
+        /// Failure class reported by the server.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong kind for the
+    /// request (a protocol bug, not an expected runtime failure).
+    Unexpected {
+        /// What the call was waiting for.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ClientError::Unexpected { expected } => {
+                write!(f, "unexpected response kind (wanted {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Result of a [`Client::batch`] application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAck {
+    /// Puts that created a key.
+    pub inserted: u32,
+    /// Puts that overwrote.
+    pub updated: u32,
+    /// Deletes that removed.
+    pub deleted: u32,
+    /// Deletes that missed.
+    pub missing: u32,
+}
+
+/// A blocking connection to a Hyperion server.
+pub struct Client {
+    stream: TcpStream,
+    /// Buffered request frames awaiting [`Client::flush`].
+    wbuf: Vec<u8>,
+    next_id: u32,
+    /// Requests sent but not yet answered.
+    in_flight: usize,
+    /// Responses read while waiting for a specific id (see module docs).
+    parked: VecDeque<(u32, Response)>,
+}
+
+impl Client {
+    /// Connects and disables Nagle's algorithm (pipelined frames are
+    /// batched explicitly by [`Client::flush`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            wbuf: Vec::new(),
+            next_id: 1,
+            in_flight: 0,
+            parked: VecDeque::new(),
+        })
+    }
+
+    // -- pipelined surface ---------------------------------------------------
+
+    /// Buffers one request and returns its id.  Nothing hits the socket
+    /// until [`Client::flush`].
+    pub fn send(&mut self, req: &Request) -> u32 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        encode_request(id, req, &mut self.wbuf);
+        self.in_flight += 1;
+        id
+    }
+
+    /// Writes all buffered request frames.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.wbuf.is_empty() {
+            self.stream.write_all(&self.wbuf)?;
+            self.wbuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Returns the next response (parked ones first, then the wire).
+    /// Blocks until a frame arrives.
+    pub fn recv(&mut self) -> Result<(u32, Response), ClientError> {
+        if let Some(parked) = self.parked.pop_front() {
+            return Ok(parked);
+        }
+        self.read_frame()
+    }
+
+    /// Requests sent (or buffered) but not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Writes pre-encoded bytes straight to the socket — test hook for
+    /// malformed frames.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.flush()?;
+        self.stream.write_all(bytes)
+    }
+
+    fn read_frame(&mut self) -> Result<(u32, Response), ClientError> {
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len)?;
+        let len = u32::from_le_bytes(len) as usize;
+        if !(5..=MAX_FRAME).contains(&len) {
+            return Err(ClientError::Protocol(ProtoError {
+                code: ErrorCode::BadFrame,
+                message: format!("response frame of {len} bytes"),
+            }));
+        }
+        let mut body = vec![0u8; len];
+        self.stream.read_exact(&mut body)?;
+        let decoded = decode_response(&body)?;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        Ok(decoded)
+    }
+
+    // -- synchronous surface -------------------------------------------------
+
+    /// Sends `req`, flushes, and waits for *its* response, parking any
+    /// other pipelined responses that arrive first.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let id = self.send(req);
+        self.flush()?;
+        // A response already parked cannot carry a fresh id.
+        loop {
+            let (rid, resp) = self.read_frame()?;
+            if rid == id {
+                return Ok(resp);
+            }
+            self.parked.push_back((rid, resp));
+        }
+    }
+
+    fn expect(
+        &mut self,
+        req: &Request,
+        expected: &'static str,
+        matcher: impl FnOnce(Response) -> Option<Response>,
+    ) -> Result<Response, ClientError> {
+        match self.call(req)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => matcher(resp).ok_or(ClientError::Unexpected { expected }),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Ping, "PONG", |r| {
+            matches!(r, Response::Pong).then_some(r)
+        })
+        .map(|_| ())
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<u64>, ClientError> {
+        match self.call(&Request::Get { key: key.to_vec() })? {
+            Response::Value(v) => Ok(v),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected { expected: "VALUE" }),
+        }
+    }
+
+    /// Insert or update.
+    pub fn put(&mut self, key: &[u8], value: u64) -> Result<(), ClientError> {
+        match self.call(&Request::Put {
+            key: key.to_vec(),
+            value,
+        })? {
+            Response::Ok => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected { expected: "OK" }),
+        }
+    }
+
+    /// Point delete; `true` if the key was present.
+    pub fn del(&mut self, key: &[u8]) -> Result<bool, ClientError> {
+        match self.call(&Request::Del { key: key.to_vec() })? {
+            Response::Deleted(removed) => Ok(removed),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected {
+                expected: "DELETED",
+            }),
+        }
+    }
+
+    /// Batched lookup, answered positionally.
+    pub fn mget(&mut self, keys: &[&[u8]]) -> Result<Vec<Option<u64>>, ClientError> {
+        let req = Request::MGet {
+            keys: keys.iter().map(|k| k.to_vec()).collect(),
+        };
+        match self.call(&req)? {
+            Response::Values(vs) => Ok(vs),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected { expected: "VALUES" }),
+        }
+    }
+
+    /// Applies `ops` as one atomic-per-shard write batch.
+    pub fn batch(&mut self, ops: &[BatchEntry]) -> Result<BatchAck, ClientError> {
+        match self.call(&Request::Batch { ops: ops.to_vec() })? {
+            Response::Summary {
+                inserted,
+                updated,
+                deleted,
+                missing,
+            } => Ok(BatchAck {
+                inserted,
+                updated,
+                deleted,
+                missing,
+            }),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected {
+                expected: "SUMMARY",
+            }),
+        }
+    }
+
+    /// Ordered scan over `[start, end)`, at most `limit` entries, descending
+    /// when `reverse`.
+    pub fn scan(
+        &mut self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: u32,
+        reverse: bool,
+    ) -> Result<Vec<(Vec<u8>, u64)>, ClientError> {
+        let req = Request::Scan {
+            start: start.to_vec(),
+            end: end.map(|e| e.to_vec()),
+            limit,
+            reverse,
+        };
+        match self.call(&req)? {
+            Response::Entries(entries) => Ok(entries),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected {
+                expected: "ENTRIES",
+            }),
+        }
+    }
+
+    /// Server counters (request tallies, coalescing group sizes).
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Unexpected { expected: "STATS" }),
+        }
+    }
+}

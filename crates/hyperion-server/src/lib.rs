@@ -1,0 +1,39 @@
+//! # hyperion-server
+//!
+//! A pipelined TCP front end for [`HyperionDb`](hyperion_core::HyperionDb),
+//! built on `std` alone — no async runtime, no event-loop crate:
+//!
+//! * [`protocol`] — the length-prefixed binary wire format: request/response
+//!   framing, typed error codes, and an incremental [`FrameBuf`] extractor
+//!   that survives malformed and oversized frames;
+//! * [`server`] — the runtime: a nonblocking accept/readiness loop feeding
+//!   shard-affine workers that coalesce concurrent pipelined requests into
+//!   `multi_get` / `WriteBatch` / `delete_many` groups before touching the
+//!   store (one lock acquisition per run, not per request);
+//! * [`client`] — a blocking [`Client`] with both synchronous calls and an
+//!   explicit pipelining surface (`send`/`flush`/`recv`).
+//!
+//! ```no_run
+//! use hyperion_core::{HyperionConfig, HyperionDb};
+//! use hyperion_server::{Client, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let db = Arc::new(HyperionDb::new(8, HyperionConfig::for_strings()));
+//! let server = Server::start(db, "127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! client.put(b"greeting", 1)?;
+//! assert_eq!(client.get(b"greeting")?, Some(1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{BatchAck, Client, ClientError};
+pub use protocol::{
+    BatchEntry, ErrorCode, FrameBuf, FrameEvent, ProtoError, Request, Response, StatsSnapshot,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

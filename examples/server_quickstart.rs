@@ -1,0 +1,88 @@
+//! Quickstart: Hyperion behind a TCP socket.
+//!
+//! Starts the pipelined network front end on an ephemeral loopback port,
+//! talks to it synchronously, then pipelines a burst of requests and reads
+//! the server's coalescing counters back.
+//!
+//! ```bash
+//! cargo run --release --example server_quickstart
+//! ```
+
+use hyperion::server::{BatchEntry, Client, Request, Response};
+use hyperion::{FibonacciPartitioner, HyperionConfig, HyperionDb, Server, ServerConfig};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Any HyperionDb can be served; the server only needs an Arc.
+    let db = Arc::new(
+        HyperionDb::builder()
+            .shards(8)
+            .config(HyperionConfig::for_strings())
+            .partitioner(FibonacciPartitioner)
+            .build(),
+    );
+    let server = Server::start(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default())?;
+    println!("serving on {}", server.local_addr());
+
+    // Synchronous calls: one request, one response.
+    let mut client = Client::connect(server.local_addr())?;
+    client.put(b"the", 2)?;
+    client.put(b"that", 1)?;
+    client.put(b"to", 3)?;
+    println!("the  -> {:?}", client.get(b"the")?);
+    println!("tho  -> {:?}", client.get(b"tho")?);
+
+    // Batches apply many writes in one round trip.
+    let ack = client.batch(&[
+        BatchEntry::Put {
+            key: b"and".to_vec(),
+            value: 4,
+        },
+        BatchEntry::Put {
+            key: b"a".to_vec(),
+            value: 5,
+        },
+        BatchEntry::Del {
+            key: b"to".to_vec(),
+        },
+    ])?;
+    println!(
+        "batch: {} inserted, {} updated, {} deleted",
+        ack.inserted, ack.updated, ack.deleted
+    );
+
+    // Ordered range scans stream the merged shard view.
+    for (key, value) in client.scan(b"a", Some(b"u"), 100, false)? {
+        println!("  {} = {value}", String::from_utf8_lossy(&key));
+    }
+
+    // Pipelining: send a window of requests before reading any response.
+    // Concurrent in-flight requests are what the server coalesces into
+    // multi_get / WriteBatch groups per shard.
+    let ids: Vec<u32> = (0..256u64)
+        .map(|i| {
+            client.send(&Request::Put {
+                key: format!("bulk/{i:04}").into_bytes(),
+                value: i,
+            })
+        })
+        .collect();
+    client.flush()?;
+    for _ in &ids {
+        let (_, resp) = client.recv()?;
+        assert_eq!(resp, Response::Ok);
+    }
+
+    let stats = client.stats()?;
+    println!(
+        "server stats: {} requests, avg write group {:.2}, avg read group {:.2}",
+        stats.requests,
+        stats.avg_write_group(),
+        stats.avg_read_group()
+    );
+    println!(
+        "db holds {} keys (visible through the embedded handle too)",
+        db.len()
+    );
+    Ok(())
+}

@@ -58,10 +58,21 @@
 //! assert_eq!(db.multi_get(&[b"user:1:score"]).unwrap(), vec![Some(42)]);
 //! assert_eq!(db.prefix(b"user:1:").count(), 2);
 //! ```
+//!
+//! ## The network front end
+//!
+//! [`server`] puts a [`HyperionDb`] behind a TCP socket: a
+//! pipelined length-prefixed binary protocol served by a nonblocking
+//! readiness loop and shard-affine workers that coalesce concurrent
+//! in-flight requests into `multi_get` / `WriteBatch` / `delete_many`
+//! groups.  [`Server`] starts it, [`Client`] talks to it (synchronously or
+//! pipelined), and the `ycsb_throughput` benchmark drives it with YCSB-style
+//! scenario mixes.
 
 pub use hyperion_baselines as baselines;
 pub use hyperion_core as core;
 pub use hyperion_mem as mem;
+pub use hyperion_server as server;
 pub use hyperion_workloads as workloads;
 
 #[allow(deprecated)]
@@ -73,3 +84,4 @@ pub use hyperion_core::{
     RangePartitioner, WriteBatch, WriteError,
 };
 pub use hyperion_mem::MemoryManager;
+pub use hyperion_server::{Client, Server, ServerConfig, ServerHandle};
