@@ -70,7 +70,7 @@ fn probes(keys: &[Vec<u8>], seed: u64) -> (Vec<Vec<u8>>, usize) {
 struct Workbench {
     label: &'static str,
     map: HyperionMap,
-    db: HyperionDb,
+    db: Option<HyperionDb>,
     probes: Vec<Vec<u8>>,
     expected_hits: usize,
     oracle: BTreeMap<Vec<u8>, u64>,
@@ -83,6 +83,7 @@ impl Workbench {
         keys: Vec<Vec<u8>>,
         values: Vec<u64>,
         seed: u64,
+        with_db: bool,
     ) -> Workbench {
         let mut map = HyperionMap::with_config(config);
         map.put_many(
@@ -90,14 +91,17 @@ impl Workbench {
                 .map(|k| k.as_slice())
                 .zip(values.iter().copied()),
         );
-        let db = HyperionDb::builder()
-            .shards(DB_SHARDS)
-            .config(config)
-            .partitioner(FibonacciPartitioner)
-            .build();
-        for (k, v) in keys.iter().zip(values.iter()) {
-            db.put(k, *v).expect("db put");
-        }
+        let db = with_db.then(|| {
+            let db = HyperionDb::builder()
+                .shards(DB_SHARDS)
+                .config(config)
+                .partitioner(FibonacciPartitioner)
+                .build();
+            for (k, v) in keys.iter().zip(values.iter()) {
+                db.put(k, *v).expect("db put");
+            }
+            db
+        });
         let mut oracle = BTreeMap::new();
         for (k, v) in keys.iter().zip(values.iter()) {
             oracle.insert(k.clone(), *v);
@@ -180,10 +184,11 @@ impl Workbench {
             }
 
             // Batched gets through the sharded front end.
+            let Some(db) = &self.db else { continue };
             let (results, secs) = timed(|| {
                 let mut results: Vec<Option<u64>> = Vec::with_capacity(n);
                 for chunk in refs.chunks(batch) {
-                    results.extend(self.db.multi_get(chunk).expect("multi_get"));
+                    results.extend(db.multi_get(chunk).expect("multi_get"));
                 }
                 results
             });
@@ -202,6 +207,77 @@ impl Workbench {
                 self.check_results(&results, "multi_get");
             }
         }
+    }
+
+    /// Reduced row set for A/B variants (the `_noshortcut` pair rows): point
+    /// gets and batched map gets only — no latency histogram and no sharded
+    /// rows, so the comparison isolates the map-level read engine where the
+    /// shortcut acts.
+    fn run_lite(&self, check: bool, metrics: &mut Vec<(String, f64)>) {
+        let n = self.probes.len();
+        let refs: Vec<&[u8]> = self.probes.iter().map(|k| k.as_slice()).collect();
+
+        let (hits, secs) = timed(|| {
+            let mut hits = 0usize;
+            for key in &refs {
+                if self.map.get(key).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+        assert_eq!(hits, self.expected_hits, "{}: point get hits", self.label);
+        println!(
+            "{}/point_get      {n:>8} keys  {:>8.3} Mops",
+            self.label,
+            mops(n, secs)
+        );
+        metrics.push((format!("get/{}_point_mops", self.label), mops(n, secs)));
+
+        for &batch in BATCHES {
+            let (results, secs) = timed(|| {
+                let mut results: Vec<Option<u64>> = Vec::with_capacity(n);
+                for chunk in refs.chunks(batch) {
+                    results.extend(self.map.get_many(chunk));
+                }
+                results
+            });
+            let hits = results.iter().flatten().count();
+            assert_eq!(hits, self.expected_hits, "{}: get_many hits", self.label);
+            println!(
+                "{}/get_many({batch:>4})  {n:>8} keys  {:>8.3} Mops",
+                self.label,
+                mops(n, secs)
+            );
+            metrics.push((
+                format!("get/{}_get_many_{batch}_mops", self.label),
+                mops(n, secs),
+            ));
+            if check {
+                self.check_results(&results, "get_many");
+            }
+        }
+    }
+
+    /// Prints the map-level shortcut counters accumulated across the timed
+    /// passes (hit rate of the read path, table occupancy, bytes/key).
+    fn report_shortcut(&self) {
+        let s = self.map.shortcut_stats();
+        let probes = s.hits + s.misses;
+        let keys = self.oracle.len().max(1);
+        println!(
+            "{}/shortcut       hits {:>10}  misses {:>10}  ({:>5.1}% of {} probes)  \
+             entries {}  slots {}  invalidations {}  ({:.2} B/key)",
+            self.label,
+            s.hits,
+            s.misses,
+            100.0 * s.hit_rate(),
+            probes,
+            s.entries,
+            s.slots,
+            s.invalidations,
+            (s.slots * 16) as f64 / keys as f64,
+        );
     }
 
     /// Order faithfulness: `results[i]` must be the oracle's answer for
@@ -231,28 +307,58 @@ fn main() {
     let mut metrics: Vec<(String, f64)> = Vec::new();
 
     let workload = random_integer_keys(n, 0xbe7c);
-    Workbench::build(
+    let bench = Workbench::build(
         "int_random",
         HyperionConfig::for_integers(),
+        workload.keys.clone(),
+        workload.values.clone(),
+        0x9e7,
+        true,
+    );
+    bench.run(smoke, &mut metrics);
+    bench.report_shortcut();
+    // A/B pair: the same workload with the shortcut disabled, so the JSON
+    // carries shortcut-on/off metric pairs and `bench_gate` guards both.
+    Workbench::build(
+        "int_random_noshortcut",
+        HyperionConfig {
+            shortcut_capacity: 0,
+            ..HyperionConfig::for_integers()
+        },
         workload.keys,
         workload.values,
         0x9e7,
+        false,
     )
-    .run(smoke, &mut metrics);
+    .run_lite(smoke, &mut metrics);
 
     let corpus = NgramCorpus::generate(&NgramCorpusConfig {
         entries: if smoke { n } else { 200_000 },
         ..Default::default()
     });
     let workload = corpus.workload.shuffled(0xc0ffee);
-    Workbench::build(
+    let bench = Workbench::build(
         "str_ngram",
         HyperionConfig::for_strings(),
+        workload.keys.clone(),
+        workload.values.clone(),
+        0x5712,
+        true,
+    );
+    bench.run(smoke, &mut metrics);
+    bench.report_shortcut();
+    Workbench::build(
+        "str_ngram_noshortcut",
+        HyperionConfig {
+            shortcut_capacity: 0,
+            ..HyperionConfig::for_strings()
+        },
         workload.keys,
         workload.values,
         0x5712,
+        false,
     )
-    .run(smoke, &mut metrics);
+    .run_lite(smoke, &mut metrics);
 
     if let Some(path) = json_path {
         merge_into_file(&path, &metrics).expect("writing metric file");

@@ -114,6 +114,20 @@ fn main() {
         .collect();
     let (hits, secs) = timed(|| probes.iter().filter(|p| map.pred(p).is_some()).count());
     report("map_pred", queries, secs, &mut metrics);
+    // Successor-style seeks: cursor repositioning (shortcut-seeded descent
+    // when the hashed shortcut layer is enabled) plus one forward step.
+    let (seek_hits, secs) = timed(|| {
+        let mut cursor = map.cursor();
+        probes
+            .iter()
+            .filter(|p| {
+                cursor.seek(p);
+                cursor.next().is_some()
+            })
+            .count()
+    });
+    assert!(seek_hits <= queries);
+    report("map_seek", queries, secs, &mut metrics);
     let (rb_hits, secs) = timed(|| {
         probes
             .iter()

@@ -494,6 +494,11 @@ fn delta(after: &StatsSnapshot, before: &StatsSnapshot) -> StatsSnapshot {
         write_ops: after.write_ops - before.write_ops,
         write_keys: after.write_keys - before.write_keys,
         scans: after.scans - before.scans,
+        shortcut_hits: after.shortcut_hits - before.shortcut_hits,
+        shortcut_misses: after.shortcut_misses - before.shortcut_misses,
+        shortcut_invalidations: after.shortcut_invalidations - before.shortcut_invalidations,
+        // Occupancy is a gauge, not a counter: report the end-of-window value.
+        shortcut_entries: after.shortcut_entries,
     }
 }
 

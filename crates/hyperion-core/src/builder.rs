@@ -15,7 +15,9 @@ use crate::config::HyperionConfig;
 use crate::container::ContainerRef;
 use crate::node::{
     delta_for, encode_pc_node, make_s_flag, make_t_flag, pc_fits, ChildKind, NodeType,
+    TNODE_JT_ENTRIES, TNODE_JT_SIZE, TNODE_JT_STRIDE,
 };
+use crate::shortcut::Shortcut;
 use hyperion_mem::MemoryManager;
 
 /// One entry to encode: the remaining key suffix and its value.
@@ -34,6 +36,29 @@ pub struct StreamBuilder<'a> {
     /// Size of the container the stream will be spliced into; 0 when unknown
     /// (fresh containers).  See [`StreamBuilder::with_parent_size`].
     parent_size: usize,
+    /// When set, every real child container allocated by [`encode_child`](
+    /// StreamBuilder::encode_child) is published to the hashed shortcut
+    /// layer under its absolute transformed-key prefix, so bulk loads warm
+    /// the cache as they build.  See [`StreamBuilder::with_shortcut`].
+    shortcut: Option<&'a Shortcut>,
+    /// Absolute transformed-key bytes consumed above the stream being built;
+    /// grows by one byte per T/S level descended.
+    prefix: Vec<u8>,
+    /// Whether T records emitted at the current level may carry jump
+    /// successors / jump tables.  Only top-level T records of *real*
+    /// containers may: the write engine's offset fix-up after byte-shifting
+    /// edits ([`crate::write`]'s `collect_fixes`) walks top-level records
+    /// exclusively, so jumps inside embedded bodies would go stale on the
+    /// first edit.  Defaults to off; [`StreamBuilder::with_jumps`] enables it
+    /// for top-level splices, and [`StreamBuilder::encode_child`] re-derives
+    /// it per child body.
+    emit_jumps: bool,
+    /// Whether any T record of the stream currently being built carries a
+    /// jump.  [`StreamBuilder::encode_child`] scopes this per body: a body
+    /// that received jumps must not be embedded even when it fits, because
+    /// nested subtrees collapsing into 5-byte pointers can shrink a
+    /// predicted-standalone body back under the embed limit.
+    jumps_emitted: bool,
 }
 
 impl<'a> StreamBuilder<'a> {
@@ -43,7 +68,32 @@ impl<'a> StreamBuilder<'a> {
             mm,
             config,
             parent_size: 0,
+            shortcut: None,
+            prefix: Vec::new(),
+            emit_jumps: false,
+            jumps_emitted: false,
         }
+    }
+
+    /// Allows jump successors / jump tables on the T records of the stream
+    /// built by [`StreamBuilder::build_stream`].  Pass `true` only when the
+    /// stream is spliced at the top level of a real container (see the field
+    /// note on `emit_jumps`).
+    pub fn with_jumps(mut self, on: bool) -> Self {
+        self.emit_jumps = on;
+        self
+    }
+
+    /// Publishes allocated child containers to `shortcut`.  `prefix` is the
+    /// absolute transformed-key prefix the entries handed to
+    /// [`StreamBuilder::build_stream`] (or the S-record/child entry points)
+    /// were stripped of.
+    pub fn with_shortcut(mut self, shortcut: &'a Shortcut, prefix: &[u8]) -> Self {
+        if shortcut.is_enabled() {
+            self.shortcut = Some(shortcut);
+            self.prefix = prefix.to_vec();
+        }
+        self
     }
 
     /// Declares the current size of the destination container so child
@@ -92,9 +142,24 @@ impl<'a> StreamBuilder<'a> {
     /// existing T-node.  Entry suffixes start with the S key byte.
     /// `prev_s_key` is the key of the S sibling preceding the insertion point.
     pub fn build_s_records(&mut self, prev_s_key: Option<u8>, entries: &[Entry]) -> Vec<u8> {
+        self.build_s_records_inner(prev_s_key, entries, false).0
+    }
+
+    /// Shared S-record emission.  With `seed_explicit` set, the last record
+    /// at or below each jump-table slot bound (a seed target) is emitted with
+    /// an explicit key byte — jump-table entries may only reference
+    /// explicit-key records, because a seeded scan has no predecessor
+    /// context — and reported back as `(key, start offset)`.
+    fn build_s_records_inner(
+        &mut self,
+        prev_s_key: Option<u8>,
+        entries: &[Entry],
+        seed_explicit: bool,
+    ) -> (Vec<u8>, Vec<(u8, usize)>) {
         debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
         debug_assert!(entries.iter().all(|(k, _)| !k.is_empty()));
         let mut out = Vec::new();
+        let mut seeds = Vec::new();
         let mut prev_s = prev_s_key;
         let mut i = 0;
         while i < entries.len() {
@@ -104,11 +169,23 @@ impl<'a> StreamBuilder<'a> {
                 j += 1;
             }
             let group = &entries[i..j];
-            self.emit_s_record(&mut out, prev_s, s_key, group);
+            // A record is a seed target when some slot bound (a multiple of
+            // the stride) separates it from its successor: it is then the
+            // greatest record at or below that bound.
+            let is_seed = seed_explicit && {
+                let bound = ((s_key as usize).div_ceil(TNODE_JT_STRIDE) * TNODE_JT_STRIDE)
+                    .max(TNODE_JT_STRIDE);
+                bound <= TNODE_JT_STRIDE * TNODE_JT_ENTRIES
+                    && entries.get(j).map_or(true, |e| (e.0[0] as usize) > bound)
+            };
+            if is_seed {
+                seeds.push((s_key, out.len()));
+            }
+            self.emit_s_record(&mut out, if is_seed { None } else { prev_s }, s_key, group);
             prev_s = Some(s_key);
             i = j;
         }
-        out
+        (out, seeds)
     }
 
     fn emit_t_group(&mut self, out: &mut Vec<u8>, prev_t: Option<u8>, t_key: u8, group: &[Entry]) {
@@ -126,17 +203,81 @@ impl<'a> StreamBuilder<'a> {
         } else {
             NodeType::Inner
         };
+        // Emit the jump structures straight from the builder when the child
+        // count warrants them: retrofitting them through the write engine's
+        // lazy maintenance only happens on later write descents, so purely
+        // bulk-loaded containers would serve every read with a linear
+        // S-record walk until then.
+        let s_child_count = {
+            let mut count = 0usize;
+            let mut last: Option<u8> = None;
+            for (k, _) in &s_entries {
+                if last != Some(k[0]) {
+                    count += 1;
+                    last = Some(k[0]);
+                }
+            }
+            count
+        };
+        let has_js = self.emit_jumps
+            && self.config.jump_successor
+            && s_child_count >= self.config.jump_successor_threshold;
+        let has_jt = self.emit_jumps
+            && self.config.tnode_jump_table
+            && s_child_count >= self.config.tnode_jump_table_threshold;
+        if has_js || has_jt {
+            self.jumps_emitted = true;
+        }
+        let t_start = out.len();
         let delta = delta_for(prev_t, t_key, self.config.delta_encoding);
-        out.push(make_t_flag(node_type, delta.unwrap_or(0), false, false));
+        out.push(make_t_flag(node_type, delta.unwrap_or(0), has_js, has_jt));
         if delta.is_none() {
             out.push(t_key);
         }
         if let Some(v) = t_value {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        let js_pos = out.len();
+        if has_js {
+            out.extend_from_slice(&[0; 2]);
+        }
+        let jt_pos = out.len();
+        if has_jt {
+            out.resize(out.len() + TNODE_JT_SIZE, 0);
+        }
+        let header_len = out.len() - t_start;
         // S children in order.
-        let s_stream = self.build_s_records(None, &s_entries);
+        self.prefix.push(t_key);
+        let (s_stream, seeds) = self.build_s_records_inner(None, &s_entries, has_jt);
+        self.prefix.pop();
         out.extend_from_slice(&s_stream);
+        if has_js {
+            // The jump successor points from the T record past its whole
+            // subtree; 0 stays if the span exceeds 16 bits ("walk instead").
+            let js_value = out.len() - t_start;
+            if js_value <= u16::MAX as usize {
+                out[js_pos..js_pos + 2].copy_from_slice(&(js_value as u16).to_le_bytes());
+            }
+        }
+        if has_jt {
+            // Slot i references the greatest explicit-key child with key
+            // <= stride * (i + 1); ascending overwrite mirrors the write
+            // engine's fill.
+            let mut slots = [0u16; TNODE_JT_ENTRIES];
+            for (key, off) in &seeds {
+                let rel = header_len + off;
+                if rel > u16::MAX as usize {
+                    break;
+                }
+                let first_slot = (*key as usize).div_ceil(TNODE_JT_STRIDE).saturating_sub(1);
+                for slot in slots.iter_mut().skip(first_slot) {
+                    *slot = rel as u16;
+                }
+            }
+            for (i, v) in slots.iter().enumerate() {
+                out[jt_pos + i * 2..jt_pos + i * 2 + 2].copy_from_slice(&v.to_le_bytes());
+            }
+        }
     }
 
     fn emit_s_record(&mut self, out: &mut Vec<u8>, prev_s: Option<u8>, s_key: u8, group: &[Entry]) {
@@ -153,7 +294,9 @@ impl<'a> StreamBuilder<'a> {
         } else {
             NodeType::Inner
         };
+        self.prefix.push(s_key);
         let (child_kind, child_bytes) = self.encode_child(&children);
+        self.prefix.pop();
         let delta = delta_for(prev_s, s_key, self.config.delta_encoding);
         out.push(make_s_flag(node_type, delta.unwrap_or(0), child_kind));
         if delta.is_none() {
@@ -182,8 +325,26 @@ impl<'a> StreamBuilder<'a> {
                 encode_pc_node(suffix, Some(*value)),
             );
         }
+        // Jumps are only legal in real containers; enable them for the child
+        // body when it looks destined for the Pointer branch below (every
+        // entry needs its 8-byte value plus at least one structure byte, so
+        // `9 * len` lower-bounding past `embedded_max` usually settles it).
+        // The prediction is not airtight — nested subtrees collapsing into
+        // 5-byte pointers can shrink the body back under the embed limit —
+        // so a body that actually received jumps is forced standalone.
+        // Rebuilding it jump-free instead would re-run nested allocations,
+        // leaking the first build's child containers and their shortcut
+        // entries.
+        let standalone = pressure || children.len() * 9 >= self.config.embedded_max;
+        let saved_jumps = self.emit_jumps;
+        let saved_emitted = self.jumps_emitted;
+        self.emit_jumps = standalone;
+        self.jumps_emitted = false;
         let body = self.build_stream(None, children);
-        if !pressure && body.len() < self.config.embedded_max {
+        let body_has_jumps = self.jumps_emitted;
+        self.emit_jumps = saved_jumps;
+        self.jumps_emitted = saved_emitted;
+        if !pressure && !body_has_jumps && body.len() < self.config.embedded_max {
             let mut bytes = Vec::with_capacity(body.len() + 1);
             bytes.push((body.len() + 1) as u8);
             bytes.extend_from_slice(&body);
@@ -191,6 +352,11 @@ impl<'a> StreamBuilder<'a> {
         } else {
             let container = ContainerRef::create(self.mm, &body);
             let hp = container.handle().stored_pointer();
+            if let Some(shortcut) = self.shortcut {
+                // Fresh subtree at a cacheable depth: seed it so the keys
+                // just bulk-loaded are warm before their first read.
+                shortcut.publish(&self.prefix, hp);
+            }
             (ChildKind::Pointer, hp.to_bytes().to_vec())
         }
     }

@@ -41,6 +41,11 @@ pub struct HyperionConfig {
     pub split_min_part: usize,
     /// Enable the optional key pre-processor (zero-bit injection, Section 3.4).
     pub key_preprocessing: bool,
+    /// Capacity (in entries, rounded up to a power of two) of the hashed
+    /// shortcut layer mapping transformed-key prefixes to deep containers
+    /// ([`crate::shortcut`]); 0 disables it.  The table allocates lazily and
+    /// costs 16 bytes per slot once warm.
+    pub shortcut_capacity: usize,
 }
 
 impl Default for HyperionConfig {
@@ -60,6 +65,7 @@ impl Default for HyperionConfig {
             split_increment: 64 * 1024,
             split_min_part: 3 * 1024,
             key_preprocessing: false,
+            shortcut_capacity: 1 << 16,
         }
     }
 }
@@ -110,6 +116,7 @@ impl HyperionConfig {
             container_jump_table: false,
             container_split: false,
             key_preprocessing: false,
+            shortcut_capacity: 0,
             ..Default::default()
         }
     }

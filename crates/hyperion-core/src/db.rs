@@ -64,6 +64,7 @@
 
 use crate::config::HyperionConfig;
 use crate::iter::{prefix_upper_bound, Entries, LowerBound, UpperBound};
+use crate::stats::ShortcutStats;
 use crate::trie::HyperionMap;
 use crate::write::WriteError;
 use crate::{KvRead, KvWrite, OrderedRead};
@@ -428,6 +429,14 @@ impl HyperionDbBuilder {
     /// (clamped to `>= 1`).  Default: [`DEFAULT_SCAN_CHUNK`].
     pub fn scan_chunk(mut self, chunk: usize) -> Self {
         self.scan_chunk = chunk.max(1);
+        self
+    }
+
+    /// Capacity of each shard's hashed shortcut layer in entries (0 turns
+    /// the shortcut off).  Shorthand for setting
+    /// [`HyperionConfig::shortcut_capacity`] on the shard configuration.
+    pub fn shortcut_capacity(mut self, capacity: usize) -> Self {
+        self.config.shortcut_capacity = capacity;
         self
     }
 
@@ -813,6 +822,16 @@ impl HyperionDb {
     /// partitioner.
     pub fn shard_lens(&self) -> Vec<usize> {
         self.shards.iter().map(|s| lock_recover(s).len()).collect()
+    }
+
+    /// Aggregated hashed-shortcut counters across all shards (all zeros when
+    /// the shortcut is disabled).  Served over the wire by the STATS opcode.
+    pub fn shortcut_stats(&self) -> ShortcutStats {
+        let mut total = ShortcutStats::default();
+        for shard in &self.shards {
+            total.merge(&lock_recover(shard).shortcut_stats());
+        }
+        total
     }
 
     // =========================================================================

@@ -242,6 +242,17 @@ pub struct Cursor<'a> {
     /// point for direction turn-arounds.  Buffer reused across steps.
     last_key: Vec<u8>,
     has_last: bool,
+    /// Pending forward continuation of a shortcut-seeded seek: the cached
+    /// container only covers keys strictly extending `start[..d]`, so when
+    /// the seeded walk runs dry the cursor re-seeks (without the shortcut)
+    /// at the prefix's exclusive upper bound.  `None` both when no seeding
+    /// happened and when nothing sorts above the subtree (all-`0xff` prefix).
+    fwd_cont: Option<Vec<u8>>,
+    /// Pending backward continuation of a shortcut-seeded predecessor seek:
+    /// the seeded prefix itself, re-entered as an *inclusive* backward bound
+    /// (a key equal to the prefix lives in the parent container, not below
+    /// the cached one, so the continuation must admit it).
+    bwd_cont: Option<Vec<u8>>,
 }
 
 impl<'a> Cursor<'a> {
@@ -262,6 +273,8 @@ impl<'a> Cursor<'a> {
             rpending_empty: false,
             last_key: Vec::new(),
             has_last: false,
+            fwd_cont: None,
+            bwd_cont: None,
         };
         cursor.seek(&[]);
         cursor
@@ -288,12 +301,21 @@ impl<'a> Cursor<'a> {
         self.start.clear();
         self.start.extend_from_slice(&transformed);
         self.exclusive = exclusive;
-        self.seek_fwd_start();
+        self.seek_fwd_start(true);
     }
 
     /// (Re-)enters forward mode with `self.start`/`self.exclusive` already
     /// set — the shared tail of `seek_impl` and the `next()` turn-around.
-    fn seek_fwd_start(&mut self) {
+    ///
+    /// With `use_shortcut` set, the hashed shortcut layer is probed with the
+    /// seek target: on a hit at depth `d` the descent starts directly at the
+    /// cached deep container (prefix pre-filled, container/T-node jump
+    /// tables still seed within it), skipping every level above.  The cached
+    /// container only holds keys strictly extending `start[..d]`, so the
+    /// rest of the key space is deferred as a continuation re-seek at the
+    /// prefix's upper bound (see [`Cursor::next_transformed`]); keys in
+    /// `[start, upper_bound)` all carry the prefix, so none are skipped.
+    fn seek_fwd_start(&mut self, use_shortcut: bool) {
         self.started = false;
         self.has_last = false;
         self.backward = false;
@@ -302,16 +324,28 @@ impl<'a> Cursor<'a> {
         self.rstack.clear();
         self.rpending_empty = false;
         self.pending_empty = true;
-        if let Some(root) = self.map.root_pointer() {
-            self.push_pointer(root, 0);
+        self.fwd_cont = None;
+        self.bwd_cont = None;
+        let Some(root) = self.map.root_pointer() else {
+            return;
+        };
+        if use_shortcut {
+            if let Some((d, hp)) = self.map.shortcut.probe(&self.start) {
+                self.fwd_cont = prefix_upper_bound(&self.start[..d]);
+                let Cursor { prefix, start, .. } = self;
+                prefix.extend_from_slice(&start[..d]);
+                self.push_pointer(hp, d);
+                return;
+            }
         }
+        self.push_pointer(root, 0);
     }
 
     /// Positions the cursor just past the greatest key: the next
     /// [`Cursor::prev`] returns the last key/value pair of the map.
     pub fn seek_last(&mut self) {
         self.bound = None;
-        self.seek_back_start(false);
+        self.seek_back_start(false, false);
     }
 
     /// Positions the cursor just past the last key `<= target` (original key
@@ -334,11 +368,19 @@ impl<'a> Cursor<'a> {
         bound.clear();
         bound.extend_from_slice(&transformed);
         self.bound = Some(bound);
-        self.seek_back_start(inclusive);
+        self.seek_back_start(inclusive, true);
     }
 
     /// (Re-)enters backward mode with `self.bound` already set.
-    fn seek_back_start(&mut self, inclusive: bool) {
+    ///
+    /// With `use_shortcut` set, the hashed shortcut layer is probed with the
+    /// bound (skipped after `seek_last`, which has none): on a hit at depth
+    /// `d` the backward walk starts inside the cached deep container.  Keys
+    /// at or below the prefix itself — including the prefix key, which lives
+    /// in the *parent* container — and the out-of-line empty key re-enter
+    /// through an inclusive continuation re-seek at the prefix (see
+    /// [`Cursor::prev_transformed`]).
+    fn seek_back_start(&mut self, inclusive: bool, use_shortcut: bool) {
         self.bound_inclusive = inclusive;
         self.started = false;
         self.has_last = false;
@@ -348,9 +390,26 @@ impl<'a> Cursor<'a> {
         self.rstack.clear();
         self.pending_empty = false;
         self.rpending_empty = true;
-        if let Some(root) = self.map.root_pointer() {
-            self.rstack.push(RevFrame::Pointer { hp: root, base: 0 });
+        self.fwd_cont = None;
+        self.bwd_cont = None;
+        let Some(root) = self.map.root_pointer() else {
+            return;
+        };
+        if use_shortcut {
+            let hit = self
+                .bound
+                .as_deref()
+                .and_then(|b| self.map.shortcut.probe(b));
+            if let Some((d, hp)) = hit {
+                let seeded = self.bound.as_deref().expect("probed bound")[..d].to_vec();
+                self.prefix.extend_from_slice(&seeded);
+                self.bwd_cont = Some(seeded);
+                self.rpending_empty = false;
+                self.rstack.push(RevFrame::Pointer { hp, base: d });
+                return;
+            }
         }
+        self.rstack.push(RevFrame::Pointer { hp: root, base: 0 });
     }
 
     /// Records the last returned key (transformed space) for turn-arounds.
@@ -378,7 +437,7 @@ impl<'a> Cursor<'a> {
                 self.start.extend_from_slice(&anchor);
                 self.last_key = anchor;
                 self.exclusive = true;
-                self.seek_fwd_start();
+                self.seek_fwd_start(true);
                 // The last returned key stays the reference point: if this
                 // step comes up dry, a later `prev()` must anchor on it
                 // (exclusively), not on the re-seek bound.
@@ -394,7 +453,7 @@ impl<'a> Cursor<'a> {
                         // Backward-inclusive bound b admits b itself, so the
                         // forward continuation starts strictly above it.
                         self.exclusive = self.bound_inclusive;
-                        self.seek_fwd_start();
+                        self.seek_fwd_start(true);
                     }
                 }
             }
@@ -420,7 +479,7 @@ impl<'a> Cursor<'a> {
                 bound.extend_from_slice(&anchor);
                 self.last_key = anchor;
                 self.bound = Some(bound);
-                self.seek_back_start(false);
+                self.seek_back_start(false, true);
                 // Keep the reference point across the turn-around (see
                 // `next`): a dry backward step must not forget it.
                 self.has_last = true;
@@ -432,7 +491,7 @@ impl<'a> Cursor<'a> {
                 // A forward-exclusive seek at t admits everything <= t on
                 // the backward side; an inclusive one only everything < t.
                 let inclusive = self.exclusive;
-                self.seek_back_start(inclusive);
+                self.seek_back_start(inclusive, true);
             }
         }
         let (key, value) = self.prev_transformed()?;
@@ -530,9 +589,29 @@ impl<'a> Cursor<'a> {
         cjt_seed(c, self.start[base], default, c.stream_end()).unwrap_or(default)
     }
 
+    /// [`Cursor::next_transformed_inner`] plus the shortcut-continuation
+    /// protocol: a shortcut-seeded seek only walks the cached deep subtree,
+    /// so when that walk runs dry the cursor re-seeks — without the shortcut
+    /// — at the seeded prefix's upper bound and keeps going.  The turn-around
+    /// reference point survives the re-seek.
+    fn next_transformed(&mut self) -> Option<(Vec<u8>, u64)> {
+        loop {
+            if let Some(pair) = self.next_transformed_inner() {
+                return Some(pair);
+            }
+            let cont = self.fwd_cont.take()?;
+            let saved_has_last = self.has_last;
+            self.start.clear();
+            self.start.extend_from_slice(&cont);
+            self.exclusive = false;
+            self.seek_fwd_start(false);
+            self.has_last = saved_has_last;
+        }
+    }
+
     /// The traversal engine: advances the frame stack until the next
     /// key/value pair (in transformed key space) is produced.
-    fn next_transformed(&mut self) -> Option<(Vec<u8>, u64)> {
+    fn next_transformed_inner(&mut self) -> Option<(Vec<u8>, u64)> {
         if self.pending_empty {
             self.pending_empty = false;
             if let Some(v) = self.map.empty_key_value() {
@@ -800,10 +879,30 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// [`Cursor::prev_transformed_inner`] plus the shortcut-continuation
+    /// protocol mirroring [`Cursor::next_transformed`]: when the seeded
+    /// backward walk runs dry, re-enter below (and including) the seeded
+    /// prefix via an inclusive backward re-seek without the shortcut.
+    fn prev_transformed(&mut self) -> Option<(Vec<u8>, u64)> {
+        loop {
+            if let Some(pair) = self.prev_transformed_inner() {
+                return Some(pair);
+            }
+            let cont = self.bwd_cont.take()?;
+            let saved_has_last = self.has_last;
+            let mut bound = self.bound.take().unwrap_or_default();
+            bound.clear();
+            bound.extend_from_slice(&cont);
+            self.bound = Some(bound);
+            self.seek_back_start(true, false);
+            self.has_last = saved_has_last;
+        }
+    }
+
     /// The backward traversal engine: advances the reverse frame stack until
     /// the next key/value pair in *descending* (transformed) key order is
     /// produced.
-    fn prev_transformed(&mut self) -> Option<(Vec<u8>, u64)> {
+    fn prev_transformed_inner(&mut self) -> Option<(Vec<u8>, u64)> {
         loop {
             let Some(frame) = self.rstack.pop() else {
                 // The empty key is the global minimum: emitted after the

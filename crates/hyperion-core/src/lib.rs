@@ -84,6 +84,7 @@ pub mod keys;
 pub mod node;
 pub mod read;
 pub mod scan;
+pub mod shortcut;
 pub mod stats;
 pub mod trie;
 pub mod write;
@@ -97,7 +98,8 @@ pub use db::{
     RangePartitioner, WriteBatch,
 };
 pub use iter::{Cursor, Entries, Iter, Prefix, Range};
-pub use stats::{TrieAnalysis, TrieCounters};
+pub use shortcut::Shortcut;
+pub use stats::{ShortcutStats, TrieAnalysis, TrieCounters};
 pub use trie::HyperionMap;
 pub use write::WriteError;
 

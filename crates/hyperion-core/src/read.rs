@@ -381,8 +381,13 @@ impl HyperionMap {
     pub(crate) fn lookup_transformed(&self, key: &[u8], read_value: bool) -> Option<u64> {
         debug_assert!(!key.is_empty());
         let mm = self.memory_manager();
-        let mut hp = self.root_pointer()?;
-        let mut rest: &[u8] = key;
+        // Consult the hashed shortcut first: a hit jumps straight to the
+        // deepest cached container on the key's path, skipping the upper
+        // levels of the descent (one dependent cache miss each).
+        let (mut hp, mut rest): (_, &[u8]) = match self.shortcut.probe(key) {
+            Some((d, cached)) => (cached, &key[d..]),
+            None => (self.root_pointer()?, key),
+        };
         'containers: loop {
             let (slot, ptr, capacity) = mm
                 .resolve_for_read(hp, rest[0])
@@ -423,6 +428,9 @@ impl HyperionMap {
                     crate::node::ChildKind::Pointer => {
                         hp = c.read_hp(s.child_offset.expect("pointer child offset"));
                         rest = &rest[2..];
+                        // Completed hop: remember it so the next point get
+                        // for this prefix skips everything above.
+                        self.shortcut.publish(&key[..key.len() - rest.len()], hp);
                         continue 'containers;
                     }
                     crate::node::ChildKind::Embedded => {
@@ -516,12 +524,58 @@ impl HyperionMap {
             // subsystem), then runs the dependent record walks.  A point
             // get serialises one cache miss per level; the batch pays the
             // same misses for a whole window concurrently.
-            let mut frontier = vec![Descent {
-                hp: root,
-                depth: 0,
-                lo: first,
-                hi: order.len(),
-            }];
+            // Seed the initial frontier from the shortcut: each sorted run
+            // of probes whose cached prefix matches starts its descent at
+            // the deep container instead of the root.  Runs without a cache
+            // hit coalesce into root descents exactly as before.
+            let mut frontier: Vec<Descent> = Vec::new();
+            let mut lo = first;
+            while lo < order.len() {
+                let k = probes[order[lo] as usize];
+                if let Some((d, hp)) = self.shortcut.probe(k) {
+                    let mut hi = lo + 1;
+                    while hi < order.len() {
+                        let k2 = probes[order[hi] as usize];
+                        if k2.len() > d && k2[..d] == k[..d] {
+                            hi += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    frontier.push(Descent {
+                        hp,
+                        depth: d,
+                        lo,
+                        hi,
+                    });
+                    lo = hi;
+                } else {
+                    // Skip to the end of this two-byte prefix run — every
+                    // key in it would probe the same table slots — and fold
+                    // adjacent missing runs into one root descent.
+                    let mut hi = lo + 1;
+                    if k.len() >= 2 {
+                        while hi < order.len() {
+                            let k2 = probes[order[hi] as usize];
+                            if k2.len() >= 2 && k2[..2] == k[..2] {
+                                hi += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    match frontier.last_mut() {
+                        Some(run) if run.depth == 0 && run.hi == lo => run.hi = hi,
+                        _ => frontier.push(Descent {
+                            hp: root,
+                            depth: 0,
+                            lo,
+                            hi,
+                        }),
+                    }
+                    lo = hi;
+                }
+            }
             let mut next: Vec<Descent> = Vec::new();
             let mm = self.memory_manager();
             while !frontier.is_empty() {
@@ -735,6 +789,9 @@ impl HyperionMap {
             }
             crate::node::ChildKind::Pointer => {
                 let hp = c.read_hp(s.child_offset.expect("pointer child offset"));
+                // Batched reads warm the shortcut for later point gets.
+                self.shortcut
+                    .publish(&ctx.probes[ctx.order[i] as usize][..depth + 2], hp);
                 next.push(Descent {
                     hp,
                     depth: depth + 2,

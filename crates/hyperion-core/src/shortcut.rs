@@ -1,0 +1,475 @@
+//! Hashed shortcut layer — a Wormhole-style prefix → container cache.
+//!
+//! Every level of a trie descent is a dependent cache miss: resolve the
+//! container, walk its T/S stream, load the child pointer, repeat.  For
+//! point operations the upper levels contribute nothing but latency — the
+//! same few root containers are traversed over and over just to rediscover
+//! a child pointer that rarely changes.  Wormhole (PAPERS.md) replaces the
+//! upper levels of an ordered index with a hash-addressed prefix map so
+//! point seeks jump straight to the leaves; this module is the Hyperion
+//! analogue.
+//!
+//! [`Shortcut`] is a compact open-addressing hash table mapping
+//! fixed-length *transformed-key* prefixes (2, 4 or 6 bytes — one trie
+//! level each) to the [`HyperionPointer`] of the standalone container that
+//! serves that subtree.  Entries carry a generation tag so the whole table
+//! can be invalidated in O(1) (the `das67333__conway` hashlife node-cache
+//! idiom); individual entries are retagged or killed in place by the write
+//! engine as it applies structural events (splits, ejections, container
+//! reallocations, subtree deletes).
+//!
+//! ## Coherence contract
+//!
+//! A hit must be *exactly* as good as a root descent, never approximately:
+//! a stale pointer silently reads the wrong subtree (the arena stays
+//! mapped, so the failure mode is wrong answers, not crashes).  The write
+//! engine therefore upholds one invariant: **whenever the container
+//! pointer stored in a parent S-node changes or is freed, the shortcut
+//! entry for that prefix is retagged or invalidated in the same event**.
+//! Container *content* rewrites in place (splices, jump-table rebuilds)
+//! need no hook — the pointer is unchanged.  Whole-map resets (root freed,
+//! write-engine error paths) bump the generation instead, which invalidates
+//! every entry at once.
+//!
+//! Reads are `&self`: the table is `Cell`-based so the read path can seed
+//! entries and count hits without a mutable borrow (the map is not `Sync`;
+//! `HyperionDb` shards are mutex-guarded, so per-shard tables need no
+//! atomics).
+
+use crate::stats::ShortcutStats;
+use hyperion_mem::HyperionPointer;
+use std::cell::Cell;
+
+/// Prefix depths (in transformed-key bytes) the table may cache.  Each
+/// container level consumes two key bytes, so only even depths address a
+/// standalone container; depth 0 is the root (always resolved directly).
+pub const SHORTCUT_DEPTHS: [usize; 3] = [2, 4, 6];
+
+/// Longest cacheable prefix in bytes (fits the 48 tag bits left free by the
+/// depth/occupancy fields).
+const MAX_PREFIX: usize = 6;
+
+/// Linear-probe window.  Past this many displaced slots an insert clobbers
+/// rather than probing on — the table is a cache, not a store.
+const PROBE_WINDOW: usize = 8;
+
+/// Slots allocated on first publish; the table doubles from here up to the
+/// configured capacity as entries accumulate.
+const INITIAL_SLOTS: usize = 1024;
+
+/// One cached mapping: a packed prefix tag, the raw parent-slot pointer
+/// bytes, and the generation the entry was published under.
+#[derive(Clone, Copy, Default)]
+struct Slot {
+    /// Packed `(marker, depth, prefix bytes)`; zero means the slot is empty.
+    tag: u64,
+    /// `HyperionPointer::to_bytes()` of the cached container.
+    hp: [u8; 5],
+    /// Entry is live iff this matches the table generation.
+    gen: u16,
+}
+
+/// Packs a prefix into a non-zero 64-bit tag: bit 63 is an occupancy
+/// marker, bits 48..51 the depth, bits 0..48 the prefix bytes.  Two
+/// distinct prefixes always pack to distinct tags, and no live tag is 0.
+#[inline]
+fn pack_tag(prefix: &[u8]) -> u64 {
+    debug_assert!(prefix.len() <= MAX_PREFIX);
+    let mut tag = (1u64 << 63) | ((prefix.len() as u64) << 48);
+    for (i, &b) in prefix.iter().enumerate() {
+        tag |= (b as u64) << (i * 8);
+    }
+    tag
+}
+
+/// Fibonacci multiplicative hash of a tag onto a power-of-two table.
+#[inline]
+fn slot_of(tag: u64, mask: usize) -> usize {
+    (tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask
+}
+
+/// The prefix → container cache.  One instance per [`crate::HyperionMap`]
+/// (per shard under [`crate::HyperionDb`]); capacity 0 disables it entirely
+/// and every operation degenerates to a no-op.
+pub struct Shortcut {
+    /// Power-of-two slot array; empty until the first publish.
+    slots: Cell<Box<[Cell<Slot>]>>,
+    /// Maximum slot count (power of two), 0 = disabled.
+    capacity: usize,
+    /// Current generation; bumping it invalidates every entry in O(1).
+    generation: Cell<u16>,
+    /// Live-entry estimate driving table growth.
+    live: Cell<usize>,
+    /// Bit `d/2 - 1` set while depth `d` may hold live entries, so lookups
+    /// only pay probe cache misses for populated depths.
+    depth_mask: Cell<u8>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    invalidations: Cell<u64>,
+}
+
+impl Shortcut {
+    /// A table bounded at `capacity` slots (rounded up to a power of two);
+    /// 0 disables the shortcut.
+    pub fn new(capacity: usize) -> Shortcut {
+        Shortcut {
+            slots: Cell::new(Box::new([])),
+            capacity: if capacity == 0 {
+                0
+            } else {
+                capacity.next_power_of_two()
+            },
+            generation: Cell::new(0),
+            live: Cell::new(0),
+            depth_mask: Cell::new(0),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            invalidations: Cell::new(0),
+        }
+    }
+
+    /// Whether the table participates at all (builder capacity > 0).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity != 0
+    }
+
+    /// Runs `f` with the slot array without moving it out of the `Cell`.
+    #[inline]
+    fn with_slots<R>(&self, f: impl FnOnce(&[Cell<Slot>]) -> R) -> R {
+        let slots = self.slots.take();
+        let r = f(&slots);
+        self.slots.set(slots);
+        r
+    }
+
+    /// Looks up the deepest cached prefix of `key`, deepest-first.  Only
+    /// strictly-shorter prefixes apply: a key of length exactly `d`
+    /// terminates in the *parent* container, not the one cached for depth
+    /// `d`.  Counts one hit or one miss per call.
+    #[inline]
+    pub fn probe(&self, key: &[u8]) -> Option<(usize, HyperionPointer)> {
+        let mask = self.depth_mask.get();
+        if mask == 0 {
+            return None;
+        }
+        let found = self.with_slots(|slots| {
+            let gen = self.generation.get();
+            let slot_mask = slots.len() - 1;
+            for d in SHORTCUT_DEPTHS.iter().rev().copied() {
+                if mask & (1 << (d / 2 - 1)) == 0 || key.len() <= d {
+                    continue;
+                }
+                let tag = pack_tag(&key[..d]);
+                let home = slot_of(tag, slot_mask);
+                for i in 0..PROBE_WINDOW {
+                    let s = slots[(home + i) & slot_mask].get();
+                    if s.tag == tag {
+                        if s.gen == gen {
+                            return Some((d, HyperionPointer::from_bytes(s.hp)));
+                        }
+                        break;
+                    }
+                    if s.tag == 0 {
+                        break;
+                    }
+                }
+            }
+            None
+        });
+        match found {
+            Some(hit) => {
+                self.hits.set(self.hits.get() + 1);
+                Some(hit)
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                None
+            }
+        }
+    }
+
+    /// Publishes (or retags) `prefix → hp`.  No-op unless enabled and
+    /// `prefix` has a cacheable depth.  Used both to seed entries on
+    /// descent completion and to repoint them when the write engine moves
+    /// a container.
+    pub fn publish(&self, prefix: &[u8], hp: HyperionPointer) {
+        let d = prefix.len();
+        if self.capacity == 0 || !SHORTCUT_DEPTHS.contains(&d) {
+            return;
+        }
+        self.ensure_room();
+        let gen = self.generation.get();
+        let tag = pack_tag(prefix);
+        let hp = hp.to_bytes();
+        let inserted = self.with_slots(|slots| {
+            let slot_mask = slots.len() - 1;
+            let home = slot_of(tag, slot_mask);
+            // First pass: retag an existing entry for this prefix in place.
+            for i in 0..PROBE_WINDOW {
+                let cell = &slots[(home + i) & slot_mask];
+                let s = cell.get();
+                if s.tag == tag {
+                    let fresh = s.gen != gen;
+                    cell.set(Slot { tag, hp, gen });
+                    return fresh;
+                }
+                if s.tag == 0 {
+                    break;
+                }
+            }
+            // Second pass: claim an empty or stale slot, else clobber home.
+            for i in 0..PROBE_WINDOW {
+                let cell = &slots[(home + i) & slot_mask];
+                let s = cell.get();
+                if s.tag == 0 || s.gen != gen {
+                    cell.set(Slot { tag, hp, gen });
+                    return true;
+                }
+            }
+            slots[home].set(Slot { tag, hp, gen });
+            false
+        });
+        if inserted {
+            self.live.set(self.live.get() + 1);
+        }
+        self.depth_mask
+            .set(self.depth_mask.get() | (1 << (d / 2 - 1)));
+    }
+
+    /// Kills the entry for `prefix`, if cached.  Called when the write
+    /// engine frees the container a parent slot pointed to.
+    pub fn invalidate(&self, prefix: &[u8]) {
+        let d = prefix.len();
+        if self.capacity == 0 || !SHORTCUT_DEPTHS.contains(&d) {
+            return;
+        }
+        let tag = pack_tag(prefix);
+        let gen = self.generation.get();
+        let killed = self.with_slots(|slots| {
+            if slots.is_empty() {
+                return false;
+            }
+            let slot_mask = slots.len() - 1;
+            let home = slot_of(tag, slot_mask);
+            for i in 0..PROBE_WINDOW {
+                let cell = &slots[(home + i) & slot_mask];
+                let s = cell.get();
+                if s.tag == tag {
+                    cell.set(Slot::default());
+                    return s.gen == gen;
+                }
+                if s.tag == 0 {
+                    break;
+                }
+            }
+            false
+        });
+        if killed {
+            self.invalidations.set(self.invalidations.get() + 1);
+            self.live.set(self.live.get().saturating_sub(1));
+        }
+    }
+
+    /// Invalidates every entry at once by bumping the generation (O(1)
+    /// except on wrap, where the slots are physically zeroed so ancient
+    /// entries cannot resurrect).
+    pub fn clear(&self) {
+        if self.capacity == 0 {
+            return;
+        }
+        let (next, wrapped) = self.generation.get().overflowing_add(1);
+        self.generation.set(next);
+        if wrapped {
+            self.with_slots(|slots| {
+                for cell in slots {
+                    cell.set(Slot::default());
+                }
+            });
+        }
+        self.live.set(0);
+        self.depth_mask.set(0);
+        self.invalidations.set(self.invalidations.get() + 1);
+    }
+
+    /// Allocates the table lazily and doubles it (rehashing live entries)
+    /// while under capacity and more than half full.
+    fn ensure_room(&self) {
+        let old = self.slots.take();
+        if !old.is_empty() && (old.len() >= self.capacity || self.live.get() * 2 < old.len()) {
+            self.slots.set(old);
+            return;
+        }
+        let new_len = if old.is_empty() {
+            INITIAL_SLOTS.min(self.capacity)
+        } else {
+            (old.len() * 2).min(self.capacity)
+        };
+        if new_len == old.len() {
+            self.slots.set(old);
+            return;
+        }
+        let new: Box<[Cell<Slot>]> = (0..new_len).map(|_| Cell::new(Slot::default())).collect();
+        let gen = self.generation.get();
+        let slot_mask = new_len - 1;
+        let mut live = 0usize;
+        for cell in old.iter() {
+            let s = cell.get();
+            if s.tag == 0 || s.gen != gen {
+                continue;
+            }
+            let home = slot_of(s.tag, slot_mask);
+            for i in 0..PROBE_WINDOW {
+                let target = &new[(home + i) & slot_mask];
+                if target.get().tag == 0 {
+                    target.set(s);
+                    live += 1;
+                    break;
+                }
+            }
+        }
+        self.live.set(live);
+        self.slots.set(new);
+    }
+
+    /// Heap bytes held by the slot array (for `footprint_bytes`).
+    pub fn footprint_bytes(&self) -> usize {
+        self.with_slots(std::mem::size_of_val)
+    }
+
+    /// Counter snapshot for `stats.rs` / the server STATS opcode.
+    pub fn stats(&self) -> ShortcutStats {
+        ShortcutStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            invalidations: self.invalidations.get(),
+            entries: self.live.get() as u64,
+            slots: self.with_slots(|slots| slots.len() as u64),
+        }
+    }
+}
+
+impl std::fmt::Debug for Shortcut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("Shortcut")
+            .field("capacity", &self.capacity)
+            .field("slots", &s.slots)
+            .field("entries", &s.entries)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("invalidations", &s.invalidations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hp(n: u8) -> HyperionPointer {
+        HyperionPointer::new(1, n as u16, 0, 0)
+    }
+
+    #[test]
+    fn disabled_table_is_inert() {
+        let s = Shortcut::new(0);
+        assert!(!s.is_enabled());
+        s.publish(b"ab", hp(1));
+        assert_eq!(s.probe(b"abcd"), None);
+        assert_eq!(s.footprint_bytes(), 0);
+        assert_eq!(s.stats().hits + s.stats().misses, 0);
+    }
+
+    #[test]
+    fn publish_probe_roundtrip() {
+        let s = Shortcut::new(1 << 12);
+        s.publish(b"ab", hp(1));
+        // Applicability is strict: a key of length exactly 2 lives in the
+        // parent container, so it must not hit the depth-2 entry.
+        assert_eq!(s.probe(b"ab"), None);
+        assert_eq!(s.probe(b"abc"), Some((2, hp(1))));
+        assert_eq!(s.probe(b"zzz"), None);
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses, st.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn deepest_populated_depth_wins() {
+        let s = Shortcut::new(1 << 12);
+        s.publish(b"ab", hp(1));
+        s.publish(b"abcd", hp(2));
+        s.publish(b"abcdef", hp(3));
+        assert_eq!(s.probe(b"abcdefg"), Some((6, hp(3))));
+        assert_eq!(s.probe(b"abcdeX"), Some((4, hp(2))));
+        assert_eq!(s.probe(b"abX"), Some((2, hp(1))));
+    }
+
+    #[test]
+    fn retag_and_invalidate() {
+        let s = Shortcut::new(1 << 12);
+        s.publish(b"ab", hp(1));
+        s.publish(b"ab", hp(9));
+        assert_eq!(s.probe(b"abc"), Some((2, hp(9))));
+        assert_eq!(s.stats().entries, 1);
+        s.invalidate(b"ab");
+        assert_eq!(s.probe(b"abc"), None);
+        assert_eq!(s.stats().invalidations, 1);
+        assert_eq!(s.stats().entries, 0);
+    }
+
+    #[test]
+    fn clear_invalidates_everything() {
+        let s = Shortcut::new(1 << 12);
+        s.publish(b"ab", hp(1));
+        s.publish(b"cdef", hp(2));
+        s.clear();
+        assert_eq!(s.probe(b"abc"), None);
+        assert_eq!(s.probe(b"cdefg"), None);
+        assert_eq!(s.stats().entries, 0);
+        // Entries republished after a clear are live again.
+        s.publish(b"ab", hp(3));
+        assert_eq!(s.probe(b"abc"), Some((2, hp(3))));
+    }
+
+    #[test]
+    fn generation_wrap_zeroes_physically() {
+        let s = Shortcut::new(1 << 10);
+        s.publish(b"ab", hp(1));
+        for _ in 0..=u16::MAX as usize {
+            s.clear();
+        }
+        // The generation is back to its original value; the wrap must have
+        // zeroed the slot physically or the entry would resurrect.
+        assert_eq!(s.probe(b"abc"), None);
+    }
+
+    #[test]
+    fn grows_to_capacity_and_clobbers_beyond() {
+        let s = Shortcut::new(1 << 11);
+        for i in 0..(1 << 12) as u32 {
+            let b = i.to_be_bytes();
+            s.publish(&[b[0], b[1], b[2], b[3]], hp((i % 200) as u8));
+        }
+        let st = s.stats();
+        assert_eq!(st.slots, 1 << 11);
+        assert!(st.entries <= st.slots);
+        // Some recent entries still probe back correctly.
+        let probe_key = [0u8, 0, 0, 1, 0xff];
+        let got = s.probe(&probe_key);
+        if let Some((d, _)) = got {
+            assert_eq!(d, 4);
+        }
+    }
+
+    #[test]
+    fn footprint_counts_slots() {
+        let s = Shortcut::new(1 << 12);
+        assert_eq!(s.footprint_bytes(), 0);
+        s.publish(b"ab", hp(1));
+        assert_eq!(
+            s.footprint_bytes(),
+            INITIAL_SLOTS * std::mem::size_of::<Cell<Slot>>()
+        );
+    }
+}

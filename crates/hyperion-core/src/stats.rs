@@ -18,6 +18,47 @@ pub struct TrieCounters {
     pub cjt_rebuilds: u64,
 }
 
+/// Counter snapshot of the hashed shortcut layer ([`crate::shortcut`]).
+///
+/// `hits / (hits + misses)` is the fraction of point descents that skipped
+/// the upper trie levels; `entries / slots` the table occupancy.  A
+/// disabled shortcut reports all zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShortcutStats {
+    /// Probes answered from the table (descent skipped upper levels).
+    pub hits: u64,
+    /// Probes that fell back to a full root descent.
+    pub misses: u64,
+    /// Entries killed by structural events (frees, moves, whole-map
+    /// clears).
+    pub invalidations: u64,
+    /// Live entries currently in the table.
+    pub entries: u64,
+    /// Slots allocated (the table grows lazily toward its capacity).
+    pub slots: u64,
+}
+
+impl ShortcutStats {
+    /// Fraction of probes answered from the table, 0.0 when never probed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Element-wise sum, for aggregating per-shard tables.
+    pub fn merge(&mut self, other: &ShortcutStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+        self.entries += other.entries;
+        self.slots += other.slots;
+    }
+}
+
 /// Result of a full structural walk ([`crate::HyperionMap::analyze`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TrieAnalysis {
@@ -88,5 +129,28 @@ mod tests {
         assert_eq!(a.nodes(), 30);
         assert_eq!(a.delta_encoding_savings(), 12);
         assert_eq!(a.internal_fragmentation(), 28);
+    }
+
+    #[test]
+    fn shortcut_hit_rate_and_merge() {
+        assert_eq!(ShortcutStats::default().hit_rate(), 0.0);
+        let mut a = ShortcutStats {
+            hits: 3,
+            misses: 1,
+            invalidations: 2,
+            entries: 5,
+            slots: 8,
+        };
+        assert_eq!(a.hit_rate(), 0.75);
+        a.merge(&ShortcutStats {
+            hits: 1,
+            misses: 3,
+            invalidations: 0,
+            entries: 1,
+            slots: 8,
+        });
+        assert_eq!(a.hits + a.misses, 8);
+        assert_eq!(a.hit_rate(), 0.5);
+        assert_eq!(a.slots, 16);
     }
 }

@@ -25,7 +25,8 @@ use crate::node::{
     TNODE_JT_ENTRIES, TNODE_JT_STRIDE,
 };
 use crate::scan::{collect_s_records, collect_t_records};
-use crate::stats::{TrieAnalysis, TrieCounters};
+use crate::shortcut::Shortcut;
+use crate::stats::{ShortcutStats, TrieAnalysis, TrieCounters};
 use crate::write::{WriteEngine, WriteError};
 use crate::{Entries, KvRead, KvWrite, OrderedRead};
 use hyperion_mem::{HyperionPointer, MemoryManager};
@@ -42,6 +43,7 @@ pub struct HyperionMap {
     empty_key_value: Option<u64>,
     len: usize,
     counters: TrieCounters,
+    pub(crate) shortcut: Shortcut,
 }
 
 impl HyperionMap {
@@ -59,6 +61,7 @@ impl HyperionMap {
             empty_key_value: None,
             len: 0,
             counters: TrieCounters::default(),
+            shortcut: Shortcut::new(config.shortcut_capacity),
         }
     }
 
@@ -82,6 +85,12 @@ impl HyperionMap {
         self.counters
     }
 
+    /// Counter snapshot of the hashed shortcut layer (all zeros when the
+    /// shortcut is disabled via [`HyperionConfig::shortcut_capacity`]).
+    pub fn shortcut_stats(&self) -> ShortcutStats {
+        self.shortcut.stats()
+    }
+
     /// Access to the underlying memory manager (read-only), e.g. for
     /// collecting the per-superbin statistics of Figures 14 and 16.
     pub fn memory_manager(&self) -> &MemoryManager {
@@ -91,7 +100,9 @@ impl HyperionMap {
     /// Logical memory footprint in bytes (segments + heap held by the
     /// allocator, plus the map header itself).
     pub fn footprint_bytes(&self) -> usize {
-        self.mm.footprint_bytes() as usize + std::mem::size_of::<Self>()
+        self.mm.footprint_bytes() as usize
+            + self.shortcut.footprint_bytes()
+            + std::mem::size_of::<Self>()
     }
 
     fn transform<'k>(&self, key: &'k [u8]) -> Cow<'k, [u8]> {
@@ -110,8 +121,10 @@ impl HyperionMap {
         }
     }
 
-    /// The root pointer of the trie (crate-internal: cursor entry point).
-    pub(crate) fn root_pointer(&self) -> Option<HyperionPointer> {
+    /// The root pointer of the trie (cursor entry point; also used by
+    /// external structure diagnostics together with
+    /// [`HyperionMap::memory_manager`]).
+    pub fn root_pointer(&self) -> Option<HyperionPointer> {
         self.root
     }
 
@@ -267,9 +280,10 @@ impl HyperionMap {
                 mm,
                 config,
                 counters,
+                shortcut,
                 ..
             } = self;
-            let mut engine = WriteEngine::new(mm, config, counters);
+            let mut engine = WriteEngine::new(mm, config, counters, shortcut);
             engine.write_into_pointer(&mut new_root, 0, &entries, &mut inserted)
         };
         // Commit progress even on failure: a split may have freed the old
@@ -281,7 +295,13 @@ impl HyperionMap {
             self.root = Some(new_root);
         }
         self.len += inserted;
-        result?;
+        if let Err(err) = result {
+            // The failed write may have freed or moved containers without
+            // unwinding to the hooks that keep the shortcut coherent —
+            // invalidate everything rather than trust any entry.
+            self.shortcut.clear();
+            return Err(err);
+        }
         Ok(inserted)
     }
 
@@ -307,10 +327,11 @@ impl HyperionMap {
                 mm,
                 config,
                 counters,
+                shortcut,
                 ..
             } = self;
-            let mut engine = WriteEngine::new(mm, config, counters);
-            engine.delete_in_pointer(root, &key)
+            let mut engine = WriteEngine::new(mm, config, counters, shortcut);
+            engine.delete_in_pointer(root, &key, 0)
         };
         if removed {
             self.len -= 1;
@@ -318,6 +339,8 @@ impl HyperionMap {
         if now_empty {
             self.mm.free(new_root);
             self.root = None;
+            // The freed root is the last container: no prefix remains valid.
+            self.shortcut.clear();
         } else if new_root != root {
             self.root = Some(new_root);
         }

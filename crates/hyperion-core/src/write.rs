@@ -69,6 +69,7 @@ use crate::scan::{
     collect_s_records, collect_t_records_trusted, s_scan, s_scan_from, skip_t_children, t_scan,
     t_scan_from,
 };
+use crate::shortcut::Shortcut;
 use crate::stats::TrieCounters;
 use hyperion_mem::{HyperionPointer, MemoryManager};
 
@@ -380,6 +381,12 @@ pub(crate) struct WriteEngine<'a> {
     mm: &'a mut MemoryManager,
     config: &'a HyperionConfig,
     counters: &'a mut TrieCounters,
+    /// The map's hashed shortcut layer.  The engine keeps it coherent while
+    /// applying its event log: whenever the container pointer stored in a
+    /// parent S-node changes or is freed (splits, reallocations, subtree
+    /// deletes), the entry for that prefix is retagged or invalidated, and
+    /// completed descents publish fresh entries so writes warm the cache.
+    shortcut: &'a Shortcut,
     /// Byte shifts performed by the low-level plumbing since the last drain;
     /// the batch layer converts them into [`Event`]s.
     edits: Vec<RawEdit>,
@@ -390,11 +397,13 @@ impl<'a> WriteEngine<'a> {
         mm: &'a mut MemoryManager,
         config: &'a HyperionConfig,
         counters: &'a mut TrieCounters,
+        shortcut: &'a Shortcut,
     ) -> WriteEngine<'a> {
         WriteEngine {
             mm,
             config,
             counters,
+            shortcut,
             edits: Vec::new(),
         }
     }
@@ -620,8 +629,10 @@ impl<'a> WriteEngine<'a> {
                         .collect();
                     let stream = {
                         let parent_size = site.regs[frame.cid].size();
-                        let mut b =
-                            StreamBuilder::new(self.mm, self.config).with_parent_size(parent_size);
+                        let mut b = StreamBuilder::new(self.mm, self.config)
+                            .with_parent_size(parent_size)
+                            .with_shortcut(self.shortcut, &entries[i].0[..depth])
+                            .with_jumps(top);
                         b.build_stream(ts.prev_key, &run)
                     };
                     self.edits.clear();
@@ -795,7 +806,8 @@ impl<'a> WriteEngine<'a> {
                         let stream = {
                             let parent_size = site.regs[frame.cid].size();
                             let mut b = StreamBuilder::new(self.mm, self.config)
-                                .with_parent_size(parent_size);
+                                .with_parent_size(parent_size)
+                                .with_shortcut(self.shortcut, &entries[i].0[..depth + 1]);
                             b.build_s_records(ss.prev_key, &run)
                         };
                         self.edits.clear();
@@ -948,8 +960,9 @@ impl<'a> WriteEngine<'a> {
                         .collect();
                     let (kind, bytes) = {
                         let parent_size = site.regs[frame.cid].size();
-                        let mut b =
-                            StreamBuilder::new(self.mm, self.config).with_parent_size(parent_size);
+                        let mut b = StreamBuilder::new(self.mm, self.config)
+                            .with_parent_size(parent_size)
+                            .with_shortcut(self.shortcut, &entries[i].0[..depth + 2]);
                         b.encode_child(&run)
                     };
                     self.edits.clear();
@@ -991,6 +1004,14 @@ impl<'a> WriteEngine<'a> {
                         site.regs[frame.cid].write_hp(hp_pos, new_hp);
                     }
                     self.release_subtree_links(site, frame.cid, hp_pos);
+                    // Publish the descent target: retags the entry if the
+                    // child moved (the old allocation may be freed) and warms
+                    // the cache for the keys just written.
+                    if result.is_ok() {
+                        self.shortcut.publish(&group[0].0[..depth + 2], new_hp);
+                    } else {
+                        self.shortcut.invalidate(&group[0].0[..depth + 2]);
+                    }
                     inserted += n;
                     result?;
                     i = entries.len();
@@ -1076,7 +1097,9 @@ impl<'a> WriteEngine<'a> {
         }
         let (kind, bytes) = {
             let parent_size = site.regs[frame.cid].size();
-            let mut b = StreamBuilder::new(self.mm, self.config).with_parent_size(parent_size);
+            let mut b = StreamBuilder::new(self.mm, self.config)
+                .with_parent_size(parent_size)
+                .with_shortcut(self.shortcut, &group[0].0[..depth + 2]);
             b.encode_child(&merged)
         };
         self.edits.clear();
@@ -1792,18 +1815,23 @@ impl<'a> WriteEngine<'a> {
     // delete
     // =====================================================================
 
-    /// Removes `key` below `hp`.  Returns `(stored HP, removed, container
-    /// now empty)`.
+    /// Removes the suffix of `full` past `depth` below `hp`.  The key is
+    /// threaded as `(full, depth)` rather than a bare suffix so the Pointer
+    /// arm knows the absolute prefix of every container it frees or moves —
+    /// the shortcut entry for that prefix must die or move in the same
+    /// event.  Returns `(stored HP, removed, container now empty)`.
     pub(crate) fn delete_in_pointer(
         &mut self,
         hp: HyperionPointer,
-        key: &[u8],
+        full: &[u8],
+        depth: usize,
     ) -> (HyperionPointer, bool, bool) {
+        let key = &full[depth..];
         let handle = self.resolve_handle(hp, key[0]);
         let mut c = ContainerRef::open(self.mm, handle);
         let start = c.stream_start();
         let end = c.stream_end();
-        let removed = self.delete_in_region(&mut c, start, end, &[], key);
+        let removed = self.delete_in_region(&mut c, start, end, &[], full, depth);
         self.edits.clear();
         let empty = c.stream_end() == c.stream_start()
             && matches!(c.handle(), ContainerHandle::Standalone(_));
@@ -1816,8 +1844,10 @@ impl<'a> WriteEngine<'a> {
         region_start: usize,
         region_end: usize,
         embed_chain: &[usize],
-        key: &[u8],
+        full: &[u8],
+        depth: usize,
     ) -> bool {
+        let key = &full[depth..];
         let is_top = embed_chain.is_empty();
         let ts = t_scan(c, region_start, region_end, key[0], is_top);
         let Some(t) = ts.found else {
@@ -1884,12 +1914,16 @@ impl<'a> WriteEngine<'a> {
             ChildKind::Pointer => {
                 let hp_pos = s.child_offset.unwrap();
                 let child_hp = c.read_hp(hp_pos);
-                let (new_hp, removed, child_empty) = self.delete_in_pointer(child_hp, remaining);
+                let (new_hp, removed, child_empty) =
+                    self.delete_in_pointer(child_hp, full, depth + 2);
                 if !removed {
                     return false;
                 }
                 if child_empty {
+                    // The allocator may reissue this pointer for an
+                    // unrelated subtree — the cached entry must die with it.
                     self.mm.free(new_hp);
+                    self.shortcut.invalidate(&full[..depth + 2]);
                     self.shrink_stream(c, embed_chain, hp_pos, HP_SIZE);
                     self.set_child_kind(c, s.offset, ChildKind::None);
                     self.cleanup_childless_s(
@@ -1902,6 +1936,7 @@ impl<'a> WriteEngine<'a> {
                     );
                 } else if new_hp != child_hp {
                     c.write_hp(hp_pos, new_hp);
+                    self.shortcut.publish(&full[..depth + 2], new_hp);
                 }
                 true
             }
@@ -1915,7 +1950,8 @@ impl<'a> WriteEngine<'a> {
                     child_off + 1,
                     child_off + emb_size,
                     &chain,
-                    remaining,
+                    full,
+                    depth + 2,
                 );
                 if !removed {
                     return false;

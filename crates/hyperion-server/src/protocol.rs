@@ -19,7 +19,7 @@
 //!           | STATS
 //! response := PONG | VALUE opt | OK | DELETED removed:u8
 //!           | VALUES n:u32 opt*n | SUMMARY u32*4 | ENTRIES n:u32 (key value:u64)*n
-//!           | STATS u64*9 | ERROR code:u16 mlen:u16 msg
+//!           | STATS u64*13 | ERROR code:u16 mlen:u16 msg
 //! opt      := present:u8 [value:u64 if present]
 //! ```
 //!
@@ -228,6 +228,14 @@ pub struct StatsSnapshot {
     pub write_keys: u64,
     /// Range scans served.
     pub scans: u64,
+    /// Hashed-shortcut probes answered from the table, summed over shards.
+    pub shortcut_hits: u64,
+    /// Hashed-shortcut probes that fell back to a full root descent.
+    pub shortcut_misses: u64,
+    /// Shortcut entries killed by structural events.
+    pub shortcut_invalidations: u64,
+    /// Live shortcut entries across all shards at snapshot time.
+    pub shortcut_entries: u64,
 }
 
 impl StatsSnapshot {
@@ -246,6 +254,17 @@ impl StatsSnapshot {
             0.0
         } else {
             self.write_keys as f64 / self.write_groups as f64
+        }
+    }
+
+    /// Fraction of shortcut probes answered from the table, 0.0 when the
+    /// shortcut is disabled or never probed.
+    pub fn shortcut_hit_rate(&self) -> f64 {
+        let total = self.shortcut_hits + self.shortcut_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.shortcut_hits as f64 / total as f64
         }
     }
 }
@@ -419,6 +438,10 @@ pub fn encode_response(id: u32, resp: &Response, out: &mut Vec<u8>) {
                 s.write_ops,
                 s.write_keys,
                 s.scans,
+                s.shortcut_hits,
+                s.shortcut_misses,
+                s.shortcut_invalidations,
+                s.shortcut_entries,
             ] {
                 o.extend_from_slice(&v.to_le_bytes());
             }
@@ -634,6 +657,10 @@ pub fn decode_response(body: &[u8]) -> Result<(u32, Response), ProtoError> {
             write_ops: r.u64()?,
             write_keys: r.u64()?,
             scans: r.u64()?,
+            shortcut_hits: r.u64()?,
+            shortcut_misses: r.u64()?,
+            shortcut_invalidations: r.u64()?,
+            shortcut_entries: r.u64()?,
         }),
         kind::ERROR => {
             let code = r.u16()?;
@@ -878,6 +905,10 @@ mod tests {
             requests: 9,
             read_groups: 2,
             read_keys: 10,
+            shortcut_hits: 7,
+            shortcut_misses: 3,
+            shortcut_invalidations: 1,
+            shortcut_entries: 5,
             ..Default::default()
         }));
         roundtrip_response(Response::Error {
@@ -1017,5 +1048,12 @@ mod tests {
         assert_eq!(s.avg_read_group(), 3.0);
         assert_eq!(s.avg_write_group(), 5.0);
         assert_eq!(StatsSnapshot::default().avg_read_group(), 0.0);
+        let s = StatsSnapshot {
+            shortcut_hits: 3,
+            shortcut_misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.shortcut_hit_rate(), 0.75);
+        assert_eq!(StatsSnapshot::default().shortcut_hit_rate(), 0.0);
     }
 }

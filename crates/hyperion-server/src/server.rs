@@ -88,7 +88,10 @@ struct StatsCounters {
 }
 
 impl StatsCounters {
-    fn snapshot(&self) -> StatsSnapshot {
+    /// Merges the request tallies with the db's aggregated shortcut
+    /// counters, so cache behaviour is observable over the wire.
+    fn snapshot(&self, db: &HyperionDb) -> StatsSnapshot {
+        let shortcut = db.shortcut_stats();
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -99,6 +102,10 @@ impl StatsCounters {
             write_ops: self.write_ops.load(Ordering::Relaxed),
             write_keys: self.write_keys.load(Ordering::Relaxed),
             scans: self.scans.load(Ordering::Relaxed),
+            shortcut_hits: shortcut.hits,
+            shortcut_misses: shortcut.misses,
+            shortcut_invalidations: shortcut.invalidations,
+            shortcut_entries: shortcut.entries,
         }
     }
 }
@@ -269,7 +276,7 @@ impl ServerHandle {
     /// A snapshot of the server counters (same numbers as the `STATS`
     /// request, without a round trip).
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        self.shared.stats.snapshot(&self.shared.db)
     }
 
     /// Signals every thread to stop and joins them.  Idempotent; also runs
@@ -527,7 +534,7 @@ fn handle_frame(shared: &Shared, conn: &Conn, body: &[u8]) {
         }
         Request::Stats => {
             conn.outbox
-                .push(id, &Response::Stats(shared.stats.snapshot()));
+                .push(id, &Response::Stats(shared.stats.snapshot(&shared.db)));
             return;
         }
         Request::Get { key } => {
