@@ -259,6 +259,110 @@ impl Workbench {
         }
     }
 
+    /// Concurrent point gets through the sharded `HyperionDb`: `threads`
+    /// reader threads each own a disjoint slice of the probe set and hammer
+    /// `HyperionDb::get` — the optimistic seqlock read path — in parallel.
+    /// With no writers the shard versions never move, so every get should
+    /// complete lock-free and the sweep measures pure reader scaling.
+    ///
+    /// `writers` background threads (0 = quiescent sweep) insert and delete
+    /// churn keys under their own prefix for the duration of the run,
+    /// keeping the shard seqlocks moving: that is what turns the retry and
+    /// fallback counters from a liveness claim into a measured rate.
+    fn run_threaded(&self, threads: usize, writers: usize, metrics: &mut Vec<(String, f64)>) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let Some(db) = &self.db else { return };
+        let n = self.probes.len();
+        let chunk = n.div_ceil(threads.max(1));
+        let before = db.optimistic_read_stats();
+        let stop = AtomicBool::new(false);
+        let (hits, secs) = std::thread::scope(|scope| {
+            for w in 0..writers {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut rng = Mt19937_64::new(0x3117 + w as u64);
+                    while !stop.load(Ordering::Relaxed) {
+                        let r = rng.next_u64();
+                        let mut key = Vec::with_capacity(11);
+                        key.extend_from_slice(b"\xffw:");
+                        key.extend_from_slice(&r.to_be_bytes());
+                        db.put(&key, r).expect("writer put");
+                        if r % 2 == 0 {
+                            db.delete(&key).expect("writer delete");
+                        }
+                    }
+                });
+            }
+            let timed_run = timed(|| {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .probes
+                        .chunks(chunk)
+                        .map(|slice| {
+                            scope.spawn(move || {
+                                let mut hits = 0usize;
+                                for key in slice {
+                                    if db.get(key).expect("db get").is_some() {
+                                        hits += 1;
+                                    }
+                                }
+                                hits
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("reader thread"))
+                        .sum::<usize>()
+                })
+            });
+            stop.store(true, Ordering::Relaxed);
+            timed_run
+        });
+        assert_eq!(
+            hits, self.expected_hits,
+            "{}: threaded point get hits",
+            self.label
+        );
+        let d = db.optimistic_read_stats();
+        let (hits_d, retries_d, fallbacks_d) = (
+            d.hits - before.hits,
+            d.retries - before.retries,
+            d.fallbacks - before.fallbacks,
+        );
+        let lock_free = 100.0 * hits_d as f64 / (hits_d + fallbacks_d).max(1) as f64;
+        println!(
+            "{}/point_get(t{threads}w{writers}) {n:>8} keys  {:>8.3} Mops  \
+             ({DB_SHARDS} shards, {lock_free:.2}% lock-free, {retries_d} retries, \
+             {fallbacks_d} fallbacks)",
+            self.label,
+            mops(n, secs)
+        );
+        let key = if writers == 0 {
+            format!("get/{}_point_t{threads}_mops", self.label)
+        } else {
+            format!("get/{}_point_t{threads}w{writers}_mops", self.label)
+        };
+        metrics.push((key, mops(n, secs)));
+    }
+
+    /// Prints the optimistic-read counters the threaded sweep accumulated on
+    /// the sharded front end (lock-free hits vs seqlock retries vs mutex
+    /// fallbacks).
+    fn report_optimistic(&self) {
+        let Some(db) = &self.db else { return };
+        let s = db.optimistic_read_stats();
+        println!(
+            "{}/optimistic     hits {:>10}  retries {:>6}  fallbacks {:>6}  ({:>5.1}% lock-free)",
+            self.label,
+            s.hits,
+            s.retries,
+            s.fallbacks,
+            100.0 * s.lock_free_rate(),
+        );
+    }
+
     /// Prints the map-level shortcut counters accumulated across the timed
     /// passes (hit rate of the read path, table occupancy, bytes/key).
     fn report_shortcut(&self) {
@@ -296,9 +400,41 @@ impl Workbench {
     }
 }
 
+/// Reader-thread counts for the concurrent point-get sweep. `--threads N`
+/// (or a comma list, `--threads 1,2,4,8`) overrides the default sweep.
+fn arg_threads() -> Vec<usize> {
+    arg_counts("--threads").unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// Background writer threads churning the db during the threaded sweep
+/// (`--writers W`); defaults to a quiescent, purely read-side sweep.
+fn arg_writers() -> usize {
+    arg_counts("--writers")
+        .and_then(|v| v.first().copied())
+        .unwrap_or(0)
+}
+
+fn arg_counts(flag: &str) -> Option<Vec<usize>> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == flag {
+            if let Some(v) = args.get(i + 1) {
+                let parsed: Vec<usize> =
+                    v.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                if !parsed.is_empty() {
+                    return Some(parsed);
+                }
+            }
+        }
+    }
+    None
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let json_path = arg_json_path();
+    let threads = arg_threads();
+    let writers = arg_writers();
     let n = if smoke { 20_000 } else { 500_000 };
     println!(
         "get_throughput (n = {n}{})",
@@ -316,6 +452,10 @@ fn main() {
         true,
     );
     bench.run(smoke, &mut metrics);
+    for &t in &threads {
+        bench.run_threaded(t, writers, &mut metrics);
+    }
+    bench.report_optimistic();
     bench.report_shortcut();
     // A/B pair: the same workload with the shortcut disabled, so the JSON
     // carries shortcut-on/off metric pairs and `bench_gate` guards both.
@@ -346,6 +486,10 @@ fn main() {
         true,
     );
     bench.run(smoke, &mut metrics);
+    for &t in &threads {
+        bench.run_threaded(t, writers, &mut metrics);
+    }
+    bench.report_optimistic();
     bench.report_shortcut();
     Workbench::build(
         "str_ngram_noshortcut",

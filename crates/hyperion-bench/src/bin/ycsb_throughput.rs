@@ -83,6 +83,7 @@ impl Mix {
     }
 }
 
+#[derive(Clone)]
 struct Opts {
     smoke: bool,
     addr: Option<String>,
@@ -93,6 +94,8 @@ struct Opts {
     mixes: Vec<Mix>,
     /// Total scheduled arrival rate of the open-loop pass (ops/s).
     open_rate: u64,
+    /// Client counts for the mix C reader-scaling sweep.
+    client_sweep: Vec<usize>,
 }
 
 fn parse_opts() -> Opts {
@@ -107,6 +110,7 @@ fn parse_opts() -> Opts {
         ops: if smoke { 4_000 } else { 50_000 },
         mixes: vec![Mix::A, Mix::B, Mix::C, Mix::D, Mix::E],
         open_rate: 40_000,
+        client_sweep: vec![1, 2, 4, 8],
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -123,6 +127,14 @@ fn parse_opts() -> Opts {
             "--records" => opts.records = value(&args, &mut i, "--records").parse().unwrap(),
             "--ops" => opts.ops = value(&args, &mut i, "--ops").parse().unwrap(),
             "--rate" => opts.open_rate = value(&args, &mut i, "--rate").parse().unwrap(),
+            "--client-sweep" => {
+                // An empty list ("--client-sweep ''") skips the sweep.
+                opts.client_sweep = value(&args, &mut i, "--client-sweep")
+                    .split(',')
+                    .filter(|n| !n.trim().is_empty())
+                    .map(|n| n.trim().parse().expect("--client-sweep takes counts"))
+                    .collect();
+            }
             "--mix" => {
                 opts.mixes = value(&args, &mut i, "--mix")
                     .split(',')
@@ -499,6 +511,9 @@ fn delta(after: &StatsSnapshot, before: &StatsSnapshot) -> StatsSnapshot {
         shortcut_invalidations: after.shortcut_invalidations - before.shortcut_invalidations,
         // Occupancy is a gauge, not a counter: report the end-of-window value.
         shortcut_entries: after.shortcut_entries,
+        optimistic_hits: after.optimistic_hits - before.optimistic_hits,
+        optimistic_retries: after.optimistic_retries - before.optimistic_retries,
+        optimistic_fallbacks: after.optimistic_fallbacks - before.optimistic_fallbacks,
     }
 }
 
@@ -544,13 +559,17 @@ fn main() {
         let total_ops = opts.clients * opts.ops;
         let kops = total_ops as f64 / wall / 1e3;
         println!(
-            "mix {} closed  ({:<28}) {:>8.1} kops  {}  read-group {:.2}  write-group {:.2}",
+            "mix {} closed  ({:<28}) {:>8.1} kops  {}  read-group {:.2}  write-group {:.2}  \
+             optimistic {}/{}/{} (hit/retry/fallback)",
             mix.tag().to_uppercase(),
             mix.describe(),
             kops,
             hist.summary_us(),
             d.avg_read_group(),
             d.avg_write_group(),
+            d.optimistic_hits,
+            d.optimistic_retries,
+            d.optimistic_fallbacks,
         );
         assert_eq!(d.errors, 0, "mix {}: server reported errors", mix.tag());
         let prefix = format!("ycsb/{}_closed", mix.tag());
@@ -582,6 +601,39 @@ fn main() {
         );
         assert_eq!(d.errors, 0, "open loop: server reported errors");
         metrics.extend(hist.percentile_metrics("ycsb/b_open"));
+    }
+
+    // Reader-scaling sweep: mix C (100% zipfian reads) re-run across client
+    // counts, emitting a `ycsb/c_closed_c{N}_mops` curve.  Every GET flows
+    // through the optimistic seqlock path on the server, so the per-window
+    // STATS delta also shows how many reads validated lock-free versus
+    // retried or fell back to the shard mutex.
+    if opts.mixes.contains(&Mix::C) && !opts.client_sweep.is_empty() {
+        println!("mix C client sweep (closed loop):");
+        for &n in &opts.client_sweep {
+            let sweep_opts = Opts {
+                clients: n,
+                ..opts.clone()
+            };
+            let before = control.stats().expect("stats");
+            let (hist, wall) = run_mix(&addr, Mix::C, &sweep_opts, false);
+            let after = control.stats().expect("stats");
+            let d = delta(&after, &before);
+            let total_ops = n * opts.ops;
+            println!(
+                "  c{n:<2} {:>8.1} kops  {}  optimistic hits {} retries {} fallbacks {}",
+                total_ops as f64 / wall / 1e3,
+                hist.summary_us(),
+                d.optimistic_hits,
+                d.optimistic_retries,
+                d.optimistic_fallbacks,
+            );
+            assert_eq!(d.errors, 0, "mix C sweep (c{n}): server reported errors");
+            metrics.push((
+                format!("ycsb/c_closed_c{n}_mops"),
+                total_ops as f64 / wall / 1e6,
+            ));
+        }
     }
 
     if let Some(path) = json_path {

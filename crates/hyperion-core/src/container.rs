@@ -244,9 +244,16 @@ impl ContainerRef {
     }
 
     /// Offset just past the last used node-stream byte.
+    ///
+    /// Clamped to the allocation's capacity: an optimistic reader racing a
+    /// writer can observe a torn 19-bit `size` field that exceeds the
+    /// capacity it paired with, and every scan loop bounds itself by this
+    /// offset.  The clamp keeps such a read inside the allocation (the
+    /// result is discarded at seqlock validation); for quiescent containers
+    /// `size <= capacity` always holds and the clamp is a no-op.
     #[inline]
     pub fn stream_end(&self) -> usize {
-        self.size()
+        self.size().min(self.capacity)
     }
 
     // ----- byte-level editing ------------------------------------------------

@@ -51,28 +51,64 @@
 //! assert_eq!(keys, vec![b"user:1".to_vec(), b"user:2".to_vec()]);
 //! ```
 //!
-//! # Locking and poisoning
+//! # Locking, optimistic reads and poisoning
 //!
-//! Every shard is one [`HyperionMap`] behind its own [`Mutex`]; a key is
-//! always owned by exactly one shard, so per-key operations never take more
-//! than one lock.  The typed point/batch API reports a panicked writer as
-//! [`HyperionError::ShardPoisoned`].  Read-only aggregates ([`HyperionDb::len`],
-//! [`HyperionDb::footprint_bytes`]) and scans *recover* poisoned locks
-//! instead: the per-shard tries hold no invariants that span a poisoned
-//! critical section, and a scan that silently dropped a shard would return
-//! wrong answers.
+//! Every shard is one [`HyperionMap`] in a `Shard` cell guarded by its own
+//! [`Mutex`]; a key is always owned by exactly one shard, so per-key
+//! operations never take more than one lock.  Writers always lock.  Readers
+//! first run **optimistically** without the lock: each shard carries a
+//! seqlock version word (`seqlock::MapSeq`) that the write engine
+//! holds *odd* for the whole duration of a mutation, so a reader can snapshot
+//! the version, run the ordinary single-pass read engine against the shared
+//! trie, and accept the result only if the version is unchanged (and even)
+//! afterwards.  A reader that keeps colliding with writers falls back to the
+//! mutex after a few attempts — the classic seqlock trade: reads cost zero
+//! atomic RMWs and scale linearly across cores, writers pay two relaxed
+//! stores.
+//!
+//! An optimistic attempt may observe the trie mid-mutation.  Every such
+//! result is discarded by validation; the read engine only has to be
+//! *crash-safe* on torn state, not correct.  Three layers guarantee that:
+//! bounds-checked container walks clamp torn sizes, cursor descents bound
+//! their depth, and the whole attempt runs under `catch_unwind` (with panic
+//! output suppressed) so a genuinely inconsistent snapshot unwinds harmlessly
+//! and the read retries.  A panic that survives *validation* is a real bug
+//! and is re-raised.  Attempts also suppress shortcut publishes
+//! (`shortcut::suppress_publish`): entries derived from unvalidated
+//! state must never land in the table.
+//!
+//! Formally, reading the trie while a writer mutates it is a data race on
+//! non-atomic memory.  The implementation follows the established seqlock
+//! practice (crossbeam's `AtomicCell`, the Linux kernel): the racing reads
+//! are confined to bytes the validated path never exposes, arena slabs are
+//! never unmapped while the map lives (freed containers stay readable), and
+//! the `Release`/`Acquire` fence pairing on the version word orders the data
+//! accesses against validation.
+//!
+//! The typed point/batch API reports a panicked writer as
+//! [`HyperionError::ShardPoisoned`].  Read-only aggregates
+//! ([`HyperionDb::len`], [`HyperionDb::footprint_bytes`]) and scans *recover*
+//! poisoned locks instead: the per-shard tries hold no invariants that span a
+//! poisoned critical section, and a scan that silently dropped a shard would
+//! return wrong answers.  Recovery clears the poison flag
+//! ([`Mutex::clear_poison`]) and forces the shard's seqlock even again, so
+//! one recovering reader fully revives a shard whose writer died — later
+//! readers go back to the lock-free path and later writers lock normally.
 
 use crate::config::HyperionConfig;
 use crate::iter::{prefix_upper_bound, Entries, LowerBound, UpperBound};
-use crate::stats::ShortcutStats;
+use crate::shortcut;
+use crate::stats::{OptimisticReadStats, ReadCounters, ShortcutStats};
 use crate::trie::HyperionMap;
 use crate::write::WriteError;
 use crate::{KvRead, KvWrite, OrderedRead};
+use std::cell::{Cell, UnsafeCell};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
-use std::ops::{Bound, RangeBounds};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard, Once};
 
 /// Maximum number of shards (one per possible leading key byte, as in the
 /// paper's arena design).
@@ -444,15 +480,122 @@ impl HyperionDbBuilder {
     pub fn build(self) -> HyperionDb {
         let mut shards = Vec::with_capacity(self.shards);
         for _ in 0..self.shards {
-            shards.push(Mutex::new(HyperionMap::with_config(self.config)));
+            shards.push(Shard::new(HyperionMap::with_config(self.config)));
         }
         HyperionDb {
             shards,
             partitioner: self.partitioner,
             scan_chunk: self.scan_chunk,
             scratch: Mutex::new(Vec::new()),
+            read_counters: ReadCounters::default(),
         }
     }
+}
+
+// =============================================================================
+// shards and optimistic reads
+// =============================================================================
+
+/// One shard: the trie plus its writer lock.  The map lives *outside* the
+/// mutex so optimistic readers can reach it without locking; all mutable
+/// access still goes through [`ShardGuard`], which holds the lock.
+struct Shard {
+    map: UnsafeCell<HyperionMap>,
+    lock: Mutex<()>,
+}
+
+// SAFETY: `HyperionMap` is `Send` (owned arena memory, no thread affinity).
+// It is not `Sync` on its own — `Shard` makes the sharing sound by protocol:
+// every `&mut` access goes through `ShardGuard` (mutex held), and the only
+// lock-free access is the optimistic read path, whose results are discarded
+// unless the shard's seqlock proves no writer ran (module docs, "Locking,
+// optimistic reads and poisoning").
+unsafe impl Send for Shard {}
+unsafe impl Sync for Shard {}
+
+impl Shard {
+    fn new(map: HyperionMap) -> Shard {
+        Shard {
+            map: UnsafeCell::new(map),
+            lock: Mutex::new(()),
+        }
+    }
+
+    /// The shared view used by optimistic readers.
+    ///
+    /// # Safety
+    ///
+    /// The caller must either hold the lock or treat every result derived
+    /// from the reference as unvalidated until the seqlock stamp taken
+    /// *before* the accesses is revalidated.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    unsafe fn map_unlocked(&self) -> &HyperionMap {
+        &*self.map.get()
+    }
+
+    /// Wraps an acquired lock token into a guard with map access.
+    fn guard<'a>(&'a self, lock: MutexGuard<'a, ()>) -> ShardGuard<'a> {
+        ShardGuard {
+            map: self.map.get(),
+            _lock: lock,
+        }
+    }
+}
+
+/// Locked access to one shard's map; derefs to [`HyperionMap`] so call sites
+/// read like the plain `MutexGuard<HyperionMap>` this replaces.
+struct ShardGuard<'a> {
+    map: *mut HyperionMap,
+    _lock: MutexGuard<'a, ()>,
+}
+
+impl Deref for ShardGuard<'_> {
+    type Target = HyperionMap;
+
+    #[inline]
+    fn deref(&self) -> &HyperionMap {
+        // SAFETY: the lock is held for the guard's lifetime, so no other
+        // mutable access exists (optimistic readers hold only shared views).
+        unsafe { &*self.map }
+    }
+}
+
+impl DerefMut for ShardGuard<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut HyperionMap {
+        // SAFETY: as above; optimistic readers racing this `&mut` never let
+        // unvalidated results escape.
+        unsafe { &mut *self.map }
+    }
+}
+
+/// Bounded number of lock-free attempts before a read falls back to the
+/// shard mutex.  Collisions are rare (a writer must overlap the attempt), so
+/// a small bound keeps worst-case latency tight without giving up the fast
+/// path on a single unlucky overlap.
+const OPTIMISTIC_ATTEMPTS: usize = 3;
+
+thread_local! {
+    /// `true` while this thread executes an optimistic read attempt; the
+    /// chained panic hook suppresses output for these panics (they are an
+    /// expected consequence of reading mid-mutation state and are either
+    /// retried or re-raised after validation).
+    static IN_OPTIMISTIC: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Chains a panic hook (once, process-wide) that stays silent for panics
+/// unwinding out of optimistic read attempts.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_OPTIMISTIC.with(|flag| flag.get()) {
+                previous(info);
+            }
+        }));
+    });
 }
 
 // =============================================================================
@@ -463,7 +606,7 @@ impl HyperionDbBuilder {
 /// partitioning, typed errors and streaming merged scans.  See the
 /// [module documentation](self) for an overview.
 pub struct HyperionDb {
-    shards: Vec<Mutex<HyperionMap>>,
+    shards: Vec<Shard>,
     partitioner: Arc<dyn Partitioner>,
     scan_chunk: usize,
     /// Reusable per-shard index groups for [`HyperionDb::apply`] /
@@ -471,14 +614,28 @@ pub struct HyperionDb {
     /// brief lock so repeated batch calls do not reallocate the grouping
     /// scaffolding.  Concurrent batch calls fall back to a fresh allocation.
     scratch: Mutex<Vec<Vec<usize>>>,
+    /// Optimistic-read outcome counters (hits / retries / mutex fallbacks),
+    /// exposed via [`HyperionDb::optimistic_read_stats`] and the server's
+    /// STATS opcode.
+    read_counters: ReadCounters,
 }
 
 /// Recovers the guard even if another thread panicked while holding the lock;
-/// used by aggregates and scans (see the module docs on poisoning).
-fn lock_recover(shard: &Mutex<HyperionMap>) -> MutexGuard<'_, HyperionMap> {
-    shard
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+/// used by aggregates and scans (see the module docs on poisoning).  Recovery
+/// is restorative, not just tolerant: the poison flag is cleared so later
+/// lockers stop paying this path, and the shard's seqlock — left odd by a
+/// writer that died mid-mutation — is forced even again so optimistic readers
+/// resume validating.
+fn lock_recover(shard: &Shard) -> ShardGuard<'_> {
+    let lock = shard.lock.lock().unwrap_or_else(|poisoned| {
+        shard.lock.clear_poison();
+        let lock = poisoned.into_inner();
+        // SAFETY: the lock is held; `force_quiesce` is the designated
+        // exclusive-access repair hook for an abandoned mutation span.
+        unsafe { shard.map_unlocked() }.seq.force_quiesce();
+        lock
+    });
+    shard.guard(lock)
 }
 
 impl HyperionDb {
@@ -528,10 +685,88 @@ impl HyperionDb {
     }
 
     /// Locks shard `index` for the typed API, reporting poisoning.
-    fn lock_shard(&self, index: usize) -> Result<MutexGuard<'_, HyperionMap>, HyperionError> {
-        self.shards[index]
+    fn lock_shard(&self, index: usize) -> Result<ShardGuard<'_>, HyperionError> {
+        let shard = &self.shards[index];
+        let lock = shard
+            .lock
             .lock()
-            .map_err(|_| HyperionError::ShardPoisoned { shard: index })
+            .map_err(|_| HyperionError::ShardPoisoned { shard: index })?;
+        Ok(shard.guard(lock))
+    }
+
+    /// Runs `read` against shard `index` lock-free under the seqlock
+    /// protocol: snapshot the version, run, revalidate.  Returns `None` after
+    /// [`OPTIMISTIC_ATTEMPTS`] collisions with writers (caller falls back to
+    /// the mutex).  `read` must be re-runnable (`Fn`) and must not leak
+    /// side effects from failed attempts — it sees possibly-torn state.
+    fn try_optimistic<R>(
+        &self,
+        index: usize,
+        read: &(impl Fn(&HyperionMap) -> R + ?Sized),
+    ) -> Option<R> {
+        install_quiet_panic_hook();
+        // SAFETY: unvalidated shared view; every derived result below is
+        // dropped unless `read_validate` proves no writer overlapped.
+        let map = unsafe { self.shards[index].map_unlocked() };
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            let Some(stamp) = map.seq.read_begin() else {
+                // A writer is mid-mutation (or died there); count the wasted
+                // attempt and re-check — writers are short.
+                self.read_counters.retry();
+                std::hint::spin_loop();
+                continue;
+            };
+            let outcome = shortcut::suppress_publish(|| {
+                IN_OPTIMISTIC.with(|flag| flag.set(true));
+                let outcome = catch_unwind(AssertUnwindSafe(|| read(map)));
+                IN_OPTIMISTIC.with(|flag| flag.set(false));
+                outcome
+            });
+            if map.seq.read_validate(stamp) {
+                match outcome {
+                    Ok(result) => {
+                        self.read_counters.hit();
+                        return Some(result);
+                    }
+                    // No writer ran, yet the read engine panicked: that is a
+                    // genuine bug, not a torn snapshot.  Re-raise it.
+                    Err(payload) => resume_unwind(payload),
+                }
+            }
+            self.read_counters.retry();
+        }
+        None
+    }
+
+    /// Optimistic read with a typed-error mutex fallback ([`lock_shard`]
+    /// semantics: poisoning is reported, not recovered).
+    fn read_shard<R>(
+        &self,
+        index: usize,
+        read: impl Fn(&HyperionMap) -> R,
+    ) -> Result<R, HyperionError> {
+        if let Some(result) = self.try_optimistic(index, &read) {
+            return Ok(result);
+        }
+        self.read_counters.fallback();
+        let guard = self.lock_shard(index)?;
+        Ok(read(&guard))
+    }
+
+    /// Optimistic read with a recovering mutex fallback ([`lock_recover`]
+    /// semantics: poisoned shards are revived).
+    fn read_shard_recovering<R>(&self, index: usize, read: impl Fn(&HyperionMap) -> R) -> R {
+        if let Some(result) = self.try_optimistic(index, &read) {
+            return result;
+        }
+        self.read_counters.fallback();
+        read(&lock_recover(&self.shards[index]))
+    }
+
+    /// Snapshot of the optimistic-read outcome counters (process lifetime,
+    /// all shards).
+    pub fn optimistic_read_stats(&self) -> OptimisticReadStats {
+        self.read_counters.snapshot()
     }
 
     // =========================================================================
@@ -550,13 +785,14 @@ impl HyperionDb {
         }
     }
 
-    /// Looks up a key.  Keys longer than [`MAX_KEY_LEN`] can never have been
-    /// inserted, so they simply resolve to `None`.
+    /// Looks up a key, lock-free in the common case (see the module docs on
+    /// optimistic reads).  Keys longer than [`MAX_KEY_LEN`] can never have
+    /// been inserted, so they simply resolve to `None`.
     pub fn get(&self, key: &[u8]) -> Result<Option<u64>, HyperionError> {
         if key.len() > MAX_KEY_LEN {
             return Ok(None);
         }
-        Ok(self.lock_shard(self.shard_of(key))?.get(key))
+        self.read_shard(self.shard_of(key), |map| map.get(key))
     }
 
     /// Removes a key.  Returns `true` if it was present.
@@ -599,7 +835,8 @@ impl HyperionDb {
     /// descent group* per shard instead of one full descent per key:
     /// each shard's probes route through [`HyperionMap::get_many`], which
     /// sorts them in transformed key space and resumes its container scans
-    /// across consecutive keys (the read-side mirror of `put_many`).
+    /// across consecutive keys (the read-side mirror of `put_many`).  Each
+    /// per-shard batch runs optimistically first, like [`HyperionDb::get`].
     /// `results[i]` corresponds to `keys[i]`.
     pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<u64>>, HyperionError> {
         let mut results = vec![None; keys.len()];
@@ -614,16 +851,16 @@ impl HyperionDb {
             if group.is_empty() {
                 continue;
             }
-            let guard = match self.lock_shard(shard) {
-                Ok(guard) => guard,
+            shard_keys.clear();
+            shard_keys.extend(group.iter().map(|&i| keys[i]));
+            let values = match self.read_shard(shard, |map| map.get_many(&shard_keys)) {
+                Ok(values) => values,
                 Err(e) => {
                     self.return_scratch(groups);
                     return Err(e);
                 }
             };
-            shard_keys.clear();
-            shard_keys.extend(group.iter().map(|&i| keys[i]));
-            for (&i, value) in group.iter().zip(guard.get_many(&shard_keys)) {
+            for (&i, value) in group.iter().zip(values) {
                 results[i] = value;
             }
         }
@@ -802,34 +1039,37 @@ impl HyperionDb {
 
     /// Total number of keys across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| lock_recover(s).len()).sum()
+        (0..self.shards.len())
+            .map(|i| self.read_shard_recovering(i, |map| map.len()))
+            .sum()
     }
 
     /// `true` if no shard stores any key.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| lock_recover(s).is_empty())
+        (0..self.shards.len()).all(|i| self.read_shard_recovering(i, |map| map.is_empty()))
     }
 
     /// Total logical memory footprint across all shards.
     pub fn footprint_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| lock_recover(s).footprint_bytes())
+        (0..self.shards.len())
+            .map(|i| self.read_shard_recovering(i, |map| map.footprint_bytes()))
             .sum()
     }
 
     /// Per-shard key counts — the load-balance fingerprint of the configured
     /// partitioner.
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| lock_recover(s).len()).collect()
+        (0..self.shards.len())
+            .map(|i| self.read_shard_recovering(i, |map| map.len()))
+            .collect()
     }
 
     /// Aggregated hashed-shortcut counters across all shards (all zeros when
     /// the shortcut is disabled).  Served over the wire by the STATS opcode.
     pub fn shortcut_stats(&self) -> ShortcutStats {
         let mut total = ShortcutStats::default();
-        for shard in &self.shards {
-            total.merge(&lock_recover(shard).shortcut_stats());
+        for i in 0..self.shards.len() {
+            total.merge(&self.read_shard_recovering(i, |map| map.shortcut_stats()));
         }
         total
     }
@@ -952,7 +1192,7 @@ impl HyperionDb {
     }
 
     pub(crate) fn get_recovering(&self, key: &[u8]) -> Option<u64> {
-        lock_recover(&self.shards[self.shard_of(key)]).get(key)
+        self.read_shard_recovering(self.shard_of(key), |map| map.get(key))
     }
 
     pub(crate) fn delete_recovering(&self, key: &[u8]) -> bool {
@@ -1216,46 +1456,61 @@ impl<'a> DbScan<'a> {
         scan
     }
 
-    /// Fetches the next chunk for stream `i` under its shard lock.
+    /// Fetches the next chunk for stream `i` — optimistically first, with a
+    /// recovering lock fallback.  The whole seek-and-collect runs as one
+    /// re-runnable attempt: if a writer moves the chunk's containers
+    /// mid-fetch, seqlock validation discards the partial chunk and the next
+    /// attempt re-seeks from the same resume key, so the merged scan never
+    /// observes a half-mutated shard (chunk-granular snapshot semantics, as
+    /// before).
     fn refill(&mut self, i: usize) {
-        let stream = &mut self.streams[i];
         let StreamState::Pending { seek, inclusive } =
-            std::mem::replace(&mut stream.state, StreamState::Exhausted)
+            std::mem::replace(&mut self.streams[i].state, StreamState::Exhausted)
         else {
             return;
         };
-        let guard = lock_recover(&self.db.shards[stream.shard]);
-        let mut cursor = guard.cursor();
-        match (&seek, self.reverse, inclusive) {
-            (None, true, _) => cursor.seek_last(),
-            (None, false, _) => cursor.seek(&[]),
-            (Some(k), true, true) => cursor.seek_for_pred(k),
-            (Some(k), true, false) => cursor.seek_for_pred_exclusive(k),
-            (Some(k), false, true) => cursor.seek(k),
-            (Some(k), false, false) => cursor.seek_exclusive(k),
-        }
-        let mut ran_dry = false;
-        while stream.buf.len() < self.chunk {
-            let next = if self.reverse {
-                cursor.prev()
-            } else {
-                cursor.next()
-            };
-            let Some((key, value)) = next else {
-                ran_dry = true;
-                break;
-            };
-            let in_bound = if self.reverse {
-                self.lower.admits(&key)
-            } else {
-                self.end.admits(&key)
-            };
-            if !in_bound {
-                ran_dry = true;
-                break;
+        let shard = self.streams[i].shard;
+        let reverse = self.reverse;
+        let chunk = self.chunk;
+        let (end, lower) = (&self.end, &self.lower);
+        let fetch = |map: &HyperionMap| {
+            let mut cursor = map.cursor();
+            match (&seek, reverse, inclusive) {
+                (None, true, _) => cursor.seek_last(),
+                (None, false, _) => cursor.seek(&[]),
+                (Some(k), true, true) => cursor.seek_for_pred(k),
+                (Some(k), true, false) => cursor.seek_for_pred_exclusive(k),
+                (Some(k), false, true) => cursor.seek(k),
+                (Some(k), false, false) => cursor.seek_exclusive(k),
             }
-            stream.buf.push_back((key, value));
-        }
+            let mut buf = Vec::with_capacity(chunk);
+            let mut ran_dry = false;
+            while buf.len() < chunk {
+                let next = if reverse {
+                    cursor.prev()
+                } else {
+                    cursor.next()
+                };
+                let Some((key, value)) = next else {
+                    ran_dry = true;
+                    break;
+                };
+                let in_bound = if reverse {
+                    lower.admits(&key)
+                } else {
+                    end.admits(&key)
+                };
+                if !in_bound {
+                    ran_dry = true;
+                    break;
+                }
+                buf.push((key, value));
+            }
+            (buf, ran_dry)
+        };
+        let (buf, ran_dry) = self.db.read_shard_recovering(shard, fetch);
+        let stream = &mut self.streams[i];
+        stream.buf = buf.into();
         if !ran_dry {
             if let Some((last, _)) = stream.buf.back() {
                 stream.state = StreamState::Pending {
@@ -1381,17 +1636,18 @@ impl OrderedRead for HyperionDb {
     /// all precede shard `i + 1`'s, so the probe starts at `shard_of(start)`
     /// and stops at the first shard that yields anything.
     fn seek_first(&self, start: &[u8]) -> Option<(Vec<u8>, u64)> {
-        let probe = |shard: &Mutex<HyperionMap>| {
-            let guard = lock_recover(shard);
-            let mut cursor = guard.cursor();
-            cursor.seek(start);
-            cursor.next()
+        let probe = |i: usize| {
+            self.read_shard_recovering(i, |map| {
+                let mut cursor = map.cursor();
+                cursor.seek(start);
+                cursor.next()
+            })
         };
         if self.partitioner.is_order_preserving() {
             let lo = self.shard_of(start);
-            self.shards[lo..].iter().find_map(probe)
+            (lo..self.shards.len()).find_map(probe)
         } else {
-            self.shards.iter().filter_map(probe).min()
+            (0..self.shards.len()).filter_map(probe).min()
         }
     }
 
@@ -1401,11 +1657,11 @@ impl OrderedRead for HyperionDb {
     /// shard `i + 1`'s, so the probe walks the shards from the top down and
     /// stops at the first hit.
     fn last(&self) -> Option<(Vec<u8>, u64)> {
-        let probe = |shard: &Mutex<HyperionMap>| lock_recover(shard).last();
+        let probe = |i: usize| self.read_shard_recovering(i, |map| map.last());
         if self.partitioner.is_order_preserving() {
-            self.shards.iter().rev().find_map(probe)
+            (0..self.shards.len()).rev().find_map(probe)
         } else {
-            self.shards.iter().filter_map(probe).max()
+            (0..self.shards.len()).filter_map(probe).max()
         }
     }
 
@@ -1414,12 +1670,12 @@ impl OrderedRead for HyperionDb {
     /// predecessor query under a brief lock, and order preservation prunes
     /// shards above the bound.
     fn pred(&self, key: &[u8]) -> Option<(Vec<u8>, u64)> {
-        let probe = |shard: &Mutex<HyperionMap>| lock_recover(shard).pred(key);
+        let probe = |i: usize| self.read_shard_recovering(i, |map| map.pred(key));
         if self.partitioner.is_order_preserving() {
             let hi = self.shard_of(key);
-            self.shards[..=hi].iter().rev().find_map(probe)
+            (0..=hi).rev().find_map(probe)
         } else {
-            self.shards.iter().filter_map(probe).max()
+            (0..self.shards.len()).filter_map(probe).max()
         }
     }
 }
@@ -1488,7 +1744,7 @@ mod tests {
         // Poison the shard by panicking while holding its lock.
         let db2 = Arc::clone(&db);
         let _ = std::thread::spawn(move || {
-            let _guard = db2.shards[shard].lock().unwrap();
+            let _guard = db2.shards[shard].lock.lock().unwrap();
             panic!("poison the shard");
         })
         .join();
@@ -1500,6 +1756,47 @@ mod tests {
         assert_eq!(db.len(), 1);
         assert_eq!(db.iter().count(), 1);
         assert_eq!(KvRead::get(&*db, b"victim"), Some(1));
+    }
+
+    #[test]
+    fn panicking_writer_does_not_wedge_or_corrupt_readers() {
+        let db = Arc::new(sample_db(FirstBytePartitioner, 4));
+        db.put(b"victim", 1).unwrap();
+        let shard = db.shard_of(b"victim");
+        let before = db.optimistic_read_stats();
+        // Die *inside a mutation span*, exactly like a writer panicking
+        // mid-structural-change: the lock is poisoned AND the shard's seqlock
+        // is parked odd, so optimistic reads cannot validate.
+        let db2 = Arc::clone(&db);
+        let _ = std::thread::spawn(move || {
+            let guard = db2.lock_shard(shard).unwrap();
+            let _span = guard.seq.mutation();
+            panic!("writer dies mid-mutation");
+        })
+        .join();
+        // The typed write path reports the poisoning...
+        assert_eq!(
+            db.put(b"victim", 2),
+            Err(HyperionError::ShardPoisoned { shard })
+        );
+        // ...while a recovering reader clears the poison, re-evens the
+        // seqlock and still returns the committed value (the dead writer's
+        // span applied no changes).
+        assert_eq!(KvRead::get(&*db, b"victim"), Some(1));
+        let recovered = db.optimistic_read_stats();
+        assert!(
+            recovered.fallbacks > before.fallbacks,
+            "a read against the parked seqlock must have taken the lock"
+        );
+        // The shard is fully revived: writes succeed again and subsequent
+        // reads validate lock-free.
+        assert_eq!(db.put(b"victim", 2), Ok(PutOutcome::Updated));
+        assert_eq!(db.get(b"victim"), Ok(Some(2)));
+        let after = db.optimistic_read_stats();
+        assert!(
+            after.hits > recovered.hits,
+            "post-recovery reads must run lock-free again"
+        );
     }
 
     #[test]

@@ -519,6 +519,14 @@ impl<'a> Cursor<'a> {
 
     /// Pushes the frame(s) for the container(s) referenced by `hp`.
     fn push_pointer(&mut self, hp: HyperionPointer, base: usize) {
+        // A torn pointer read (optimistic reader racing a writer) could cycle
+        // the descent through an ancestor container; a quiescent trie's depth
+        // is bounded by its longest key.  The panic is caught by the
+        // optimistic read's unwind backstop and the attempt retried.
+        assert!(
+            self.stack.len() < (1 << 16) && base < (1 << 20),
+            "cursor descent exceeded any plausible trie depth (torn read?)"
+        );
         let mm = self.map.memory_manager();
         if hp.superbin() == 0 && mm.is_chained(hp) {
             self.stack.push(Frame::Chain {
@@ -919,6 +927,13 @@ impl<'a> Cursor<'a> {
             };
             match frame {
                 RevFrame::Pointer { hp, base } => {
+                    // Same torn-pointer cycle guard as the forward
+                    // `push_pointer`: bound the descent, let the optimistic
+                    // read backstop catch the panic.
+                    assert!(
+                        self.rstack.len() < (1 << 16) && base < (1 << 20),
+                        "reverse descent exceeded any plausible trie depth (torn read?)"
+                    );
                     self.prefix.truncate(base);
                     let mm = self.map.memory_manager();
                     if hp.superbin() == 0 && mm.is_chained(hp) {

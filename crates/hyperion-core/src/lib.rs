@@ -84,6 +84,7 @@ pub mod keys;
 pub mod node;
 pub mod read;
 pub mod scan;
+pub(crate) mod seqlock;
 pub mod shortcut;
 pub mod stats;
 pub mod trie;
@@ -99,7 +100,7 @@ pub use db::{
 };
 pub use iter::{Cursor, Entries, Iter, Prefix, Range};
 pub use shortcut::Shortcut;
-pub use stats::{ShortcutStats, TrieAnalysis, TrieCounters};
+pub use stats::{OptimisticReadStats, ShortcutStats, TrieAnalysis, TrieCounters};
 pub use trie::HyperionMap;
 pub use write::WriteError;
 

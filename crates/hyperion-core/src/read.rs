@@ -216,7 +216,11 @@ fn t_find(c: &ContainerRef, start: usize, end: usize, target: u8, use_cjt: bool)
         if flag_invalid(flag) {
             return None;
         }
-        debug_assert!(flag_is_t(flag), "expected T record at {pos}");
+        // An S flag here means the stream is torn (optimistic reader racing
+        // a writer): miss gracefully, the seqlock validation discards it.
+        if !flag_is_t(flag) {
+            return None;
+        }
         let delta = (flag >> 3) & 0b111;
         let key = if delta == 0 {
             bytes[pos + 1]
@@ -265,7 +269,10 @@ fn t_find_from(
         if flag_invalid(flag) {
             return None;
         }
-        debug_assert!(flag_is_t(flag), "expected T record at {pos}");
+        // Torn stream (see `t_find`): miss instead of asserting.
+        if !flag_is_t(flag) {
+            return None;
+        }
         let delta = (flag >> 3) & 0b111;
         let key = if delta == 0 {
             bytes[pos + 1]

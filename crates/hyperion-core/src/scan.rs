@@ -323,7 +323,12 @@ pub fn collect_t_records_trusted_bounded(
     let mut pos = start;
     let mut prev_key = None;
     while pos < end && !is_invalid(bytes[pos]) {
-        debug_assert!(is_t_node(bytes[pos]));
+        // An S flag here means the stream is torn (optimistic reverse reader
+        // racing a writer): stop collecting — the seqlock validation
+        // discards whatever was gathered so far.
+        if !is_t_node(bytes[pos]) {
+            break;
+        }
         let t = parse_t_node(bytes, pos, prev_key).expect("corrupt T record");
         if max_key.is_some_and(|m| t.key > m) {
             break;

@@ -1,0 +1,201 @@
+//! Per-shard sequence lock: the version counter behind optimistic reads.
+//!
+//! Every [`crate::HyperionMap`] carries a [`MapSeq`] — a single `AtomicU64`
+//! that is **odd while a mutation is in flight and even while the map is
+//! quiescent**.  Writers (already serialised by the shard mutex in
+//! [`crate::HyperionDb`]) bump it to odd on entry and back to even on exit;
+//! readers sample it before running the lock-free read engine and validate
+//! it afterwards, discarding any result whose version moved.  The memory
+//! ordering follows the classic seqlock recipe (same as
+//! `crossbeam_utils::sync::SeqLock`):
+//!
+//! * writer: `store(odd, Relaxed)` then `fence(Release)` before the data
+//!   writes, `store(even, Release)` after them;
+//! * reader: `load(Acquire)` before the data reads, `fence(Acquire)` then
+//!   `load(Relaxed)` after them.
+//!
+//! A writer that *panics* mid-mutation leaves the counter odd on purpose:
+//! every optimistic attempt then fails its begin check and readers fall
+//! back to the mutex, which reports/clears the poison (see
+//! `HyperionDb::lock_recover`, which calls [`MapSeq::force_quiesce`] under
+//! the exclusive lock once the trie state has been re-adopted).
+//!
+//! Mutation spans nest (`delete_many` loops `delete`; `put` wraps
+//! `try_put`): only the outermost span moves the counter, tracked by a
+//! depth counter that is only ever touched under the shard mutex.
+
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+
+/// The per-map seqlock word plus writer-side bookkeeping.
+#[derive(Debug, Default)]
+pub(crate) struct MapSeq {
+    /// The version: odd = mutation in flight, even = quiescent.
+    seq: AtomicU64,
+    /// Nesting depth of mutation spans.  Only the writer thread (serialised
+    /// by the shard mutex) reads or writes it; atomic only so `HyperionMap`
+    /// stays shareable without `Cell`.
+    depth: AtomicU32,
+    /// Structural events (splits, ejections, aborted splits) noted by the
+    /// write engine inside mutation spans — the torn-read hazard rate the
+    /// retry counters are measured against.
+    structural: AtomicU64,
+}
+
+impl MapSeq {
+    pub(crate) fn new() -> MapSeq {
+        MapSeq::default()
+    }
+
+    /// Begins a mutation span (writer side, under the shard mutex).  The
+    /// returned guard re-evens the counter when the outermost span ends —
+    /// unless the thread is panicking, in which case the counter stays odd
+    /// so optimistic readers keep their hands off the torn state.
+    #[inline]
+    pub(crate) fn mutation(&self) -> MutationSpan {
+        let depth = self.depth.load(Ordering::Relaxed);
+        if depth == 0 {
+            let seq = self.seq.load(Ordering::Relaxed);
+            debug_assert_eq!(seq & 1, 0, "mutation span began while already odd");
+            self.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+            fence(Ordering::Release);
+        }
+        self.depth.store(depth + 1, Ordering::Relaxed);
+        MutationSpan { owner: self }
+    }
+
+    /// Samples the version for an optimistic read attempt; `None` while a
+    /// mutation is in flight (odd).
+    #[inline]
+    pub(crate) fn read_begin(&self) -> Option<u64> {
+        let seq = self.seq.load(Ordering::Acquire);
+        (seq & 1 == 0).then_some(seq)
+    }
+
+    /// `true` iff no mutation started since [`MapSeq::read_begin`] returned
+    /// `stamp` — the data read in between was a consistent snapshot.
+    #[inline]
+    pub(crate) fn read_validate(&self, stamp: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.seq.load(Ordering::Relaxed) == stamp
+    }
+
+    /// Debug-asserts that a mutation span is open (write-engine entry hook).
+    #[inline]
+    pub(crate) fn assert_mutating(&self) {
+        debug_assert_eq!(
+            self.seq.load(Ordering::Relaxed) & 1,
+            1,
+            "write engine ran outside a mutation span"
+        );
+    }
+
+    /// Notes a structural event (split / ejection) inside a mutation span.
+    #[inline]
+    pub(crate) fn note_structural(&self) {
+        self.assert_mutating();
+        self.structural.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Structural events noted so far.
+    pub(crate) fn structural_events(&self) -> u64 {
+        self.structural.load(Ordering::Relaxed)
+    }
+
+    /// Re-evens a counter left odd by a panicked writer.  Must only be
+    /// called while holding the shard's exclusive lock (poison recovery).
+    pub(crate) fn force_quiesce(&self) {
+        let seq = self.seq.load(Ordering::Relaxed);
+        if seq & 1 == 1 {
+            self.seq.store(seq.wrapping_add(1), Ordering::Release);
+        }
+        self.depth.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard of one (possibly nested) mutation span.
+///
+/// Holds a raw pointer instead of a borrow so the mutating method that opened
+/// the span can keep calling `&mut self` helpers while the span is live (the
+/// counters are atomics; the shared/exclusive aliasing is harmless).
+/// Contract: the span must be dropped before the owning [`MapSeq`] moves or
+/// is freed — trivially true for a guard local to one `&mut self` method.
+pub(crate) struct MutationSpan {
+    owner: *const MapSeq,
+}
+
+impl Drop for MutationSpan {
+    #[inline]
+    fn drop(&mut self) {
+        let owner = unsafe { &*self.owner };
+        let depth = owner.depth.load(Ordering::Relaxed);
+        debug_assert!(depth > 0, "mutation span underflow");
+        owner.depth.store(depth - 1, Ordering::Relaxed);
+        if depth == 1 {
+            if std::thread::panicking() {
+                // Leave the counter odd: the mutation may have torn the trie
+                // and optimistic readers must never validate against it.
+                return;
+            }
+            let seq = owner.seq.load(Ordering::Relaxed);
+            owner.seq.store(seq.wrapping_add(1), Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_moves_even_odd_even() {
+        let seq = MapSeq::new();
+        assert_eq!(seq.read_begin(), Some(0));
+        {
+            let _span = seq.mutation();
+            assert_eq!(seq.read_begin(), None);
+            {
+                let _inner = seq.mutation();
+                assert_eq!(seq.read_begin(), None);
+            }
+            // Inner span ended; outer still open.
+            assert_eq!(seq.read_begin(), None);
+        }
+        assert_eq!(seq.read_begin(), Some(2));
+    }
+
+    #[test]
+    fn structural_events_count_inside_spans() {
+        let seq = MapSeq::new();
+        assert_eq!(seq.structural_events(), 0);
+        {
+            let _span = seq.mutation();
+            seq.note_structural();
+            seq.note_structural();
+        }
+        assert_eq!(seq.structural_events(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_movement() {
+        let seq = MapSeq::new();
+        let stamp = seq.read_begin().unwrap();
+        assert!(seq.read_validate(stamp));
+        drop(seq.mutation());
+        assert!(!seq.read_validate(stamp));
+        let stamp = seq.read_begin().unwrap();
+        assert!(seq.read_validate(stamp));
+    }
+
+    #[test]
+    fn panicking_span_stays_odd_until_quiesced() {
+        let seq = MapSeq::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = seq.mutation();
+            panic!("writer died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(seq.read_begin(), None, "panicked span must stay odd");
+        seq.force_quiesce();
+        assert!(seq.read_begin().is_some());
+    }
+}

@@ -31,14 +31,40 @@
 //! write-engine error paths) bump the generation instead, which invalidates
 //! every entry at once.
 //!
-//! Reads are `&self`: the table is `Cell`-based so the read path can seed
-//! entries and count hits without a mutable borrow (the map is not `Sync`;
-//! `HyperionDb` shards are mutex-guarded, so per-shard tables need no
-//! atomics).
+//! ## Concurrency contract
+//!
+//! The optimistic read path of [`crate::HyperionDb`] probes this table
+//! *without* holding the shard mutex, so every slot is a pair of packed
+//! `AtomicU64` words.  All mutation of the table — publishes, invalidates,
+//! clears — remains serialised by the shard mutex (single writer); only
+//! probes are concurrent.  A writer that replaces a slot with a *different*
+//! prefix vacates the tag word first and republishes it with a `Release`
+//! store after the data word, so a racing probe either pairs a tag with
+//! data published for that same tag or rejects the slot on the tag
+//! re-check.  The table still grows lazily (doubling while more than half
+//! full, up to the configured capacity), but a superseded slot array is
+//! **retired, not freed**: a concurrent probe may hold a reference into it,
+//! so outgrown tables are parked until the map itself drops.  A probe
+//! racing a grow keeps reading the table it loaded — at worst a miss for an
+//! entry that moved.  Staleness across tables is benign for the same reason
+//! in-place staleness is: entries only become dangerous after an
+//! *invalidate*, invalidates only happen inside write-engine mutation
+//! spans, and any optimistic attempt overlapping a mutation span fails
+//! seqlock validation.  The lazy start keeps a cold map at 16 KiB instead
+//! of `capacity × 16` bytes; retirement costs at most one extra copy of the
+//! final table (geometric series).
+//!
+//! Optimistic readers never publish: their descent state is unvalidated,
+//! and a stale entry published after a writer's invalidate would resurrect
+//! a freed pointer.  The read engine publishes only when it holds the shard
+//! lock — `suppress_publish` makes the distinction without threading a
+//! flag through every call (see `HyperionDb`'s optimistic read loop).
 
 use crate::stats::ShortcutStats;
 use hyperion_mem::HyperionPointer;
 use std::cell::Cell;
+use std::sync::atomic::{AtomicPtr, AtomicU16, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Prefix depths (in transformed-key bytes) the table may cache.  Each
 /// container level consumes two key bytes, so only even depths address a
@@ -53,20 +79,40 @@ const MAX_PREFIX: usize = 6;
 /// rather than probing on — the table is a cache, not a store.
 const PROBE_WINDOW: usize = 8;
 
-/// Slots allocated on first publish; the table doubles from here up to the
-/// configured capacity as entries accumulate.
+/// Slot count of the lazily allocated first table (16 KiB); doubled on
+/// demand up to the configured capacity.
 const INITIAL_SLOTS: usize = 1024;
 
-/// One cached mapping: a packed prefix tag, the raw parent-slot pointer
-/// bytes, and the generation the entry was published under.
-#[derive(Clone, Copy, Default)]
-struct Slot {
-    /// Packed `(marker, depth, prefix bytes)`; zero means the slot is empty.
-    tag: u64,
-    /// `HyperionPointer::to_bytes()` of the cached container.
-    hp: [u8; 5],
-    /// Entry is live iff this matches the table generation.
-    gen: u16,
+thread_local! {
+    /// `true` while this thread runs an optimistic (unlocked) read attempt;
+    /// publishes are dropped so unvalidated traversal state never lands in
+    /// the table.
+    static SUPPRESS_PUBLISH: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with [`Shortcut::publish`] suppressed on this thread (panic-safe:
+/// the previous state is restored even if `f` unwinds into a `catch_unwind`).
+pub(crate) fn suppress_publish<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            SUPPRESS_PUBLISH.with(|flag| flag.set(self.0));
+        }
+    }
+    let _reset = Reset(SUPPRESS_PUBLISH.with(|flag| flag.replace(true)));
+    f()
+}
+
+/// One cached mapping as two packed atomic words.
+///
+/// * `tag` — packed `(marker, depth, prefix bytes)` ([`pack_tag`]); zero
+///   means the slot is vacant.
+/// * `data` — `HyperionPointer::to_bytes()` in bits 0..40, the generation
+///   the entry was published under in bits 40..56.
+#[derive(Default)]
+struct AtomicSlot {
+    tag: AtomicU64,
+    data: AtomicU64,
 }
 
 /// Packs a prefix into a non-zero 64-bit tag: bit 63 is an occupancy
@@ -82,49 +128,103 @@ fn pack_tag(prefix: &[u8]) -> u64 {
     tag
 }
 
+/// Packs pointer bytes and generation into the slot's data word.
+#[inline]
+fn pack_data(hp: [u8; 5], gen: u16) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes[..5].copy_from_slice(&hp);
+    u64::from_le_bytes(bytes) | ((gen as u64) << 40)
+}
+
+/// Unpacks the data word into pointer bytes and generation.
+#[inline]
+fn unpack_data(data: u64) -> ([u8; 5], u16) {
+    let bytes = data.to_le_bytes();
+    let hp = [bytes[0], bytes[1], bytes[2], bytes[3], bytes[4]];
+    (hp, (data >> 40) as u16)
+}
+
 /// Fibonacci multiplicative hash of a tag onto a power-of-two table.
 #[inline]
 fn slot_of(tag: u64, mask: usize) -> usize {
     (tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask
 }
 
+/// One power-of-two slot array.  Boxed behind a raw pointer so the current
+/// table can be swapped atomically while probes keep reading the old one.
+struct Table {
+    slots: Box<[AtomicSlot]>,
+}
+
 /// The prefix → container cache.  One instance per [`crate::HyperionMap`]
 /// (per shard under [`crate::HyperionDb`]); capacity 0 disables it entirely
 /// and every operation degenerates to a no-op.
 pub struct Shortcut {
-    /// Power-of-two slot array; empty until the first publish.
-    slots: Cell<Box<[Cell<Slot>]>>,
-    /// Maximum slot count (power of two), 0 = disabled.
+    /// The current table (null until the first publish).  Grown only by the
+    /// single serialised writer; probes load it `Acquire` and may keep
+    /// reading a superseded table until their attempt ends.
+    current: AtomicPtr<Table>,
+    /// Superseded tables, parked until drop: a concurrent probe may still
+    /// hold a reference into one (see the module docs).
+    retired: Mutex<Vec<*mut Table>>,
+    /// Maximum slot count the table may grow to, 0 = disabled.
     capacity: usize,
     /// Current generation; bumping it invalidates every entry in O(1).
-    generation: Cell<u16>,
-    /// Live-entry estimate driving table growth.
-    live: Cell<usize>,
+    generation: AtomicU16,
+    /// Live-entry estimate (publishes minus invalidations, saturating).
+    live: AtomicUsize,
     /// Bit `d/2 - 1` set while depth `d` may hold live entries, so lookups
     /// only pay probe cache misses for populated depths.
-    depth_mask: Cell<u8>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
-    invalidations: Cell<u64>,
+    depth_mask: AtomicU8,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+// SAFETY: the raw `Table` pointers are owned allocations reachable only
+// through this struct.  Slot words are atomics (safe to share); the retired
+// list and the `current` swap are touched only by the serialised writer (and
+// `Drop`, which has exclusive access).
+unsafe impl Send for Shortcut {}
+unsafe impl Sync for Shortcut {}
+
+impl Drop for Shortcut {
+    fn drop(&mut self) {
+        let current = *self.current.get_mut();
+        let retired = std::mem::take(
+            self.retired
+                .get_mut()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        );
+        for table in retired
+            .into_iter()
+            .chain((!current.is_null()).then_some(current))
+        {
+            // SAFETY: every pointer came from `Box::into_raw` and `&mut self`
+            // proves no probe can still be reading it.
+            drop(unsafe { Box::from_raw(table) });
+        }
+    }
 }
 
 impl Shortcut {
-    /// A table bounded at `capacity` slots (rounded up to a power of two);
+    /// A table growable to `capacity` slots (rounded up to a power of two);
     /// 0 disables the shortcut.
     pub fn new(capacity: usize) -> Shortcut {
         Shortcut {
-            slots: Cell::new(Box::new([])),
+            current: AtomicPtr::new(std::ptr::null_mut()),
+            retired: Mutex::new(Vec::new()),
             capacity: if capacity == 0 {
                 0
             } else {
                 capacity.next_power_of_two()
             },
-            generation: Cell::new(0),
-            live: Cell::new(0),
-            depth_mask: Cell::new(0),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
-            invalidations: Cell::new(0),
+            generation: AtomicU16::new(0),
+            live: AtomicUsize::new(0),
+            depth_mask: AtomicU8::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -134,217 +234,265 @@ impl Shortcut {
         self.capacity != 0
     }
 
-    /// Runs `f` with the slot array without moving it out of the `Cell`.
+    /// The current table, if one has been allocated.
     #[inline]
-    fn with_slots<R>(&self, f: impl FnOnce(&[Cell<Slot>]) -> R) -> R {
-        let slots = self.slots.take();
-        let r = f(&slots);
-        self.slots.set(slots);
-        r
+    fn current(&self) -> Option<&Table> {
+        let table = self.current.load(Ordering::Acquire);
+        // SAFETY: a non-null pointer was published via `Box::into_raw`, and
+        // superseded tables are retired (never freed) while `self` lives, so
+        // the reference outlives any borrow of `self`.
+        (!table.is_null()).then(|| unsafe { &*table })
+    }
+
+    fn alloc_table(len: usize) -> *mut Table {
+        Box::into_raw(Box::new(Table {
+            slots: (0..len).map(|_| AtomicSlot::default()).collect(),
+        }))
+    }
+
+    /// Writer-side table access: allocates the initial table on first use and
+    /// doubles it when more than half full (rehashing live entries), up to
+    /// `capacity`.  The outgrown table is parked in `retired`.
+    fn table_for_publish(&self, gen: u16) -> &Table {
+        let table = match self.current() {
+            Some(table) => table,
+            None => {
+                let fresh = Self::alloc_table(INITIAL_SLOTS.min(self.capacity));
+                self.current.store(fresh, Ordering::Release);
+                // SAFETY: just published; see `current`.
+                return unsafe { &*fresh };
+            }
+        };
+        let len = table.slots.len();
+        if len >= self.capacity || (self.live.load(Ordering::Relaxed) + 1) * 2 < len {
+            return table;
+        }
+        let grown_ptr = Self::alloc_table((len * 2).min(self.capacity));
+        // SAFETY: not yet published — this thread has exclusive access.
+        let grown = unsafe { &*grown_ptr };
+        let mask = grown.slots.len() - 1;
+        let mut live = 0usize;
+        for slot in table.slots.iter() {
+            let tag = slot.tag.load(Ordering::Relaxed);
+            if tag == 0 {
+                continue;
+            }
+            let data = slot.data.load(Ordering::Relaxed);
+            if unpack_data(data).1 != gen {
+                continue; // stale generation: drop on rehash
+            }
+            let home = slot_of(tag, mask);
+            for i in 0..PROBE_WINDOW {
+                let dst = &grown.slots[(home + i) & mask];
+                if dst.tag.load(Ordering::Relaxed) == 0 {
+                    dst.data.store(data, Ordering::Relaxed);
+                    dst.tag.store(tag, Ordering::Relaxed);
+                    live += 1;
+                    break;
+                }
+            }
+            // Probe window exhausted: the entry is dropped — cache semantics.
+        }
+        self.live.store(live, Ordering::Relaxed);
+        let old = self.current.swap(grown_ptr, Ordering::Release);
+        self.retired
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(old);
+        grown
     }
 
     /// Looks up the deepest cached prefix of `key`, deepest-first.  Only
     /// strictly-shorter prefixes apply: a key of length exactly `d`
     /// terminates in the *parent* container, not the one cached for depth
-    /// `d`.  Counts one hit or one miss per call.
+    /// `d`.  Counts one hit or one miss per call.  Safe to call without the
+    /// shard lock (see the module docs' concurrency contract).
     #[inline]
     pub fn probe(&self, key: &[u8]) -> Option<(usize, HyperionPointer)> {
-        let mask = self.depth_mask.get();
+        let mask = self.depth_mask.load(Ordering::Relaxed);
         if mask == 0 {
             return None;
         }
-        let found = self.with_slots(|slots| {
-            let gen = self.generation.get();
-            let slot_mask = slots.len() - 1;
-            for d in SHORTCUT_DEPTHS.iter().rev().copied() {
-                if mask & (1 << (d / 2 - 1)) == 0 || key.len() <= d {
-                    continue;
+        let table = self.current()?;
+        let slots = &table.slots[..];
+        let gen = self.generation.load(Ordering::Relaxed);
+        let slot_mask = slots.len() - 1;
+        for d in SHORTCUT_DEPTHS.iter().rev().copied() {
+            if mask & (1 << (d / 2 - 1)) == 0 || key.len() <= d {
+                continue;
+            }
+            let tag = pack_tag(&key[..d]);
+            let home = slot_of(tag, slot_mask);
+            for i in 0..PROBE_WINDOW {
+                let slot = &slots[(home + i) & slot_mask];
+                let seen = slot.tag.load(Ordering::Acquire);
+                if seen == 0 {
+                    break;
                 }
-                let tag = pack_tag(&key[..d]);
-                let home = slot_of(tag, slot_mask);
-                for i in 0..PROBE_WINDOW {
-                    let s = slots[(home + i) & slot_mask].get();
-                    if s.tag == tag {
-                        if s.gen == gen {
-                            return Some((d, HyperionPointer::from_bytes(s.hp)));
-                        }
+                if seen == tag {
+                    let data = slot.data.load(Ordering::Acquire);
+                    // Tag re-check: a publisher replacing this slot with a
+                    // different prefix vacates the tag first, so an
+                    // unchanged tag proves `data` belongs to this prefix.
+                    if slot.tag.load(Ordering::Acquire) != seen {
                         break;
                     }
-                    if s.tag == 0 {
-                        break;
+                    let (hp, entry_gen) = unpack_data(data);
+                    if entry_gen == gen {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some((d, HyperionPointer::from_bytes(hp)));
                     }
+                    break;
                 }
-            }
-            None
-        });
-        match found {
-            Some(hit) => {
-                self.hits.set(self.hits.get() + 1);
-                Some(hit)
-            }
-            None => {
-                self.misses.set(self.misses.get() + 1);
-                None
             }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Publishes (or retags) `prefix → hp`.  No-op unless enabled and
-    /// `prefix` has a cacheable depth.  Used both to seed entries on
-    /// descent completion and to repoint them when the write engine moves
-    /// a container.
+    /// `prefix` has a cacheable depth, and dropped entirely inside
+    /// `suppress_publish` sections (optimistic readers).  Must otherwise
+    /// be called with the shard lock held — publishers are single-threaded.
     pub fn publish(&self, prefix: &[u8], hp: HyperionPointer) {
         let d = prefix.len();
         if self.capacity == 0 || !SHORTCUT_DEPTHS.contains(&d) {
             return;
         }
-        self.ensure_room();
-        let gen = self.generation.get();
+        if SUPPRESS_PUBLISH.with(|flag| flag.get()) {
+            return;
+        }
+        let gen = self.generation.load(Ordering::Relaxed);
         let tag = pack_tag(prefix);
-        let hp = hp.to_bytes();
-        let inserted = self.with_slots(|slots| {
-            let slot_mask = slots.len() - 1;
-            let home = slot_of(tag, slot_mask);
+        let data = pack_data(hp.to_bytes(), gen);
+        let slots = &self.table_for_publish(gen).slots[..];
+        let slot_mask = slots.len() - 1;
+        let home = slot_of(tag, slot_mask);
+        let mut inserted = false;
+        'place: {
             // First pass: retag an existing entry for this prefix in place.
+            // The tag is unchanged, so concurrent probes pair it with either
+            // the old or the new data word — both published for this prefix.
             for i in 0..PROBE_WINDOW {
-                let cell = &slots[(home + i) & slot_mask];
-                let s = cell.get();
-                if s.tag == tag {
-                    let fresh = s.gen != gen;
-                    cell.set(Slot { tag, hp, gen });
-                    return fresh;
+                let slot = &slots[(home + i) & slot_mask];
+                let seen = slot.tag.load(Ordering::Relaxed);
+                if seen == tag {
+                    let (_, entry_gen) = unpack_data(slot.data.load(Ordering::Relaxed));
+                    inserted = entry_gen != gen;
+                    slot.data.store(data, Ordering::Release);
+                    break 'place;
                 }
-                if s.tag == 0 {
+                if seen == 0 {
                     break;
                 }
             }
             // Second pass: claim an empty or stale slot, else clobber home.
+            // Claiming vacates the tag first so probes never pair the new
+            // data with the evicted prefix's tag.
             for i in 0..PROBE_WINDOW {
-                let cell = &slots[(home + i) & slot_mask];
-                let s = cell.get();
-                if s.tag == 0 || s.gen != gen {
-                    cell.set(Slot { tag, hp, gen });
-                    return true;
+                let slot = &slots[(home + i) & slot_mask];
+                let seen = slot.tag.load(Ordering::Relaxed);
+                let stale = seen != 0 && unpack_data(slot.data.load(Ordering::Relaxed)).1 != gen;
+                if seen == 0 || stale {
+                    slot.tag.store(0, Ordering::Release);
+                    slot.data.store(data, Ordering::Relaxed);
+                    slot.tag.store(tag, Ordering::Release);
+                    inserted = true;
+                    break 'place;
                 }
             }
-            slots[home].set(Slot { tag, hp, gen });
-            false
-        });
+            let slot = &slots[home];
+            slot.tag.store(0, Ordering::Release);
+            slot.data.store(data, Ordering::Relaxed);
+            slot.tag.store(tag, Ordering::Release);
+        }
         if inserted {
-            self.live.set(self.live.get() + 1);
+            self.live.fetch_add(1, Ordering::Relaxed);
         }
         self.depth_mask
-            .set(self.depth_mask.get() | (1 << (d / 2 - 1)));
+            .fetch_or(1 << (d / 2 - 1), Ordering::Relaxed);
     }
 
     /// Kills the entry for `prefix`, if cached.  Called when the write
-    /// engine frees the container a parent slot pointed to.
+    /// engine frees the container a parent slot pointed to (shard lock
+    /// held).
     pub fn invalidate(&self, prefix: &[u8]) {
         let d = prefix.len();
         if self.capacity == 0 || !SHORTCUT_DEPTHS.contains(&d) {
             return;
         }
+        let Some(table) = self.current() else {
+            return;
+        };
+        let slots = &table.slots[..];
         let tag = pack_tag(prefix);
-        let gen = self.generation.get();
-        let killed = self.with_slots(|slots| {
-            if slots.is_empty() {
-                return false;
-            }
-            let slot_mask = slots.len() - 1;
-            let home = slot_of(tag, slot_mask);
-            for i in 0..PROBE_WINDOW {
-                let cell = &slots[(home + i) & slot_mask];
-                let s = cell.get();
-                if s.tag == tag {
-                    cell.set(Slot::default());
-                    return s.gen == gen;
+        let gen = self.generation.load(Ordering::Relaxed);
+        let slot_mask = slots.len() - 1;
+        let home = slot_of(tag, slot_mask);
+        for i in 0..PROBE_WINDOW {
+            let slot = &slots[(home + i) & slot_mask];
+            let seen = slot.tag.load(Ordering::Relaxed);
+            if seen == tag {
+                let (_, entry_gen) = unpack_data(slot.data.load(Ordering::Relaxed));
+                slot.tag.store(0, Ordering::Release);
+                if entry_gen == gen {
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    let live = self.live.load(Ordering::Relaxed);
+                    self.live.store(live.saturating_sub(1), Ordering::Relaxed);
                 }
-                if s.tag == 0 {
-                    break;
-                }
+                return;
             }
-            false
-        });
-        if killed {
-            self.invalidations.set(self.invalidations.get() + 1);
-            self.live.set(self.live.get().saturating_sub(1));
+            if seen == 0 {
+                return;
+            }
         }
     }
 
     /// Invalidates every entry at once by bumping the generation (O(1)
-    /// except on wrap, where the slots are physically zeroed so ancient
-    /// entries cannot resurrect).
+    /// except on wrap, where the slot tags are physically vacated so
+    /// ancient entries cannot resurrect).  Shard lock held.
     pub fn clear(&self) {
         if self.capacity == 0 {
             return;
         }
-        let (next, wrapped) = self.generation.get().overflowing_add(1);
-        self.generation.set(next);
+        let gen = self.generation.load(Ordering::Relaxed);
+        let (next, wrapped) = gen.overflowing_add(1);
+        self.generation.store(next, Ordering::Relaxed);
         if wrapped {
-            self.with_slots(|slots| {
-                for cell in slots {
-                    cell.set(Slot::default());
-                }
-            });
-        }
-        self.live.set(0);
-        self.depth_mask.set(0);
-        self.invalidations.set(self.invalidations.get() + 1);
-    }
-
-    /// Allocates the table lazily and doubles it (rehashing live entries)
-    /// while under capacity and more than half full.
-    fn ensure_room(&self) {
-        let old = self.slots.take();
-        if !old.is_empty() && (old.len() >= self.capacity || self.live.get() * 2 < old.len()) {
-            self.slots.set(old);
-            return;
-        }
-        let new_len = if old.is_empty() {
-            INITIAL_SLOTS.min(self.capacity)
-        } else {
-            (old.len() * 2).min(self.capacity)
-        };
-        if new_len == old.len() {
-            self.slots.set(old);
-            return;
-        }
-        let new: Box<[Cell<Slot>]> = (0..new_len).map(|_| Cell::new(Slot::default())).collect();
-        let gen = self.generation.get();
-        let slot_mask = new_len - 1;
-        let mut live = 0usize;
-        for cell in old.iter() {
-            let s = cell.get();
-            if s.tag == 0 || s.gen != gen {
-                continue;
-            }
-            let home = slot_of(s.tag, slot_mask);
-            for i in 0..PROBE_WINDOW {
-                let target = &new[(home + i) & slot_mask];
-                if target.get().tag == 0 {
-                    target.set(s);
-                    live += 1;
-                    break;
+            if let Some(table) = self.current() {
+                for slot in table.slots.iter() {
+                    slot.tag.store(0, Ordering::Release);
                 }
             }
         }
-        self.live.set(live);
-        self.slots.set(new);
+        self.live.store(0, Ordering::Relaxed);
+        self.depth_mask.store(0, Ordering::Relaxed);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Heap bytes held by the slot array (for `footprint_bytes`).
+    /// Heap bytes held by the slot arrays — the current table plus every
+    /// retired one (parked until drop, so they are honest footprint).
     pub fn footprint_bytes(&self) -> usize {
-        self.with_slots(std::mem::size_of_val)
+        let retired: usize = self
+            .retired
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            // SAFETY: retired pointers stay valid until drop; see `current`.
+            .map(|&table| unsafe { &*table }.slots.len())
+            .sum();
+        let current = self.current().map_or(0, |table| table.slots.len());
+        (retired + current) * std::mem::size_of::<AtomicSlot>()
     }
 
     /// Counter snapshot for `stats.rs` / the server STATS opcode.
     pub fn stats(&self) -> ShortcutStats {
         ShortcutStats {
-            hits: self.hits.get(),
-            misses: self.misses.get(),
-            invalidations: self.invalidations.get(),
-            entries: self.live.get() as u64,
-            slots: self.with_slots(|slots| slots.len() as u64),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.live.load(Ordering::Relaxed) as u64,
+            slots: self.current().map_or(0, |table| table.slots.len() as u64),
         }
     }
 }
@@ -440,7 +588,7 @@ mod tests {
             s.clear();
         }
         // The generation is back to its original value; the wrap must have
-        // zeroed the slot physically or the entry would resurrect.
+        // vacated the slot physically or the entry would resurrect.
         assert_eq!(s.probe(b"abc"), None);
     }
 
@@ -454,6 +602,11 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.slots, 1 << 11);
         assert!(st.entries <= st.slots);
+        // The outgrown table is retired, not freed: the footprint counts
+        // both generations.
+        assert!(
+            s.footprint_bytes() >= (INITIAL_SLOTS + (1 << 11)) * std::mem::size_of::<AtomicSlot>()
+        );
         // Some recent entries still probe back correctly.
         let probe_key = [0u8, 0, 0, 1, 0xff];
         let got = s.probe(&probe_key);
@@ -469,7 +622,61 @@ mod tests {
         s.publish(b"ab", hp(1));
         assert_eq!(
             s.footprint_bytes(),
-            INITIAL_SLOTS * std::mem::size_of::<Cell<Slot>>()
+            INITIAL_SLOTS * std::mem::size_of::<AtomicSlot>()
         );
+    }
+
+    #[test]
+    fn suppressed_publishes_are_dropped() {
+        let s = Shortcut::new(1 << 12);
+        suppress_publish(|| s.publish(b"ab", hp(1)));
+        assert_eq!(s.probe(b"abc"), None);
+        assert_eq!(s.stats().entries, 0);
+        // Suppression is scoped: publishes work again outside.
+        s.publish(b"ab", hp(2));
+        assert_eq!(s.probe(b"abc"), Some((2, hp(2))));
+        // ... and is restored even when the section unwinds.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            suppress_publish(|| panic!("reader died mid-attempt"))
+        }));
+        assert!(unwound.is_err());
+        s.publish(b"cdef", hp(3));
+        assert_eq!(s.probe(b"cdefg"), Some((4, hp(3))));
+    }
+
+    #[test]
+    fn concurrent_probes_race_single_publisher_safely() {
+        use std::sync::atomic::AtomicBool;
+        let s = std::sync::Arc::new(Shortcut::new(1 << 8));
+        s.publish(b"ab", hp(1));
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = std::sync::Arc::clone(&s);
+                let stop = std::sync::Arc::clone(&stop);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // Every accepted probe must decode to a pointer that
+                        // was published for this exact prefix.
+                        if let Some((d, got)) = s.probe(b"abcd") {
+                            assert_eq!(d, 2);
+                            assert!(got == hp(1) || got == hp(2), "torn probe: {got:?}");
+                        }
+                    }
+                });
+            }
+            for round in 0..20_000u32 {
+                s.publish(b"ab", if round % 2 == 0 { hp(1) } else { hp(2) });
+                if round % 64 == 0 {
+                    s.invalidate(b"ab");
+                    s.publish(b"ab", hp(1));
+                }
+                if round % 977 == 0 {
+                    s.clear();
+                    s.publish(b"ab", hp(1));
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 }

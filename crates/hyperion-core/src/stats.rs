@@ -59,6 +59,77 @@ impl ShortcutStats {
     }
 }
 
+/// Live counters of the optimistic (seqlock-validated) read path of
+/// [`crate::HyperionDb`], updated with `Relaxed` atomics so hot read paths
+/// pay one uncontended increment, never a lock.
+#[derive(Debug, Default)]
+pub struct ReadCounters {
+    hits: std::sync::atomic::AtomicU64,
+    retries: std::sync::atomic::AtomicU64,
+    fallbacks: std::sync::atomic::AtomicU64,
+}
+
+impl ReadCounters {
+    /// Records an optimistic attempt that validated cleanly.
+    #[inline]
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records an optimistic attempt discarded because the shard's version
+    /// moved (or was mid-mutation when the attempt started).
+    #[inline]
+    pub fn retry(&self) {
+        self.retries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Records a read that exhausted its optimistic attempts and took the
+    /// shard mutex.
+    #[inline]
+    pub fn fallback(&self) {
+        self.fallbacks
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot for diagnostics (individually `Relaxed`
+    /// loads; the counters are monotone).
+    pub fn snapshot(&self) -> OptimisticReadStats {
+        OptimisticReadStats {
+            hits: self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            retries: self.retries.load(std::sync::atomic::Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counter snapshot of the optimistic read path (see [`ReadCounters`]).
+///
+/// `hits / (hits + fallbacks)` is the fraction of reads served without ever
+/// touching a shard mutex; `retries` counts discarded attempts (each retried
+/// in place before falling back).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimisticReadStats {
+    /// Reads served lock-free (final attempt validated).
+    pub hits: u64,
+    /// Attempts discarded because a writer was active or the version moved.
+    pub retries: u64,
+    /// Reads that exhausted their attempts and took the shard mutex.
+    pub fallbacks: u64,
+}
+
+impl OptimisticReadStats {
+    /// Fraction of reads served without locking, 0.0 when never read.
+    pub fn lock_free_rate(&self) -> f64 {
+        let total = self.hits + self.fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Result of a full structural walk ([`crate::HyperionMap::analyze`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TrieAnalysis {

@@ -25,6 +25,7 @@ use crate::node::{
     TNODE_JT_ENTRIES, TNODE_JT_STRIDE,
 };
 use crate::scan::{collect_s_records, collect_t_records};
+use crate::seqlock::MapSeq;
 use crate::shortcut::Shortcut;
 use crate::stats::{ShortcutStats, TrieAnalysis, TrieCounters};
 use crate::write::{WriteEngine, WriteError};
@@ -44,6 +45,9 @@ pub struct HyperionMap {
     len: usize,
     counters: TrieCounters,
     pub(crate) shortcut: Shortcut,
+    /// Seqlock version word read by the optimistic readers of
+    /// [`crate::HyperionDb`]; bumped odd/even around every mutation below.
+    pub(crate) seq: MapSeq,
 }
 
 impl HyperionMap {
@@ -62,6 +66,7 @@ impl HyperionMap {
             len: 0,
             counters: TrieCounters::default(),
             shortcut: Shortcut::new(config.shortcut_capacity),
+            seq: MapSeq::new(),
         }
     }
 
@@ -89,6 +94,13 @@ impl HyperionMap {
     /// shortcut is disabled via [`HyperionConfig::shortcut_capacity`]).
     pub fn shortcut_stats(&self) -> ShortcutStats {
         self.shortcut.stats()
+    }
+
+    /// Structural events (splits, ejections, aborted splits) the write engine
+    /// noted on this map's seqlock — the torn-read hazard rate optimistic
+    /// readers' retry counters are measured against.
+    pub fn structural_events(&self) -> u64 {
+        self.seq.structural_events()
     }
 
     /// Access to the underlying memory manager (read-only), e.g. for
@@ -188,6 +200,7 @@ impl HyperionMap {
     /// instead of panicking.  Returns `Ok(true)` if the key was not present
     /// before.
     pub fn try_put(&mut self, key: &[u8], value: u64) -> Result<bool, WriteError> {
+        let _span = self.seq.mutation();
         let key = self.transform(key).into_owned();
         if key.is_empty() {
             let inserted = self.empty_key_value.is_none();
@@ -226,6 +239,7 @@ impl HyperionMap {
     where
         I: IntoIterator<Item = (&'k [u8], u64)>,
     {
+        let _span = self.seq.mutation();
         let mut entries: Vec<(Vec<u8>, u64)> = Vec::new();
         let mut empty_key: Option<u64> = None;
         for (key, value) in pairs {
@@ -281,9 +295,10 @@ impl HyperionMap {
                 config,
                 counters,
                 shortcut,
+                seq,
                 ..
             } = self;
-            let mut engine = WriteEngine::new(mm, config, counters, shortcut);
+            let mut engine = WriteEngine::new(mm, config, counters, shortcut, seq);
             engine.write_into_pointer(&mut new_root, 0, &entries, &mut inserted)
         };
         // Commit progress even on failure: a split may have freed the old
@@ -311,6 +326,7 @@ impl HyperionMap {
 
     /// Removes a key.  Returns `true` if the key was present.
     pub fn delete(&mut self, key: &[u8]) -> bool {
+        let _span = self.seq.mutation();
         let key = self.transform(key).into_owned();
         if key.is_empty() {
             let removed = self.empty_key_value.take().is_some();
@@ -328,9 +344,10 @@ impl HyperionMap {
                 config,
                 counters,
                 shortcut,
+                seq,
                 ..
             } = self;
-            let mut engine = WriteEngine::new(mm, config, counters, shortcut);
+            let mut engine = WriteEngine::new(mm, config, counters, shortcut, seq);
             engine.delete_in_pointer(root, &key, 0)
         };
         if removed {
@@ -359,6 +376,7 @@ impl HyperionMap {
     /// delete still descends on its own: a structural delete (record removal,
     /// gap shrink) invalidates any resume point a batched walk could carry.
     pub fn delete_many(&mut self, keys: &[&[u8]]) -> Vec<bool> {
+        let _span = self.seq.mutation();
         let mut results = vec![false; keys.len()];
         let mut order: Vec<u32> = (0..keys.len() as u32).collect();
         order.sort_by(|&a, &b| keys[a as usize].cmp(keys[b as usize]));

@@ -69,6 +69,7 @@ use crate::scan::{
     collect_s_records, collect_t_records_trusted, s_scan, s_scan_from, skip_t_children, t_scan,
     t_scan_from,
 };
+use crate::seqlock::MapSeq;
 use crate::shortcut::Shortcut;
 use crate::stats::TrieCounters;
 use hyperion_mem::{HyperionPointer, MemoryManager};
@@ -387,6 +388,12 @@ pub(crate) struct WriteEngine<'a> {
     /// deletes), the entry for that prefix is retagged or invalidated, and
     /// completed descents publish fresh entries so writes warm the cache.
     shortcut: &'a Shortcut,
+    /// The owning map's seqlock.  The engine never moves it itself — the
+    /// trie-level entry points open the mutation span — but it asserts the
+    /// span is held (the version is odd) on entry and notes structural
+    /// events (splits, ejections) against it, since those are the moments a
+    /// concurrent optimistic reader is most likely to observe torn state.
+    seq: &'a MapSeq,
     /// Byte shifts performed by the low-level plumbing since the last drain;
     /// the batch layer converts them into [`Event`]s.
     edits: Vec<RawEdit>,
@@ -398,12 +405,15 @@ impl<'a> WriteEngine<'a> {
         config: &'a HyperionConfig,
         counters: &'a mut TrieCounters,
         shortcut: &'a Shortcut,
+        seq: &'a MapSeq,
     ) -> WriteEngine<'a> {
+        seq.assert_mutating();
         WriteEngine {
             mm,
             config,
             counters,
             shortcut,
+            seq,
             edits: Vec::new(),
         }
     }
@@ -1206,6 +1216,7 @@ impl<'a> WriteEngine<'a> {
         site.regs[old].write_hp(ctx.child, child_hp);
         self.set_child_kind(&mut site.regs[old], ctx.s_flag, ChildKind::Pointer);
         self.counters.ejections += 1;
+        self.seq.note_structural();
         let new = site.regs.len();
         site.regs.push(child);
         site.events.push(Event::Eject {
@@ -1767,6 +1778,7 @@ impl<'a> WriteEngine<'a> {
             }
         }
         self.counters.splits += 1;
+        self.seq.note_structural();
         match c.handle() {
             ContainerHandle::Standalone(old_hp) => {
                 let head = self.mm.allocate_chained();
@@ -1808,6 +1820,7 @@ impl<'a> WriteEngine<'a> {
             c.set_split_delay(delay + 1);
         }
         self.counters.split_aborts += 1;
+        self.seq.note_structural();
         None
     }
 

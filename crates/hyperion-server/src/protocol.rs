@@ -236,6 +236,12 @@ pub struct StatsSnapshot {
     pub shortcut_invalidations: u64,
     /// Live shortcut entries across all shards at snapshot time.
     pub shortcut_entries: u64,
+    /// Reads served lock-free by the optimistic (seqlock-validated) path.
+    pub optimistic_hits: u64,
+    /// Optimistic attempts discarded because a writer overlapped.
+    pub optimistic_retries: u64,
+    /// Reads that exhausted their optimistic attempts and took a shard lock.
+    pub optimistic_fallbacks: u64,
 }
 
 impl StatsSnapshot {
@@ -442,6 +448,9 @@ pub fn encode_response(id: u32, resp: &Response, out: &mut Vec<u8>) {
                 s.shortcut_misses,
                 s.shortcut_invalidations,
                 s.shortcut_entries,
+                s.optimistic_hits,
+                s.optimistic_retries,
+                s.optimistic_fallbacks,
             ] {
                 o.extend_from_slice(&v.to_le_bytes());
             }
@@ -661,6 +670,9 @@ pub fn decode_response(body: &[u8]) -> Result<(u32, Response), ProtoError> {
             shortcut_misses: r.u64()?,
             shortcut_invalidations: r.u64()?,
             shortcut_entries: r.u64()?,
+            optimistic_hits: r.u64()?,
+            optimistic_retries: r.u64()?,
+            optimistic_fallbacks: r.u64()?,
         }),
         kind::ERROR => {
             let code = r.u16()?;
@@ -909,6 +921,9 @@ mod tests {
             shortcut_misses: 3,
             shortcut_invalidations: 1,
             shortcut_entries: 5,
+            optimistic_hits: 11,
+            optimistic_retries: 2,
+            optimistic_fallbacks: 1,
             ..Default::default()
         }));
         roundtrip_response(Response::Error {

@@ -92,6 +92,7 @@ impl StatsCounters {
     /// counters, so cache behaviour is observable over the wire.
     fn snapshot(&self, db: &HyperionDb) -> StatsSnapshot {
         let shortcut = db.shortcut_stats();
+        let optimistic = db.optimistic_read_stats();
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -106,6 +107,9 @@ impl StatsCounters {
             shortcut_misses: shortcut.misses,
             shortcut_invalidations: shortcut.invalidations,
             shortcut_entries: shortcut.entries,
+            optimistic_hits: optimistic.hits,
+            optimistic_retries: optimistic.retries,
+            optimistic_fallbacks: optimistic.fallbacks,
         }
     }
 }

@@ -1,0 +1,278 @@
+//! Stress test for the optimistic lock-free read path: reader threads run
+//! point gets, batched gets and forward/reverse scans against a sharded
+//! `HyperionDb` while writer threads mutate it under deliberately tiny
+//! split/eject thresholds (maximum structural churn per byte written).
+//!
+//! Correctness is checked without a global lock via a per-key
+//! *started/completed* window.  The monotonic writer publishes
+//! `started[i] = n` (Release) before `put(key_i, n)` and `completed[i] = n`
+//! (Release) after the put returns, and only ever increases a key's value.
+//! A reader then brackets every observation:
+//!
+//! ```text
+//! lo = completed[i]   (before the call)
+//! v  = get(key_i)
+//! hi = started[i]     (after the call)
+//! assert lo <= v <= hi
+//! ```
+//!
+//! `v >= lo` holds because the put of `lo` finished before the call began,
+//! so every seqlock-validated snapshot the call can observe already contains
+//! it; `v <= hi` holds because a value is only ever written after its
+//! `started` store.  Together they pin every observed value to one that was
+//! current at some instant *during the call that observed it* — exactly the
+//! linearizability contract the optimistic read engine promises.  Scans get
+//! the same treatment per returned entry (their chunk-granular snapshots
+//! still satisfy the window, since each chunk refill is itself a validated
+//! read), plus strict key-order asserts in both directions.
+
+use hyperion::workloads::Mt19937_64;
+use hyperion::{FibonacciPartitioner, HyperionConfig, HyperionDb};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Keys the monotonic writer owns; never deleted, values only increase.
+const MONOTONIC_KEYS: usize = 256;
+/// Concurrent reader threads (plus two writers; the box may have one core —
+/// preemption inside mutation spans is what makes readers retry there).
+const READERS: usize = 3;
+/// Minimum verified rounds per reader before it is allowed to stop.
+const MIN_ROUNDS: usize = 150;
+/// Readers keep hammering past `MIN_ROUNDS` until the optimistic counters
+/// show at least one retry or fallback, up to this cap.
+const RETRY_DEADLINE: Duration = Duration::from_secs(25);
+
+fn monotonic_key(i: usize) -> Vec<u8> {
+    format!("mono:{i:04}").into_bytes()
+}
+
+fn monotonic_index(key: &[u8]) -> Option<usize> {
+    let rest = key.strip_prefix(b"mono:")?;
+    std::str::from_utf8(rest).ok()?.parse().ok()
+}
+
+/// Variable-length churn keys: inserted and deleted at random to drive
+/// container splits and ejections under the tiny thresholds.
+fn churn_key(n: u64) -> Vec<u8> {
+    let pad = "x".repeat((n % 23) as usize);
+    format!("churn:{:03}:{pad}", n % 401).into_bytes()
+}
+
+struct Window {
+    started: Vec<AtomicU64>,
+    completed: Vec<AtomicU64>,
+}
+
+impl Window {
+    fn new(initial: u64) -> Window {
+        Window {
+            started: (0..MONOTONIC_KEYS)
+                .map(|_| AtomicU64::new(initial))
+                .collect(),
+            completed: (0..MONOTONIC_KEYS)
+                .map(|_| AtomicU64::new(initial))
+                .collect(),
+        }
+    }
+
+    fn check(&self, i: usize, lo: u64, value: u64, what: &str) {
+        let hi = self.started[i].load(Ordering::Acquire);
+        assert!(
+            lo <= value && value <= hi,
+            "{what}: key {i} observed {value}, outside its live window [{lo}, {hi}]"
+        );
+    }
+
+    /// Snapshot of every key's `completed` floor, taken before a scan.
+    fn floors(&self) -> Vec<u64> {
+        self.completed
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .collect()
+    }
+}
+
+#[test]
+fn optimistic_reads_stay_linearizable_under_structural_churn() {
+    // Tiny thresholds: every few hundred bytes of writes splits or ejects a
+    // container, so mutation spans (and seqlock movement) are constant.
+    let config = HyperionConfig {
+        eject_threshold: 1024,
+        split_base: 512,
+        split_increment: 256,
+        split_min_part: 128,
+        ..HyperionConfig::for_strings()
+    };
+    let db = Arc::new(
+        HyperionDb::builder()
+            .shards(4)
+            .config(config)
+            .partitioner(FibonacciPartitioner)
+            .scan_chunk(16)
+            .build(),
+    );
+    let window = Arc::new(Window::new(1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let deadline = Instant::now() + RETRY_DEADLINE;
+
+    // Seed every monotonic key at value 1 and a first churn population.
+    for i in 0..MONOTONIC_KEYS {
+        db.put(&monotonic_key(i), 1).expect("seed put");
+    }
+    for n in 0..400u64 {
+        db.put(&churn_key(n * 7), n).expect("seed churn");
+    }
+
+    let monotonic_writer = {
+        let db = Arc::clone(&db);
+        let window = Arc::clone(&window);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut rng = Mt19937_64::new(0x5e9);
+            let mut values = vec![1u64; MONOTONIC_KEYS];
+            while !stop.load(Ordering::Relaxed) {
+                let i = (rng.next_u64() as usize) % MONOTONIC_KEYS;
+                let next = values[i] + 1;
+                window.started[i].store(next, Ordering::Release);
+                db.put(&monotonic_key(i), next).expect("monotonic put");
+                window.completed[i].store(next, Ordering::Release);
+                values[i] = next;
+            }
+            values
+        })
+    };
+
+    let churn_writer = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut rng = Mt19937_64::new(0xc0de);
+            while !stop.load(Ordering::Relaxed) {
+                let n = rng.next_u64();
+                let key = churn_key(n);
+                if n % 3 == 0 {
+                    db.delete(&key).expect("churn delete");
+                } else {
+                    db.put(&key, n).expect("churn put");
+                }
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let db = Arc::clone(&db);
+            let window = Arc::clone(&window);
+            std::thread::spawn(move || {
+                let mut rng = Mt19937_64::new(0xab1e + r as u64);
+                let mut round = 0usize;
+                loop {
+                    if round >= MIN_ROUNDS {
+                        let s = db.optimistic_read_stats();
+                        if s.retries + s.fallbacks > 0 || Instant::now() >= deadline {
+                            break;
+                        }
+                    }
+                    round += 1;
+
+                    // Point get with a per-call window.
+                    let i = (rng.next_u64() as usize) % MONOTONIC_KEYS;
+                    let lo = window.completed[i].load(Ordering::Acquire);
+                    let got = db
+                        .get(&monotonic_key(i))
+                        .expect("get")
+                        .expect("monotonic keys are never deleted");
+                    window.check(i, lo, got, "point get");
+
+                    // Batched get: same bracket per probed key.
+                    if round % 4 == 0 {
+                        let indices: Vec<usize> = (0..16)
+                            .map(|_| (rng.next_u64() as usize) % MONOTONIC_KEYS)
+                            .collect();
+                        let keys: Vec<Vec<u8>> =
+                            indices.iter().map(|&i| monotonic_key(i)).collect();
+                        let lows: Vec<u64> = indices
+                            .iter()
+                            .map(|&i| window.completed[i].load(Ordering::Acquire))
+                            .collect();
+                        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                        let got = db.multi_get(&refs).expect("multi_get");
+                        for ((&i, &lo), got) in indices.iter().zip(&lows).zip(&got) {
+                            let value = got.expect("monotonic keys are never deleted");
+                            window.check(i, lo, value, "multi_get");
+                        }
+                    }
+
+                    // Forward scan over the monotonic band: strictly
+                    // ascending, every value inside its window.
+                    if round % 8 == 2 {
+                        let floors = window.floors();
+                        let mut last: Option<Vec<u8>> = None;
+                        for (key, value) in db.prefix(b"mono:").take(64) {
+                            if let Some(prev) = &last {
+                                assert!(prev < &key, "forward scan out of order");
+                            }
+                            let i = monotonic_index(&key).expect("scan key shape");
+                            window.check(i, floors[i], value, "forward scan");
+                            last = Some(key);
+                        }
+                    }
+
+                    // Reverse scan: strictly descending, same window rule.
+                    if round % 8 == 6 {
+                        let floors = window.floors();
+                        let mut last: Option<Vec<u8>> = None;
+                        for (key, value) in db.prefix_rev(b"mono:").take(64) {
+                            if let Some(prev) = &last {
+                                assert!(prev > &key, "reverse scan out of order");
+                            }
+                            let i = monotonic_index(&key).expect("scan key shape");
+                            window.check(i, floors[i], value, "reverse scan");
+                            last = Some(key);
+                        }
+                    }
+
+                    // Whole-keyspace order check across the churn band too.
+                    if round % 16 == 10 {
+                        let mut last: Option<Vec<u8>> = None;
+                        for (key, _) in db.iter().take(128) {
+                            if let Some(prev) = &last {
+                                assert!(prev < &key, "mixed scan out of order");
+                            }
+                            last = Some(key);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for handle in readers {
+        handle.join().expect("reader thread");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let final_values = monotonic_writer.join().expect("monotonic writer");
+    churn_writer.join().expect("churn writer");
+
+    // Quiesced: the map agrees exactly with the writer's private log.
+    for (i, &expected) in final_values.iter().enumerate() {
+        assert_eq!(
+            db.get(&monotonic_key(i)).expect("final get"),
+            Some(expected),
+            "key {i} diverged from the writer's log after quiescing"
+        );
+    }
+
+    let stats = db.optimistic_read_stats();
+    assert!(
+        stats.hits > 0,
+        "no optimistic read ever validated: {stats:?}"
+    );
+    assert!(
+        stats.retries + stats.fallbacks > 0,
+        "writers churned for {RETRY_DEADLINE:?} without a single seqlock \
+         retry or mutex fallback — the optimistic path is not being exercised \
+         ({stats:?})"
+    );
+}
