@@ -96,6 +96,12 @@ struct Opts {
     open_rate: u64,
     /// Client counts for the mix C reader-scaling sweep.
     client_sweep: Vec<usize>,
+    /// Per-worker queue-depth cap for the embedded server (0 = server
+    /// default).  Setting it small turns the open-loop pass into an
+    /// overload run: requests over the cap are shed with `Overloaded`, the
+    /// oracle is relaxed (shed writes never execute) and the shed rate is
+    /// reported instead of asserted to be zero.
+    queue_depth: usize,
 }
 
 fn parse_opts() -> Opts {
@@ -111,6 +117,7 @@ fn parse_opts() -> Opts {
         mixes: vec![Mix::A, Mix::B, Mix::C, Mix::D, Mix::E],
         open_rate: 40_000,
         client_sweep: vec![1, 2, 4, 8],
+        queue_depth: 0,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> String {
@@ -127,6 +134,9 @@ fn parse_opts() -> Opts {
             "--records" => opts.records = value(&args, &mut i, "--records").parse().unwrap(),
             "--ops" => opts.ops = value(&args, &mut i, "--ops").parse().unwrap(),
             "--rate" => opts.open_rate = value(&args, &mut i, "--rate").parse().unwrap(),
+            "--queue-depth" => {
+                opts.queue_depth = value(&args, &mut i, "--queue-depth").parse().unwrap()
+            }
             "--client-sweep" => {
                 // An empty list ("--client-sweep ''") skips the sweep.
                 opts.client_sweep = value(&args, &mut i, "--client-sweep")
@@ -322,30 +332,60 @@ fn drain_one(
     hist.record(entry.issued.elapsed().as_nanos() as u64);
 }
 
-/// Pipelined load phase: populates this client's stripe.
-fn load_stripe(client: &mut Client, stripe: &mut Stripe, window: usize, context: &str) {
-    let mut pending: HashMap<u32, Pending> = HashMap::new();
-    let mut hist = Hist::new();
+/// Pipelined load phase: populates this client's stripe.  Under an overload
+/// configuration (`retry_shed`) the tiny worker queues shed some loads with
+/// a retryable error; those puts are re-sent until they land, so the stripe
+/// is always fully populated before the run phase.
+fn load_stripe(
+    client: &mut Client,
+    stripe: &mut Stripe,
+    window: usize,
+    retry_shed: bool,
+    context: &str,
+) {
+    fn drain(
+        client: &mut Client,
+        pending: &mut HashMap<u32, (Vec<u8>, u64)>,
+        retry_shed: bool,
+        context: &str,
+    ) {
+        let (id, resp) = client
+            .recv()
+            .unwrap_or_else(|e| panic!("{context}: recv: {e}"));
+        let (key, value) = pending
+            .remove(&id)
+            .unwrap_or_else(|| panic!("{context}: response for unknown id {id}"));
+        match resp {
+            Response::Ok => {}
+            Response::Error { code, .. } if retry_shed && code.is_retryable() => {
+                std::thread::sleep(Duration::from_micros(200));
+                let id = client.send(&Request::Put {
+                    key: key.clone(),
+                    value,
+                });
+                pending.insert(id, (key, value));
+            }
+            other => panic!("{context}: load answered {other:?}"),
+        }
+    }
+    let mut pending: HashMap<u32, (Vec<u8>, u64)> = HashMap::new();
     for rank in 0..stripe.keys.len() {
         let key = stripe.keys[rank].clone();
         let value = stripe.next_value();
         stripe.oracle.insert(key.clone(), value);
         while pending.len() >= window {
             client.flush().expect("flush");
-            drain_one(client, &mut pending, &mut hist, context);
+            drain(client, &mut pending, retry_shed, context);
         }
-        let id = client.send(&Request::Put { key, value });
-        pending.insert(
-            id,
-            Pending {
-                issued: Instant::now(),
-                expected: Expected::Ok,
-            },
-        );
+        let id = client.send(&Request::Put {
+            key: key.clone(),
+            value,
+        });
+        pending.insert(id, (key, value));
     }
-    client.flush().expect("flush");
     while !pending.is_empty() {
-        drain_one(client, &mut pending, &mut hist, context);
+        client.flush().expect("flush");
+        drain(client, &mut pending, retry_shed, context);
     }
 }
 
@@ -406,6 +446,7 @@ fn run_open(
     stripe: &mut Stripe,
     ops: usize,
     rate_per_client: f64,
+    lenient: bool,
     context: &str,
 ) -> Hist {
     let mut pending: HashMap<u32, Pending> = HashMap::new();
@@ -420,6 +461,10 @@ fn run_open(
         if due && pending.len() < cap {
             let scheduled = start + interval * sent as u32;
             let (req, expected) = stripe.next_op();
+            // Under a deliberate overload (tiny queue depth) any request
+            // may come back `Overloaded` instead of its value, and a shed
+            // write silently diverges the oracle — drop the exact checks.
+            let expected = if lenient { Expected::Any } else { expected };
             // Same scan barrier as the closed loop (mix E only).
             let barrier = matches!(req, Request::Scan { .. });
             if barrier && !pending.is_empty() {
@@ -467,7 +512,13 @@ fn run_mix(addr: &str, mix: Mix, opts: &Opts, open_loop: bool) -> (Hist, f64) {
                     let context = format!("mix {}/client {c}", mix.tag());
                     let mut client = Client::connect(addr).expect("connect");
                     let mut stripe = Stripe::new(mix, c, opts.records, opts.smoke);
-                    load_stripe(&mut client, &mut stripe, opts.window, &context);
+                    load_stripe(
+                        &mut client,
+                        &mut stripe,
+                        opts.window,
+                        opts.queue_depth > 0,
+                        &context,
+                    );
                     let started = Instant::now();
                     let hist = if open_loop {
                         run_open(
@@ -475,6 +526,7 @@ fn run_mix(addr: &str, mix: Mix, opts: &Opts, open_loop: bool) -> (Hist, f64) {
                             &mut stripe,
                             opts.ops,
                             rate_per_client,
+                            opts.queue_depth > 0,
                             &context,
                         )
                     } else {
@@ -514,6 +566,12 @@ fn delta(after: &StatsSnapshot, before: &StatsSnapshot) -> StatsSnapshot {
         optimistic_hits: after.optimistic_hits - before.optimistic_hits,
         optimistic_retries: after.optimistic_retries - before.optimistic_retries,
         optimistic_fallbacks: after.optimistic_fallbacks - before.optimistic_fallbacks,
+        shed_requests: after.shed_requests - before.shed_requests,
+        evicted_slow_clients: after.evicted_slow_clients - before.evicted_slow_clients,
+        deadline_closed_conns: after.deadline_closed_conns - before.deadline_closed_conns,
+        rejected_connections: after.rejected_connections - before.rejected_connections,
+        failpoint_trips: after.failpoint_trips - before.failpoint_trips,
+        poison_recoveries: after.poison_recoveries - before.poison_recoveries,
     }
 }
 
@@ -532,7 +590,11 @@ fn main() {
                 .partitioner(FibonacciPartitioner)
                 .build(),
         );
-        Some(Server::start(db, "127.0.0.1:0", ServerConfig::default()).expect("start server"))
+        let mut config = ServerConfig::default();
+        if opts.queue_depth > 0 {
+            config.max_queue_depth = opts.queue_depth;
+        }
+        Some(Server::start(db, "127.0.0.1:0", config).expect("start server"))
     } else {
         None
     };
@@ -551,7 +613,19 @@ fn main() {
         if opts.smoke { ", smoke + oracle" } else { "" }
     );
 
-    for &mix in &opts.mixes {
+    // An overload run (--queue-depth) is an open-loop shedding experiment:
+    // the closed-loop oracles assume no request is ever dropped, so those
+    // passes (and the reader sweep) only run at the default queue depth.
+    let overload = opts.queue_depth > 0;
+    if overload {
+        println!(
+            "overload mode: per-worker queue depth capped at {}; \
+             closed-loop passes skipped",
+            opts.queue_depth
+        );
+    }
+
+    for &mix in opts.mixes.iter().filter(|_| !overload) {
         let before = control.stats().expect("stats");
         let (hist, wall) = run_mix(&addr, mix, &opts, false);
         let after = control.stats().expect("stats");
@@ -592,14 +666,31 @@ fn main() {
         let after = control.stats().expect("stats");
         let d = delta(&after, &before);
         let total_ops = opts.clients * opts.ops;
+        let shed_rate = if d.requests == 0 {
+            0.0
+        } else {
+            d.shed_requests as f64 / d.requests as f64
+        };
         println!(
-            "mix B open    ({:>6.0} ops/s scheduled     ) {:>8.1} kops  {}  read-group {:.2}",
+            "mix B open    ({:>6.0} ops/s scheduled     ) {:>8.1} kops  {}  read-group {:.2}  \
+             shed {} ({:.2}%)",
             opts.open_rate as f64,
             total_ops as f64 / wall / 1e3,
             hist.summary_us(),
             d.avg_read_group(),
+            d.shed_requests,
+            shed_rate * 100.0,
         );
-        assert_eq!(d.errors, 0, "open loop: server reported errors");
+        if opts.queue_depth > 0 {
+            // Overload run: the only acceptable errors are typed sheds.
+            assert_eq!(
+                d.errors, d.shed_requests,
+                "open loop: non-shed errors under overload"
+            );
+            metrics.push(("ycsb/b_open_shed_rate".into(), shed_rate));
+        } else {
+            assert_eq!(d.errors, 0, "open loop: server reported errors");
+        }
         metrics.extend(hist.percentile_metrics("ycsb/b_open"));
     }
 
@@ -608,7 +699,7 @@ fn main() {
     // through the optimistic seqlock path on the server, so the per-window
     // STATS delta also shows how many reads validated lock-free versus
     // retried or fell back to the shard mutex.
-    if opts.mixes.contains(&Mix::C) && !opts.client_sweep.is_empty() {
+    if opts.mixes.contains(&Mix::C) && !opts.client_sweep.is_empty() && !overload {
         println!("mix C client sweep (closed loop):");
         for &n in &opts.client_sweep {
             let sweep_opts = Opts {

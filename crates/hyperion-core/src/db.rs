@@ -154,6 +154,22 @@ pub enum HyperionError {
         /// Index of the shard whose engine failed.
         shard: usize,
     },
+    /// An allocation failed mid-write (today raised only by the `mem.alloc`
+    /// failpoint simulating OOM).  The shard was re-quiesced and stays
+    /// usable; the failed operation may have partially applied, like a
+    /// timed-out RPC.  Retryable.
+    AllocFailed {
+        /// Index of the shard whose allocation failed.
+        shard: usize,
+    },
+    /// A failpoint injected a transient fault (`Action::Error` trips under
+    /// the `failpoints` feature).  Same contract as
+    /// [`HyperionError::AllocFailed`]: shard usable, outcome of the failed
+    /// operation unknown, retryable.
+    Injected {
+        /// Index of the shard the fault was injected on.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for HyperionError {
@@ -170,6 +186,12 @@ impl fmt::Display for HyperionError {
                     f,
                     "write engine failed to converge on shard {shard} (structural loop)"
                 )
+            }
+            HyperionError::AllocFailed { shard } => {
+                write!(f, "allocation failed on shard {shard} (simulated OOM)")
+            }
+            HyperionError::Injected { shard } => {
+                write!(f, "injected transient fault on shard {shard}")
             }
             HyperionError::BatchFailed(report) => {
                 write!(
@@ -478,6 +500,9 @@ impl HyperionDbBuilder {
 
     /// Builds the database.
     pub fn build(self) -> HyperionDb {
+        // Install the quiet hook up front (not only on the first optimistic
+        // read): a write-only chaos phase must not spray backtraces either.
+        install_quiet_panic_hook();
         let mut shards = Vec::with_capacity(self.shards);
         for _ in 0..self.shards {
             shards.push(Shard::new(HyperionMap::with_config(self.config)));
@@ -502,6 +527,8 @@ impl HyperionDbBuilder {
 struct Shard {
     map: UnsafeCell<HyperionMap>,
     lock: Mutex<()>,
+    /// Times [`lock_recover`] found this shard poisoned and revived it.
+    recoveries: std::sync::atomic::AtomicU64,
 }
 
 // SAFETY: `HyperionMap` is `Send` (owned arena memory, no thread affinity).
@@ -518,6 +545,7 @@ impl Shard {
         Shard {
             map: UnsafeCell::new(map),
             lock: Mutex::new(()),
+            recoveries: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -591,9 +619,29 @@ fn install_quiet_panic_hook() {
     HOOK.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if !IN_OPTIMISTIC.with(|flag| flag.get()) {
-                previous(info);
+            if IN_OPTIMISTIC.with(|flag| flag.get()) {
+                return;
             }
+            // Injected faults are expected, caught and converted (or
+            // recovered from) upstream; a chaos run should not drown the
+            // console in backtraces for them.
+            #[cfg(feature = "failpoints")]
+            {
+                let p = info.payload();
+                let injected_message = |s: &str| s.starts_with("failpoint '");
+                if p.downcast_ref::<hyperion_mem::failpoint::AllocFailure>()
+                    .is_some()
+                    || p.downcast_ref::<hyperion_mem::failpoint::InjectedError>()
+                        .is_some()
+                    || p.downcast_ref::<&str>()
+                        .is_some_and(|s| injected_message(s))
+                    || p.downcast_ref::<String>()
+                        .is_some_and(|s| injected_message(s))
+                {
+                    return;
+                }
+            }
+            previous(info);
         }));
     });
 }
@@ -633,6 +681,9 @@ fn lock_recover(shard: &Shard) -> ShardGuard<'_> {
         // SAFETY: the lock is held; `force_quiesce` is the designated
         // exclusive-access repair hook for an abandoned mutation span.
         unsafe { shard.map_unlocked() }.seq.force_quiesce();
+        shard
+            .recoveries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         lock
     });
     shard.guard(lock)
@@ -769,6 +820,92 @@ impl HyperionDb {
         self.read_counters.snapshot()
     }
 
+    /// Revives every currently poisoned shard (clears the poison flag and
+    /// re-evens the abandoned seqlock span) and returns how many were
+    /// recovered.  Cheap when nothing is poisoned: only the mutex poison
+    /// flags are inspected.  The server's workers call this after catching a
+    /// writer panic so one crashed request never wedges a shard.
+    pub fn recover_poisoned(&self) -> usize {
+        let mut recovered = 0;
+        for shard in &self.shards {
+            if shard.lock.is_poisoned() {
+                drop(lock_recover(shard));
+                recovered += 1;
+            }
+        }
+        recovered
+    }
+
+    /// Total shard poison recoveries performed over this database's lifetime
+    /// (by [`HyperionDb::recover_poisoned`], the recovering read fallback and
+    /// the recovering aggregates).
+    pub fn poison_recoveries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.recoveries.load(std::sync::atomic::Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Runs the deep structural validator on every shard under the shard
+    /// lock (recovering poisoned shards first).  Test/chaos-harness hook.
+    #[doc(hidden)]
+    pub fn validate_structure(&self) -> Result<(), String> {
+        for (index, shard) in self.shards.iter().enumerate() {
+            lock_recover(shard)
+                .validate_structure()
+                .map_err(|e| format!("shard {index}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Runs a mutation against a locked shard, converting injected failpoint
+    /// unwinds ([`hyperion_mem::failpoint::AllocFailure`] /
+    /// [`hyperion_mem::failpoint::InjectedError`]) into typed errors.  The
+    /// guard stays alive across the catch, so the mutex is *not* poisoned for
+    /// these simulated transient faults — the shard is re-quiesced and stays
+    /// usable.  Any other panic (including injected `Action::Panic` crashes)
+    /// keeps unwinding and poisons the shard like a real writer crash.
+    #[cfg(feature = "failpoints")]
+    fn mutate<R>(
+        guard: &mut ShardGuard<'_>,
+        shard: usize,
+        f: impl FnOnce(&mut HyperionMap) -> R,
+    ) -> Result<R, HyperionError> {
+        match catch_unwind(AssertUnwindSafe(|| f(guard))) {
+            Ok(result) => Ok(result),
+            Err(payload) => {
+                let error = if payload
+                    .downcast_ref::<hyperion_mem::failpoint::AllocFailure>()
+                    .is_some()
+                {
+                    HyperionError::AllocFailed { shard }
+                } else if payload
+                    .downcast_ref::<hyperion_mem::failpoint::InjectedError>()
+                    .is_some()
+                {
+                    HyperionError::Injected { shard }
+                } else {
+                    resume_unwind(payload);
+                };
+                // The unwind left the mutation span odd; the lock is held, so
+                // this is the designated exclusive-access repair point.
+                guard.seq.force_quiesce();
+                Err(error)
+            }
+        }
+    }
+
+    /// `failpoints` off: a plain call, zero added cost.
+    #[cfg(not(feature = "failpoints"))]
+    #[inline(always)]
+    fn mutate<R>(
+        guard: &mut ShardGuard<'_>,
+        _shard: usize,
+        f: impl FnOnce(&mut HyperionMap) -> R,
+    ) -> Result<R, HyperionError> {
+        Ok(f(guard))
+    }
+
     // =========================================================================
     // typed point operations
     // =========================================================================
@@ -778,7 +915,7 @@ impl HyperionDb {
         Self::check_key(key)?;
         let shard = self.shard_of(key);
         let mut guard = self.lock_shard(shard)?;
-        match guard.try_put(key, value) {
+        match Self::mutate(&mut guard, shard, |map| map.try_put(key, value))? {
             Ok(true) => Ok(PutOutcome::Inserted),
             Ok(false) => Ok(PutOutcome::Updated),
             Err(WriteError::StructuralLoop) => Err(HyperionError::StructuralLoop { shard }),
@@ -800,7 +937,9 @@ impl HyperionDb {
         if key.len() > MAX_KEY_LEN {
             return Ok(false);
         }
-        Ok(self.lock_shard(self.shard_of(key))?.delete(key))
+        let shard = self.shard_of(key);
+        let mut guard = self.lock_shard(shard)?;
+        Self::mutate(&mut guard, shard, |map| map.delete(key))
     }
 
     // =========================================================================
@@ -897,7 +1036,16 @@ impl HyperionDb {
             };
             shard_keys.clear();
             shard_keys.extend(group.iter().map(|&i| keys[i]));
-            for (&i, removed) in group.iter().zip(guard.delete_many(&shard_keys)) {
+            let removed = match Self::mutate(&mut guard, shard, |map| map.delete_many(&shard_keys))
+            {
+                Ok(removed) => removed,
+                Err(e) => {
+                    drop(guard);
+                    self.return_scratch(groups);
+                    return Err(e);
+                }
+            };
+            for (&i, removed) in group.iter().zip(removed) {
                 results[i] = removed;
             }
         }
@@ -962,13 +1110,18 @@ impl HyperionDb {
                             BatchOp::Delete { .. } => unreachable!("run holds puts only"),
                         })
                         .collect();
-                    match guard.try_put_many(pairs.iter().copied()) {
-                        Ok(inserted) => {
+                    match Self::mutate(&mut guard, shard, |map| {
+                        map.try_put_many(pairs.iter().copied())
+                    }) {
+                        Ok(Ok(inserted)) => {
                             summary.inserted += inserted;
                             summary.updated += (run - at) - inserted;
                         }
-                        Err(WriteError::StructuralLoop) => {
+                        Ok(Err(WriteError::StructuralLoop)) => {
                             let e = HyperionError::StructuralLoop { shard };
+                            failures.extend(group[at..run].iter().map(|&i| (i, e.clone())));
+                        }
+                        Err(e) => {
                             failures.extend(group[at..run].iter().map(|&i| (i, e.clone())));
                         }
                     }
@@ -991,11 +1144,18 @@ impl HyperionDb {
                         .iter()
                         .map(|&i| batch.ops[i].key())
                         .collect();
-                    for removed in guard.delete_many(&keys) {
-                        if removed {
-                            summary.deleted += 1;
-                        } else {
-                            summary.missing += 1;
+                    match Self::mutate(&mut guard, shard, |map| map.delete_many(&keys)) {
+                        Ok(removed) => {
+                            for removed in removed {
+                                if removed {
+                                    summary.deleted += 1;
+                                } else {
+                                    summary.missing += 1;
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            failures.extend(group[at..del_run].iter().map(|&i| (i, e.clone())));
                         }
                     }
                     at = del_run;
@@ -1003,18 +1163,21 @@ impl HyperionDb {
                 }
                 let i = group[at];
                 match &batch.ops[i] {
-                    BatchOp::Put { key, value } => match guard.try_put(key, *value) {
-                        Ok(true) => summary.inserted += 1,
-                        Ok(false) => summary.updated += 1,
-                        Err(WriteError::StructuralLoop) => {
-                            failures.push((i, HyperionError::StructuralLoop { shard }));
+                    BatchOp::Put { key, value } => {
+                        match Self::mutate(&mut guard, shard, |map| map.try_put(key, *value)) {
+                            Ok(Ok(true)) => summary.inserted += 1,
+                            Ok(Ok(false)) => summary.updated += 1,
+                            Ok(Err(WriteError::StructuralLoop)) => {
+                                failures.push((i, HyperionError::StructuralLoop { shard }));
+                            }
+                            Err(e) => failures.push((i, e)),
                         }
-                    },
+                    }
                     BatchOp::Delete { key } => {
-                        if guard.delete(key) {
-                            summary.deleted += 1;
-                        } else {
-                            summary.missing += 1;
+                        match Self::mutate(&mut guard, shard, |map| map.delete(key)) {
+                            Ok(true) => summary.deleted += 1,
+                            Ok(false) => summary.missing += 1,
+                            Err(e) => failures.push((i, e)),
                         }
                     }
                 }
@@ -1797,6 +1960,57 @@ mod tests {
             after.hits > recovered.hits,
             "post-recovery reads must run lock-free again"
         );
+    }
+
+    /// Injected alloc failures surface as typed `AllocFailed` without
+    /// poisoning, injected panics poison-and-recover via
+    /// `recover_poisoned`, and the trie stays structurally valid throughout.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn injected_faults_surface_typed_and_recover() {
+        use crate::failpoint::{self, Action, Policy};
+        let db = sample_db(FirstBytePartitioner, 2);
+        for i in 0..512u64 {
+            db.put(format!("warm{i:04}").as_bytes(), i).unwrap();
+        }
+        failpoint::set_seed(1);
+
+        // Simulated OOM: typed error, shard stays usable, no poison.
+        failpoint::arm("mem.alloc", Policy::new(Action::AllocFail).max_trips(1));
+        let mut alloc_failed = 0;
+        for i in 0..512u64 {
+            match db.put(format!("oom{i:04}").as_bytes(), i) {
+                Ok(_) => {}
+                Err(HyperionError::AllocFailed { .. }) => alloc_failed += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(alloc_failed, 1, "the armed trip must surface exactly once");
+        assert_eq!(db.poison_recoveries(), 0, "AllocFail must not poison");
+        failpoint::disarm("mem.alloc");
+
+        // Simulated writer crash: the shard poisons, `recover_poisoned`
+        // revives it, and the recovery is counted.
+        failpoint::arm("write.splice", Policy::new(Action::Panic).max_trips(1));
+        let mut poisoned = 0;
+        for i in 0..2048u64 {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                db.put(format!("crash{i:05}").as_bytes(), i)
+            })) {
+                Ok(Ok(_)) | Ok(Err(HyperionError::ShardPoisoned { .. })) => {}
+                Ok(Err(e)) => panic!("unexpected error: {e}"),
+                Err(_) => poisoned += 1,
+            }
+        }
+        assert_eq!(poisoned, 1, "the armed crash must fire exactly once");
+        assert_eq!(db.recover_poisoned(), 1);
+        assert_eq!(db.poison_recoveries(), 1);
+        failpoint::disarm_all();
+
+        // Fully usable and structurally valid afterwards.
+        assert_eq!(db.put(b"after", 9), Ok(PutOutcome::Inserted));
+        assert_eq!(db.get(b"after"), Ok(Some(9)));
+        db.validate_structure().unwrap();
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Fault injection for chaos testing (re-export of `hyperion_mem::failpoint`).
+//!
+//! Compiled only under the `failpoints` cargo feature; without it this module
+//! is empty and every site in the tree compiles to nothing, so release builds
+//! pay zero hot-path cost.
+//!
+//! # Sites
+//!
+//! | site                  | placed at                                            | crash semantics |
+//! |-----------------------|------------------------------------------------------|-----------------|
+//! | `seqlock.mutation`    | mutation-span entry ([`crate::HyperionMap`] writes)  | immediate (nothing mutated yet) |
+//! | `write.splice`        | `make_room` — before every structural splice         | deferred |
+//! | `write.eject`         | embedded-container ejection                          | deferred |
+//! | `write.split`         | vertical container split (after the cut is chosen)   | deferred |
+//! | `write.pc_rewrite`    | path-compressed node rewrite                         | deferred |
+//! | `write.cjt_rebuild`   | container-jump-table rebuild after a visit           | deferred |
+//! | `shortcut.publish`    | shortcut table publish                               | deferred |
+//! | `shortcut.invalidate` | shortcut table invalidate                            | deferred |
+//! | `mem.alloc`           | `MemoryManager::allocate` / `allocate_chained`       | deferred |
+//!
+//! "Deferred" crash actions fire at the next crash-consistent boundary —
+//! between top-level container visits or at the end of the mutating
+//! operation — so an injected crash always leaves the trie structurally
+//! valid (`validate_structure` holds) while the crash *schedule* still
+//! tracks real structural events.  `Sleep` actions fire inline at the site.
+//! See [`hyperion_mem::failpoint`] for the full model, the [`Policy`] /
+//! [`Action`] builders, and the seeded determinism contract.
+//!
+//! # Typed conversion at the shard boundary
+//!
+//! [`crate::HyperionDb`] catches the injected unwinds under the shard lock:
+//! [`AllocFailure`] becomes [`crate::HyperionError::AllocFailed`] and
+//! [`InjectedError`] becomes [`crate::HyperionError::Injected`] — in both
+//! cases the shard is re-quiesced and stays usable.  A plain `Panic` trip is
+//! *not* caught: it poisons the shard like a real writer crash, exercising
+//! `lock_recover` / `MapSeq::force_quiesce` downstream.
+
+pub use hyperion_mem::failpoint::*;

@@ -79,6 +79,8 @@ pub mod builder;
 pub mod config;
 pub mod container;
 pub mod db;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 pub mod iter;
 pub mod keys;
 pub mod node;

@@ -52,6 +52,10 @@ impl MapSeq {
     /// so optimistic readers keep their hands off the torn state.
     #[inline]
     pub(crate) fn mutation(&self) -> MutationSpan {
+        // Immediate crash semantics are sound only here: the span has not
+        // begun, so nothing is mutated yet and the counter stays even.
+        #[cfg(feature = "failpoints")]
+        hyperion_mem::failpoint::eval_immediate("seqlock.mutation");
         let depth = self.depth.load(Ordering::Relaxed);
         if depth == 0 {
             let seq = self.seq.load(Ordering::Relaxed);

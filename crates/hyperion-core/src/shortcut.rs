@@ -362,6 +362,7 @@ impl Shortcut {
         if SUPPRESS_PUBLISH.with(|flag| flag.get()) {
             return;
         }
+        hyperion_mem::fail_point!("shortcut.publish");
         let gen = self.generation.load(Ordering::Relaxed);
         let tag = pack_tag(prefix);
         let data = pack_data(hp.to_bytes(), gen);
@@ -424,6 +425,7 @@ impl Shortcut {
         let Some(table) = self.current() else {
             return;
         };
+        hyperion_mem::fail_point!("shortcut.invalidate");
         let slots = &table.slots[..];
         let tag = pack_tag(prefix);
         let gen = self.generation.load(Ordering::Relaxed);

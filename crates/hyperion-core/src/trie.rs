@@ -201,6 +201,10 @@ impl HyperionMap {
     /// before.
     pub fn try_put(&mut self, key: &[u8], value: u64) -> Result<bool, WriteError> {
         let _span = self.seq.mutation();
+        // Declared after the span so it drops first: a deferred failpoint
+        // trip firing at op end still unwinds inside the mutation span.
+        #[cfg(feature = "failpoints")]
+        let _fp_op = hyperion_mem::failpoint::op_guard();
         let key = self.transform(key).into_owned();
         if key.is_empty() {
             let inserted = self.empty_key_value.is_none();
@@ -240,6 +244,8 @@ impl HyperionMap {
         I: IntoIterator<Item = (&'k [u8], u64)>,
     {
         let _span = self.seq.mutation();
+        #[cfg(feature = "failpoints")]
+        let _fp_op = hyperion_mem::failpoint::op_guard();
         let mut entries: Vec<(Vec<u8>, u64)> = Vec::new();
         let mut empty_key: Option<u64> = None;
         for (key, value) in pairs {
@@ -289,7 +295,7 @@ impl HyperionMap {
         };
         let mut new_root = root;
         let mut inserted = 0usize;
-        let result = {
+        let run = |this: &mut HyperionMap, new_root: &mut HyperionPointer, inserted: &mut usize| {
             let HyperionMap {
                 mm,
                 config,
@@ -297,9 +303,29 @@ impl HyperionMap {
                 shortcut,
                 seq,
                 ..
-            } = self;
+            } = this;
             let mut engine = WriteEngine::new(mm, config, counters, shortcut, seq);
-            engine.write_into_pointer(&mut new_root, 0, &entries, &mut inserted)
+            engine.write_into_pointer(new_root, 0, &entries, inserted)
+        };
+        #[cfg(not(feature = "failpoints"))]
+        let result = run(self, &mut new_root, &mut inserted);
+        // A deferred failpoint trip unwinds out of the engine at a top-level
+        // visit boundary.  The out-parameters are current there, so commit
+        // them exactly like the Err path before re-raising — the completed
+        // visits are real and the old root allocation may be freed.
+        #[cfg(feature = "failpoints")]
+        let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(self, &mut new_root, &mut inserted)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                if new_root != root {
+                    self.root = Some(new_root);
+                }
+                self.len += inserted;
+                self.shortcut.clear();
+                std::panic::resume_unwind(payload);
+            }
         };
         // Commit progress even on failure: a split may have freed the old
         // root allocation, and the inserts applied before the failure are
@@ -327,6 +353,8 @@ impl HyperionMap {
     /// Removes a key.  Returns `true` if the key was present.
     pub fn delete(&mut self, key: &[u8]) -> bool {
         let _span = self.seq.mutation();
+        #[cfg(feature = "failpoints")]
+        let _fp_op = hyperion_mem::failpoint::op_guard();
         let key = self.transform(key).into_owned();
         if key.is_empty() {
             let removed = self.empty_key_value.take().is_some();
@@ -377,6 +405,8 @@ impl HyperionMap {
     /// gap shrink) invalidates any resume point a batched walk could carry.
     pub fn delete_many(&mut self, keys: &[&[u8]]) -> Vec<bool> {
         let _span = self.seq.mutation();
+        #[cfg(feature = "failpoints")]
+        let _fp_op = hyperion_mem::failpoint::op_guard();
         let mut results = vec![false; keys.len()];
         let mut order: Vec<u32> = (0..keys.len() as u32).collect();
         order.sort_by(|&a, &b| keys[a as usize].cmp(keys[b as usize]));

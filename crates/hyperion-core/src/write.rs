@@ -461,6 +461,14 @@ impl<'a> WriteEngine<'a> {
         debug_assert!(!entries.is_empty());
         let mut rest = entries;
         while !rest.is_empty() {
+            // Crash-consistent boundary for deferred failpoint trips — but
+            // only at the top-level loop: nested descents hold pending HP
+            // write-backs in the enclosing visits, and the enclosing top
+            // container may itself have moved without `*stored` hearing yet.
+            #[cfg(feature = "failpoints")]
+            if depth == 0 {
+                hyperion_mem::failpoint::safe_point();
+            }
             let hint = rest[0].0[depth];
             let (handle, group_len) = if stored.superbin() == 0 && self.mm.is_chained(*stored) {
                 // Slot routing is monotone in the first key byte (chunk
@@ -518,6 +526,10 @@ impl<'a> WriteEngine<'a> {
         if self.config.container_jump_table
             && outcome.scanned >= self.config.container_jump_table_scan_limit
         {
+            // Site sits at this call only: the mid-split rebuild in
+            // `rebuild_split_halves` runs after the old container is freed,
+            // where even a deferred trip schedule should not add noise.
+            hyperion_mem::fail_point!("write.cjt_rebuild");
             self.rebuild_container_jump_table(c);
             self.edits.clear();
         }
@@ -1079,6 +1091,7 @@ impl<'a> WriteEngine<'a> {
         depth: usize,
         group: &[(Vec<u8>, u64)],
     ) -> Result<(usize, bool), WriteError> {
+        hyperion_mem::fail_point!("write.pc_rewrite");
         let child_off = s.child_offset.expect("pc child offset");
         let c = &site.regs[frame.cid];
         let (has_value, pc_value, range) = parse_pc_node(c.bytes(), child_off);
@@ -1149,6 +1162,7 @@ impl<'a> WriteEngine<'a> {
         tracked: &mut [&mut usize],
     ) -> Result<(), WriteError> {
         debug_assert_eq!(*epoch, site.events.len(), "stale epoch entering make_room");
+        hyperion_mem::fail_point!("write.splice");
         let mut attempts = 0usize;
         loop {
             if frame.embeds.is_empty() {
@@ -1182,6 +1196,7 @@ impl<'a> WriteEngine<'a> {
         epoch: &mut usize,
         tracked: &mut [&mut usize],
     ) {
+        hyperion_mem::fail_point!("write.eject");
         let ctx = frame.embeds[0];
         let old = frame.cid;
         let size = site.regs[old].bytes()[ctx.child] as usize;
@@ -1777,6 +1792,7 @@ impl<'a> WriteEngine<'a> {
                 }
             }
         }
+        hyperion_mem::fail_point!("write.split");
         self.counters.splits += 1;
         self.seq.note_structural();
         match c.handle() {

@@ -1,0 +1,448 @@
+//! Deterministic fault injection: named failpoint sites with seeded policies.
+//!
+//! Only compiled under the `failpoints` cargo feature; release builds carry
+//! zero code or data for it (the [`fail_point!`](crate::fail_point) macro
+//! expands to nothing).  The registry is process-global and std-only: a
+//! mutexed map of named sites, each holding a [`Policy`] and a per-site
+//! splitmix64 stream derived from the global seed and the site name, so a
+//! fixed seed reproduces the same trip schedule per site regardless of which
+//! other sites are armed.
+//!
+//! # Actions and the crash-consistency contract
+//!
+//! A site that trips executes its policy's [`Action`]:
+//!
+//! * [`Action::Sleep`] fires **inline** at the site — it widens race windows
+//!   (seqlock validation, queue backpressure) but never tears state.
+//! * [`Action::Panic`], [`Action::AllocFail`] and [`Action::Error`] are
+//!   **deferred**: the site records a pending trip and the unwind is raised
+//!   at the next *crash-consistent boundary* — a [`safe_point`] between
+//!   top-level container visits, or the end of the mutating operation (the
+//!   [`OpGuard`] drop).  Hyperion's write engine keeps deferred
+//!   Hyperion-Pointer write-backs in flight mid-visit, so an arbitrary
+//!   mid-site unwind could leave a parent pointing at freed memory; deferring
+//!   to the visit boundary models a fail-stop crash at a point where the trie
+//!   is structurally consistent while the *schedule* of crashes still tracks
+//!   real structural events (splices, ejections, splits).  Consequence: an
+//!   operation that reports an injected failure may have partially or fully
+//!   applied — exactly the contract of a timed-out RPC.
+//!
+//! A pending crash armed outside any operation (e.g. a shortcut publish
+//! reached from the lock-free read path) is dropped and counted in
+//! [`suppressed_trips`] instead — reads stay side-effect free.
+//!
+//! The payload distinguishes simulated faults: [`Action::Panic`] raises a
+//! plain panic (a simulated writer crash — the shard mutex poisons and the
+//! seqlock stays odd until recovery), while [`Action::AllocFail`] /
+//! [`Action::Error`] raise the typed markers [`AllocFailure`] /
+//! [`InjectedError`], which `HyperionDb` catches at the shard boundary and
+//! converts into typed errors after re-quiescing the shard.
+//!
+//! # Usage
+//!
+//! ```ignore
+//! use hyperion_core::failpoint::{self, Action, Policy};
+//!
+//! failpoint::set_seed(42);
+//! failpoint::arm("write.split", Policy::new(Action::Panic).chance(1, 64));
+//! failpoint::arm("mem.alloc", Policy::new(Action::AllocFail).after(1000).max_trips(5));
+//! // ... run workload; HyperionDb reports AllocFailed / poisons + recovers ...
+//! failpoint::disarm_all();
+//! assert!(failpoint::total_trips() > 0);
+//! ```
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed site does when its policy fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Simulated writer crash: a plain panic raised at the next
+    /// crash-consistent boundary.
+    Panic,
+    /// Simulated transient fault: raises [`InjectedError`], converted by
+    /// `HyperionDb` into a typed retryable error.
+    Error,
+    /// Simulated OOM: raises [`AllocFailure`], converted by `HyperionDb`
+    /// into `HyperionError::AllocFailed`.
+    AllocFail,
+    /// Sleeps this many milliseconds inline at the site (race widening).
+    Sleep(u64),
+}
+
+/// When and how often a site trips.  Built fluently:
+/// `Policy::new(Action::Panic).after(100).chance(1, 64).max_trips(3)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Policy {
+    action: Action,
+    /// Evaluations to skip before the site can trip ("delay N ops").
+    after: u64,
+    /// Trip probability as `num / den` per eligible evaluation.
+    chance: (u32, u32),
+    /// Trip budget; 0 means unlimited.
+    max_trips: u64,
+}
+
+impl Policy {
+    /// A policy that trips on every eligible evaluation.
+    pub fn new(action: Action) -> Policy {
+        Policy {
+            action,
+            after: 0,
+            chance: (1, 1),
+            max_trips: 0,
+        }
+    }
+
+    /// Skips the first `n` evaluations (deterministic "arm after N ops").
+    pub fn after(mut self, n: u64) -> Policy {
+        self.after = n;
+        self
+    }
+
+    /// Trips with probability `num / den` (drawn from the site's seeded
+    /// splitmix64 stream).  `den == 0` is treated as `1`.
+    pub fn chance(mut self, num: u32, den: u32) -> Policy {
+        self.chance = (num, den.max(1));
+        self
+    }
+
+    /// Caps the number of trips; 0 means unlimited.
+    pub fn max_trips(mut self, n: u64) -> Policy {
+        self.max_trips = n;
+        self
+    }
+}
+
+/// Panic payload of [`Action::AllocFail`]: a simulated allocation failure.
+#[derive(Debug)]
+pub struct AllocFailure {
+    /// The site that raised it.
+    pub site: &'static str,
+}
+
+/// Panic payload of [`Action::Error`]: a simulated transient fault.
+#[derive(Debug)]
+pub struct InjectedError {
+    /// The site that raised it.
+    pub site: &'static str,
+}
+
+struct SiteState {
+    policy: Policy,
+    rng: u64,
+    evals: u64,
+    trips: u64,
+}
+
+struct Registry {
+    sites: Mutex<HashMap<&'static str, SiteState>>,
+    /// Armed-site count mirrored outside the mutex: the `eval` fast path
+    /// returns without locking while nothing is armed.
+    armed: AtomicU64,
+    seed: AtomicU64,
+    total_trips: AtomicU64,
+    suppressed: AtomicU64,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        sites: Mutex::new(HashMap::new()),
+        armed: AtomicU64::new(0),
+        seed: AtomicU64::new(0x68797065_72696f6e), // "hyperion"
+        total_trips: AtomicU64::new(0),
+        suppressed: AtomicU64::new(0),
+    })
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Sets the global seed.  Affects sites armed afterwards (each site's stream
+/// is seeded at [`arm`] time from `seed ^ fnv1a(site)`).
+pub fn set_seed(seed: u64) {
+    registry().seed.store(seed, Ordering::Relaxed);
+}
+
+/// Arms (or re-arms, resetting counters) the named site.
+pub fn arm(site: &'static str, policy: Policy) {
+    let reg = registry();
+    let mut sites = reg.sites.lock().unwrap_or_else(|p| p.into_inner());
+    let rng = reg.seed.load(Ordering::Relaxed) ^ fnv1a(site);
+    if sites
+        .insert(
+            site,
+            SiteState {
+                policy,
+                rng,
+                evals: 0,
+                trips: 0,
+            },
+        )
+        .is_none()
+    {
+        reg.armed.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Disarms the named site (its trip count is forgotten; [`total_trips`] is
+/// not).
+pub fn disarm(site: &str) {
+    let reg = registry();
+    let mut sites = reg.sites.lock().unwrap_or_else(|p| p.into_inner());
+    if sites.remove(site).is_some() {
+        reg.armed.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Disarms every site and clears any pending deferred trip on this thread.
+pub fn disarm_all() {
+    let reg = registry();
+    let mut sites = reg.sites.lock().unwrap_or_else(|p| p.into_inner());
+    reg.armed.fetch_sub(sites.len() as u64, Ordering::Release);
+    sites.clear();
+    PENDING.with(|p| p.set(None));
+}
+
+/// Trips recorded for the named site since it was (re-)armed.
+pub fn trips(site: &str) -> u64 {
+    let reg = registry();
+    let sites = reg.sites.lock().unwrap_or_else(|p| p.into_inner());
+    sites.get(site).map_or(0, |s| s.trips)
+}
+
+/// Total trips across all sites for the process lifetime (survives
+/// [`disarm_all`]; exposed by the server's STATS verb).
+pub fn total_trips() -> u64 {
+    registry().total_trips.load(Ordering::Relaxed)
+}
+
+/// Crash trips dropped because they were armed outside any mutating
+/// operation (e.g. from the lock-free read path).
+pub fn suppressed_trips() -> u64 {
+    registry().suppressed.load(Ordering::Relaxed)
+}
+
+#[derive(Clone, Copy)]
+struct Pending {
+    site: &'static str,
+    action: Action,
+}
+
+thread_local! {
+    /// Deferred crash trip, executed at the next crash-consistent boundary.
+    static PENDING: Cell<Option<Pending>> = const { Cell::new(None) };
+    /// Nesting depth of mutating operations on this thread ([`OpGuard`]).
+    static OP_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Evaluates the site's policy, returning the action if it trips.
+fn should_trip(site: &'static str) -> Option<Action> {
+    let reg = registry();
+    if reg.armed.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    let mut sites = reg.sites.lock().unwrap_or_else(|p| p.into_inner());
+    let st = sites.get_mut(site)?;
+    st.evals += 1;
+    if st.evals <= st.policy.after {
+        return None;
+    }
+    if st.policy.max_trips != 0 && st.trips >= st.policy.max_trips {
+        return None;
+    }
+    let (num, den) = st.policy.chance;
+    if den > 1 && splitmix64(&mut st.rng) % den as u64 >= num as u64 {
+        return None;
+    }
+    st.trips += 1;
+    reg.total_trips.fetch_add(1, Ordering::Relaxed);
+    Some(st.policy.action)
+}
+
+fn execute(site: &'static str, action: Action) {
+    match action {
+        Action::Sleep(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        Action::Panic => panic!("failpoint '{site}': injected crash"),
+        Action::AllocFail => std::panic::panic_any(AllocFailure { site }),
+        Action::Error => std::panic::panic_any(InjectedError { site }),
+    }
+}
+
+/// Site hook with *deferred* crash semantics (see the module docs); what the
+/// [`fail_point!`](crate::fail_point) macro expands to.
+pub fn eval(site: &'static str) {
+    let Some(action) = should_trip(site) else {
+        return;
+    };
+    if let Action::Sleep(_) = action {
+        execute(site, action);
+        return;
+    }
+    if OP_DEPTH.with(|d| d.get()) == 0 {
+        registry().suppressed.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    // First pending trip wins; a second one before the boundary is dropped.
+    PENDING.with(|p| {
+        if p.get().is_none() {
+            p.set(Some(Pending { site, action }));
+        }
+    });
+}
+
+/// Site hook with *immediate* crash semantics — only sound at sites where
+/// nothing has been mutated yet (the mutation-span entry).
+pub fn eval_immediate(site: &'static str) {
+    if let Some(action) = should_trip(site) {
+        execute(site, action);
+    }
+}
+
+/// Crash-consistent boundary: executes the pending deferred trip, if any.
+/// The write engine calls this between top-level container visits.
+pub fn safe_point() {
+    if let Some(p) = PENDING.with(|c| c.take()) {
+        execute(p.site, p.action);
+    }
+}
+
+/// Marks this thread as inside a mutating operation for the guard's
+/// lifetime.  On the outermost drop, a still-pending deferred trip fires —
+/// the end of the operation is always a crash-consistent boundary.
+pub struct OpGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Opens an [`OpGuard`].  Guards nest (batch loops over point ops).
+pub fn op_guard() -> OpGuard {
+    OP_DEPTH.with(|d| d.set(d.get() + 1));
+    OpGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for OpGuard {
+    fn drop(&mut self) {
+        let depth = OP_DEPTH.with(|d| {
+            let v = d.get() - 1;
+            d.set(v);
+            v
+        });
+        // Never initiate a second panic while unwinding (that would abort).
+        if depth == 0 && !std::thread::panicking() {
+            safe_point();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Registry state is process-global; serialise the tests touching it.
+    fn lock_tests() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn after_and_max_trips_bound_the_schedule() {
+        let _gate = lock_tests();
+        disarm_all();
+        arm("t.bounds", Policy::new(Action::Panic).after(2).max_trips(1));
+        let count_trips = || {
+            let _op = op_guard();
+            eval("t.bounds");
+            PENDING.with(|p| p.take()).is_some()
+        };
+        assert!(!count_trips());
+        assert!(!count_trips());
+        assert!(count_trips());
+        assert!(!count_trips(), "max_trips exhausted");
+        assert_eq!(trips("t.bounds"), 1);
+        disarm_all();
+    }
+
+    #[test]
+    fn chance_is_seed_deterministic() {
+        let _gate = lock_tests();
+        disarm_all();
+        let schedule = |seed| {
+            set_seed(seed);
+            arm("t.chance", Policy::new(Action::Error).chance(1, 4));
+            let _op = op_guard();
+            let s: Vec<bool> = (0..64)
+                .map(|_| {
+                    eval("t.chance");
+                    PENDING.with(|p| p.take()).is_some()
+                })
+                .collect();
+            disarm("t.chance");
+            s
+        };
+        let a = schedule(7);
+        let b = schedule(7);
+        let c = schedule(8);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&t| t), "1/4 chance must trip within 64 evals");
+        assert!(a.iter().any(|&t| !t));
+        assert_ne!(a, c, "different seeds should give different schedules");
+        disarm_all();
+    }
+
+    #[test]
+    fn crash_trips_defer_to_safe_points_and_op_end() {
+        let _gate = lock_tests();
+        disarm_all();
+        arm("t.defer", Policy::new(Action::AllocFail).max_trips(2));
+        // Deferred: the site itself must not unwind.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _op = op_guard();
+            eval("t.defer");
+            safe_point();
+        }));
+        let payload = caught.expect_err("safe_point must raise the pending trip");
+        assert_eq!(
+            payload.downcast_ref::<AllocFailure>().unwrap().site,
+            "t.defer"
+        );
+        // No explicit safe point: the outermost OpGuard drop fires it.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _op = op_guard();
+            eval("t.defer");
+        }));
+        assert!(caught.is_err(), "op end must raise the pending trip");
+        disarm_all();
+    }
+
+    #[test]
+    fn crash_outside_an_op_is_suppressed() {
+        let _gate = lock_tests();
+        disarm_all();
+        arm("t.read", Policy::new(Action::Panic));
+        let before = suppressed_trips();
+        eval("t.read"); // no OpGuard on this thread
+        assert_eq!(suppressed_trips(), before + 1);
+        safe_point(); // nothing pending: must not panic
+        disarm_all();
+    }
+}

@@ -32,11 +32,24 @@
 
 mod bin;
 mod extended;
+#[cfg(feature = "failpoints")]
+pub mod failpoint;
 mod manager;
 mod metabin;
 mod pointer;
 mod stats;
 mod superbin;
+
+/// Evaluates a named failpoint site with deferred crash semantics (see the
+/// `failpoint` module, present only under the `failpoints` feature); expands
+/// to nothing unless the invoking crate enables that feature.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{
+        #[cfg(feature = "failpoints")]
+        $crate::failpoint::eval($name);
+    }};
+}
 
 pub use extended::{ExtendedBin, CHAIN_LEN};
 pub use manager::MemoryManager;

@@ -44,6 +44,7 @@ impl MemoryManager {
     /// Allocates `size` bytes and returns the HP plus the usable capacity of
     /// the allocation (which is at least `size`).
     pub fn allocate(&mut self, size: usize) -> (HyperionPointer, usize) {
+        crate::fail_point!("mem.alloc");
         self.total_allocations += 1;
         let sb_id = superbin_for_size(size);
         if sb_id == 0 {
@@ -164,6 +165,7 @@ impl MemoryManager {
     /// a single HP.  All eight slots start void; populate them with
     /// [`MemoryManager::chained_set`].
     pub fn allocate_chained(&mut self) -> HyperionPointer {
+        crate::fail_point!("mem.alloc");
         self.total_allocations += 1;
         let (mb, bin, first) = self.superbins[0]
             .allocate_consecutive(CHAIN_LEN)

@@ -23,12 +23,17 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Everything a client call can fail with.
 #[derive(Debug)]
 pub enum ClientError {
     /// Transport failure.
     Io(io::Error),
+    /// The connection closed cleanly at a frame boundary (e.g. a graceful
+    /// server drain).  Distinct from [`ClientError::Io`] with
+    /// `UnexpectedEof`, which means a *torn* frame.
+    Closed,
     /// The server sent bytes that do not decode as a response frame.
     Protocol(ProtoError),
     /// The server answered with a typed error response.
@@ -46,10 +51,21 @@ pub enum ClientError {
     },
 }
 
+impl ClientError {
+    /// `true` when the failure is a transient server-side condition
+    /// ([`ErrorCode::is_retryable`]): the request can be resent as-is on
+    /// the same connection, ideally with backoff (see
+    /// [`Client::call_with_retry`]).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Server { code, .. } if code.is_retryable())
+    }
+}
+
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Closed => write!(f, "connection closed at a frame boundary"),
             ClientError::Protocol(e) => write!(f, "protocol: {e}"),
             ClientError::Server { code, message } => {
                 write!(f, "server error {code:?}: {message}")
@@ -72,6 +88,59 @@ impl From<io::Error> for ClientError {
 impl From<ProtoError> for ClientError {
     fn from(e: ProtoError) -> ClientError {
         ClientError::Protocol(e)
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter, consumed by
+/// [`Client::call_with_retry`].
+///
+/// Attempt `n` sleeps between `delay/2` and `delay` where
+/// `delay = min(base << n, cap)`; the jitter is a pure function of
+/// `seed` and the attempt number (splitmix64), so runs are reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = no retries).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Jitter seed; vary per client so retry storms decorrelate.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.cap);
+        let half = exp / 2;
+        // splitmix64 over (seed, attempt): deterministic, well mixed.
+        let mut z = self
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter_nanos = if half.is_zero() {
+            0
+        } else {
+            z % (half.as_nanos() as u64)
+        };
+        half + Duration::from_nanos(jitter_nanos)
     }
 }
 
@@ -158,8 +227,26 @@ impl Client {
     }
 
     fn read_frame(&mut self) -> Result<(u32, Response), ClientError> {
+        // The length prefix is read byte-wise so a clean close *between*
+        // frames (a graceful server drain) is distinguishable from a torn
+        // frame: EOF before the first byte is `Closed`, EOF anywhere later
+        // is an `UnexpectedEof` transport error.
         let mut len = [0u8; 4];
-        self.stream.read_exact(&mut len)?;
+        let mut got = 0;
+        while got < 4 {
+            match self.stream.read(&mut len[got..]) {
+                Ok(0) if got == 0 => return Err(ClientError::Closed),
+                Ok(0) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed inside a response frame header",
+                    )))
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
         let len = u32::from_le_bytes(len) as usize;
         if !(5..=MAX_FRAME).contains(&len) {
             return Err(ClientError::Protocol(ProtoError {
@@ -188,6 +275,35 @@ impl Client {
                 return Ok(resp);
             }
             self.parked.push_back((rid, resp));
+        }
+    }
+
+    /// [`Client::call`] with automatic retry of transient server errors
+    /// ([`ErrorCode::Overloaded`], [`ErrorCode::Unavailable`]) under
+    /// `policy`'s capped exponential backoff.  Non-retryable errors and
+    /// transport failures surface immediately; the retryable error itself
+    /// is returned once the retry budget is spent.
+    ///
+    /// Note the `Unavailable` caveat: a shed (`Overloaded`) request was
+    /// never executed, but an `Unavailable` write may have partially taken
+    /// effect before the fault — idempotent operations (put, del) are safe
+    /// to resend either way.
+    pub fn call_with_retry(
+        &mut self,
+        req: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.call(req)? {
+                Response::Error { code, .. }
+                    if code.is_retryable() && attempt < policy.max_retries =>
+                {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                resp => return Ok(resp),
+            }
         }
     }
 

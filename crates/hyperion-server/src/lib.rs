@@ -32,7 +32,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{BatchAck, Client, ClientError};
+pub use client::{BatchAck, Client, ClientError, RetryPolicy};
 pub use protocol::{
     BatchEntry, ErrorCode, FrameBuf, FrameEvent, ProtoError, Request, Response, StatsSnapshot,
 };

@@ -19,7 +19,7 @@
 //!           | STATS
 //! response := PONG | VALUE opt | OK | DELETED removed:u8
 //!           | VALUES n:u32 opt*n | SUMMARY u32*4 | ENTRIES n:u32 (key value:u64)*n
-//!           | STATS u64*13 | ERROR code:u16 mlen:u16 msg
+//!           | STATS u64*22 | ERROR code:u16 mlen:u16 msg
 //! opt      := present:u8 [value:u64 if present]
 //! ```
 //!
@@ -83,6 +83,14 @@ pub enum ErrorCode {
     /// A structurally valid request with an out-of-range argument (e.g. a
     /// scan limit of zero).
     BadArgument = 6,
+    /// The server shed the request before executing it because the target
+    /// worker queue was over its depth limit.  Retryable: nothing was
+    /// executed; back off and resend.
+    Overloaded = 7,
+    /// A transient store-side fault (poisoned shard, simulated allocation
+    /// failure, injected error).  The shard has been recovered; retryable,
+    /// but the failed write may or may not have taken effect.
+    Unavailable = 8,
 }
 
 impl ErrorCode {
@@ -95,8 +103,17 @@ impl ErrorCode {
             4 => ErrorCode::Backend,
             5 => ErrorCode::FrameTooLarge,
             6 => ErrorCode::BadArgument,
+            7 => ErrorCode::Overloaded,
+            8 => ErrorCode::Unavailable,
             _ => return None,
         })
+    }
+
+    /// `true` for transient conditions worth retrying with backoff
+    /// ([`ErrorCode::Overloaded`], [`ErrorCode::Unavailable`]); every other
+    /// code reports a defect in the request itself.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded | ErrorCode::Unavailable)
     }
 }
 
@@ -242,6 +259,23 @@ pub struct StatsSnapshot {
     pub optimistic_retries: u64,
     /// Reads that exhausted their optimistic attempts and took a shard lock.
     pub optimistic_fallbacks: u64,
+    /// Requests shed with [`ErrorCode::Overloaded`] because the target
+    /// worker queue was over its depth limit.
+    pub shed_requests: u64,
+    /// Connections closed because their outbox stayed above the high-water
+    /// mark past the slow-client deadline.
+    pub evicted_slow_clients: u64,
+    /// Connections closed by the idle deadline.
+    pub deadline_closed_conns: u64,
+    /// Connections dropped at accept time because the server was at its
+    /// connection limit.
+    pub rejected_connections: u64,
+    /// Failpoint sites tripped since startup (0 unless the server was built
+    /// with the `failpoints` feature and sites were armed).
+    pub failpoint_trips: u64,
+    /// Poisoned-shard recoveries performed by the store (a writer died
+    /// mid-mutation and the shard was re-adopted).
+    pub poison_recoveries: u64,
 }
 
 impl StatsSnapshot {
@@ -451,6 +485,12 @@ pub fn encode_response(id: u32, resp: &Response, out: &mut Vec<u8>) {
                 s.optimistic_hits,
                 s.optimistic_retries,
                 s.optimistic_fallbacks,
+                s.shed_requests,
+                s.evicted_slow_clients,
+                s.deadline_closed_conns,
+                s.rejected_connections,
+                s.failpoint_trips,
+                s.poison_recoveries,
             ] {
                 o.extend_from_slice(&v.to_le_bytes());
             }
@@ -673,6 +713,12 @@ pub fn decode_response(body: &[u8]) -> Result<(u32, Response), ProtoError> {
             optimistic_hits: r.u64()?,
             optimistic_retries: r.u64()?,
             optimistic_fallbacks: r.u64()?,
+            shed_requests: r.u64()?,
+            evicted_slow_clients: r.u64()?,
+            deadline_closed_conns: r.u64()?,
+            rejected_connections: r.u64()?,
+            failpoint_trips: r.u64()?,
+            poison_recoveries: r.u64()?,
         }),
         kind::ERROR => {
             let code = r.u16()?;
@@ -924,8 +970,22 @@ mod tests {
             optimistic_hits: 11,
             optimistic_retries: 2,
             optimistic_fallbacks: 1,
+            shed_requests: 4,
+            evicted_slow_clients: 1,
+            deadline_closed_conns: 2,
+            rejected_connections: 3,
+            failpoint_trips: 6,
+            poison_recoveries: 1,
             ..Default::default()
         }));
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        });
+        roundtrip_response(Response::Error {
+            code: ErrorCode::Unavailable,
+            message: "shard recovered".into(),
+        });
         roundtrip_response(Response::Error {
             code: ErrorCode::KeyTooLong,
             message: "too long".into(),
@@ -1070,5 +1130,24 @@ mod tests {
         };
         assert_eq!(s.shortcut_hit_rate(), 0.75);
         assert_eq!(StatsSnapshot::default().shortcut_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn only_transient_codes_are_retryable() {
+        for code in [
+            ErrorCode::BadFrame,
+            ErrorCode::UnknownOp,
+            ErrorCode::KeyTooLong,
+            ErrorCode::Backend,
+            ErrorCode::FrameTooLarge,
+            ErrorCode::BadArgument,
+        ] {
+            assert!(!code.is_retryable(), "{code:?}");
+        }
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::Unavailable.is_retryable());
+        // And both survive the wire.
+        assert_eq!(ErrorCode::from_u16(7), Some(ErrorCode::Overloaded));
+        assert_eq!(ErrorCode::from_u16(8), Some(ErrorCode::Unavailable));
     }
 }

@@ -34,18 +34,31 @@ use hyperion_core::{BatchSummary, HyperionDb, HyperionError, WriteBatch};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest `MGET` key count accepted (bounds the response frame).
 const MAX_MGET_KEYS: usize = 65_536;
-/// Outbound bytes buffered per connection before the IO thread stops
-/// reading new requests from it (backpressure against slow readers).
-const OUTBOX_HIGH_WATER: usize = 8 << 20;
 /// Sleep of the accept poll and of an idle IO/worker wakeup.
 const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// Graceful-shutdown phases, advanced monotonically by
+/// [`ServerHandle::shutdown`] (see its docs for the full sequence).
+mod phase {
+    /// Normal operation.
+    pub const RUNNING: u8 = 0;
+    /// The listener is closed; IO threads take one final read pass, route
+    /// every complete buffered frame, then stop reading.
+    pub const DRAIN_INPUT: u8 = 1;
+    /// Workers drain their queues completely and exit.
+    pub const WORKERS_EXIT: u8 = 2;
+    /// IO threads flush remaining outbound bytes (bounded by the drain
+    /// timeout), close every connection and exit.
+    pub const FLUSH: u8 = 3;
+}
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +73,24 @@ pub struct ServerConfig {
     /// Cap on a single scan's `limit` (responses are additionally bounded
     /// to fit one frame).
     pub max_scan_limit: u32,
+    /// Simultaneous connection limit; connections over it are accepted and
+    /// immediately dropped (counted as rejected).  `0` = unlimited.
+    pub max_connections: usize,
+    /// Per-worker queue depth past which freshly routed requests are shed
+    /// with [`ErrorCode::Overloaded`] instead of queued.  `0` = unlimited.
+    pub max_queue_depth: usize,
+    /// A connection with no inbound traffic for this long — and nothing
+    /// left to send it — is closed.  Zero disables the deadline.
+    pub idle_timeout: Duration,
+    /// Outbound bytes buffered per connection before the IO thread stops
+    /// reading new requests from it (backpressure against slow readers).
+    pub outbox_high_water: usize,
+    /// A connection that stays above the high-water mark for this long is
+    /// evicted as a slow client.  Zero disables eviction.
+    pub slow_client_deadline: Duration,
+    /// Budget for flushing remaining outbound bytes during graceful
+    /// shutdown; connections still backlogged when it expires are cut.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +100,12 @@ impl Default for ServerConfig {
             workers: 4,
             max_frame: protocol::MAX_FRAME,
             max_scan_limit: 4096,
+            max_connections: 1024,
+            max_queue_depth: 64 * 1024,
+            idle_timeout: Duration::from_secs(60),
+            outbox_high_water: 8 << 20,
+            slow_client_deadline: Duration::from_secs(5),
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -85,6 +122,10 @@ struct StatsCounters {
     write_ops: AtomicU64,
     write_keys: AtomicU64,
     scans: AtomicU64,
+    shed_requests: AtomicU64,
+    evicted_slow_clients: AtomicU64,
+    deadline_closed_conns: AtomicU64,
+    rejected_connections: AtomicU64,
 }
 
 impl StatsCounters {
@@ -110,6 +151,15 @@ impl StatsCounters {
             optimistic_hits: optimistic.hits,
             optimistic_retries: optimistic.retries,
             optimistic_fallbacks: optimistic.fallbacks,
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
+            evicted_slow_clients: self.evicted_slow_clients.load(Ordering::Relaxed),
+            deadline_closed_conns: self.deadline_closed_conns.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            #[cfg(feature = "failpoints")]
+            failpoint_trips: hyperion_core::failpoint::total_trips(),
+            #[cfg(not(feature = "failpoints"))]
+            failpoint_trips: 0,
+            poison_recoveries: db.poison_recoveries(),
         }
     }
 }
@@ -162,11 +212,17 @@ struct WorkerQueue {
 }
 
 impl WorkerQueue {
-    fn push(&self, job: Job) {
+    /// Enqueues unless the queue is already at `depth_cap` jobs, in which
+    /// case the job is handed back for shedding.
+    fn try_push(&self, job: Job, depth_cap: usize) -> Result<(), Job> {
         let mut q = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= depth_cap {
+            return Err(job);
+        }
         q.push_back(job);
         drop(q);
         self.ready.notify_one();
+        Ok(())
     }
 }
 
@@ -174,7 +230,13 @@ impl WorkerQueue {
 struct Shared {
     db: Arc<HyperionDb>,
     config: ServerConfig,
-    shutdown: AtomicBool,
+    /// Current shutdown phase (one of the [`phase`] constants).
+    phase: AtomicU8,
+    /// IO threads that have finished their final input pass (the barrier
+    /// [`ServerHandle::shutdown`] waits on before retiring the workers).
+    drained_io: AtomicUsize,
+    /// Live connections (accepted and not yet torn down).
+    conn_count: AtomicUsize,
     stats: StatsCounters,
     queues: Vec<WorkerQueue>,
     /// Round-robin cursor for requests with no shard affinity (scans).
@@ -195,11 +257,13 @@ impl Shared {
 pub struct Server;
 
 /// A running server: join handles plus the shared state.  Dropping the
-/// handle shuts the server down and joins every thread.
+/// handle shuts the server down gracefully and joins every thread.
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+    io_threads: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -215,6 +279,21 @@ impl Server {
             workers: config.workers.max(1),
             max_frame: config.max_frame.clamp(64, protocol::MAX_FRAME),
             max_scan_limit: config.max_scan_limit.max(1),
+            // Zero means "unlimited" for both limits.
+            max_connections: if config.max_connections == 0 {
+                usize::MAX
+            } else {
+                config.max_connections
+            },
+            max_queue_depth: if config.max_queue_depth == 0 {
+                usize::MAX
+            } else {
+                config.max_queue_depth
+            },
+            idle_timeout: config.idle_timeout,
+            outbox_high_water: config.outbox_high_water.max(4096),
+            slow_client_deadline: config.slow_client_deadline,
+            drain_timeout: config.drain_timeout,
         };
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -223,7 +302,9 @@ impl Server {
         let shared = Arc::new(Shared {
             db,
             config,
-            shutdown: AtomicBool::new(false),
+            phase: AtomicU8::new(phase::RUNNING),
+            drained_io: AtomicUsize::new(0),
+            conn_count: AtomicUsize::new(0),
             stats: StatsCounters::default(),
             queues: (0..config.workers)
                 .map(|_| WorkerQueue::default())
@@ -236,28 +317,27 @@ impl Server {
             .map(|_| Arc::new(Mutex::new(Vec::new())))
             .collect();
 
-        let mut threads = Vec::with_capacity(1 + config.io_threads + config.workers);
-        {
+        let accept = {
             let shared = Arc::clone(&shared);
             let inboxes = inboxes.clone();
-            threads.push(
-                thread::Builder::new()
-                    .name("hyperion-accept".into())
-                    .spawn(move || accept_loop(listener, shared, inboxes))?,
-            );
-        }
+            thread::Builder::new()
+                .name("hyperion-accept".into())
+                .spawn(move || accept_loop(listener, shared, inboxes))?
+        };
+        let mut io_threads = Vec::with_capacity(config.io_threads);
         for (i, inbox) in inboxes.iter().enumerate() {
             let shared = Arc::clone(&shared);
             let inbox = Arc::clone(inbox);
-            threads.push(
+            io_threads.push(
                 thread::Builder::new()
                     .name(format!("hyperion-io-{i}"))
                     .spawn(move || io_loop(shared, inbox))?,
             );
         }
+        let mut workers = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let shared = Arc::clone(&shared);
-            threads.push(
+            workers.push(
                 thread::Builder::new()
                     .name(format!("hyperion-worker-{w}"))
                     .spawn(move || worker_loop(shared, w))?,
@@ -266,7 +346,9 @@ impl Server {
         Ok(ServerHandle {
             local_addr,
             shared,
-            threads,
+            accept: Some(accept),
+            io_threads,
+            workers,
         })
     }
 }
@@ -283,15 +365,53 @@ impl ServerHandle {
         self.shared.stats.snapshot(&self.shared.db)
     }
 
-    /// Signals every thread to stop and joins them.  Idempotent; also runs
-    /// on drop.
+    /// Gracefully stops the server and joins every thread.  Idempotent;
+    /// also runs on drop.  The sequence:
+    ///
+    /// 1. close the listener (the port is free for re-binding as soon as
+    ///    this returns) and stop accepting;
+    /// 2. IO threads take one final read pass and route every complete
+    ///    frame already received, then stop reading;
+    /// 3. workers drain their queues to empty and exit — every routed
+    ///    request gets a response;
+    /// 4. IO threads flush the remaining outbound bytes (bounded by
+    ///    [`ServerConfig::drain_timeout`]), close every connection at a
+    ///    frame boundary and exit.
+    ///
+    /// Clients therefore observe complete responses for everything the
+    /// server received, followed by a clean EOF — never a torn frame
+    /// (unless the drain budget expires on a backlogged connection).
     pub fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if self.accept.is_none() && self.io_threads.is_empty() && self.workers.is_empty() {
+            return;
+        }
+        self.shared
+            .phase
+            .store(phase::DRAIN_INPUT, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Barrier: every IO thread finishes routing buffered input before
+        // the workers are told their queues are final.  Bounded so a
+        // wedged IO thread cannot hang shutdown forever.
+        let io_count = self.io_threads.len();
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        while self.shared.drained_io.load(Ordering::Acquire) < io_count && Instant::now() < deadline
+        {
+            thread::sleep(Duration::from_micros(100));
+        }
+        self.shared
+            .phase
+            .store(phase::WORKERS_EXIT, Ordering::SeqCst);
         for q in &self.shared.queues {
             q.ready.notify_all();
         }
-        for handle in self.threads.drain(..) {
-            let _ = handle.join();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.phase.store(phase::FLUSH, Ordering::SeqCst);
+        for io in self.io_threads.drain(..) {
+            let _ = io.join();
         }
     }
 }
@@ -312,15 +432,25 @@ fn accept_loop(
     inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>>,
 ) {
     let mut next = 0usize;
-    while !shared.shutdown.load(Ordering::Relaxed) {
+    while shared.phase.load(Ordering::Relaxed) == phase::RUNNING {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // At the connection limit the stream is dropped on the
+                // floor: the peer sees an immediate close and can back off.
+                if shared.conn_count.load(Ordering::Relaxed) >= shared.config.max_connections {
+                    shared
+                        .stats
+                        .rejected_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 // Small frames answered promptly matter more than batching
                 // here; the protocol already batches at the frame level.
                 let _ = stream.set_nodelay(true);
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
+                shared.conn_count.fetch_add(1, Ordering::Relaxed);
                 let mut inbox = inboxes[next % inboxes.len()]
                     .lock()
                     .unwrap_or_else(|e| e.into_inner());
@@ -334,11 +464,34 @@ fn accept_loop(
             Err(_) => thread::sleep(IDLE_SLEEP),
         }
     }
+    // The listener drops here, freeing the port for an immediate re-bind.
 }
 
 // =============================================================================
 // IO threads
 // =============================================================================
+
+/// Why a connection was torn down.  Every close — peer-initiated, error,
+/// deadline or shutdown — funnels through [`close_conn`] with exactly one
+/// of these, so each close is counted once and the teardown bookkeeping
+/// (outbox poisoning, connection-count release) cannot be missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CloseReason {
+    /// Peer closed cleanly at a frame boundary.
+    PeerClosed,
+    /// Peer vanished with a partial frame still buffered.
+    MidFrameEof,
+    /// Transport error while reading.
+    ReadError,
+    /// Transport error (or zero-length write) while flushing.
+    WriteError,
+    /// No inbound traffic past [`ServerConfig::idle_timeout`].
+    IdleDeadline,
+    /// Outbox above high water past [`ServerConfig::slow_client_deadline`].
+    SlowClient,
+    /// Graceful shutdown: outbox flushed (or the drain budget expired).
+    Drained,
+}
 
 /// One nonblocking connection owned by an IO thread.
 struct Conn {
@@ -348,6 +501,11 @@ struct Conn {
     /// Bytes taken from the outbox, partially written.
     wbuf: Vec<u8>,
     wpos: usize,
+    /// Last time inbound bytes arrived (idle-deadline clock).
+    last_activity: Instant,
+    /// When the outbox first crossed the high-water mark (slow-client
+    /// eviction clock); cleared once the backlog drains.
+    backlogged_since: Option<Instant>,
 }
 
 impl Conn {
@@ -361,6 +519,8 @@ impl Conn {
             }),
             wbuf: Vec::new(),
             wpos: 0,
+            last_activity: Instant::now(),
+            backlogged_since: None,
         }
     }
 
@@ -396,22 +556,101 @@ impl Conn {
         true
     }
 
-    fn backlogged(&self) -> bool {
-        self.wbuf.len() - self.wpos >= OUTBOX_HIGH_WATER
+    fn backlogged(&self, high_water: usize) -> bool {
+        self.wbuf.len() - self.wpos >= high_water
     }
+
+    /// Nothing left to send: the write buffer drained and the outbox is
+    /// empty (workers may still add to it while the server runs).
+    fn output_empty(&self) -> bool {
+        self.wpos == self.wbuf.len()
+            && self
+                .outbox
+                .buf
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+    }
+}
+
+/// The single teardown path: poisons the outbox so workers stop encoding
+/// responses, releases the connection slot and counts the close under its
+/// reason.  The caller drops the [`Conn`] (closing the socket) afterwards.
+fn close_conn(shared: &Shared, conn: &Conn, reason: CloseReason) {
+    conn.outbox.closed.store(true, Ordering::Relaxed);
+    shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+    match reason {
+        CloseReason::IdleDeadline => {
+            shared
+                .stats
+                .deadline_closed_conns
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        CloseReason::SlowClient => {
+            shared
+                .stats
+                .evicted_slow_clients
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        CloseReason::PeerClosed
+        | CloseReason::MidFrameEof
+        | CloseReason::ReadError
+        | CloseReason::WriteError
+        | CloseReason::Drained => {}
+    }
+    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
 }
 
 fn io_loop(shared: Arc<Shared>, inbox: Arc<Mutex<Vec<TcpStream>>>) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut read_chunk = vec![0u8; 64 * 1024];
     let mut idle_rounds = 0u32;
+    let mut drained_input = false;
+    let mut flush_deadline: Option<Instant> = None;
     loop {
-        if shared.shutdown.load(Ordering::Relaxed) {
-            // Dropping the streams closes them; workers see `closed`.
-            for conn in &conns {
-                conn.outbox.closed.store(true, Ordering::Relaxed);
+        let current = shared.phase.load(Ordering::Acquire);
+        if current != phase::RUNNING {
+            // Connections parked in the inbox never got service; release
+            // their slots and drop them.
+            {
+                let mut incoming = inbox.lock().unwrap_or_else(|e| e.into_inner());
+                for stream in incoming.drain(..) {
+                    shared.conn_count.fetch_sub(1, Ordering::Relaxed);
+                    drop(stream);
+                }
             }
-            return;
+            if !drained_input {
+                // Final input pass: pick up whatever the kernel already
+                // buffered and route every complete frame, so pipelined
+                // requests that reached the server still execute.
+                for conn in &mut conns {
+                    final_input_pass(&shared, conn, &mut read_chunk);
+                }
+                drained_input = true;
+                shared.drained_io.fetch_add(1, Ordering::Release);
+            }
+            // Keep flushing while the workers finish their queues.
+            let mut i = 0;
+            while i < conns.len() {
+                if conns[i].flush() {
+                    i += 1;
+                } else {
+                    close_conn(&shared, &conns[i], CloseReason::WriteError);
+                    conns.swap_remove(i);
+                }
+            }
+            if current >= phase::FLUSH {
+                let deadline = *flush_deadline
+                    .get_or_insert_with(|| Instant::now() + shared.config.drain_timeout);
+                if conns.iter().all(|c| c.output_empty()) || Instant::now() >= deadline {
+                    for conn in &conns {
+                        close_conn(&shared, conn, CloseReason::Drained);
+                    }
+                    return;
+                }
+            }
+            thread::sleep(IDLE_SLEEP);
+            continue;
         }
         let mut active = false;
 
@@ -425,13 +664,13 @@ fn io_loop(shared: Arc<Shared>, inbox: Arc<Mutex<Vec<TcpStream>>>) {
 
         let mut i = 0;
         while i < conns.len() {
-            let alive = service_conn(&shared, &mut conns[i], &mut read_chunk, &mut active);
-            if alive {
-                i += 1;
-            } else {
-                conns[i].outbox.closed.store(true, Ordering::Relaxed);
-                conns.swap_remove(i);
-                active = true;
+            match service_conn(&shared, &mut conns[i], &mut read_chunk, &mut active) {
+                Ok(()) => i += 1,
+                Err(reason) => {
+                    close_conn(&shared, &conns[i], reason);
+                    conns.swap_remove(i);
+                    active = true;
+                }
             }
         }
 
@@ -450,17 +689,71 @@ fn io_loop(shared: Arc<Shared>, inbox: Arc<Mutex<Vec<TcpStream>>>) {
     }
 }
 
-/// Reads, parses, routes and flushes one connection.  Returns `false` when
-/// the connection should be dropped.
-fn service_conn(shared: &Shared, conn: &mut Conn, chunk: &mut [u8], active: &mut bool) -> bool {
+/// Shutdown-time read pass: drains the kernel receive buffer until
+/// `WouldBlock`/EOF and routes every complete frame.  Read failures are
+/// ignored — the connection is in teardown either way.
+fn final_input_pass(shared: &Shared, conn: &mut Conn, chunk: &mut [u8]) {
+    loop {
+        match conn.stream.read(chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                conn.frames.extend(&chunk[..n]);
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    while let Some(event) = conn.frames.next_event() {
+        dispatch_event(shared, conn, event);
+    }
+}
+
+/// Answers or routes one framing event.
+fn dispatch_event(shared: &Shared, conn: &Conn, event: FrameEvent) {
+    match event {
+        FrameEvent::Frame(body) => handle_frame(shared, conn, &body),
+        FrameEvent::Oversized { id, len } => {
+            shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            conn.outbox.push(
+                id,
+                &Response::Error {
+                    code: ErrorCode::FrameTooLarge,
+                    message: format!(
+                        "frame of {len} bytes exceeds the {}-byte limit",
+                        shared.config.max_frame
+                    ),
+                },
+            );
+        }
+    }
+}
+
+/// Reads, parses, routes and flushes one connection.  Returns the close
+/// reason when the connection should be torn down.
+fn service_conn(
+    shared: &Shared,
+    conn: &mut Conn,
+    chunk: &mut [u8],
+    active: &mut bool,
+) -> Result<(), CloseReason> {
+    let config = &shared.config;
+    let mut eof = false;
     // Read until WouldBlock — unless the peer is not draining its responses,
     // in which case reading more requests would just grow the backlog.
-    if !conn.backlogged() {
+    if !conn.backlogged(config.outbox_high_water) {
         loop {
             match conn.stream.read(chunk) {
-                Ok(0) => return false, // EOF, possibly mid-frame: just drop
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
                 Ok(n) => {
                     conn.frames.extend(&chunk[..n]);
+                    conn.last_activity = Instant::now();
                     *active = true;
                     if n < chunk.len() {
                         break;
@@ -468,35 +761,47 @@ fn service_conn(shared: &Shared, conn: &mut Conn, chunk: &mut [u8], active: &mut
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => return false,
+                Err(_) => return Err(CloseReason::ReadError),
             }
         }
     }
     while let Some(event) = conn.frames.next_event() {
         *active = true;
-        match event {
-            FrameEvent::Frame(body) => handle_frame(shared, conn, &body),
-            FrameEvent::Oversized { id, len } => {
-                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-                conn.outbox.push(
-                    id,
-                    &Response::Error {
-                        code: ErrorCode::FrameTooLarge,
-                        message: format!(
-                            "frame of {len} bytes exceeds the {}-byte limit",
-                            shared.config.max_frame
-                        ),
-                    },
-                );
-            }
-        }
+        dispatch_event(shared, conn, event);
+    }
+    if eof {
+        // Bytes left in the frame buffer mean the peer died mid-frame.
+        return Err(if conn.frames.buffered() > 0 {
+            CloseReason::MidFrameEof
+        } else {
+            CloseReason::PeerClosed
+        });
     }
     if !conn.flush() {
-        return false;
+        return Err(CloseReason::WriteError);
+    }
+    // Slow-client eviction: a peer that leaves its responses unread past
+    // the high-water mark for too long forfeits the connection (and the
+    // buffered bytes with it).
+    if conn.backlogged(config.outbox_high_water) {
+        let since = *conn.backlogged_since.get_or_insert_with(Instant::now);
+        if !config.slow_client_deadline.is_zero() && since.elapsed() >= config.slow_client_deadline
+        {
+            return Err(CloseReason::SlowClient);
+        }
+    } else {
+        conn.backlogged_since = None;
+    }
+    // Idle deadline: only once nothing is owed to the peer, so a burst of
+    // slow responses cannot masquerade as idleness.
+    if !config.idle_timeout.is_zero()
+        && conn.last_activity.elapsed() >= config.idle_timeout
+        && conn.output_empty()
+    {
+        return Err(CloseReason::IdleDeadline);
     }
     *active |= conn.wpos < conn.wbuf.len();
-    true
+    Ok(())
 }
 
 /// Decodes one frame and either answers it inline or routes it to a worker.
@@ -613,11 +918,26 @@ fn handle_frame(shared: &Shared, conn: &Conn, body: &[u8]) {
             )
         }
     };
-    shared.queues[worker].push(Job {
+    // Overload shedding at the routing boundary: a queue over its depth
+    // limit answers `Overloaded` immediately instead of absorbing work it
+    // cannot keep up with.  Shed requests were never executed, so the
+    // client can retry safely.
+    let job = Job {
         id,
         outbox: Arc::clone(&conn.outbox),
         op,
-    });
+    };
+    if let Err(shed) = shared.queues[worker].try_push(job, shared.config.max_queue_depth) {
+        shared.stats.shed_requests.fetch_add(1, Ordering::Relaxed);
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        shed.outbox.push(
+            shed.id,
+            &Response::Error {
+                code: ErrorCode::Overloaded,
+                message: format!("worker queue {worker} is full; retry with backoff"),
+            },
+        );
+    }
 }
 
 // =============================================================================
@@ -637,7 +957,9 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
                     drained.extend(q.drain(..));
                     break;
                 }
-                if shared.shutdown.load(Ordering::Relaxed) {
+                // Exit only on an *empty* queue once the drain phase is
+                // reached: every routed request gets executed and answered.
+                if shared.phase.load(Ordering::Acquire) >= phase::WORKERS_EXIT {
                     return;
                 }
                 let (guard, _timeout) = queue
@@ -666,7 +988,7 @@ fn execute_runs(shared: &Shared, jobs: &[Job]) {
             JobOp::Del(_) => run_end(jobs, at, |op| matches!(op, JobOp::Del(_))),
             JobOp::Batch(_) | JobOp::Scan { .. } => at + 1,
         };
-        match &jobs[at].op {
+        run_guarded(shared, &jobs[at..end], || match &jobs[at].op {
             JobOp::Get(_) | JobOp::MGet(_) => exec_read_run(shared, &jobs[at..end]),
             JobOp::Put(..) => exec_put_run(shared, &jobs[at..end]),
             JobOp::Del(_) => exec_del_run(shared, &jobs[at..end]),
@@ -677,8 +999,37 @@ fn execute_runs(shared: &Shared, jobs: &[Job]) {
                 limit,
                 reverse,
             } => exec_scan(shared, &jobs[at], start, bound.as_deref(), *limit, *reverse),
-        }
+        });
         at = end;
+    }
+}
+
+/// Executes one coalesced run, absorbing any panic that escapes the store
+/// (an injected fault, or a real bug tearing a shard): poisoned shards are
+/// recovered and the run retried once; a second death answers every job
+/// with a retryable [`ErrorCode::Unavailable`].  Sound because each
+/// `exec_*` fn performs its store call *before* pushing any response, so a
+/// panicking attempt has answered none of the run's jobs.
+fn run_guarded(shared: &Shared, run: &[Job], exec: impl Fn()) {
+    for attempt in 0..2 {
+        if catch_unwind(AssertUnwindSafe(&exec)).is_ok() {
+            return;
+        }
+        shared.db.recover_poisoned();
+        if attempt == 0 {
+            continue;
+        }
+        shared
+            .stats
+            .errors
+            .fetch_add(run.len() as u64, Ordering::Relaxed);
+        let resp = Response::Error {
+            code: ErrorCode::Unavailable,
+            message: "request aborted by a store fault; shard recovered, retry".into(),
+        };
+        for job in run {
+            job.outbox.push(job.id, &resp);
+        }
     }
 }
 
@@ -690,9 +1041,36 @@ fn run_end(jobs: &[Job], at: usize, pred: impl Fn(&JobOp) -> bool) -> usize {
     end
 }
 
-fn backend_error(e: &HyperionError) -> Response {
+/// `true` for transient store-side faults that an idempotent client can
+/// safely resend.  A poisoned shard is recovered eagerly so the retry lands
+/// on a healthy store; a partially-failed batch is transient iff every one
+/// of its per-op failures is.
+fn transient_error(shared: &Shared, e: &HyperionError) -> bool {
+    match e {
+        HyperionError::ShardPoisoned { .. } => {
+            shared.db.recover_poisoned();
+            true
+        }
+        HyperionError::AllocFailed { .. } | HyperionError::Injected { .. } => true,
+        // fold, not `all`: recover every poisoned shard, no short-circuit.
+        HyperionError::BatchFailed(report) => report
+            .failures
+            .iter()
+            .fold(true, |acc, (_, e)| transient_error(shared, e) && acc),
+        _ => false,
+    }
+}
+
+fn backend_error(shared: &Shared, e: &HyperionError) -> Response {
+    // Transient store-side faults are retryable `Unavailable`; everything
+    // else reports a genuine backend defect.
+    let code = if transient_error(shared, e) {
+        ErrorCode::Unavailable
+    } else {
+        ErrorCode::Backend
+    };
     Response::Error {
-        code: ErrorCode::Backend,
+        code,
         message: e.to_string(),
     }
 }
@@ -739,7 +1117,7 @@ fn exec_read_run(shared: &Shared, run: &[Job]) {
                 .stats
                 .errors
                 .fetch_add(run.len() as u64, Ordering::Relaxed);
-            let resp = backend_error(&e);
+            let resp = backend_error(shared, &e);
             for job in run {
                 job.outbox.push(job.id, &resp);
             }
@@ -773,12 +1151,31 @@ fn exec_put_run(shared: &Shared, run: &[Job]) {
                 job.outbox.push(job.id, &Response::Ok);
             }
         }
+        // Batch ops map 1:1 to run jobs in order, and the report lists
+        // exactly the failed indices (sorted) — every other put was applied
+        // and is acknowledged; only the real casualties see an error.
+        Err(HyperionError::BatchFailed(report)) => {
+            shared
+                .stats
+                .errors
+                .fetch_add(report.failures.len() as u64, Ordering::Relaxed);
+            let mut failed = report.failures.iter().peekable();
+            for (i, job) in run.iter().enumerate() {
+                match failed.peek() {
+                    Some((at, e)) if *at == i => {
+                        job.outbox.push(job.id, &backend_error(shared, e));
+                        failed.next();
+                    }
+                    _ => job.outbox.push(job.id, &Response::Ok),
+                }
+            }
+        }
         Err(e) => {
             shared
                 .stats
                 .errors
                 .fetch_add(run.len() as u64, Ordering::Relaxed);
-            let resp = backend_error(&e);
+            let resp = backend_error(shared, &e);
             for job in run {
                 job.outbox.push(job.id, &resp);
             }
@@ -816,7 +1213,7 @@ fn exec_del_run(shared: &Shared, run: &[Job]) {
                 .stats
                 .errors
                 .fetch_add(run.len() as u64, Ordering::Relaxed);
-            let resp = backend_error(&e);
+            let resp = backend_error(shared, &e);
             for job in run {
                 job.outbox.push(job.id, &resp);
             }
@@ -859,7 +1256,7 @@ fn exec_batch(shared: &Shared, job: &Job, ops: &[protocol::BatchEntry]) {
         ),
         Err(e) => {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            job.outbox.push(job.id, &backend_error(&e));
+            job.outbox.push(job.id, &backend_error(shared, &e));
         }
     }
 }

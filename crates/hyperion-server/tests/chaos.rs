@@ -1,0 +1,361 @@
+//! Chaos harness: 8 concurrent clients drive 100k mixed operations against
+//! a server whose store is armed with failpoints — injected panics, typed
+//! errors, allocation failures and latency spikes.  The test asserts the
+//! end-to-end resilience contract:
+//!
+//! * no wedged shards — every injected panic is recovered and the store
+//!   keeps serving (`validate_structure` holds at the end);
+//! * no protocol desync — every request is answered with a whole frame,
+//!   transport errors never appear;
+//! * every operation either succeeds or fails with a *typed, retryable*
+//!   error, and an oracle tracks which outcomes are possible per key:
+//!   acknowledged writes must be durably visible, errored writes may have
+//!   landed or not, but nothing else is admissible.
+//!
+//! Requires `--features failpoints` (see the `[[test]]` gate in
+//! `Cargo.toml`).  The failpoint registry is process-global, so the tests
+//! in this file serialize on a mutex.
+
+use hyperion_core::failpoint::{self, Action, Policy};
+use hyperion_core::{HyperionConfig, HyperionDb};
+use hyperion_server::{Client, Request, Response, RetryPolicy, Server, ServerConfig};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Serializes the tests in this binary: failpoint arming is process-global.
+static FAILPOINT_GATE: Mutex<()> = Mutex::new(());
+
+const CLIENTS: usize = 8;
+const OPS_PER_CLIENT: usize = 12_500; // 8 x 12,500 = 100k total
+const KEYS_PER_CLIENT: u64 = 2_000;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC4A0_55ED)
+}
+
+/// What the oracle believes a key's value can be.  Keys are disjoint per
+/// client (single writer), so the owning thread's view is authoritative.
+#[derive(Clone, Debug)]
+enum Oracle {
+    /// The last write was acknowledged (or a read confirmed the value).
+    Known(Option<u64>),
+    /// An errored write may or may not have landed: any listed value is
+    /// admissible until a successful read collapses the set.
+    Uncertain(Vec<Option<u64>>),
+}
+
+impl Oracle {
+    fn admits(&self, observed: Option<u64>) -> bool {
+        match self {
+            Oracle::Known(v) => *v == observed,
+            Oracle::Uncertain(set) => set.contains(&observed),
+        }
+    }
+
+    /// A write failed with a retryable error after the attempt `target`:
+    /// widen the admissible set — the write may have landed on any attempt.
+    fn widen(&mut self, target: Option<u64>) {
+        let set = match self {
+            Oracle::Known(v) => vec![*v],
+            Oracle::Uncertain(set) => std::mem::take(set),
+        };
+        let mut set = set;
+        if !set.contains(&target) {
+            set.push(target);
+        }
+        *self = Oracle::Uncertain(set);
+    }
+}
+
+fn key_for(client: usize, index: u64) -> Vec<u8> {
+    format!("c{client:02}k{index:06}").into_bytes()
+}
+
+/// One client's workload: mixed put/get/del over its private key range,
+/// every call through the retrying client.  Returns the oracle.
+fn client_workload(addr: std::net::SocketAddr, client_id: usize, seed: u64) -> Vec<Oracle> {
+    let mut client = Client::connect(addr).expect("connect");
+    let policy = RetryPolicy {
+        max_retries: 10,
+        base: Duration::from_micros(200),
+        cap: Duration::from_millis(5),
+        seed: seed ^ (client_id as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+    };
+    let mut rng = seed.wrapping_add(client_id as u64);
+    let mut oracle = vec![Oracle::Known(None); KEYS_PER_CLIENT as usize];
+
+    for op in 0..OPS_PER_CLIENT {
+        let r = splitmix64(&mut rng);
+        let index = r % KEYS_PER_CLIENT;
+        let key = key_for(client_id, index);
+        let entry = &mut oracle[index as usize];
+        match (r >> 32) % 100 {
+            // 45% reads: a success must observe an admissible value and
+            // collapses the oracle; a retryable failure changes nothing.
+            0..=44 => {
+                match client
+                    .call_with_retry(&Request::Get { key }, &policy)
+                    .expect("transport must survive chaos")
+                {
+                    Response::Value(got) => {
+                        assert!(
+                            entry.admits(got),
+                            "client {client_id} key {index}: read {got:?} \
+                             outside admissible {entry:?}"
+                        );
+                        *entry = Oracle::Known(got);
+                    }
+                    Response::Error { code, message } => {
+                        assert!(
+                            code.is_retryable(),
+                            "fatal error on read: {code:?} {message}"
+                        );
+                    }
+                    other => panic!("desync: GET answered {other:?}"),
+                }
+            }
+            // 40% puts.
+            45..=84 => {
+                let value = op as u64;
+                match client
+                    .call_with_retry(&Request::Put { key, value }, &policy)
+                    .expect("transport must survive chaos")
+                {
+                    Response::Ok => *entry = Oracle::Known(Some(value)),
+                    Response::Error { code, message } => {
+                        assert!(
+                            code.is_retryable(),
+                            "fatal error on put: {code:?} {message}"
+                        );
+                        entry.widen(Some(value));
+                    }
+                    other => panic!("desync: PUT answered {other:?}"),
+                }
+            }
+            // 15% deletes.
+            _ => {
+                match client
+                    .call_with_retry(&Request::Del { key }, &policy)
+                    .expect("transport must survive chaos")
+                {
+                    Response::Deleted(_) => *entry = Oracle::Known(None),
+                    Response::Error { code, message } => {
+                        assert!(
+                            code.is_retryable(),
+                            "fatal error on del: {code:?} {message}"
+                        );
+                        entry.widen(None);
+                    }
+                    other => panic!("desync: DEL answered {other:?}"),
+                }
+            }
+        }
+    }
+    oracle
+}
+
+#[test]
+fn chaos_mixed_workload_under_faults() {
+    let _gate = FAILPOINT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::disarm_all();
+    failpoint::set_seed(chaos_seed());
+
+    // Structural-transition panics poison the shard (recovered by the
+    // worker), typed errors and alloc failures surface as retryable
+    // Unavailable, and the seqlock sleep stretches mutation spans so
+    // optimistic readers retry.
+    failpoint::arm("write.splice", Policy::new(Action::Panic).chance(1, 512));
+    failpoint::arm("write.split", Policy::new(Action::Error).chance(1, 256));
+    failpoint::arm("write.eject", Policy::new(Action::AllocFail).chance(1, 512));
+    failpoint::arm("mem.alloc", Policy::new(Action::AllocFail).chance(1, 2048));
+    failpoint::arm(
+        "write.pc_rewrite",
+        Policy::new(Action::Error).chance(1, 512),
+    );
+    failpoint::arm(
+        "shortcut.publish",
+        Policy::new(Action::Error).chance(1, 1024),
+    );
+    failpoint::arm(
+        "seqlock.mutation",
+        Policy::new(Action::Sleep(1)).chance(1, 1024),
+    );
+
+    let db = Arc::new(HyperionDb::new(4, HyperionConfig::for_strings()));
+    let mut server = Server::start(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            io_threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let seed = chaos_seed();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| std::thread::spawn(move || client_workload(addr, c, seed)))
+        .collect();
+    let oracles: Vec<Vec<Oracle>> = handles
+        .into_iter()
+        .map(|h| match h.join() {
+            Ok(oracle) => oracle,
+            Err(payload) => std::panic::resume_unwind(payload),
+        })
+        .collect();
+
+    // The run must actually have injected faults, or this test proved
+    // nothing — bump the op count or the chances if this ever fires.
+    assert!(
+        failpoint::total_trips() > 0,
+        "no failpoint tripped across 100k ops"
+    );
+
+    // Quiesce: with injection off, every key must read back a value the
+    // oracle admits, and Known entries must match exactly.
+    failpoint::disarm_all();
+    let mut sweep = Client::connect(addr).expect("connect for sweep");
+    let calm = RetryPolicy {
+        max_retries: 10,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(20),
+        seed,
+    };
+    for (client_id, oracle) in oracles.iter().enumerate() {
+        for chunk_start in (0..KEYS_PER_CLIENT).step_by(512) {
+            let chunk_end = (chunk_start + 512).min(KEYS_PER_CLIENT);
+            let keys: Vec<Vec<u8>> = (chunk_start..chunk_end)
+                .map(|i| key_for(client_id, i))
+                .collect();
+            let values = match sweep
+                .call_with_retry(&Request::MGet { keys }, &calm)
+                .expect("transport")
+            {
+                Response::Values(vs) => vs,
+                other => panic!("sweep MGET answered {other:?}"),
+            };
+            for (offset, got) in values.into_iter().enumerate() {
+                let index = chunk_start + offset as u64;
+                let entry = &oracle[index as usize];
+                assert!(
+                    entry.admits(got),
+                    "client {client_id} key {index}: final value {got:?} \
+                     outside admissible {entry:?}"
+                );
+            }
+        }
+    }
+
+    // The store keeps working after the storm.
+    sweep.put(b"post-chaos", 99).expect("put after chaos");
+    assert_eq!(sweep.get(b"post-chaos").expect("get"), Some(99));
+
+    server.shutdown();
+    db.validate_structure()
+        .expect("trie invariants hold after chaos");
+}
+
+/// Overload under a deliberately tiny queue: shed requests answer a
+/// retryable `Overloaded`, and the retrying client rides through without
+/// data loss while the server stays responsive.
+#[test]
+fn overload_sheds_and_retries_recover() {
+    let _gate = FAILPOINT_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::disarm_all();
+    failpoint::set_seed(chaos_seed());
+    // Stretch every mutation span so the single worker falls behind.
+    failpoint::arm(
+        "seqlock.mutation",
+        Policy::new(Action::Sleep(2)).chance(1, 4),
+    );
+
+    let db = Arc::new(HyperionDb::new(2, HyperionConfig::for_strings()));
+    let mut server = Server::start(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            io_threads: 1,
+            max_queue_depth: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    // Burst a pipeline far beyond the queue cap, then drain: some answers
+    // are Ok, the overflow answers Overloaded, nothing else.
+    let mut burst = Client::connect(server.local_addr()).expect("connect");
+    const BURST: usize = 2_000;
+    for i in 0..BURST {
+        burst.send(&Request::Put {
+            key: format!("ovl{i:05}").into_bytes(),
+            value: i as u64,
+        });
+    }
+    burst.flush().expect("flush burst");
+    let (mut ok, mut shed) = (0u64, 0u64);
+    for _ in 0..BURST {
+        match burst.recv().expect("whole frame per request") {
+            (_, Response::Ok) => ok += 1,
+            (_, Response::Error { code, message }) => {
+                assert!(
+                    code.is_retryable(),
+                    "fatal during overload: {code:?} {message}"
+                );
+                shed += 1;
+            }
+            (_, other) => panic!("desync during overload: {other:?}"),
+        }
+    }
+    assert!(ok > 0, "no request survived the burst");
+    assert!(shed > 0, "tiny queue never shed under a {BURST}-deep burst");
+    assert!(
+        server.stats().shed_requests >= shed,
+        "shed responses not reflected in stats"
+    );
+
+    // A retrying client completes every write despite ongoing overload.
+    let policy = RetryPolicy {
+        max_retries: 20,
+        base: Duration::from_micros(500),
+        cap: Duration::from_millis(10),
+        seed: chaos_seed(),
+    };
+    let mut steady = Client::connect(server.local_addr()).expect("connect");
+    for i in 0..64u64 {
+        let resp = steady
+            .call_with_retry(
+                &Request::Put {
+                    key: format!("steady{i:03}").into_bytes(),
+                    value: i,
+                },
+                &policy,
+            )
+            .expect("transport");
+        assert_eq!(resp, Response::Ok, "retry budget exhausted under overload");
+    }
+    failpoint::disarm_all();
+    for i in 0..64u64 {
+        assert_eq!(
+            steady.get(format!("steady{i:03}").as_bytes()).expect("get"),
+            Some(i)
+        );
+    }
+
+    server.shutdown();
+    db.validate_structure()
+        .expect("trie invariants hold after overload");
+}

@@ -1,0 +1,212 @@
+//! Server lifecycle and overload-resilience tests: graceful drain without
+//! torn frames, immediate port re-bind, idle deadlines, slow-client
+//! eviction and the connection limit.  These run without the `failpoints`
+//! feature — they exercise the plain server, not the fault injector.
+
+use hyperion_core::{HyperionConfig, HyperionDb};
+use hyperion_server::{Client, ClientError, Request, Response, Server, ServerConfig, ServerHandle};
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn test_db() -> Arc<HyperionDb> {
+    Arc::new(HyperionDb::new(4, HyperionConfig::for_strings()))
+}
+
+fn start(db: Arc<HyperionDb>, config: ServerConfig) -> ServerHandle {
+    Server::start(db, "127.0.0.1:0", config).expect("bind loopback")
+}
+
+/// Graceful shutdown completes pipelined in-flight requests: every response
+/// arrives whole, then the connection closes cleanly at a frame boundary,
+/// and every acknowledged write is durable in the store.
+#[test]
+fn graceful_drain_completes_pipelined_requests_without_torn_frames() {
+    let db = test_db();
+    let mut server = start(Arc::clone(&db), ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    const N: u64 = 1024;
+    let mut ids = Vec::new();
+    for i in 0..N {
+        let key = format!("drain{i:05}").into_bytes();
+        ids.push((client.send(&Request::Put { key, value: i }), i));
+    }
+    client.flush().expect("flush");
+    // Give the kernel a moment to deliver, then shut down with the whole
+    // pipeline still unanswered client-side.
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown();
+
+    // Every buffered request was received before shutdown, so the drain
+    // must answer all of them — whole frames only — and then EOF cleanly.
+    let mut acked = Vec::new();
+    loop {
+        match client.recv() {
+            Ok((id, resp)) => {
+                assert_eq!(resp, Response::Ok, "non-OK response during drain");
+                let (_, i) = ids.iter().find(|(sent, _)| *sent == id).expect("known id");
+                acked.push(*i);
+            }
+            Err(ClientError::Closed) => break,
+            Err(other) => panic!("torn frame or transport error during drain: {other}"),
+        }
+    }
+    assert_eq!(acked.len() as u64, N, "drain dropped in-flight requests");
+    // Acked writes are durable through the retained handle.
+    for i in acked {
+        let key = format!("drain{i:05}").into_bytes();
+        assert_eq!(db.get(&key).unwrap(), Some(i), "acked put not durable");
+    }
+}
+
+/// The listener is closed before `shutdown` returns, so the same port can
+/// be re-bound immediately — no TIME_WAIT dance, no retry loop.
+#[test]
+fn port_rebinds_immediately_after_shutdown() {
+    let db = test_db();
+    let mut server = start(Arc::clone(&db), ServerConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.put(b"before", 1).expect("put");
+    server.shutdown();
+
+    let mut server = Server::start(db, addr, ServerConfig::default())
+        .expect("re-bind the drained port immediately");
+    let mut client = Client::connect(addr).expect("reconnect");
+    assert_eq!(client.get(b"before").unwrap(), Some(1));
+    server.shutdown();
+}
+
+/// A connection with no traffic past the idle deadline is closed (and
+/// counted), while an active one survives.
+#[test]
+fn idle_deadline_closes_silent_connections() {
+    let db = test_db();
+    let mut server = start(
+        db,
+        ServerConfig {
+            idle_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    );
+    let mut idle = TcpStream::connect(server.local_addr()).expect("connect");
+    // Poll in short slices so the busy connection pings well inside every
+    // idle window while we wait for the silent one to be reaped.
+    idle.set_read_timeout(Some(Duration::from_millis(40)))
+        .unwrap();
+    let mut busy = Client::connect(server.local_addr()).expect("connect");
+
+    let started = Instant::now();
+    let hard_deadline = started + Duration::from_secs(10);
+    let mut buf = [0u8; 16];
+    loop {
+        busy.ping().expect("active connection must survive");
+        assert!(
+            Instant::now() < hard_deadline,
+            "idle connection never closed"
+        );
+        match idle.read(&mut buf) {
+            Ok(0) => break, // server closed the idle connection
+            Ok(_) => panic!("unsolicited bytes on an idle connection"),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+    assert!(
+        started.elapsed() >= Duration::from_millis(150),
+        "closed before the deadline"
+    );
+    busy.ping()
+        .expect("active connection outlives the idle one");
+    assert_eq!(server.stats().deadline_closed_conns, 1);
+    server.shutdown();
+}
+
+/// A peer that stops reading its responses is evicted once its outbox
+/// stays above the high-water mark past the slow-client deadline.
+#[test]
+fn slow_clients_are_evicted_past_the_backlog_deadline() {
+    let db = test_db();
+    let mut server = start(
+        Arc::clone(&db),
+        ServerConfig {
+            outbox_high_water: 4096,
+            slow_client_deadline: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    );
+    // Populate keys whose MGET responses are bulky.
+    let mut loader = Client::connect(server.local_addr()).expect("connect");
+    let keys: Vec<Vec<u8>> = (0..4096u32)
+        .map(|i| format!("bulk{i:05}").into_bytes())
+        .collect();
+    for key in &keys {
+        loader.put(key, 7).expect("put");
+    }
+
+    // The slow client pipelines a flood of MGETs and never reads: the
+    // responses overflow the socket buffer into the outbox and stay there.
+    let mut slow = Client::connect(server.local_addr()).expect("connect");
+    for _ in 0..256 {
+        slow.send(&Request::MGet { keys: keys.clone() });
+    }
+    let _ = slow.flush();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().evicted_slow_clients == 0 {
+        assert!(Instant::now() < deadline, "slow client never evicted");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The server stays healthy for everyone else.
+    loader.ping().expect("healthy connection survives eviction");
+    server.shutdown();
+}
+
+/// Connections over `max_connections` are dropped at accept time and
+/// counted as rejected; established connections are unaffected.
+#[test]
+fn connection_limit_rejects_overflow() {
+    let db = test_db();
+    let mut server = start(
+        db,
+        ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let mut a = Client::connect(server.local_addr()).expect("connect");
+    a.ping().expect("ping a");
+    let mut b = Client::connect(server.local_addr()).expect("connect");
+    b.ping().expect("ping b");
+
+    // The third connection is accepted by the kernel but dropped by the
+    // server; its first round trip fails.
+    let mut c = Client::connect(server.local_addr()).expect("tcp connect succeeds");
+    assert!(c.ping().is_err(), "over-limit connection must be cut");
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().rejected_connections == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(server.stats().rejected_connections >= 1);
+    a.ping().expect("established connections unaffected");
+    b.ping().expect("established connections unaffected");
+
+    // Closing one slot frees capacity for a newcomer.
+    drop(a);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut d = loop {
+        let mut d = Client::connect(server.local_addr()).expect("tcp connect");
+        if d.ping().is_ok() {
+            break d;
+        }
+        assert!(Instant::now() < deadline, "freed slot never became usable");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    d.ping().expect("ping d");
+    server.shutdown();
+}
