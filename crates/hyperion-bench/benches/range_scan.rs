@@ -56,7 +56,7 @@ fn bench_db_merged_scan() {
             let db = HyperionDb::builder()
                 .shards(shards)
                 .config(HyperionConfig::for_integers())
-                .scan_chunk(chunk)
+                .scan_chunk_size(chunk)
                 .build();
             for (k, v) in workload.keys.iter().zip(&workload.values) {
                 db.put(k, *v).unwrap();

@@ -24,7 +24,7 @@ use hyperion_bench::hist::Hist;
 use hyperion_bench::json::{arg_json_path, merge_into_file};
 use hyperion_bench::{mops, timed_best_of};
 use hyperion_core::db::{FibonacciPartitioner, HyperionDb};
-use hyperion_core::{HyperionConfig, HyperionMap};
+use hyperion_core::{HyperionConfig, HyperionMap, ScanBackend};
 use hyperion_workloads::{random_integer_keys, Mt19937_64, NgramCorpus, NgramCorpusConfig};
 use std::collections::BTreeMap;
 
@@ -275,7 +275,7 @@ impl Workbench {
         let Some(db) = &self.db else { return };
         let n = self.probes.len();
         let chunk = n.div_ceil(threads.max(1));
-        let before = db.optimistic_read_stats();
+        let before = db.stats().optimistic;
         let stop = AtomicBool::new(false);
         let (hits, secs) = std::thread::scope(|scope| {
             for w in 0..writers {
@@ -325,7 +325,7 @@ impl Workbench {
             "{}: threaded point get hits",
             self.label
         );
-        let d = db.optimistic_read_stats();
+        let d = db.stats().optimistic;
         let (hits_d, retries_d, fallbacks_d) = (
             d.hits - before.hits,
             d.retries - before.retries,
@@ -352,7 +352,7 @@ impl Workbench {
     /// fallbacks).
     fn report_optimistic(&self) {
         let Some(db) = &self.db else { return };
-        let s = db.optimistic_read_stats();
+        let s = db.stats().optimistic;
         println!(
             "{}/optimistic     hits {:>10}  retries {:>6}  fallbacks {:>6}  ({:>5.1}% lock-free)",
             self.label,
@@ -465,6 +465,31 @@ fn main() {
             shortcut_capacity: 0,
             ..HyperionConfig::for_integers()
         },
+        workload.keys.clone(),
+        workload.values.clone(),
+        0x9e7,
+        false,
+    )
+    .run_lite(smoke, &mut metrics);
+    // Backend A/B pair: the same workload through both container-scan
+    // backends on the same commit (`_scalar` vs `_simd` rows), isolating
+    // the key-lane scanner on the surfaces it accelerates (point descents
+    // and resumed `get_many` walks).
+    Workbench::build(
+        "int_random_scalar",
+        HyperionConfig::for_integers(),
+        workload.keys.clone(),
+        workload.values.clone(),
+        0x9e7,
+        false,
+    )
+    .run_lite(smoke, &mut metrics);
+    Workbench::build(
+        "int_random_simd",
+        HyperionConfig {
+            scan_backend: ScanBackend::Simd,
+            ..HyperionConfig::for_integers()
+        },
         workload.keys,
         workload.values,
         0x9e7,
@@ -495,6 +520,27 @@ fn main() {
         "str_ngram_noshortcut",
         HyperionConfig {
             shortcut_capacity: 0,
+            ..HyperionConfig::for_strings()
+        },
+        workload.keys.clone(),
+        workload.values.clone(),
+        0x5712,
+        false,
+    )
+    .run_lite(smoke, &mut metrics);
+    Workbench::build(
+        "str_ngram_scalar",
+        HyperionConfig::for_strings(),
+        workload.keys.clone(),
+        workload.values.clone(),
+        0x5712,
+        false,
+    )
+    .run_lite(smoke, &mut metrics);
+    Workbench::build(
+        "str_ngram_simd",
+        HyperionConfig {
+            scan_backend: ScanBackend::Simd,
             ..HyperionConfig::for_strings()
         },
         workload.keys,

@@ -572,6 +572,9 @@ fn delta(after: &StatsSnapshot, before: &StatsSnapshot) -> StatsSnapshot {
         rejected_connections: after.rejected_connections - before.rejected_connections,
         failpoint_trips: after.failpoint_trips - before.failpoint_trips,
         poison_recoveries: after.poison_recoveries - before.poison_recoveries,
+        // Build-time identity, not a counter: carry the end-of-window value.
+        stats_version: after.stats_version,
+        scan_kernel: after.scan_kernel,
     }
 }
 

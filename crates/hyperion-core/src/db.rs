@@ -23,7 +23,7 @@
 //! * **Streaming merged scans** — [`HyperionDb::iter`], [`HyperionDb::range`]
 //!   and [`HyperionDb::prefix`] return a [`DbScan`]: a hand-over-hand k-way
 //!   merge that buffers at most one refilled chunk per shard
-//!   ([`HyperionDbBuilder::scan_chunk`] entries), so a scan over millions of
+//!   ([`HyperionDbBuilder::scan_chunk_size`] entries), so a scan over millions of
 //!   keys allocates `O(shards × chunk)` memory instead of a full per-shard
 //!   snapshot.  [`HyperionDb::iter_rev`], [`HyperionDb::range_rev`] and
 //!   [`HyperionDb::prefix_rev`] run the same merge *descending*: every shard
@@ -97,8 +97,11 @@
 
 use crate::config::HyperionConfig;
 use crate::iter::{prefix_upper_bound, Entries, LowerBound, UpperBound};
+use crate::scan_kernel::ScanBackend;
 use crate::shortcut;
-use crate::stats::{OptimisticReadStats, ReadCounters, ShortcutStats};
+use crate::stats::{
+    DbStats, OptimisticReadStats, ReadCounters, ShortcutStats, TrieCounters, DB_STATS_VERSION,
+};
 use crate::trie::HyperionMap;
 use crate::write::WriteError;
 use crate::{KvRead, KvWrite, OrderedRead};
@@ -439,6 +442,21 @@ impl Partitioner for RangePartitioner {
 // =============================================================================
 
 /// Configures and builds a [`HyperionDb`].
+///
+/// Every knob in one place (each row links to the authoritative setter):
+///
+/// | Knob | Setter | Default | What it controls |
+/// |------|--------|---------|------------------|
+/// | shard count | [`shards`](HyperionDbBuilder::shards) | 16 | number of independently locked tries |
+/// | shard config | [`config`](HyperionDbBuilder::config) | [`HyperionConfig::default`] | per-shard trie tuning (thresholds, jumps, …) |
+/// | routing | [`partitioner`](HyperionDbBuilder::partitioner) | [`FirstBytePartitioner`] | key-to-shard assignment |
+/// | scan chunk size | [`scan_chunk_size`](HyperionDbBuilder::scan_chunk_size) | [`DEFAULT_SCAN_CHUNK`] | entries buffered per shard per lock acquisition |
+/// | shortcut capacity | [`shortcut_capacity`](HyperionDbBuilder::shortcut_capacity) | [`HyperionConfig::shortcut_capacity`] | per-shard hashed shortcut entries (0 = off) |
+/// | scan backend | [`scan_backend`](HyperionDbBuilder::scan_backend) | [`ScanBackend::Scalar`] | container scan kernel (scalar or SIMD key lanes) |
+///
+/// Server-side limits (`max_queue_depth`, connection caps, deadlines) live on
+/// [`ServerConfig`](../../hyperion_server/struct.ServerConfig.html), not here:
+/// they bound the network front end, not the store.
 pub struct HyperionDbBuilder {
     shards: usize,
     config: HyperionConfig,
@@ -485,9 +503,15 @@ impl HyperionDbBuilder {
 
     /// Entries a [`DbScan`] buffers per shard between lock acquisitions
     /// (clamped to `>= 1`).  Default: [`DEFAULT_SCAN_CHUNK`].
-    pub fn scan_chunk(mut self, chunk: usize) -> Self {
+    pub fn scan_chunk_size(mut self, chunk: usize) -> Self {
         self.scan_chunk = chunk.max(1);
         self
+    }
+
+    /// Deprecated alias of [`scan_chunk_size`](HyperionDbBuilder::scan_chunk_size).
+    #[deprecated(since = "0.3.0", note = "renamed to `scan_chunk_size`")]
+    pub fn scan_chunk(self, chunk: usize) -> Self {
+        self.scan_chunk_size(chunk)
     }
 
     /// Capacity of each shard's hashed shortcut layer in entries (0 turns
@@ -495,6 +519,15 @@ impl HyperionDbBuilder {
     /// [`HyperionConfig::shortcut_capacity`] on the shard configuration.
     pub fn shortcut_capacity(mut self, capacity: usize) -> Self {
         self.config.shortcut_capacity = capacity;
+        self
+    }
+
+    /// Container scan backend for every shard (see
+    /// [`ScanBackend`]).  Shorthand for setting
+    /// [`HyperionConfig::scan_backend`] on the shard configuration.
+    /// Default: [`ScanBackend::Scalar`].
+    pub fn scan_backend(mut self, backend: ScanBackend) -> Self {
+        self.config.scan_backend = backend;
         self
     }
 
@@ -509,6 +542,7 @@ impl HyperionDbBuilder {
         }
         HyperionDb {
             shards,
+            config: self.config,
             partitioner: self.partitioner,
             scan_chunk: self.scan_chunk,
             scratch: Mutex::new(Vec::new()),
@@ -655,6 +689,9 @@ fn install_quiet_panic_hook() {
 /// [module documentation](self) for an overview.
 pub struct HyperionDb {
     shards: Vec<Shard>,
+    /// The per-shard configuration every shard was built with; kept so
+    /// [`HyperionDb::stats`] can report build-time choices (scan backend).
+    config: HyperionConfig,
     partitioner: Arc<dyn Partitioner>,
     scan_chunk: usize,
     /// Reusable per-shard index groups for [`HyperionDb::apply`] /
@@ -663,8 +700,7 @@ pub struct HyperionDb {
     /// scaffolding.  Concurrent batch calls fall back to a fresh allocation.
     scratch: Mutex<Vec<Vec<usize>>>,
     /// Optimistic-read outcome counters (hits / retries / mutex fallbacks),
-    /// exposed via [`HyperionDb::optimistic_read_stats`] and the server's
-    /// STATS opcode.
+    /// exposed via [`HyperionDb::stats`] and the server's STATS opcode.
     read_counters: ReadCounters,
 }
 
@@ -814,8 +850,38 @@ impl HyperionDb {
         read(&lock_recover(&self.shards[index]))
     }
 
+    /// One versioned snapshot of every statistics surface the engine keeps:
+    /// the hashed-shortcut counters, the optimistic-read outcomes, the
+    /// structural trie counters (all aggregated across shards), the poison
+    /// recoveries, the fault-injection trip total and the configured scan
+    /// backend.  This is the single stats entry point — the server's STATS
+    /// verb and the benchmarks build on it.
+    pub fn stats(&self) -> DbStats {
+        let mut shortcut = ShortcutStats::default();
+        let mut counters = TrieCounters::default();
+        for i in 0..self.shards.len() {
+            let (s, c) =
+                self.read_shard_recovering(i, |map| (map.shortcut_stats(), map.counters()));
+            shortcut.merge(&s);
+            counters.merge(&c);
+        }
+        DbStats {
+            version: DB_STATS_VERSION,
+            scan_backend: self.config.scan_backend,
+            shortcut,
+            optimistic: self.read_counters.snapshot(),
+            counters,
+            poison_recoveries: self.poison_recoveries(),
+            #[cfg(feature = "failpoints")]
+            failpoint_trips: crate::failpoint::total_trips(),
+            #[cfg(not(feature = "failpoints"))]
+            failpoint_trips: 0,
+        }
+    }
+
     /// Snapshot of the optimistic-read outcome counters (process lifetime,
     /// all shards).
+    #[deprecated(since = "0.3.0", note = "use `HyperionDb::stats().optimistic`")]
     pub fn optimistic_read_stats(&self) -> OptimisticReadStats {
         self.read_counters.snapshot()
     }
@@ -1228,7 +1294,8 @@ impl HyperionDb {
     }
 
     /// Aggregated hashed-shortcut counters across all shards (all zeros when
-    /// the shortcut is disabled).  Served over the wire by the STATS opcode.
+    /// the shortcut is disabled).
+    #[deprecated(since = "0.3.0", note = "use `HyperionDb::stats().shortcut`")]
     pub fn shortcut_stats(&self) -> ShortcutStats {
         let mut total = ShortcutStats::default();
         for i in 0..self.shards.len() {
@@ -1926,7 +1993,7 @@ mod tests {
         let db = Arc::new(sample_db(FirstBytePartitioner, 4));
         db.put(b"victim", 1).unwrap();
         let shard = db.shard_of(b"victim");
-        let before = db.optimistic_read_stats();
+        let before = db.stats().optimistic;
         // Die *inside a mutation span*, exactly like a writer panicking
         // mid-structural-change: the lock is poisoned AND the shard's seqlock
         // is parked odd, so optimistic reads cannot validate.
@@ -1946,7 +2013,7 @@ mod tests {
         // seqlock and still returns the committed value (the dead writer's
         // span applied no changes).
         assert_eq!(KvRead::get(&*db, b"victim"), Some(1));
-        let recovered = db.optimistic_read_stats();
+        let recovered = db.stats().optimistic;
         assert!(
             recovered.fallbacks > before.fallbacks,
             "a read against the parked seqlock must have taken the lock"
@@ -1955,7 +2022,7 @@ mod tests {
         // reads validate lock-free.
         assert_eq!(db.put(b"victim", 2), Ok(PutOutcome::Updated));
         assert_eq!(db.get(b"victim"), Ok(Some(2)));
-        let after = db.optimistic_read_stats();
+        let after = db.stats().optimistic;
         assert!(
             after.hits > recovered.hits,
             "post-recovery reads must run lock-free again"
@@ -2211,7 +2278,7 @@ mod tests {
             let db = HyperionDb::builder()
                 .shards(7)
                 .partitioner_arc(Arc::from(p))
-                .scan_chunk(16) // small chunks: force many hand-over-hand refills
+                .scan_chunk_size(16) // small chunks: force many hand-over-hand refills
                 .build();
             let mut reference = BTreeMap::new();
             for i in 0..1500u64 {
@@ -2251,7 +2318,7 @@ mod tests {
 
     #[test]
     fn scan_memory_stays_bounded_by_chunks() {
-        let db = HyperionDb::builder().shards(4).scan_chunk(8).build();
+        let db = HyperionDb::builder().shards(4).scan_chunk_size(8).build();
         for i in 0..5000u64 {
             db.put(format!("{i:08}").as_bytes(), i).unwrap();
         }
@@ -2270,7 +2337,7 @@ mod tests {
 
     #[test]
     fn scan_size_hint_is_honest_and_fused() {
-        let db = HyperionDb::builder().shards(3).scan_chunk(4).build();
+        let db = HyperionDb::builder().shards(3).scan_chunk_size(4).build();
         for i in 0..100u64 {
             db.put(&i.to_be_bytes(), i).unwrap();
         }
@@ -2343,7 +2410,7 @@ mod tests {
             let db = HyperionDb::builder()
                 .shards(7)
                 .partitioner_arc(Arc::from(p))
-                .scan_chunk(16) // small chunks: force many hand-over-hand refills
+                .scan_chunk_size(16) // small chunks: force many hand-over-hand refills
                 .build();
             let mut reference = BTreeMap::new();
             for i in 0..1500u64 {
@@ -2393,7 +2460,7 @@ mod tests {
 
     #[test]
     fn reverse_scan_memory_stays_bounded_by_chunks() {
-        let db = HyperionDb::builder().shards(4).scan_chunk(8).build();
+        let db = HyperionDb::builder().shards(4).scan_chunk_size(8).build();
         for i in 0..5000u64 {
             db.put(format!("{i:08}").as_bytes(), i).unwrap();
         }
@@ -2484,5 +2551,37 @@ mod tests {
         );
         let got: Vec<_> = db.iter_from(&start).take(3).map(|(_, v)| v).collect();
         assert_eq!(got, vec![50, 51, 52]);
+    }
+
+    #[test]
+    fn stats_tree_aggregates_every_surface() {
+        let db = HyperionDb::builder()
+            .shards(4)
+            .shortcut_capacity(1 << 8)
+            .scan_backend(ScanBackend::Simd)
+            .build();
+        for i in 0..2_000u64 {
+            db.put(&i.to_be_bytes(), i).unwrap();
+        }
+        for i in 0..2_000u64 {
+            assert_eq!(db.get(&i.to_be_bytes()).unwrap(), Some(i));
+        }
+        let s = db.stats();
+        assert_eq!(s.version, DB_STATS_VERSION);
+        assert_eq!(s.scan_backend, ScanBackend::Simd);
+        // The read loop ran unopposed, so every get validated lock-free.
+        assert!(s.optimistic.hits >= 2_000, "hits: {:?}", s.optimistic);
+        // Point descents probed the shortcut table on every locked access.
+        assert!(
+            s.shortcut.hits + s.shortcut.misses > 0,
+            "shortcut: {:?}",
+            s.shortcut
+        );
+        assert_eq!(s.poison_recoveries, 0);
+        // The deprecated per-surface accessors remain views of the same data.
+        #[allow(deprecated)]
+        {
+            assert_eq!(db.shortcut_stats(), db.stats().shortcut);
+        }
     }
 }

@@ -86,6 +86,7 @@ pub mod keys;
 pub mod node;
 pub mod read;
 pub mod scan;
+pub mod scan_kernel;
 pub(crate) mod seqlock;
 pub mod shortcut;
 pub mod stats;
@@ -101,8 +102,9 @@ pub use db::{
     RangePartitioner, WriteBatch,
 };
 pub use iter::{Cursor, Entries, Iter, Prefix, Range};
+pub use scan_kernel::{ContainerScanner, Resume, ScanBackend};
 pub use shortcut::Shortcut;
-pub use stats::{OptimisticReadStats, ShortcutStats, TrieAnalysis, TrieCounters};
+pub use stats::{DbStats, OptimisticReadStats, ShortcutStats, TrieAnalysis, TrieCounters};
 pub use trie::HyperionMap;
 pub use write::WriteError;
 

@@ -21,20 +21,20 @@
 //! * **One-pass CJT probe.**  [`crate::scan::cjt_seed`] stops at the first
 //!   entry past the target instead of reading every slot of every group
 //!   (live entries are ascending; cleared slots are zero).
-//! * **Branch-reduced scans.**  The hot loops (`t_find`, `s_find`)
-//!   delta-decode only the key byte per record; the full record header is
-//!   parsed exactly once — at the match.  Skipping a mismatching record
-//!   derives its length from the flag byte (`s_record_end`, `t_skip`)
-//!   instead of materialising a parsed node.
+//! * **Scanner-dispatched finds.**  Every record search goes through
+//!   [`ContainerScanner`] ([`crate::scan_kernel`]): laned containers are
+//!   searched data-parallel over their contiguous key bytes, everything
+//!   else runs the scalar loops, which delta-decode only the key byte per
+//!   record and parse the full record header exactly once — at the match.
 //!
 //! # The resume protocol (shared with `write`)
 //!
 //! [`HyperionMap::get_many`] sorts its probes in transformed key space and
 //! then descends exactly like [`HyperionMap::put_many`]: the T-level loop
-//! (`t_find_from`) continues from the *previous* probe's position carrying
-//! its delta-decoding predecessor, the S-level loop (`s_find_from`) resumes
-//! the same way, and probes sharing a 2-byte prefix descend into their child
-//! exactly once.  The resume is *adaptive*: the jump-table probes only
+//! ([`ContainerScanner::find_t_from`]) continues from the *previous* probe's
+//! position carrying its delta-decoding predecessor, the S-level loop
+//! ([`ContainerScanner::find_s_from`]) resumes the same way, and probes
+//! sharing a 2-byte prefix descend into their child exactly once.  The resume is *adaptive*: the jump-table probes only
 //! accept seeds past the current position, so a sparse batch jumps between
 //! probes like a point get while a dense batch walks each record at most
 //! once.  Misses simply leave their `None` in place and hand the scan
@@ -54,18 +54,10 @@
 
 use crate::container::{ContainerHandle, ContainerRef};
 use crate::keys::TransformedKey;
-use crate::node::{parse_pc_node, parse_s_node, parse_t_node, NodeType, SNode, TNode};
-use crate::node::{HP_SIZE, JS_SIZE, TNODE_JT_SIZE, VALUE_SIZE};
-use crate::scan::{cjt_seed, tnode_jt_seed};
+use crate::node::{parse_pc_node, NodeType, SNode, TNode, VALUE_SIZE};
+use crate::scan_kernel::{ContainerScanner, Resume};
 use crate::trie::HyperionMap;
 use hyperion_mem::HyperionPointer;
-
-/// Resume state of a lean batched scan: the offset of the next unvisited
-/// record and the delta-decoding predecessor key at that offset.
-struct Resume {
-    pos: usize,
-    prev: Option<u8>,
-}
 
 /// A deferred pointer descent of the batched read: the probes
 /// `order[lo..hi]` continue below container pointer `hp` at key depth
@@ -130,255 +122,6 @@ fn prefetch(ptr: *const u8) {
     let _ = ptr;
 }
 
-/// `true` if the flag byte marks unused (zeroed) memory.
-#[inline(always)]
-fn flag_invalid(flag: u8) -> bool {
-    flag & 0b11 == 0
-}
-
-/// `true` if the flag byte denotes a T record.
-#[inline(always)]
-fn flag_is_t(flag: u8) -> bool {
-    flag & 0b100 == 0
-}
-
-/// `true` if the record stores an inline value (`NodeType::LeafWithValue`).
-#[inline(always)]
-fn flag_has_value(flag: u8) -> bool {
-    flag & 0b11 == 0b11
-}
-
-/// Offset just past the S record at `pos`, derived from the flag byte alone
-/// (no `SNode` is materialised).
-#[inline(always)]
-fn s_record_end(bytes: &[u8], pos: usize) -> usize {
-    let flag = bytes[pos];
-    let explicit = (flag >> 3) & 0b111 == 0;
-    let mut cursor =
-        pos + 1 + explicit as usize + if flag_has_value(flag) { VALUE_SIZE } else { 0 };
-    match (flag >> 6) & 0b11 {
-        0 => {}
-        1 => cursor += HP_SIZE,
-        2 => cursor += (bytes[cursor] as usize).max(1),
-        _ => cursor += ((bytes[cursor] & 0x7f) as usize).max(1),
-    }
-    cursor
-}
-
-/// Offset of the T sibling following the record at `pos`, using the
-/// jump-successor offset when present and a lean S-record walk otherwise.
-#[inline]
-fn t_skip(bytes: &[u8], pos: usize, end: usize) -> usize {
-    let flag = bytes[pos];
-    let explicit = (flag >> 3) & 0b111 == 0;
-    let mut cursor =
-        pos + 1 + explicit as usize + if flag_has_value(flag) { VALUE_SIZE } else { 0 };
-    if flag & (1 << 6) != 0 {
-        let v = u16::from_le_bytes([bytes[cursor], bytes[cursor + 1]]) as usize;
-        if v != 0 {
-            return (pos + v).min(end);
-        }
-        cursor += JS_SIZE;
-    }
-    if flag & (1 << 7) != 0 {
-        cursor += TNODE_JT_SIZE;
-    }
-    let mut p = cursor;
-    while p < end {
-        let f = bytes[p];
-        if flag_invalid(f) || flag_is_t(f) {
-            break;
-        }
-        p = s_record_end(bytes, p);
-    }
-    p.min(end)
-}
-
-/// Finds the T record with key `target` in `[start, end)`, or `None`.
-///
-/// The hot loop decodes only each record's key byte; mismatching records are
-/// skipped by flag-derived lengths and the match is parsed exactly once.
-/// `use_cjt` seeds the start position from the container jump table (valid
-/// only when `start` is the container's stream start).
-fn t_find(c: &ContainerRef, start: usize, end: usize, target: u8, use_cjt: bool) -> Option<TNode> {
-    let bytes = c.bytes();
-    let mut pos = start;
-    if use_cjt {
-        if let Some(seed) = cjt_seed(c, target, pos, end) {
-            pos = seed;
-        }
-    }
-    // The first visited record is always explicit-key (region starts and CJT
-    // targets are), so a zero predecessor never leaks into a decoded key.
-    let mut prev: u8 = 0;
-    while pos < end {
-        let flag = bytes[pos];
-        if flag_invalid(flag) {
-            return None;
-        }
-        // An S flag here means the stream is torn (optimistic reader racing
-        // a writer): miss gracefully, the seqlock validation discards it.
-        if !flag_is_t(flag) {
-            return None;
-        }
-        let delta = (flag >> 3) & 0b111;
-        let key = if delta == 0 {
-            bytes[pos + 1]
-        } else {
-            prev.wrapping_add(delta)
-        };
-        if key >= target {
-            if key > target {
-                return None;
-            }
-            return parse_t_node(bytes, pos, Some(prev));
-        }
-        prev = key;
-        pos = t_skip(bytes, pos, end);
-    }
-    None
-}
-
-/// Lean resume-capable T find: like [`t_find`], but continues from (and
-/// updates) an explicit [`Resume`] state so a sorted batch walks each record
-/// at most once.  The CJT probe is *adaptive*: a seed is only taken when it
-/// lands past the current position, so sparse probes jump like point gets
-/// and dense probes degenerate to the pure resume walk.  On a miss the state
-/// stays at the first record past the target (the next probe's key is
-/// greater, so nothing before it can match).
-fn t_find_from(
-    c: &ContainerRef,
-    state: &mut Resume,
-    end: usize,
-    target: u8,
-    use_cjt: bool,
-) -> Option<TNode> {
-    let bytes = c.bytes();
-    if use_cjt {
-        if let Some(seed) = cjt_seed(c, target, state.pos, end) {
-            state.pos = seed;
-            state.prev = None;
-        }
-    }
-    loop {
-        let pos = state.pos;
-        if pos >= end {
-            return None;
-        }
-        let flag = bytes[pos];
-        if flag_invalid(flag) {
-            return None;
-        }
-        // Torn stream (see `t_find`): miss instead of asserting.
-        if !flag_is_t(flag) {
-            return None;
-        }
-        let delta = (flag >> 3) & 0b111;
-        let key = if delta == 0 {
-            bytes[pos + 1]
-        } else {
-            state.prev.unwrap_or(0).wrapping_add(delta)
-        };
-        if key >= target {
-            if key > target {
-                return None;
-            }
-            let t = parse_t_node(bytes, pos, state.prev);
-            // Resume past this record's subtree for the next probe.
-            state.pos = t_skip(bytes, pos, end);
-            state.prev = Some(key);
-            return t;
-        }
-        state.prev = Some(key);
-        state.pos = t_skip(bytes, pos, end);
-    }
-}
-
-/// Lean resume-capable S find (see [`t_find_from`]); `jt` seeds adaptively.
-fn s_find_from(
-    c: &ContainerRef,
-    state: &mut Resume,
-    end: usize,
-    target: u8,
-    jt: (usize, Option<usize>),
-) -> Option<SNode> {
-    let bytes = c.bytes();
-    if let (t_off, Some(jt_off)) = jt {
-        if let Some(seed) = tnode_jt_seed(c, t_off, jt_off, target, state.pos, end) {
-            state.pos = seed;
-            state.prev = None;
-        }
-    }
-    loop {
-        let pos = state.pos;
-        if pos >= end {
-            return None;
-        }
-        let flag = bytes[pos];
-        if flag_invalid(flag) || flag_is_t(flag) {
-            return None;
-        }
-        let delta = (flag >> 3) & 0b111;
-        let key = if delta == 0 {
-            bytes[pos + 1]
-        } else {
-            state.prev.unwrap_or(0).wrapping_add(delta)
-        };
-        if key >= target {
-            if key > target {
-                return None;
-            }
-            let s = parse_s_node(bytes, pos, state.prev);
-            state.pos = s_record_end(bytes, pos);
-            state.prev = Some(key);
-            return s;
-        }
-        state.prev = Some(key);
-        state.pos = s_record_end(bytes, pos);
-    }
-}
-
-/// Finds the S record with key `target` among the children starting at
-/// `start`, or `None`.  `jt` carries the owning T record's offset and
-/// jump-table offset for seeding the start position.
-fn s_find(
-    c: &ContainerRef,
-    start: usize,
-    end: usize,
-    target: u8,
-    jt: (usize, Option<usize>),
-) -> Option<SNode> {
-    let bytes = c.bytes();
-    let mut pos = start;
-    if let (t_off, Some(jt_off)) = jt {
-        if let Some(seed) = tnode_jt_seed(c, t_off, jt_off, target, pos, end) {
-            pos = seed;
-        }
-    }
-    let mut prev: u8 = 0;
-    while pos < end {
-        let flag = bytes[pos];
-        if flag_invalid(flag) || flag_is_t(flag) {
-            return None;
-        }
-        let delta = (flag >> 3) & 0b111;
-        let key = if delta == 0 {
-            bytes[pos + 1]
-        } else {
-            prev.wrapping_add(delta)
-        };
-        if key >= target {
-            if key > target {
-                return None;
-            }
-            return parse_s_node(bytes, pos, Some(prev));
-        }
-        prev = key;
-        pos = s_record_end(bytes, pos);
-    }
-    None
-}
-
 impl HyperionMap {
     /// The point-lookup fast path over a transformed, non-empty key.
     ///
@@ -404,13 +147,14 @@ impl HyperionMap {
                 None => ContainerHandle::Standalone(hp),
             };
             let c = ContainerRef::from_parts(handle, ptr, capacity);
+            let mut scanner = ContainerScanner::new(&c);
             let mut start = c.stream_start();
             let mut end = c.stream_end();
             let mut top = true;
             // Embedded containers narrow the window on the same byte stream:
             // the descent is iterative, not recursive.
             loop {
-                let t = t_find(&c, start, end, rest[0], top)?;
+                let t = scanner.find_t(start, end, rest[0], top)?;
                 if rest.len() == 1 {
                     return match t.node_type {
                         NodeType::LeafWithValue if read_value => {
@@ -420,7 +164,7 @@ impl HyperionMap {
                         _ => None,
                     };
                 }
-                let s = s_find(&c, t.header_end, end, rest[1], (t.offset, t.jt_offset))?;
+                let s = scanner.find_s(&t, end, rest[1])?;
                 if rest.len() == 2 {
                     return match s.node_type {
                         NodeType::LeafWithValue if read_value => {
@@ -677,6 +421,7 @@ impl HyperionMap {
         results: &mut [Option<u64>],
         next: &mut Vec<Descent>,
     ) {
+        let mut scanner = ContainerScanner::new(c);
         let mut state = Resume {
             pos: start,
             prev: None,
@@ -688,8 +433,8 @@ impl HyperionMap {
             while j < hi && ctx.probes[ctx.order[j] as usize][depth] == target {
                 j += 1;
             }
-            if let Some(t) = t_find_from(c, &mut state, end, target, top) {
-                self.read_t_group(c, &t, end, depth, i, j, ctx, results, next);
+            if let Some(t) = scanner.find_t_from(&mut state, end, target, top) {
+                self.read_t_group(c, &mut scanner, &t, end, depth, i, j, ctx, results, next);
             }
             i = j;
         }
@@ -702,6 +447,7 @@ impl HyperionMap {
     fn read_t_group(
         &self,
         c: &ContainerRef,
+        scanner: &mut ContainerScanner,
         t: &TNode,
         end: usize,
         depth: usize,
@@ -731,7 +477,7 @@ impl HyperionMap {
             while j < hi && ctx.probes[ctx.order[j] as usize][depth + 1] == target {
                 j += 1;
             }
-            if let Some(s) = s_find_from(c, &mut state, end, target, jt) {
+            if let Some(s) = scanner.find_s_from(&mut state, end, target, jt) {
                 self.read_s_group(c, &s, depth, i, j, ctx, results, next);
             }
             i = j;
@@ -815,6 +561,8 @@ mod tests {
     use super::*;
     use crate::config::HyperionConfig;
     use crate::container::{CJT_ENTRY_SIZE, HEADER_SIZE};
+    use crate::node::parse_t_node;
+    use crate::scan::cjt_seed;
     use std::collections::BTreeMap;
 
     fn xorshift(x: &mut u64) -> u64 {

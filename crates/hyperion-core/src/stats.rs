@@ -130,6 +130,49 @@ impl OptimisticReadStats {
     }
 }
 
+/// Layout version of the [`DbStats`] tree; bumped whenever fields are added
+/// so wire consumers (the server STATS verb) can tell encodings apart.
+pub const DB_STATS_VERSION: u64 = 1;
+
+/// The unified statistics tree of a [`crate::HyperionDb`], returned by
+/// [`crate::HyperionDb::stats`].
+///
+/// Consolidates what used to be three separate surfaces — the per-shard
+/// shortcut counters ([`ShortcutStats`]), the optimistic read counters
+/// ([`OptimisticReadStats`]) and the ad-hoc fields the server's STATS verb
+/// merged on its own (poison recoveries, failpoint trips) — into one
+/// versioned snapshot taken at a single call site and encoded once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Layout version ([`DB_STATS_VERSION`]).
+    pub version: u64,
+    /// The scan backend the db was built with ([`crate::scan_kernel`]); its
+    /// [`kernel_name`](crate::ScanBackend::kernel_name) tells which concrete
+    /// kernel (scalar/sse2/avx2/neon) this build resolves it to.
+    pub scan_backend: crate::scan_kernel::ScanBackend,
+    /// Hashed shortcut layer counters, merged across shards.
+    pub shortcut: ShortcutStats,
+    /// Optimistic (seqlock-validated) read path counters.
+    pub optimistic: OptimisticReadStats,
+    /// Structural mutation counters, merged across shards.
+    pub counters: TrieCounters,
+    /// Shards recovered after a writer panicked mid-mutation.
+    pub poison_recoveries: u64,
+    /// Failpoint activations so far (0 unless the `failpoints` feature is
+    /// enabled and sites are armed).
+    pub failpoint_trips: u64,
+}
+
+impl TrieCounters {
+    /// Element-wise sum, for aggregating per-shard tries.
+    pub fn merge(&mut self, other: &TrieCounters) {
+        self.ejections += other.ejections;
+        self.splits += other.splits;
+        self.split_aborts += other.split_aborts;
+        self.cjt_rebuilds += other.cjt_rebuilds;
+    }
+}
+
 /// Result of a full structural walk ([`crate::HyperionMap::analyze`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TrieAnalysis {

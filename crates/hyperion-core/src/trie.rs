@@ -716,12 +716,16 @@ impl HyperionMap {
                         c.size()
                     ));
                 }
-                let expected_free = (c.capacity() - c.size()).min(255);
+                let expected_free = (c.capacity() - c.size()).min(127);
                 if c.free_field() != expected_free {
                     return Err(format!(
                         "{handle:?}: free field {} but capacity-size is {expected_free}",
                         c.free_field()
                     ));
+                }
+                if c.has_key_lane() {
+                    crate::scan_kernel::validate_lane(&c)
+                        .map_err(|e| format!("{handle:?}: {e}"))?;
                 }
                 let mut prev_cjt_key: Option<u8> = None;
                 for (key, off) in c.cjt_entries() {

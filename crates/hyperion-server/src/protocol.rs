@@ -276,6 +276,12 @@ pub struct StatsSnapshot {
     /// Poisoned-shard recoveries performed by the store (a writer died
     /// mid-mutation and the shard was re-adopted).
     pub poison_recoveries: u64,
+    /// Version of the store's consolidated statistics tree
+    /// ([`hyperion_core::DbStats`]) this snapshot was built from.
+    pub stats_version: u64,
+    /// Numeric id of the active container-scan kernel (0 scalar, 1 SSE2,
+    /// 2 AVX2, 3 NEON; see [`hyperion_core::ScanBackend::kernel_id`]).
+    pub scan_kernel: u64,
 }
 
 impl StatsSnapshot {
@@ -491,6 +497,8 @@ pub fn encode_response(id: u32, resp: &Response, out: &mut Vec<u8>) {
                 s.rejected_connections,
                 s.failpoint_trips,
                 s.poison_recoveries,
+                s.stats_version,
+                s.scan_kernel,
             ] {
                 o.extend_from_slice(&v.to_le_bytes());
             }
@@ -719,6 +727,8 @@ pub fn decode_response(body: &[u8]) -> Result<(u32, Response), ProtoError> {
             rejected_connections: r.u64()?,
             failpoint_trips: r.u64()?,
             poison_recoveries: r.u64()?,
+            stats_version: r.u64()?,
+            scan_kernel: r.u64()?,
         }),
         kind::ERROR => {
             let code = r.u16()?;
@@ -976,6 +986,8 @@ mod tests {
             rejected_connections: 3,
             failpoint_trips: 6,
             poison_recoveries: 1,
+            stats_version: 1,
+            scan_kernel: 2,
             ..Default::default()
         }));
         roundtrip_response(Response::Error {

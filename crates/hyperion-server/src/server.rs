@@ -129,11 +129,12 @@ struct StatsCounters {
 }
 
 impl StatsCounters {
-    /// Merges the request tallies with the db's aggregated shortcut
-    /// counters, so cache behaviour is observable over the wire.
+    /// Merges the request tallies with the db's consolidated statistics
+    /// tree ([`HyperionDb::stats`]), so engine behaviour is observable over
+    /// the wire through one snapshot.
     fn snapshot(&self, db: &HyperionDb) -> StatsSnapshot {
-        let shortcut = db.shortcut_stats();
-        let optimistic = db.optimistic_read_stats();
+        let stats = db.stats();
+        let (shortcut, optimistic) = (stats.shortcut, stats.optimistic);
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -155,11 +156,10 @@ impl StatsCounters {
             evicted_slow_clients: self.evicted_slow_clients.load(Ordering::Relaxed),
             deadline_closed_conns: self.deadline_closed_conns.load(Ordering::Relaxed),
             rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
-            #[cfg(feature = "failpoints")]
-            failpoint_trips: hyperion_core::failpoint::total_trips(),
-            #[cfg(not(feature = "failpoints"))]
-            failpoint_trips: 0,
-            poison_recoveries: db.poison_recoveries(),
+            failpoint_trips: stats.failpoint_trips,
+            poison_recoveries: stats.poison_recoveries,
+            stats_version: stats.version,
+            scan_kernel: stats.scan_backend.kernel_id(),
         }
     }
 }

@@ -78,10 +78,10 @@ pub use hyperion_workloads as workloads;
 #[allow(deprecated)]
 pub use hyperion_core::ConcurrentHyperion;
 pub use hyperion_core::{
-    BatchReport, BatchSummary, Cursor, DbScan, Entries, FibonacciPartitioner, FirstBytePartitioner,
-    HyperionConfig, HyperionDb, HyperionDbBuilder, HyperionError, HyperionMap, Iter, KvRead,
-    KvStore, KvWrite, OrderedKvStore, OrderedRead, Partitioner, Prefix, PutOutcome, Range,
-    RangePartitioner, WriteBatch, WriteError,
+    BatchReport, BatchSummary, ContainerScanner, Cursor, DbScan, DbStats, Entries,
+    FibonacciPartitioner, FirstBytePartitioner, HyperionConfig, HyperionDb, HyperionDbBuilder,
+    HyperionError, HyperionMap, Iter, KvRead, KvStore, KvWrite, OrderedKvStore, OrderedRead,
+    Partitioner, Prefix, PutOutcome, Range, RangePartitioner, ScanBackend, WriteBatch, WriteError,
 };
 pub use hyperion_mem::MemoryManager;
 pub use hyperion_server::{Client, Server, ServerConfig, ServerHandle};

@@ -109,7 +109,7 @@ fn optimistic_reads_stay_linearizable_under_structural_churn() {
             .shards(4)
             .config(config)
             .partitioner(FibonacciPartitioner)
-            .scan_chunk(16)
+            .scan_chunk_size(16)
             .build(),
     );
     let window = Arc::new(Window::new(1));
@@ -169,7 +169,7 @@ fn optimistic_reads_stay_linearizable_under_structural_churn() {
                 let mut round = 0usize;
                 loop {
                     if round >= MIN_ROUNDS {
-                        let s = db.optimistic_read_stats();
+                        let s = db.stats().optimistic;
                         if s.retries + s.fallbacks > 0 || Instant::now() >= deadline {
                             break;
                         }
@@ -264,7 +264,7 @@ fn optimistic_reads_stay_linearizable_under_structural_churn() {
         );
     }
 
-    let stats = db.optimistic_read_stats();
+    let stats = db.stats().optimistic;
     assert!(
         stats.hits > 0,
         "no optimistic read ever validated: {stats:?}"

@@ -36,7 +36,7 @@ fn ordered_stores() -> Vec<Box<dyn OrderedKvStore>> {
                 .shards(8)
                 .config(HyperionConfig::for_integers())
                 .partitioner(FibonacciPartitioner)
-                .scan_chunk(64)
+                .scan_chunk_size(64)
                 .build(),
         ),
         Box::new(
@@ -44,7 +44,7 @@ fn ordered_stores() -> Vec<Box<dyn OrderedKvStore>> {
                 .shards(8)
                 .config(HyperionConfig::for_integers())
                 .partitioner(RangePartitioner)
-                .scan_chunk(64)
+                .scan_chunk_size(64)
                 .build(),
         ),
         Box::new(ArtTree::new()),

@@ -20,7 +20,7 @@ fn mixed_workload(partitioner: impl Partitioner + 'static, hot_prefix: bool) {
         HyperionDb::builder()
             .shards(16)
             .partitioner(partitioner)
-            .scan_chunk(32)
+            .scan_chunk_size(32)
             .build(),
     );
     let oracle = Arc::new(Mutex::new(BTreeMap::<Vec<u8>, u64>::new()));
@@ -144,7 +144,7 @@ fn million_key_scan_allocates_bounded_memory() {
 
     let db = HyperionDb::builder()
         .shards(SHARDS)
-        .scan_chunk(CHUNK)
+        .scan_chunk_size(CHUNK)
         .build();
     let mut batch = WriteBatch::with_capacity(4096);
     let mut rng = Mt19937_64::new(0xfeed_beef);

@@ -105,7 +105,7 @@ fn db_scan_rev_matches_btreemap_at_100k() {
     let db = HyperionDb::builder()
         .shards(16)
         .partitioner(RangePartitioner)
-        .scan_chunk(128)
+        .scan_chunk_size(128)
         .build();
     let pairs: Vec<(&[u8], u64)> = reference.iter().map(|(k, v)| (k.as_slice(), *v)).collect();
     for (k, v) in &pairs {
